@@ -1,0 +1,24 @@
+//! # tab-advisor
+//!
+//! Configuration recommenders and baseline configurations for
+//! `tab-bench`:
+//!
+//! - [`config_builders`]: the paper's `P` (primary keys only) and `1C`
+//!   (all single-column indexes) configurations, and the `size(1C) −
+//!   size(P)` storage budget;
+//! - [`candidates`]: per-workload candidate generation in three styles;
+//! - [`greedy`]: the shared what-if greedy knapsack search;
+//! - [`profiles`]: the three recommender profiles standing in for the
+//!   paper's anonymous commercial Systems A, B, and C.
+
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod config_builders;
+pub mod greedy;
+pub mod profiles;
+
+pub use candidates::{generate as generate_candidates, Candidate, CandidateStyle};
+pub use config_builders::{one_column_budget_bytes, one_column_configuration, p_configuration};
+pub use greedy::{candidate_bytes, greedy_select, GreedyOptions, Objective};
+pub use profiles::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};

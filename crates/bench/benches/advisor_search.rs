@@ -1,0 +1,68 @@
+//! Recommender search benchmarks: candidate generation and greedy
+//! what-if selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use tab_advisor::{
+    generate_candidates, greedy_select, p_configuration, CandidateStyle, GreedyOptions,
+};
+use tab_datagen::{generate_nref, NrefParams};
+use tab_sqlq::parse;
+use tab_storage::BuiltConfiguration;
+
+fn bench_advisor(c: &mut Criterion) {
+    let db = generate_nref(NrefParams {
+        proteins: 1_000,
+        seed: 2,
+    });
+    let p = BuiltConfiguration::build(p_configuration(&db, "P"), &db);
+    let workload: Vec<_> = (0..20)
+        .map(|i| {
+            parse(&format!(
+                "SELECT t.lineage, COUNT(*) FROM taxonomy t, source s \
+                 WHERE t.taxon_id = s.taxon_id AND s.p_id = {} GROUP BY t.lineage",
+                i % 3
+            ))
+            .unwrap()
+        })
+        .collect();
+
+    c.bench_function("candidate_generation_covering", |b| {
+        b.iter(|| {
+            black_box(generate_candidates(&db, &workload, CandidateStyle::Covering).len())
+        })
+    });
+    c.bench_function("greedy_whatif_selection", |b| {
+        let cands = generate_candidates(&db, &workload, CandidateStyle::Covering);
+        b.iter(|| {
+            black_box(
+                greedy_select(
+                    &db,
+                    &p,
+                    &workload,
+                    cands.clone(),
+                    64 << 20,
+                    "R",
+                    GreedyOptions::default(),
+                )
+                .indexes
+                .len(),
+            )
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    // Keep full-workspace bench runs to minutes, not hours: these are
+    // coarse-grained operations (whole queries, whole advisor searches),
+    // so ten samples at ~3 s each is plenty to see regressions.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group!(name = benches; config = configured(); targets = bench_advisor);
+criterion_main!(benches);

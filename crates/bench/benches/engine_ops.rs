@@ -1,0 +1,82 @@
+//! Operator and optimizer microbenchmarks: scan, probe, join, plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use tab_datagen::{generate_nref, NrefParams};
+use tab_engine::{CostMeter, Resolver, Session};
+use tab_sqlq::parse;
+use tab_storage::{BuiltConfiguration, Configuration, IndexSpec};
+
+fn bench_engine(c: &mut Criterion) {
+    let db = generate_nref(NrefParams {
+        proteins: 2_000,
+        seed: 1,
+    });
+    let p = BuiltConfiguration::build(Configuration::named("p"), &db);
+    let mut icfg = Configuration::named("ix");
+    let tax = db.table("taxonomy").unwrap().schema();
+    icfg.indexes
+        .push(IndexSpec::new("taxonomy", vec![tax.require_column("taxon_id")]));
+    icfg.indexes
+        .push(IndexSpec::new("source", vec![1])); // p_id
+    let ix = BuiltConfiguration::build(icfg, &db);
+
+    let scan_q = parse("SELECT t.lineage, COUNT(*) FROM taxonomy t GROUP BY t.lineage").unwrap();
+    let probe_q = parse(
+        "SELECT t.lineage, COUNT(*) FROM taxonomy t WHERE t.taxon_id = 3 GROUP BY t.lineage",
+    )
+    .unwrap();
+    let join_q = parse(
+        "SELECT t.lineage, COUNT(*) FROM taxonomy t, source s \
+         WHERE t.taxon_id = s.taxon_id AND s.p_id = 1 GROUP BY t.lineage",
+    )
+    .unwrap();
+
+    c.bench_function("seq_scan_aggregate", |b| {
+        let s = Session::new(&db, &p);
+        b.iter(|| black_box(s.run(&scan_q, None).unwrap().outcome.units()))
+    });
+    c.bench_function("index_probe_aggregate", |b| {
+        let s = Session::new(&db, &ix);
+        b.iter(|| black_box(s.run(&probe_q, None).unwrap().outcome.units()))
+    });
+    c.bench_function("hash_join_two_tables", |b| {
+        let s = Session::new(&db, &p);
+        b.iter(|| black_box(s.run(&join_q, None).unwrap().outcome.units()))
+    });
+    c.bench_function("plan_three_relation_query", |b| {
+        let s = Session::new(&db, &ix);
+        let q = parse(
+            "SELECT r1.taxon_id, COUNT(DISTINCT r2.nref_id) \
+             FROM taxonomy r1, taxonomy r2, source s \
+             WHERE r1.taxon_id = r2.taxon_id AND r1.nref_id = s.nref_id \
+             AND s.p_id = 0 GROUP BY r1.taxon_id",
+        )
+        .unwrap();
+        b.iter(|| black_box(s.plan_query(&q).unwrap().est_cost))
+    });
+    c.bench_function("execute_planned_query", |b| {
+        let s = Session::new(&db, &ix);
+        let plan = s.plan_query(&probe_q).unwrap();
+        let resolver = Resolver::new(&db, &ix);
+        b.iter(|| {
+            let mut m = CostMeter::unbounded();
+            black_box(tab_engine::execute(&plan, &resolver, &mut m).unwrap().len())
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    // Keep full-workspace bench runs to minutes, not hours: these are
+    // coarse-grained operations (whole queries, whole advisor searches),
+    // so ten samples at ~3 s each is plenty to see regressions.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group!(name = benches; config = configured(); targets = bench_engine);
+criterion_main!(benches);

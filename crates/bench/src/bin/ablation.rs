@@ -1,0 +1,84 @@
+//! Quality ablations: how much of the recommenders' failure is
+//! estimation error, and what a CFC-goal objective would buy.
+//!
+//! Runs System-B-style recommendations on the NREF3J workload under
+//! three variants and compares *actual* workload costs against `P` and
+//! `1C`:
+//!
+//! 1. baseline: uniform what-if estimates, total-cost objective;
+//! 2. `observe`: perfect distribution statistics for hypothetical
+//!    structures (the paper's proposed observe step);
+//! 3. `p90`: percentile objective (the paper's CFC-style goal).
+//!
+//! ```sh
+//! cargo run --release -p tab-bench-harness --bin ablation
+//! ```
+
+use tab_advisor::{
+    generate_candidates, greedy_select, CandidateStyle, GreedyOptions, Objective,
+};
+use tab_core::{build_1c, build_p, prepare_workload, run_workload, space_budget, Suite, SuiteParams};
+use tab_families::Family;
+use tab_storage::BuiltConfiguration;
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let params = if small {
+        SuiteParams::small()
+    } else {
+        SuiteParams::default()
+    };
+    let suite = Suite::build(params);
+    let db = &suite.nref;
+    let p = build_p(db, "NREF");
+    let c1 = build_1c(db, "NREF");
+    let budget = space_budget(db, "NREF");
+    let w = prepare_workload(&suite, Family::Nref3J, &p);
+    let cands = generate_candidates(db, &w, CandidateStyle::Covering);
+
+    let run_p = run_workload(db, &p, &w, params.timeout_units);
+    let run_1c = run_workload(db, &c1, &w, params.timeout_units);
+    println!(
+        "{:<22} total_lb(s) {:>9.0}  timeouts {:>3}",
+        "P",
+        run_p.total_lower_bound_sim_seconds(),
+        run_p.timeout_count()
+    );
+    println!(
+        "{:<22} total_lb(s) {:>9.0}  timeouts {:>3}",
+        "1C",
+        run_1c.total_lower_bound_sim_seconds(),
+        run_1c.timeout_count()
+    );
+
+    let variants: [(&str, GreedyOptions); 3] = [
+        ("R (baseline)", GreedyOptions::default()),
+        (
+            "R (observe/perfect)",
+            GreedyOptions {
+                perfect_estimates: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "R (p90 objective)",
+            GreedyOptions {
+                objective: Objective::Percentile(0.9),
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, opts) in variants {
+        let cfg = greedy_select(db, &p, &w, cands.clone(), budget, name, opts);
+        let n_idx = cfg.indexes.len();
+        let built = BuiltConfiguration::build(cfg, db);
+        let run = run_workload(db, &built, &w, params.timeout_units);
+        println!(
+            "{:<22} total_lb(s) {:>9.0}  timeouts {:>3}  indexes {:>2}",
+            name,
+            run.total_lower_bound_sim_seconds(),
+            run.timeout_count(),
+            n_idx
+        );
+    }
+}

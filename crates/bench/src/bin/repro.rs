@@ -1,0 +1,33 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p tab-bench-harness --bin repro            # full scale
+//! cargo run --release -p tab-bench-harness --bin repro -- --small # smoke run
+//! ```
+
+use tab_bench_harness::repro::{run_all, ReproConfig};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let cfg = if small {
+        ReproConfig::small()
+    } else {
+        ReproConfig::full()
+    };
+    eprintln!(
+        "tab-bench reproduction ({} scale) -> {}",
+        if small { "small" } else { "full" },
+        cfg.out_dir.display()
+    );
+    let summary = run_all(&cfg);
+    println!("{}", summary.figures_text);
+    println!("claims: {}/{} hold", summary.passed(), summary.claims.len());
+    for c in &summary.claims {
+        println!(
+            "  [{}] {} -- {}",
+            if c.holds { "HOLDS   " } else { "DIVERGES" },
+            c.id,
+            c.evidence
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! # tab-bench-harness
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper (see `DESIGN.md` §4 for the experiment index). The heavy
+//! lifting lives in [`repro`]; the `repro` binary is a thin CLI over it,
+//! and the Criterion benches reuse the same helpers.
+
+#![warn(missing_docs)]
+
+pub mod repro;

@@ -1,0 +1,871 @@
+//! The reproduction driver: regenerates every table and figure of the
+//! paper into an output directory, and checks the paper's qualitative
+//! claims ("shape claims") along the way.
+//!
+//! See DESIGN.md §4 for the experiment ↔ module ↔ output index.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tab_advisor::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};
+use tab_core::report::{cfc_csv_rows, render_cfc_ascii, render_histogram_ascii, write_csv};
+use tab_core::{
+    build_1c, build_p, estimate_workload, estimate_workload_hypothetical, improvement_ratios,
+    insertion_breakeven, prepare_workload_db, run_workload, space_budget, table1_row, Cfc, Goal,
+    LogHistogram, RatioHistogram, SuiteParams, WorkloadRun,
+};
+use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
+use tab_families::Family;
+use tab_sqlq::Query;
+use tab_storage::{BuiltConfiguration, Configuration};
+
+/// Configuration of a reproduction run.
+pub struct ReproConfig {
+    /// Suite scales and seeds.
+    pub params: SuiteParams,
+    /// Output directory for CSVs and rendered figures.
+    pub out_dir: PathBuf,
+}
+
+impl ReproConfig {
+    /// Default full-scale run writing to `results/`.
+    pub fn full() -> Self {
+        ReproConfig {
+            params: SuiteParams::default(),
+            out_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// Small-scale smoke run.
+    pub fn small() -> Self {
+        ReproConfig {
+            params: SuiteParams::small(),
+            out_dir: PathBuf::from("results-small"),
+        }
+    }
+}
+
+/// One checked qualitative claim from the paper.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// Short identifier, e.g. `fig3-1c-beats-p`.
+    pub id: String,
+    /// What the paper asserts.
+    pub statement: String,
+    /// Whether our reproduction observes it.
+    pub holds: bool,
+    /// Measured evidence.
+    pub evidence: String,
+}
+
+/// Collected results of a full reproduction.
+pub struct ReproSummary {
+    /// All checked claims.
+    pub claims: Vec<Claim>,
+    /// Rendered ASCII figures (also written to `figures.txt`).
+    pub figures_text: String,
+}
+
+impl ReproSummary {
+    /// Number of claims that held.
+    pub fn passed(&self) -> usize {
+        self.claims.iter().filter(|c| c.holds).count()
+    }
+}
+
+struct Ctx {
+    out: PathBuf,
+    timeout: f64,
+    claims: Vec<Claim>,
+    figures: String,
+    t0: Instant,
+}
+
+impl Ctx {
+    fn log(&self, msg: &str) {
+        eprintln!("[{:8.1?}] {msg}", self.t0.elapsed());
+    }
+
+    fn claim(&mut self, id: &str, statement: &str, holds: bool, evidence: String) {
+        self.log(&format!(
+            "claim {id}: {} ({evidence})",
+            if holds { "HOLDS" } else { "DIVERGES" }
+        ));
+        self.claims.push(Claim {
+            id: id.to_string(),
+            statement: statement.to_string(),
+            holds,
+            evidence,
+        });
+    }
+
+    fn figure(&mut self, title: &str, body: &str) {
+        self.figures.push_str(&format!("\n=== {title} ===\n{body}\n"));
+    }
+
+    fn write_cfc_figure(
+        &mut self,
+        file: &str,
+        title: &str,
+        curves: &[(&str, &Cfc)],
+        max_x: f64,
+    ) {
+        let (header, rows) = cfc_csv_rows(curves, 0.1, max_x, 60);
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        write_csv(self.out.join(file), &header_refs, &rows).expect("write figure csv");
+        let ascii = render_cfc_ascii(curves, 0.1, max_x, 64, 16);
+        self.figure(title, &ascii);
+    }
+}
+
+/// Run the full reproduction.
+pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
+    std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
+    let mut ctx = Ctx {
+        out: cfg.out_dir.clone(),
+        timeout: cfg.params.timeout_units,
+        claims: Vec::new(),
+        figures: String::new(),
+        t0: Instant::now(),
+    };
+    let timeout_s = tab_engine::units_to_sim_seconds(cfg.params.timeout_units);
+
+
+    let mut table1: Vec<Vec<String>> = Vec::new();
+    let mut table2: Vec<Vec<String>> = Vec::new();
+    let mut table3: Vec<Vec<String>> = Vec::new();
+    let mut runs_csv: Vec<Vec<String>> = Vec::new();
+    let mut totals_csv: Vec<Vec<String>> = Vec::new();
+
+    let record_run = |runs_csv: &mut Vec<Vec<String>>,
+                      totals_csv: &mut Vec<Vec<String>>,
+                      family: &str,
+                      run: &WorkloadRun| {
+        for (i, s) in run.sim_seconds().iter().enumerate() {
+            runs_csv.push(vec![
+                family.to_string(),
+                run.config.clone(),
+                i.to_string(),
+                if s.is_finite() {
+                    format!("{s:.3}")
+                } else {
+                    "timeout".to_string()
+                },
+            ]);
+        }
+        totals_csv.push(vec![
+            family.to_string(),
+            run.config.clone(),
+            format!("{:.1}", run.total_lower_bound_sim_seconds()),
+            run.timeout_count().to_string(),
+        ]);
+    };
+
+    // ================= NREF (Systems A and B) =================
+    // Databases are generated one at a time and dropped at section end
+    // to bound resident memory.
+    ctx.log("NREF: generating database");
+    let nref_db = generate_nref(NrefParams {
+        proteins: cfg.params.nref_proteins,
+        seed: cfg.params.seed,
+    });
+    let nref = &nref_db;
+    ctx.log("NREF: building P and 1C");
+    let p = build_p(nref, "NREF");
+    let c1 = build_1c(nref, "NREF");
+    let budget = space_budget(nref, "NREF");
+    ctx.log(&format!("NREF budget = {} MiB", budget / (1 << 20)));
+
+    ctx.log("NREF: preparing workloads");
+    let w2 = prepare_workload_db(nref, Family::Nref2J, &p, cfg.params.workload_size, cfg.params.seed);
+    let w3 = prepare_workload_db(nref, Family::Nref3J, &p, cfg.params.workload_size, cfg.params.seed);
+
+    let input2 = AdvisorInput {
+        db: nref,
+        current: &p,
+        workload: &w2,
+        budget_bytes: budget,
+    };
+    let input3 = AdvisorInput {
+        db: nref,
+        current: &p,
+        workload: &w3,
+        budget_bytes: budget,
+    };
+
+    ctx.log("NREF: System A recommending for NREF2J");
+    let a2_cfg = SystemA::default().recommend(&input2);
+    ctx.log("NREF: System A recommending for NREF3J (expected to fail)");
+    let a3_cfg = SystemA::default().recommend(&input3);
+    ctx.claim(
+        "sec4.2-a-fails-nref3j",
+        "System A produces no recommendation for the 100-query NREF3J workload",
+        a3_cfg.is_none(),
+        format!("A on NREF3J returned {}", if a3_cfg.is_some() { "Some" } else { "None" }),
+    );
+    // ... but succeeds on smaller NREF3J workloads (the paper tried 25/12/6/3).
+    let small3: Vec<Query> = w3.iter().take(25).cloned().collect();
+    let a3_small = SystemA::default().recommend(&AdvisorInput {
+        db: nref,
+        current: &p,
+        workload: &small3,
+        budget_bytes: budget,
+    });
+    ctx.claim(
+        "sec4.2-a-small-workloads",
+        "System A can produce recommendations for smaller NREF3J workloads",
+        a3_small.is_some(),
+        format!("A on 25-query NREF3J returned {}", if a3_small.is_some() { "Some" } else { "None" }),
+    );
+
+    ctx.log("NREF: System B recommending for NREF2J and NREF3J");
+    let b2_cfg = SystemB.recommend(&input2).expect("B always recommends");
+    let b3_cfg = SystemB.recommend(&input3).expect("B always recommends");
+
+    let named = |mut c: Configuration, name: &str| {
+        c.name = name.to_string();
+        c
+    };
+    let a2 = a2_cfg.map(|c| BuiltConfiguration::build(named(c, "A_NREF2J_R"), nref));
+    let b2 = BuiltConfiguration::build(named(b2_cfg, "B_NREF2J_R"), nref);
+    let b3 = BuiltConfiguration::build(named(b3_cfg, "B_NREF3J_R"), nref);
+
+    ctx.log("NREF: running NREF2J on P / 1C / A_R / B_R");
+    let r2_p = run_workload(nref, &p, &w2, ctx.timeout);
+    let r2_1c = run_workload(nref, &c1, &w2, ctx.timeout);
+    let r2_a = a2.as_ref().map(|b| run_workload(nref, b, &w2, ctx.timeout));
+    let r2_b = run_workload(nref, &b2, &w2, ctx.timeout);
+    ctx.log("NREF: running NREF3J on P / 1C / B_R");
+    let r3_p = run_workload(nref, &p, &w3, ctx.timeout);
+    let r3_1c = run_workload(nref, &c1, &w3, ctx.timeout);
+    let r3_b = run_workload(nref, &b3, &w3, ctx.timeout);
+
+    for (fam, run) in [
+        ("NREF2J", &r2_p),
+        ("NREF2J", &r2_1c),
+        ("NREF2J", &r2_b),
+        ("NREF3J", &r3_p),
+        ("NREF3J", &r3_1c),
+        ("NREF3J", &r3_b),
+    ] {
+        record_run(&mut runs_csv, &mut totals_csv, fam, run);
+    }
+    if let Some(r) = &r2_a {
+        record_run(&mut runs_csv, &mut totals_csv, "NREF2J", r);
+    }
+
+    // Figures 1 and 2: histograms of NREF2J on A's initial and
+    // recommended configurations.
+    let max_x = timeout_s * 1.1;
+    {
+        let h1 = LogHistogram::new(&r2_p.sim_seconds(), 0.1, timeout_s, 2);
+        let h2 = LogHistogram::new(
+            &r2_a.as_ref().unwrap_or(&r2_b).sim_seconds(),
+            0.1,
+            timeout_s,
+            2,
+        );
+        for (file, title, h) in [
+            ("fig01_hist_nref2j_P.csv", "Figure 1: NREF2J on A_NREF_P (histogram)", &h1),
+            ("fig02_hist_nref2j_R.csv", "Figure 2: NREF2J on A_NREF2J_R (histogram)", &h2),
+        ] {
+            let mut rows: Vec<Vec<String>> = Vec::new();
+            let labels = h.labels();
+            let mut counts = h.counts.clone();
+            counts.push(h.timeout_count);
+            let cums = h.cumulative_fractions();
+            for (i, l) in labels.iter().enumerate() {
+                rows.push(vec![
+                    l.clone(),
+                    counts[i].to_string(),
+                    if i < cums.len() {
+                        format!("{:.3}", cums[i])
+                    } else {
+                        String::new()
+                    },
+                ]);
+            }
+            write_csv(ctx.out.join(file), &["bin", "count", "cumulative"], &rows)
+                .expect("write histogram");
+            ctx.figure(title, &render_histogram_ascii(h, 40));
+        }
+    }
+
+    // Figure 3: CFC of P / 1C / R (System A) on NREF2J.
+    let cfc2_p = r2_p.cfc();
+    let cfc2_1c = r2_1c.cfc();
+    let cfc2_b = r2_b.cfc();
+    {
+        let cfc_a;
+        let mut curves: Vec<(&str, &Cfc)> = vec![("P", &cfc2_p), ("1C", &cfc2_1c)];
+        if let Some(ra) = &r2_a {
+            cfc_a = ra.cfc();
+            curves.push(("R", &cfc_a));
+        }
+        ctx.write_cfc_figure("fig03_cfc_A_nref2j.csv", "Figure 3: System A on NREF2J", &curves, max_x);
+        let x = 31.6;
+        ctx.claim(
+            "fig3-1c-best-at-31s",
+            "On NREF2J, 1C completes the largest fraction under 31.6 s (paper: 41% vs 27% R vs 7% P)",
+            cfc2_1c.at(x) > cfc2_p.at(x),
+            format!(
+                "CFC(31.6s): P={:.2} 1C={:.2} R(A)={:.2}",
+                cfc2_p.at(x),
+                cfc2_1c.at(x),
+                r2_a.as_ref().map(|r| r.cfc().at(x)).unwrap_or(f64::NAN)
+            ),
+        );
+    }
+
+    // Figure 4: System A on NREF3J — only P and 1C (no recommendation).
+    let cfc3_p = r3_p.cfc();
+    let cfc3_1c = r3_1c.cfc();
+    ctx.write_cfc_figure(
+        "fig04_cfc_A_nref3j.csv",
+        "Figure 4: System A on NREF3J (no R: recommender failed)",
+        &[("P", &cfc3_p), ("1C", &cfc3_1c)],
+        max_x,
+    );
+    {
+        // The paper's own arithmetic: "it takes 98 seconds to complete
+        // 60% of the queries on 1C, while it takes 4 hours and 45
+        // minutes to complete 60% of the queries on P: an improvement of
+        // 174 times!" — i.e. the sum of the fastest 60% of times.
+        let sum60 = |run: &WorkloadRun| -> f64 {
+            let mut v: Vec<f64> = run.sim_seconds();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("comparable"));
+            let k = (v.len() * 6) / 10;
+            v.iter().take(k).filter(|x| x.is_finite()).sum()
+        };
+        let (s_p, s_1c) = (sum60(&r3_p), sum60(&r3_1c));
+        let ratio = s_p / s_1c.max(1e-9);
+        // The paper's 174x rides on its 65 MB-3.9 GB table-size spread;
+        // scaled down, the spread (and with it the achievable ratio)
+        // compresses — see EXPERIMENTS.md. The claim checks that the
+        // gap is large and in the paper's direction at our scale.
+        ctx.claim(
+            "fig4-large-gap",
+            "On NREF3J, completing 60% of the workload takes substantially longer on P than on 1C (paper: 174x at full scale)",
+            ratio > 1.5,
+            format!("time to complete 60%: P={s_p:.0}s 1C={s_1c:.0}s ratio={ratio:.1}x"),
+        );
+    }
+
+    // Figures 5 and 6: System B.
+    let cfc3_b = r3_b.cfc();
+    ctx.write_cfc_figure(
+        "fig05_cfc_B_nref2j.csv",
+        "Figure 5: System B on NREF2J",
+        &[("P", &cfc2_p), ("1C", &cfc2_1c), ("R", &cfc2_b)],
+        max_x,
+    );
+    ctx.write_cfc_figure(
+        "fig06_cfc_B_nref3j.csv",
+        "Figure 6: System B on NREF3J",
+        &[("P", &cfc3_p), ("1C", &cfc3_1c), ("R", &cfc3_b)],
+        max_x,
+    );
+    ctx.claim(
+        "fig5-B-R-near-P",
+        "System B's NREF2J recommendation performs close to P, far from 1C",
+        r2_b.total_lower_bound_sim_seconds() > 0.5 * r2_p.total_lower_bound_sim_seconds()
+            && r2_1c.total_lower_bound_sim_seconds()
+                < 0.8 * r2_b.total_lower_bound_sim_seconds(),
+        format!(
+            "totals: P={:.0}s R={:.0}s 1C={:.0}s",
+            r2_p.total_lower_bound_sim_seconds(),
+            r2_b.total_lower_bound_sim_seconds(),
+            r2_1c.total_lower_bound_sim_seconds()
+        ),
+    );
+    ctx.claim(
+        "fig6-B-R-between",
+        "System B's NREF3J recommendation improves on P but a gap to 1C remains",
+        r3_b.total_lower_bound_sim_seconds() <= r3_p.total_lower_bound_sim_seconds()
+            && r3_1c.total_lower_bound_sim_seconds() <= r3_b.total_lower_bound_sim_seconds(),
+        format!(
+            "totals: P={:.0}s R={:.0}s 1C={:.0}s",
+            r3_p.total_lower_bound_sim_seconds(),
+            r3_b.total_lower_bound_sim_seconds(),
+            r3_1c.total_lower_bound_sim_seconds()
+        ),
+    );
+
+    // Example 2 / §2.2: the performance goal, scaled to this timeout.
+    {
+        let goal = Goal::from_steps(vec![
+            (timeout_s / 180.0, 0.1),
+            (timeout_s / 30.0, 0.5),
+            (timeout_s, 0.9),
+        ]);
+        let sat = |c: &Cfc| goal.satisfied_by(c);
+        let rows: Vec<Vec<String>> = [
+            ("P", &cfc2_p),
+            ("1C", &cfc2_1c),
+            ("R_B", &cfc2_b),
+        ]
+        .iter()
+        .map(|(n, c)| vec![n.to_string(), sat(c).to_string()])
+        .collect();
+        write_csv(ctx.out.join("goal_example2.csv"), &["config", "satisfied"], &rows)
+            .expect("write goal");
+        ctx.claim(
+            "ex2-goal-separates",
+            "The Example-2-style goal is satisfied by 1C but not by P (Figure 3 reading)",
+            sat(&cfc2_1c) && !sat(&cfc2_p),
+            format!("P={} 1C={} R={}", sat(&cfc2_p), sat(&cfc2_1c), sat(&cfc2_b)),
+        );
+    }
+
+    // Figure 10: estimate curves for NREF3J on System B.
+    ctx.log("NREF: computing Figure 10 estimate curves");
+    {
+        let ep = estimate_workload(nref, &p, &w3);
+        let er = estimate_workload(nref, &b3, &w3);
+        let e1c = estimate_workload(nref, &c1, &w3);
+        let hr = estimate_workload_hypothetical(nref, &p, &b3.config, &w3);
+        let h1c = estimate_workload_hypothetical(nref, &p, &c1.config, &w3);
+        let curves: Vec<(&str, Cfc)> = vec![
+            ("EP", Cfc::from_values(&ep)),
+            ("ER", Cfc::from_values(&er)),
+            ("E1C", Cfc::from_values(&e1c)),
+            ("HR", Cfc::from_values(&hr)),
+            ("H1C", Cfc::from_values(&h1c)),
+        ];
+        let refs: Vec<(&str, &Cfc)> = curves.iter().map(|(l, c)| (*l, c)).collect();
+        let lo = 1.0;
+        let hi = ep
+            .iter()
+            .chain(&hr)
+            .chain(&h1c)
+            .copied()
+            .fold(10.0f64, f64::max)
+            * 1.2;
+        let (header, rows) = cfc_csv_rows(&refs, lo, hi, 60);
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        write_csv(ctx.out.join("fig10_estimates_nref3j.csv"), &header_refs, &rows)
+            .expect("write fig10");
+        ctx.figure(
+            "Figure 10: estimate curves for NREF3J on System B (estimation units)",
+            &render_cfc_ascii(&refs, lo, hi, 64, 16),
+        );
+        // Figure 10 contrasts paired per-query estimates; unpaired
+        // quantiles of the vectors can mask the effect, so the claims
+        // use the paired median ratio.
+        let q25 = |v: &[f64]| {
+            let mut s: Vec<f64> = v.iter().copied().filter(|x| x.is_finite()).collect();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            s[(s.len() / 4).min(s.len() - 1)]
+        };
+        let paired_median_ratio = |num: &[f64], den: &[f64]| {
+            let mut r: Vec<f64> = num
+                .iter()
+                .zip(den)
+                .filter(|(a, b)| a.is_finite() && b.is_finite() && **b > 0.0)
+                .map(|(a, b)| a / b)
+                .collect();
+            r.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            r[r.len() / 2]
+        };
+        ctx.claim(
+            "fig10-ordering",
+            "Optimizer estimates improve from P to the indexed configurations (EP above ER and E1C at the selective quartile)",
+            q25(&ep) >= q25(&er) * 0.99 && q25(&ep) >= q25(&e1c) * 0.99,
+            format!(
+                "q25: EP={:.0} ER={:.0} E1C={:.0} (paper additionally has ER >= E1C; our R's covering indexes estimate below 1C)",
+                q25(&ep),
+                q25(&er),
+                q25(&e1c)
+            ),
+        );
+        ctx.claim(
+            "fig10-h1c-conservative",
+            "H1C is more conservative about 1C than E1C for the typical query (paired)",
+            paired_median_ratio(&h1c, &e1c) > 1.05,
+            format!(
+                "paired median H1C/E1C = {:.2}, HR/ER = {:.2}",
+                paired_median_ratio(&h1c, &e1c),
+                paired_median_ratio(&hr, &er)
+            ),
+        );
+
+        // Figure 11: improvement-ratio histograms (R vs 1C).
+        let a_r: Vec<f64> = r3_b.sim_seconds();
+        let a_1c: Vec<f64> = r3_1c.sim_seconds();
+        let air = improvement_ratios(&a_r, &a_1c);
+        let eir = improvement_ratios(&er, &e1c);
+        let hir = improvement_ratios(&hr, &h1c);
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let hists = [
+            ("AIR", RatioHistogram::new(&air, 3)),
+            ("EIR", RatioHistogram::new(&eir, 3)),
+            ("HIR", RatioHistogram::new(&hir, 3)),
+        ];
+        for d in -3i32..=3 {
+            rows.push(vec![
+                format!("10^{d}"),
+                hists[0].1.at_decade(d).to_string(),
+                hists[1].1.at_decade(d).to_string(),
+                hists[2].1.at_decade(d).to_string(),
+            ]);
+        }
+        write_csv(
+            ctx.out.join("fig11_improvement_ratios_nref3j.csv"),
+            &["ratio", "AIR", "EIR", "HIR"],
+            &rows,
+        )
+        .expect("write fig11");
+        let mut fig11 = String::new();
+        for d in -3i32..=3 {
+            fig11.push_str(&format!(
+                "ratio 10^{d:>2}: AIR={:>3} EIR={:>3} HIR={:>3}\n",
+                hists[0].1.at_decade(d),
+                hists[1].1.at_decade(d),
+                hists[2].1.at_decade(d)
+            ));
+        }
+        ctx.figure("Figure 11: improvement ratios R vs 1C on NREF3J (B)", &fig11);
+        let mass_above_one = |h: &RatioHistogram| -> f64 {
+            let above: usize = (1..=3).map(|d| h.at_decade(d)).sum();
+            let total: usize = h.counts.iter().sum();
+            above as f64 / total.max(1) as f64
+        };
+        ctx.claim(
+            "fig11-hir-flatter",
+            "HIR shows fewer queries improved by 1C than AIR does (hypothetical estimates understate 1C)",
+            mass_above_one(&hists[2].1) <= mass_above_one(&hists[0].1) + 1e-9,
+            format!(
+                "fraction of ratios > 1: AIR={:.2} EIR={:.2} HIR={:.2}",
+                mass_above_one(&hists[0].1),
+                mass_above_one(&hists[1].1),
+                mass_above_one(&hists[2].1)
+            ),
+        );
+    }
+
+    // §4.4: insertions into neighboring_seq.
+    {
+        let analysis = insertion_breakeven(&p, &b2, &c1, &r2_b, &r2_1c, "neighboring_seq");
+        let rows = vec![vec![
+            format!("{:.1}", analysis.per_insert_p),
+            format!("{:.1}", analysis.per_insert_r),
+            format!("{:.1}", analysis.per_insert_1c),
+            format!("{:.0}", analysis.workload_r),
+            format!("{:.0}", analysis.workload_1c),
+            analysis
+                .breakeven_tuples
+                .map(|b| format!("{b:.0}"))
+                .unwrap_or_else(|| "none".into()),
+        ]];
+        write_csv(
+            ctx.out.join("sec4_4_insertions.csv"),
+            &[
+                "per_insert_P_units",
+                "per_insert_R_units",
+                "per_insert_1C_units",
+                "workload_R_s",
+                "workload_1C_s",
+                "breakeven_tuples",
+            ],
+            &rows,
+        )
+        .expect("write insertions");
+        ctx.claim(
+            "sec4.4-breakeven",
+            "1C pays more per insert than R, yielding a finite break-even insert count (paper: ~400k tuples)",
+            analysis.per_insert_1c > analysis.per_insert_r
+                && analysis.breakeven_tuples.is_some(),
+            format!(
+                "per-insert P/R/1C = {:.1}/{:.1}/{:.1} units, breakeven = {:?} tuples",
+                analysis.per_insert_p,
+                analysis.per_insert_r,
+                analysis.per_insert_1c,
+                analysis.breakeven_tuples.map(|b| b.round())
+            ),
+        );
+    }
+
+    // Table 1 rows for the NREF configurations (A and B share the
+    // engine, hence the same P and 1C builds, listed under both names as
+    // the paper lists them per system).
+    for (name, built) in [
+        ("A_NREF_P", &p),
+        ("A_NREF_1C", &c1),
+        ("B_NREF_P", &p),
+        ("B_NREF_1C", &c1),
+        ("B_NREF2J_R", &b2),
+        ("B_NREF3J_R", &b3),
+    ] {
+        let row = table1_row(nref, built);
+        table1.push(vec![
+            name.to_string(),
+            format!("{:.1}", row.size_mib),
+            format!("{:.1}", row.build_sim_minutes),
+        ]);
+    }
+    if let Some(a) = &a2 {
+        let row = table1_row(nref, a);
+        table1.push(vec![
+            "A_NREF2J_R".into(),
+            format!("{:.1}", row.size_mib),
+            format!("{:.1}", row.build_sim_minutes),
+        ]);
+    }
+
+    // Table 2: index width counts per table for the NREF recommendations.
+    {
+        let mut recs: Vec<(&str, &Configuration)> = Vec::new();
+        if let Some(a) = &a2 {
+            recs.push(("A_NREF2J_R", &a.config));
+        }
+        recs.push(("B_NREF2J_R", &b2.config));
+        recs.push(("B_NREF3J_R", &b3.config));
+        table2.extend(index_width_rows(&recs, &p.config));
+    }
+
+    drop(a2);
+    drop(b2);
+    drop(b3);
+    drop(c1);
+    drop(p);
+    drop(nref_db);
+
+    // ================= TPC-H (System C) =================
+    for (dist, label, families) in [
+        (Distribution::Zipf(1.0), "SkTH", vec![Family::SkTH3J, Family::SkTH3Js]),
+        (Distribution::Uniform, "UnTH", vec![Family::UnTH3J]),
+    ] {
+        ctx.log(&format!("{label}: generating database"));
+        let tpch_db = generate_tpch(TpchParams {
+            scale: cfg.params.tpch_scale,
+            distribution: dist,
+            seed: cfg.params.seed + if label == "SkTH" { 1 } else { 2 },
+        });
+        let db = &tpch_db;
+        ctx.log(&format!("{label}: building P and 1C"));
+        let p = build_p(db, label);
+        let c1 = build_1c(db, label);
+        let budget = space_budget(db, label);
+        let mut family_runs: BTreeMap<&'static str, (WorkloadRun, WorkloadRun, WorkloadRun)> =
+            BTreeMap::new();
+
+        for fam in families {
+            ctx.log(&format!("{label}: preparing {}", fam.name()));
+            let w = prepare_workload_db(db, fam, &p, cfg.params.workload_size, cfg.params.seed);
+            ctx.log(&format!("{label}: System C recommending for {}", fam.name()));
+            let rec = SystemC
+                .recommend(&AdvisorInput {
+                    db,
+                    current: &p,
+                    workload: &w,
+                    budget_bytes: budget,
+                })
+                .expect("C always recommends");
+            let rec_name = format!("C_{}_R", fam.name());
+            let built = BuiltConfiguration::build(named(rec, &rec_name), db);
+
+            ctx.log(&format!("{label}: running {} on P / 1C / R", fam.name()));
+            let run_p = run_workload(db, &p, &w, ctx.timeout);
+            let run_1c = run_workload(db, &c1, &w, ctx.timeout);
+            let run_r = run_workload(db, &built, &w, ctx.timeout);
+            for r in [&run_p, &run_1c, &run_r] {
+                record_run(&mut runs_csv, &mut totals_csv, fam.name(), r);
+            }
+
+            let (file, title) = match fam {
+                Family::SkTH3Js => ("fig07_cfc_C_skth3js.csv", "Figure 7: System C on SkTH3Js"),
+                Family::SkTH3J => ("fig08_cfc_C_skth3j.csv", "Figure 8: System C on SkTH3J"),
+                _ => ("fig09_cfc_C_unth3j.csv", "Figure 9: System C on UnTH3J"),
+            };
+            let (cp, cc, cr) = (run_p.cfc(), run_1c.cfc(), run_r.cfc());
+            ctx.write_cfc_figure(file, title, &[("P", &cp), ("1C", &cc), ("R", &cr)], max_x);
+
+            let row = table1_row(db, &built);
+            table1.push(vec![
+                rec_name.clone(),
+                format!("{:.1}", row.size_mib),
+                format!("{:.1}", row.build_sim_minutes),
+            ]);
+            table3.extend(index_width_rows(&[(&rec_name, &built.config)], &p.config));
+
+            family_runs.insert(fam.name(), (run_p, run_1c, run_r));
+        }
+
+        for (name, built) in [(format!("C_{label}_P"), &p), (format!("C_{label}_1C"), &c1)] {
+            let row = table1_row(db, built);
+            table1.push(vec![
+                name,
+                format!("{:.1}", row.size_mib),
+                format!("{:.1}", row.build_sim_minutes),
+            ]);
+        }
+
+        // §4.3 totals for SkTH3J, and the Figure 7/8/9 claims.
+        if label == "SkTH" {
+            if let Some((run_p, run_1c, run_r)) = family_runs.get("SkTH3J") {
+                let (tp, t1, tr) = (
+                    run_p.total_lower_bound_sim_seconds(),
+                    run_1c.total_lower_bound_sim_seconds(),
+                    run_r.total_lower_bound_sim_seconds(),
+                );
+                ctx.claim(
+                    "sec4.3-1c-vs-r-totals",
+                    "On SkTH3J the conservative totals favour 1C over R by a large factor (paper: ~17x)",
+                    t1 * 2.0 < tr,
+                    format!(
+                        "lower bounds: P={tp:.0}s 1C={t1:.0}s R={tr:.0}s (1C {:.1}x better than R)",
+                        tr / t1.max(1e-9)
+                    ),
+                );
+                ctx.claim(
+                    "fig8-timeout-ordering",
+                    "Timeout counts on SkTH3J order as 1C < R < P (paper: 1 / 50 / 78)",
+                    run_1c.timeout_count() <= run_r.timeout_count()
+                        && run_r.timeout_count() <= run_p.timeout_count(),
+                    format!(
+                        "timeouts: P={} R={} 1C={}",
+                        run_p.timeout_count(),
+                        run_r.timeout_count(),
+                        run_1c.timeout_count()
+                    ),
+                );
+            }
+            if let Some((_, run_1c, run_r)) = family_runs.get("SkTH3Js") {
+                let (c1c, cr) = (run_1c.cfc(), run_r.cfc());
+                // Does R beat 1C anywhere on the expensive tail?
+                let crosses = c1c
+                    .breakpoints()
+                    .iter()
+                    .chain(cr.breakpoints())
+                    .any(|&x| cr.at(x * 1.0001) > c1c.at(x * 1.0001) + 1e-9);
+                ctx.claim(
+                    "fig7-r-wins-tail",
+                    "On SkTH3Js the recommendation outperforms 1C on part of the workload (the only such case)",
+                    crosses,
+                    format!(
+                        "curves cross: {crosses} (R timeouts {}, 1C timeouts {})",
+                        run_r.timeout_count(),
+                        run_1c.timeout_count()
+                    ),
+                );
+            }
+        } else if let Some((run_p, run_1c, run_r)) = family_runs.get("UnTH3J") {
+            let gap = run_r.total_lower_bound_sim_seconds()
+                / run_1c.total_lower_bound_sim_seconds().max(1e-9);
+            ctx.claim(
+                "fig9-uniform-better",
+                "On uniform data the recommender performs relatively better, yet 1C remains best overall",
+                gap < 4.0 && run_1c.total_lower_bound_sim_seconds()
+                    <= run_r.total_lower_bound_sim_seconds() * 1.05,
+                format!(
+                    "totals: P={:.0}s R={:.0}s 1C={:.0}s (R/1C = {gap:.2})",
+                    run_p.total_lower_bound_sim_seconds(),
+                    run_r.total_lower_bound_sim_seconds(),
+                    run_1c.total_lower_bound_sim_seconds()
+                ),
+            );
+        }
+    }
+
+    // ================= Tables and summary files =================
+    write_csv(
+        ctx.out.join("table1_configurations.csv"),
+        &["configuration", "size_mib", "build_sim_minutes"],
+        &table1,
+    )
+    .expect("write table1");
+    write_csv(
+        ctx.out.join("table2_nref_indexes.csv"),
+        &["configuration", "table", "w1", "w2", "w3", "w4"],
+        &table2,
+    )
+    .expect("write table2");
+    write_csv(
+        ctx.out.join("table3_tpch_indexes.csv"),
+        &["configuration", "table", "w1", "w2", "w3", "w4"],
+        &table3,
+    )
+    .expect("write table3");
+    write_csv(
+        ctx.out.join("runs_raw.csv"),
+        &["family", "configuration", "query", "sim_seconds"],
+        &runs_csv,
+    )
+    .expect("write runs");
+    write_csv(
+        ctx.out.join("totals_lower_bounds.csv"),
+        &["family", "configuration", "total_lb_s", "timeouts"],
+        &totals_csv,
+    )
+    .expect("write totals");
+
+    let claim_rows: Vec<Vec<String>> = ctx
+        .claims
+        .iter()
+        .map(|c| {
+            vec![
+                c.id.clone(),
+                c.statement.clone(),
+                if c.holds { "HOLDS" } else { "DIVERGES" }.to_string(),
+                c.evidence.clone(),
+            ]
+        })
+        .collect();
+    write_csv(
+        ctx.out.join("claims.csv"),
+        &["id", "paper_claim", "status", "evidence"],
+        &claim_rows,
+    )
+    .expect("write claims");
+    std::fs::write(ctx.out.join("figures.txt"), &ctx.figures).expect("write figures");
+
+    ctx.log(&format!(
+        "done: {}/{} claims hold",
+        ctx.claims.iter().filter(|c| c.holds).count(),
+        ctx.claims.len()
+    ));
+    ReproSummary {
+        claims: ctx.claims,
+        figures_text: ctx.figures,
+    }
+}
+
+/// Rows of Tables 2/3: per-table counts of 1..4-column indexes in a
+/// recommended configuration, excluding the `P` baseline's primary-key
+/// indexes; materialized-view indexes appear as `view:<name>` rows.
+fn index_width_rows(
+    recs: &[(&str, &Configuration)],
+    p_config: &Configuration,
+) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    for (name, cfg) in recs {
+        let mut per_table: BTreeMap<String, [usize; 4]> = BTreeMap::new();
+        for idx in &cfg.indexes {
+            if p_config.indexes.contains(idx) {
+                continue; // pre-existing PK index
+            }
+            let w = idx.columns.len().min(4);
+            per_table.entry(idx.table.clone()).or_default()[w - 1] += 1;
+        }
+        for def in &cfg.mviews {
+            let entry = per_table
+                .entry(format!("view:{}", def.spec.name))
+                .or_default();
+            for cols in &def.indexes {
+                entry[cols.len().min(4) - 1] += 1;
+            }
+        }
+        for (table, widths) in per_table {
+            out.push(vec![
+                name.to_string(),
+                table,
+                widths[0].to_string(),
+                widths[1].to_string(),
+                widths[2].to_string(),
+                widths[3].to_string(),
+            ]);
+        }
+    }
+    out
+}

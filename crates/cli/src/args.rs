@@ -1,0 +1,107 @@
+//! Minimal argument parsing for the `tab` CLI (no external crates).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand, `--key value` flags, positionals.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// `--key value` options and boolean `--key` switches (value `""`).
+    pub flags: BTreeMap<String, String>,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding argv\[0\]).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty flag `--`".into());
+                }
+                // A flag consumes the next token as its value unless the
+                // next token is another flag (then it is a switch).
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().expect("peeked"),
+                    _ => String::new(),
+                };
+                if out.flags.insert(key.to_string(), value).is_some() {
+                    return Err(format!("duplicate flag --{key}"));
+                }
+            } else if out.command.is_empty() {
+                out.command = a;
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .filter(|v| !v.is_empty())
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Boolean switch (present with or without a value).
+    #[allow(dead_code)] // part of the CLI surface; used by tests
+    pub fn switch(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
+    /// Optional parsed numeric flag.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.flags.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("flag --{key}: cannot parse `{v}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn commands_flags_positionals() {
+        let a = parse("run --db nref --timeout 30 SELECT");
+        assert_eq!(a.command, "run");
+        assert_eq!(a.require("db").unwrap(), "nref");
+        assert_eq!(a.get_parsed::<f64>("timeout").unwrap(), Some(30.0));
+        assert_eq!(a.positional, vec!["SELECT"]);
+    }
+
+    #[test]
+    fn switches_have_empty_values() {
+        let a = parse("gen --skew --out dir");
+        assert!(a.switch("skew"));
+        assert_eq!(a.get("out"), Some("dir"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Args::parse(["--db".into(), "x".into(), "--db".into(), "y".into()]).is_err());
+        let a = parse("run");
+        assert!(a.require("db").is_err());
+        assert!(a.get_parsed::<u64>("db").unwrap().is_none());
+    }
+}

@@ -1,0 +1,341 @@
+//! `tab` — the tab-bench command line.
+//!
+//! ```text
+//! tab gen     --db nref:2000 --out DIR            dump a database as CSVs
+//! tab explain --db nref:2000 --config 1c "SQL"    show the chosen plan + estimate
+//! tab run     --db nref:2000 --config p  "SQL"    execute (query or INSERT)
+//! tab advise  --db skth:0.01 --family SkTH3Js --system C
+//! tab bench   --db nref:2000 --family NREF2J --configs p,1c
+//! tab goal    --db nref:2000 --family NREF2J --config 1c --steps "10:0.1,60:0.5"
+//! ```
+//!
+//! Databases are generated on the fly: `nref:<proteins>`,
+//! `skth:<scale>`, `unth:<scale>` (defaults: `nref:2000`, scale `0.005`).
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::Args;
+use tab_advisor::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};
+use tab_core::report::render_cfc_ascii;
+use tab_core::{run_workload, Goal};
+use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
+use tab_engine::{apply_insert, Session};
+use tab_families::{sample_preserving, Family};
+use tab_sqlq::{parse_statement, Statement};
+use tab_storage::{BuiltConfiguration, Database};
+
+const USAGE: &str = "\
+tab — benchmarking framework for configuration recommenders
+
+USAGE:
+  tab gen     --db SPEC --out DIR [--seed N]
+  tab explain --db SPEC [--config p|1c] \"SQL\"
+  tab run     --db SPEC [--config p|1c] [--timeout-secs T] \"SQL\"
+  tab advise  --db SPEC --family NAME [--system A|B|C] [--workload N]
+  tab bench   --db SPEC --family NAME [--configs p,1c] [--workload N] [--timeout-secs T]
+  tab goal    --db SPEC --family NAME --steps \"10:0.1,60:0.5\" [--config p|1c]
+
+DB SPEC: nref[:proteins] | skth[:scale] | unth[:scale]
+FAMILY:  NREF2J | NREF3J | SkTH3J | SkTH3Js | UnTH3J";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "gen" => cmd_gen(&args),
+        "explain" => cmd_explain(&args),
+        "run" => cmd_run(&args),
+        "advise" => cmd_advise(&args),
+        "bench" => cmd_bench(&args),
+        "goal" => cmd_goal(&args),
+        "" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Generate the database named by a `--db` spec.
+fn load_db(args: &Args) -> Result<(Database, String), String> {
+    let spec = args.get("db").unwrap_or("nref");
+    let seed: u64 = args.get_parsed("seed")?.unwrap_or(2005);
+    let (kind, param) = match spec.split_once(':') {
+        Some((k, p)) => (k, Some(p)),
+        None => (spec, None),
+    };
+    let db = match kind {
+        "nref" => {
+            let proteins = match param {
+                Some(p) => p.parse().map_err(|_| format!("bad protein count `{p}`"))?,
+                None => 2_000,
+            };
+            generate_nref(NrefParams { proteins, seed })
+        }
+        "skth" | "unth" => {
+            let scale = match param {
+                Some(p) => p.parse().map_err(|_| format!("bad scale `{p}`"))?,
+                None => 0.005,
+            };
+            generate_tpch(TpchParams {
+                scale,
+                distribution: if kind == "skth" {
+                    Distribution::Zipf(1.0)
+                } else {
+                    Distribution::Uniform
+                },
+                seed,
+            })
+        }
+        other => return Err(format!("unknown database `{other}`")),
+    };
+    Ok((db, kind.to_uppercase()))
+}
+
+fn load_config(args: &Args, db: &Database, label: &str) -> Result<BuiltConfiguration, String> {
+    match args.get("config").unwrap_or("p") {
+        "p" | "P" => Ok(tab_core::build_p(db, label)),
+        "1c" | "1C" => Ok(tab_core::build_1c(db, label)),
+        other => Err(format!("unknown config `{other}` (use p or 1c)")),
+    }
+}
+
+fn family_of(name: &str) -> Result<Family, String> {
+    match name.to_uppercase().as_str() {
+        "NREF2J" => Ok(Family::Nref2J),
+        "NREF3J" => Ok(Family::Nref3J),
+        "SKTH3J" => Ok(Family::SkTH3J),
+        "SKTH3JS" => Ok(Family::SkTH3Js),
+        "UNTH3J" => Ok(Family::UnTH3J),
+        other => Err(format!("unknown family `{other}`")),
+    }
+}
+
+fn sql_arg(args: &Args) -> Result<String, String> {
+    if args.positional.is_empty() {
+        return Err("missing SQL argument".into());
+    }
+    Ok(args.positional.join(" "))
+}
+
+fn workload_for(
+    args: &Args,
+    db: &Database,
+    p: &BuiltConfiguration,
+    family: Family,
+) -> Result<Vec<tab_sqlq::Query>, String> {
+    let n: usize = args.get_parsed("workload")?.unwrap_or(50);
+    let all = family.enumerate(db);
+    if all.is_empty() {
+        return Err(format!("family {} is empty on this database", family.name()));
+    }
+    let session = Session::new(db, p);
+    Ok(sample_preserving(
+        &all,
+        |q| session.estimate(q).unwrap_or(f64::INFINITY),
+        n,
+        2005,
+    ))
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let (db, label) = load_db(args)?;
+    let out = args.require("out")?;
+    for table in db.tables() {
+        let path = std::path::Path::new(out).join(format!("{}.csv", table.schema().name));
+        tab_storage::export_table(table, &path).map_err(|e| e.to_string())?;
+        println!(
+            "{}: {} rows -> {}",
+            table.schema().name,
+            table.n_rows(),
+            path.display()
+        );
+    }
+    println!("{label} exported to {out}");
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let (db, label) = load_db(args)?;
+    let built = load_config(args, &db, &label)?;
+    let sql = sql_arg(args)?;
+    let q = tab_sqlq::parse(&sql).map_err(|e| e.to_string())?;
+    let session = Session::new(&db, &built);
+    let plan = session.plan_query(&q).map_err(|e| e.to_string())?;
+    println!("plan:     {}", plan.describe());
+    println!("estimate: {:.1} units ({:.2} simulated seconds)",
+        plan.est_cost,
+        tab_engine::units_to_sim_seconds(plan.est_cost));
+    println!("est rows: {:.0}", plan.est_rows);
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let (mut db, label) = load_db(args)?;
+    let mut built = load_config(args, &db, &label)?;
+    let sql = sql_arg(args)?;
+    let timeout: Option<f64> = args
+        .get_parsed::<f64>("timeout-secs")?
+        .map(|s| s / tab_engine::SIM_SECONDS_PER_UNIT);
+    match parse_statement(&sql).map_err(|e| e.to_string())? {
+        Statement::Insert(ins) => {
+            let out = apply_insert(&ins, &mut db, &mut built).map_err(|e| e.to_string())?;
+            println!(
+                "inserted row {} ({:.2} units of maintenance)",
+                out.row_id, out.units
+            );
+        }
+        Statement::Query(q) => {
+            let session = Session::new(&db, &built);
+            let r = session.run(&q, timeout).map_err(|e| e.to_string())?;
+            match (&r.outcome, &r.rows) {
+                (o, Some(rows)) => {
+                    for row in rows.iter().take(25) {
+                        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                        println!("{}", cells.join(" | "));
+                    }
+                    if rows.len() > 25 {
+                        println!("... ({} rows total)", rows.len());
+                    }
+                    println!(
+                        "-- {} rows in {:.2} simulated seconds via {}",
+                        rows.len(),
+                        o.sim_seconds_lower_bound(),
+                        r.plan.describe()
+                    );
+                }
+                _ => println!("TIMEOUT after {:.0} simulated seconds", r.outcome.sim_seconds_lower_bound()),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_advise(args: &Args) -> Result<(), String> {
+    let (db, label) = load_db(args)?;
+    let family = family_of(args.require("family")?)?;
+    let p = tab_core::build_p(&db, &label);
+    let budget = tab_core::space_budget(&db, &label);
+    let w = workload_for(args, &db, &p, family)?;
+    let system = args.get("system").unwrap_or("B");
+    let rec: &dyn Recommender = match system.to_uppercase().as_str() {
+        "A" => &SystemA {
+            capacity_limit: 4_000,
+        },
+        "B" => &SystemB,
+        "C" => &SystemC,
+        other => return Err(format!("unknown system `{other}`")),
+    };
+    let input = AdvisorInput {
+        db: &db,
+        current: &p,
+        workload: &w,
+        budget_bytes: budget,
+    };
+    match rec.recommend(&input) {
+        None => println!(
+            "System {} produced NO recommendation for {} ({} queries) — \
+             candidate space exceeds its capacity",
+            rec.name(),
+            family.name(),
+            w.len()
+        ),
+        Some(cfg) => {
+            println!(
+                "System {} recommendation for {} ({} queries, budget {} MiB):",
+                rec.name(),
+                family.name(),
+                w.len(),
+                budget / (1 << 20)
+            );
+            for i in &cfg.indexes {
+                if !p.config.indexes.contains(i) {
+                    println!("  CREATE INDEX {i}");
+                }
+            }
+            for m in &cfg.mviews {
+                println!(
+                    "  CREATE MATERIALIZED VIEW {} OVER {} ({} indexes)",
+                    m.spec.name,
+                    m.spec.base.join(" JOIN "),
+                    m.indexes.len()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let (db, label) = load_db(args)?;
+    let family = family_of(args.require("family")?)?;
+    let p = tab_core::build_p(&db, &label);
+    let w = workload_for(args, &db, &p, family)?;
+    let timeout_units = args
+        .get_parsed::<f64>("timeout-secs")?
+        .map(|s| s / tab_engine::SIM_SECONDS_PER_UNIT)
+        .unwrap_or(tab_engine::DEFAULT_TIMEOUT_UNITS);
+    let configs = args.get("configs").unwrap_or("p,1c");
+    let mut curves = Vec::new();
+    for name in configs.split(',') {
+        let built = match name.trim() {
+            "p" | "P" => tab_core::build_p(&db, &label),
+            "1c" | "1C" => tab_core::build_1c(&db, &label),
+            other => return Err(format!("unknown config `{other}`")),
+        };
+        let run = run_workload(&db, &built, &w, timeout_units);
+        println!(
+            "{:>4}: total (lower bound) {:.0}s, timeouts {}/{}",
+            name,
+            run.total_lower_bound_sim_seconds(),
+            run.timeout_count(),
+            w.len()
+        );
+        curves.push((name.trim().to_uppercase(), run.cfc()));
+    }
+    let refs: Vec<(&str, &tab_core::Cfc)> =
+        curves.iter().map(|(l, c)| (l.as_str(), c)).collect();
+    let max_x = tab_engine::units_to_sim_seconds(timeout_units) * 1.1;
+    println!("\n{}", render_cfc_ascii(&refs, 0.1, max_x, 64, 16));
+    Ok(())
+}
+
+fn cmd_goal(args: &Args) -> Result<(), String> {
+    let (db, label) = load_db(args)?;
+    let family = family_of(args.require("family")?)?;
+    let goal = Goal::parse(args.require("steps")?)?;
+    let p = tab_core::build_p(&db, &label);
+    let built = load_config(args, &db, &label)?;
+    let w = workload_for(args, &db, &p, family)?;
+    let run = run_workload(&db, &built, &w, tab_engine::DEFAULT_TIMEOUT_UNITS);
+    let cfc = run.cfc();
+    println!(
+        "goal {} on {} ({}): {}",
+        args.require("steps")?,
+        family.name(),
+        built.config.name,
+        if goal.satisfied_by(&cfc) {
+            "SATISFIED"
+        } else {
+            "VIOLATED"
+        }
+    );
+    for (x, f) in goal.steps() {
+        println!("  at {x:>8.1}s: required {f:.2}, achieved {:.2}", cfc.at(*x));
+    }
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! Cumulative frequency curves — the paper's central measurement device.
+//!
+//! §2.2: "we denote by `CFC_j` the cumulative (relative) frequency of the
+//! elapsed times `A(q_k, C_j)` for `q_k ∈ W` on configuration `C_j`,
+//! defined as `CFC_j(x) = count({q_k : A(q_k, C_j) < x}) / size(W)`."
+//!
+//! Timed-out queries never complete, so they contribute to `size(W)` but
+//! never to the numerator — the paper's `t_out` bin. Comparing two
+//! curves "corresponds to deciding first order stochastic dominance".
+
+/// A cumulative frequency curve over a workload's elapsed times.
+///
+/// ```
+/// use tab_core::Cfc;
+///
+/// // Three queries finished (1 s, 10 s, 100 s); one timed out.
+/// let cfc = Cfc::from_values(&[1.0, 10.0, 100.0, f64::INFINITY]);
+/// assert_eq!(cfc.at(50.0), 0.5);          // half the workload under 50 s
+/// assert_eq!(cfc.quantile(0.5), Some(10.0));
+/// assert_eq!(cfc.timeouts(), 1);
+///
+/// let faster = Cfc::from_values(&[0.5, 5.0, 50.0, 500.0]);
+/// assert!(faster.dominates(&cfc));        // first-order stochastic dominance
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfc {
+    /// Completed-query times, sorted ascending.
+    times: Vec<f64>,
+    /// Queries that timed out.
+    timeouts: usize,
+}
+
+impl Cfc {
+    /// Build from completed times (any order) and a timeout count.
+    pub fn new(mut times: Vec<f64>, timeouts: usize) -> Self {
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        Cfc { times, timeouts }
+    }
+
+    /// Build from per-query values where timeouts are `f64::INFINITY`.
+    pub fn from_values(values: &[f64]) -> Self {
+        let times: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        let timeouts = values.len() - times.len();
+        Cfc::new(times, timeouts)
+    }
+
+    /// Workload size (completed + timed out).
+    pub fn size(&self) -> usize {
+        self.times.len() + self.timeouts
+    }
+
+    /// Number of timed-out queries.
+    pub fn timeouts(&self) -> usize {
+        self.timeouts
+    }
+
+    /// `CFC(x)`: fraction of the workload completing strictly below `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.size() == 0 {
+            return 0.0;
+        }
+        let below = self.times.partition_point(|&t| t < x);
+        below as f64 / self.size() as f64
+    }
+
+    /// Smallest time by which at least fraction `p` of the workload has
+    /// completed; `None` when `p` exceeds the completed fraction (the
+    /// quantile falls in the timeout region).
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        if self.size() == 0 {
+            return None;
+        }
+        let k = (p * self.size() as f64).ceil() as usize;
+        if k == 0 {
+            return self.times.first().copied();
+        }
+        self.times.get(k - 1).copied()
+    }
+
+    /// Fraction of the workload that completed at all.
+    pub fn completed_fraction(&self) -> f64 {
+        if self.size() == 0 {
+            return 0.0;
+        }
+        self.times.len() as f64 / self.size() as f64
+    }
+
+    /// All distinct completed times (breakpoints of the step function).
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// First-order stochastic dominance: `self` weakly dominates `other`
+    /// when `self.at(x) ≥ other.at(x)` for every x, and strictly at some
+    /// x. This is the paper's criterion for "configuration i is better".
+    pub fn dominates(&self, other: &Cfc) -> bool {
+        let mut strict = false;
+        for &x in self.times.iter().chain(other.times.iter()) {
+            // Evaluate just after the breakpoint to see its effect.
+            let x = x * (1.0 + 1e-12) + f64::MIN_POSITIVE;
+            let a = self.at(x);
+            let b = other.at(x);
+            if a < b - 1e-12 {
+                return false;
+            }
+            if a > b + 1e-12 {
+                strict = true;
+            }
+        }
+        strict || (self.timeouts < other.timeouts && self.size() == other.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn definition_matches_paper() {
+        // 4 queries: 1s, 10s, 100s, timeout.
+        let c = Cfc::from_values(&[1.0, 10.0, 100.0, f64::INFINITY]);
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.timeouts(), 1);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(1.0), 0.0); // strictly less than
+        assert_eq!(c.at(1.1), 0.25);
+        assert_eq!(c.at(1e9), 0.75); // timeouts never complete
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = Cfc::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.quantile(0.5), Some(2.0));
+        assert_eq!(c.quantile(1.0), Some(4.0));
+        let with_tout = Cfc::from_values(&[1.0, f64::INFINITY]);
+        assert_eq!(with_tout.quantile(0.5), Some(1.0));
+        assert_eq!(with_tout.quantile(0.9), None);
+    }
+
+    #[test]
+    fn dominance_is_detected() {
+        let fast = Cfc::from_values(&[1.0, 2.0, 3.0]);
+        let slow = Cfc::from_values(&[10.0, 20.0, 30.0]);
+        assert!(fast.dominates(&slow));
+        assert!(!slow.dominates(&fast));
+    }
+
+    #[test]
+    fn crossing_curves_do_not_dominate() {
+        let a = Cfc::from_values(&[1.0, 100.0]);
+        let b = Cfc::from_values(&[10.0, 20.0]);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn self_dominance_is_false() {
+        let a = Cfc::from_values(&[1.0, 2.0]);
+        assert!(!a.dominates(&a.clone()));
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let c = Cfc::from_values(&[3.0, 1.0, 2.0, f64::INFINITY]);
+        let mut last = 0.0;
+        for i in 0..100 {
+            let v = c.at(i as f64 * 0.1);
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn empty_workload() {
+        let c = Cfc::from_values(&[]);
+        assert_eq!(c.at(10.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+    }
+}

@@ -1,0 +1,171 @@
+//! Log-scale histograms with a timeout bin (Figures 1, 2, and 11).
+//!
+//! §1.1: "we define the bins using a logarithmic scale … we report all
+//! 'timeout' queries on a single bin (labeled t_out)". Figure 11 uses
+//! the same device for improvement *ratios*, binned by decade around 1.
+
+/// A histogram over elapsed times with logarithmic bins plus `t_out`.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    /// Bin upper edges (the first bin is everything below `edges[0]`).
+    pub edges: Vec<f64>,
+    /// Counts per bin (`counts.len() == edges.len() + 1`: the last
+    /// regular bin catches values above the final edge).
+    pub counts: Vec<usize>,
+    /// Timed-out queries.
+    pub timeout_count: usize,
+}
+
+impl LogHistogram {
+    /// Histogram of `values` (timeouts as `f64::INFINITY`) with
+    /// `bins_per_decade` log bins between `min_edge` and `max_edge`.
+    pub fn new(values: &[f64], min_edge: f64, max_edge: f64, bins_per_decade: usize) -> Self {
+        assert!(min_edge > 0.0 && max_edge > min_edge);
+        assert!(bins_per_decade > 0);
+        let step = 1.0 / bins_per_decade as f64;
+        let mut edges = Vec::new();
+        let mut e = min_edge.log10();
+        let top = max_edge.log10() + 1e-9;
+        while e <= top {
+            edges.push(10f64.powf(e));
+            e += step;
+        }
+        let mut counts = vec![0usize; edges.len() + 1];
+        let mut timeout_count = 0;
+        for &v in values {
+            if !v.is_finite() {
+                timeout_count += 1;
+                continue;
+            }
+            let i = edges.partition_point(|&x| x <= v);
+            counts[i] += 1;
+        }
+        LogHistogram {
+            edges,
+            counts,
+            timeout_count,
+        }
+    }
+
+    /// Total observations including timeouts.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum::<usize>() + self.timeout_count
+    }
+
+    /// Bin labels, including the trailing `t_out`.
+    pub fn labels(&self) -> Vec<String> {
+        let mut out = vec![format!("<{:.3}", self.edges[0])];
+        for w in self.edges.windows(2) {
+            out.push(format!("{:.3}-{:.3}", w[0], w[1]));
+        }
+        out.push(format!(">{:.3}", self.edges.last().expect("non-empty")));
+        out.push("t_out".to_string());
+        out
+    }
+
+    /// Cumulative completed fraction after each bin (the line the paper
+    /// superimposes on Figures 1 and 2).
+    pub fn cumulative_fractions(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        let mut acc = 0usize;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc as f64 / total
+            })
+            .collect()
+    }
+}
+
+/// Ratio histogram for Figure 11: improvement ratios binned by decade,
+/// centered on 1 (ratio 1 = "no improvement").
+#[derive(Debug, Clone)]
+pub struct RatioHistogram {
+    /// Decade exponents, e.g. `-3..=3`.
+    pub exponents: Vec<i32>,
+    /// Count of ratios rounding to each decade.
+    pub counts: Vec<usize>,
+}
+
+impl RatioHistogram {
+    /// Bin `ratios` to their nearest decade, clamped to `±max_decade`.
+    pub fn new(ratios: &[f64], max_decade: i32) -> Self {
+        let exponents: Vec<i32> = (-max_decade..=max_decade).collect();
+        let mut counts = vec![0usize; exponents.len()];
+        for &r in ratios {
+            if !(r.is_finite() && r > 0.0) {
+                continue;
+            }
+            let d = r.log10().round() as i32;
+            let d = d.clamp(-max_decade, max_decade);
+            let i = (d + max_decade) as usize;
+            counts[i] += 1;
+        }
+        RatioHistogram { exponents, counts }
+    }
+
+    /// Count of ratios at a given decade (`0` = no improvement,
+    /// `-1` = 10× faster in the denominator configuration, …).
+    pub fn at_decade(&self, d: i32) -> usize {
+        self.exponents
+            .iter()
+            .position(|&e| e == d)
+            .map(|i| self.counts[i])
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_timeouts() {
+        let v = [0.5, 5.0, 50.0, 500.0, f64::INFINITY, f64::INFINITY];
+        let h = LogHistogram::new(&v, 1.0, 1000.0, 1);
+        assert_eq!(h.timeout_count, 2);
+        assert_eq!(h.total(), 6);
+        // 0.5 below first edge; others one per decade bin.
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn cumulative_reaches_completed_fraction() {
+        let v = [1.5, 15.0, f64::INFINITY, f64::INFINITY];
+        let h = LogHistogram::new(&v, 1.0, 100.0, 1);
+        let cum = h.cumulative_fractions();
+        let last = cum.last().copied().unwrap();
+        assert!((last - 0.5).abs() < 1e-12);
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn labels_include_tout() {
+        let h = LogHistogram::new(&[2.0], 1.0, 10.0, 1);
+        let labels = h.labels();
+        assert_eq!(labels.last().unwrap(), "t_out");
+        assert_eq!(labels.len(), h.counts.len() + 1);
+    }
+
+    #[test]
+    fn ratio_histogram_centers_on_one() {
+        // 31 queries 10x faster in 1C (ratio 10), 17 at 100x, 33 at 1.
+        let mut ratios = vec![10.0; 31];
+        ratios.extend(vec![100.0; 17]);
+        ratios.extend(vec![1.0; 33]);
+        let h = RatioHistogram::new(&ratios, 3);
+        assert_eq!(h.at_decade(1), 31);
+        assert_eq!(h.at_decade(2), 17);
+        assert_eq!(h.at_decade(0), 33);
+        assert_eq!(h.at_decade(-1), 0);
+    }
+
+    #[test]
+    fn ratio_histogram_clamps_extremes() {
+        let h = RatioHistogram::new(&[1e9, 1e-9], 2);
+        assert_eq!(h.at_decade(2), 1);
+        assert_eq!(h.at_decade(-2), 1);
+    }
+}

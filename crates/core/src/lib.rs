@@ -1,0 +1,38 @@
+//! # tab-core
+//!
+//! The paper's contribution, as a library: a benchmarking framework for
+//! autonomic configuration recommenders.
+//!
+//! - [`cfc`] — cumulative frequency curves of query elapsed times and
+//!   first-order stochastic dominance between configurations (§2.2);
+//! - [`goal`] — performance goals as monotone constraints on CFC curves
+//!   (Example 2), plus total-cost and improvement-ratio goals;
+//! - [`histogram`] — log-binned elapsed-time histograms with the `t_out`
+//!   bin (Figures 1–2) and decade-binned ratio histograms (Figure 11);
+//! - [`measure`] — workload-level `A`/`E`/`H` measurement, timeout lower
+//!   bounds (§4.3), and improvement ratios AIR/EIR/HIR (§5.2);
+//! - [`experiment`] — the benchmark suite: the three databases, the
+//!   `P`/`1C` configurations, space budgets, workload sampling, and the
+//!   §4.4 insertion break-even analysis;
+//! - [`report`] — CSV output and ASCII figure rendering.
+
+#![warn(missing_docs)]
+
+pub mod cfc;
+pub mod experiment;
+pub mod goal;
+pub mod histogram;
+pub mod measure;
+pub mod report;
+
+pub use cfc::Cfc;
+pub use experiment::{
+    build_1c, build_p, insertion_breakeven, per_insert_cost, prepare_workload, prepare_workload_db, space_budget,
+    table1_row, InsertionAnalysis, Suite, SuiteParams, Table1Row,
+};
+pub use goal::{improvement_ratio, Goal};
+pub use histogram::{LogHistogram, RatioHistogram};
+pub use measure::{
+    estimate_workload, estimate_workload_hypothetical, improvement_ratios, run_update_workload,
+    run_workload, UpdateWorkloadRun, WorkloadOp, WorkloadRun,
+};

@@ -1,0 +1,21 @@
+//! # tab-datagen
+//!
+//! Deterministic data generators for the `tab-bench` benchmarks:
+//!
+//! - [`nref`]: a synthetic stand-in for the NREF 1.34 protein database
+//!   (real data no longer distributed in the paper's form) preserving
+//!   the schema, cardinality ratios, shared domains, and value skew the
+//!   benchmark depends on;
+//! - [`tpch`]: the eight-table TPC-H schema with uniform or
+//!   Zipf(θ)-skewed values (the paper's SkTH / UnTH databases);
+//! - [`zipf`]: the Zipf sampler both generators use.
+
+#![warn(missing_docs)]
+
+pub mod nref;
+pub mod tpch;
+pub mod zipf;
+
+pub use nref::{generate as generate_nref, nref_schemas, NrefParams};
+pub use tpch::{generate as generate_tpch, tpch_schemas, Distribution, TpchParams};
+pub use zipf::Zipf;

@@ -1,0 +1,449 @@
+//! Name resolution: binding a parsed query against a database.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use tab_sqlq::{CmpOp, ColRef, Predicate, Query, RangeOp, SelectItem};
+use tab_storage::{Database, Value};
+
+/// A bound relation: an alias over a base table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundRel {
+    /// The alias used in the query.
+    pub alias: String,
+    /// The base table (or, after MV rewrite, view) it scans.
+    pub source: String,
+}
+
+/// An equi-join edge between two bound relations (a < b), possibly over
+/// several column pairs (composite PK–FK joins).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Lower relation position.
+    pub a: usize,
+    /// Higher relation position.
+    pub b: usize,
+    /// Column pairs `(col_of_a, col_of_b)`.
+    pub cols: Vec<(usize, usize)>,
+}
+
+/// A bound constant-equality filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstFilter {
+    /// Relation position.
+    pub rel: usize,
+    /// Column position within the relation.
+    pub col: usize,
+    /// The constant.
+    pub value: Value,
+}
+
+/// A bound range filter (`rel.col op value`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeFilter {
+    /// Relation position.
+    pub rel: usize,
+    /// Column position within the relation.
+    pub col: usize,
+    /// Comparison operator.
+    pub op: RangeOp,
+    /// The constant bound.
+    pub value: Value,
+}
+
+/// A bound frequency filter
+/// (`col IN (SELECT c FROM T GROUP BY c HAVING COUNT(*) op k)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreqFilter {
+    /// Outer relation position.
+    pub rel: usize,
+    /// Outer column position.
+    pub col: usize,
+    /// Base table scanned by the subquery.
+    pub sub_table: String,
+    /// Grouped column position in `sub_table`.
+    pub sub_col: usize,
+    /// Comparison against the group count.
+    pub op: CmpOp,
+    /// Count bound.
+    pub k: i64,
+}
+
+/// A bound aggregate in the select list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundAgg {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `COUNT(DISTINCT rel.col)`.
+    CountDistinct(usize, usize),
+}
+
+/// A bound select-list item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundItem {
+    /// A grouped column `(rel, col)`.
+    Column(usize, usize),
+    /// Position into [`BoundQuery::aggs`].
+    Agg(usize),
+}
+
+/// A fully bound query, ready for planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundQuery {
+    /// Relations in `FROM` order.
+    pub rels: Vec<BoundRel>,
+    /// Join edges (normalized, merged per relation pair).
+    pub joins: Vec<JoinEdge>,
+    /// Constant filters.
+    pub filters: Vec<ConstFilter>,
+    /// Range filters.
+    pub ranges: Vec<RangeFilter>,
+    /// Frequency filters.
+    pub freqs: Vec<FreqFilter>,
+    /// Group-by columns.
+    pub group_by: Vec<(usize, usize)>,
+    /// Aggregates.
+    pub aggs: Vec<BoundAgg>,
+    /// Select-list order for output.
+    pub select: Vec<BoundItem>,
+    /// Order-by items as `(select position, descending)`.
+    pub order_by: Vec<(usize, bool)>,
+    /// Row limit applied after ordering.
+    pub limit: Option<u64>,
+}
+
+impl BoundQuery {
+    /// Columns of each relation the plan must carry: select, group-by,
+    /// aggregate, join, and filter columns.
+    pub fn needed_columns(&self) -> Vec<BTreeSet<usize>> {
+        let mut need: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.rels.len()];
+        for item in &self.select {
+            if let BoundItem::Column(r, c) = item {
+                need[*r].insert(*c);
+            }
+        }
+        for (r, c) in &self.group_by {
+            need[*r].insert(*c);
+        }
+        for agg in &self.aggs {
+            if let BoundAgg::CountDistinct(r, c) = agg {
+                need[*r].insert(*c);
+            }
+        }
+        for e in &self.joins {
+            for (ca, cb) in &e.cols {
+                need[e.a].insert(*ca);
+                need[e.b].insert(*cb);
+            }
+        }
+        for f in &self.filters {
+            need[f.rel].insert(f.col);
+        }
+        for f in &self.ranges {
+            need[f.rel].insert(f.col);
+        }
+        for f in &self.freqs {
+            need[f.rel].insert(f.col);
+        }
+        need
+    }
+}
+
+/// Binding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bind error: {}", self.message)
+    }
+}
+
+impl std::error::Error for BindError {}
+
+fn err(msg: impl Into<String>) -> BindError {
+    BindError {
+        message: msg.into(),
+    }
+}
+
+/// Bind `query` against `db`, resolving aliases and column names.
+pub fn bind(query: &Query, db: &Database) -> Result<BoundQuery, BindError> {
+    let mut rels = Vec::new();
+    for tr in &query.from {
+        if db.table(&tr.table).is_none() {
+            return Err(err(format!("unknown table `{}`", tr.table)));
+        }
+        if rels.iter().any(|r: &BoundRel| r.alias == tr.alias) {
+            return Err(err(format!("duplicate alias `{}`", tr.alias)));
+        }
+        rels.push(BoundRel {
+            alias: tr.alias.clone(),
+            source: tr.table.clone(),
+        });
+    }
+
+    let resolve = |c: &ColRef| -> Result<(usize, usize), BindError> {
+        let rel = rels
+            .iter()
+            .position(|r| r.alias == c.alias)
+            .ok_or_else(|| err(format!("unknown alias `{}`", c.alias)))?;
+        let table = db.table(&rels[rel].source).expect("checked above");
+        let col = table
+            .schema()
+            .column_index(&c.column)
+            .ok_or_else(|| {
+                err(format!(
+                    "unknown column `{}` on `{}`",
+                    c.column, rels[rel].source
+                ))
+            })?;
+        Ok((rel, col))
+    };
+
+    let mut joins: Vec<JoinEdge> = Vec::new();
+    let mut filters = Vec::new();
+    let mut ranges = Vec::new();
+    let mut freqs = Vec::new();
+    for p in &query.predicates {
+        match p {
+            Predicate::JoinEq(x, y) => {
+                let (rx, cx) = resolve(x)?;
+                let (ry, cy) = resolve(y)?;
+                if rx == ry {
+                    return Err(err(format!(
+                        "same-alias equality `{x} = {y}` is not a join"
+                    )));
+                }
+                let (a, b, ca, cb) = if rx < ry {
+                    (rx, ry, cx, cy)
+                } else {
+                    (ry, rx, cy, cx)
+                };
+                match joins.iter_mut().find(|e| e.a == a && e.b == b) {
+                    Some(e) => e.cols.push((ca, cb)),
+                    None => joins.push(JoinEdge {
+                        a,
+                        b,
+                        cols: vec![(ca, cb)],
+                    }),
+                }
+            }
+            Predicate::ConstEq(c, v) => {
+                let (rel, col) = resolve(c)?;
+                filters.push(ConstFilter {
+                    rel,
+                    col,
+                    value: v.clone(),
+                });
+            }
+            Predicate::ConstRange(c, op, v) => {
+                let (rel, col) = resolve(c)?;
+                ranges.push(RangeFilter {
+                    rel,
+                    col,
+                    op: *op,
+                    value: v.clone(),
+                });
+            }
+            Predicate::InFrequency {
+                col,
+                sub_table,
+                sub_column,
+                op,
+                k,
+            } => {
+                let (rel, c) = resolve(col)?;
+                let st = db
+                    .table(sub_table)
+                    .ok_or_else(|| err(format!("unknown subquery table `{sub_table}`")))?;
+                let sc = st.schema().column_index(sub_column).ok_or_else(|| {
+                    err(format!(
+                        "unknown column `{sub_column}` on `{sub_table}`"
+                    ))
+                })?;
+                freqs.push(FreqFilter {
+                    rel,
+                    col: c,
+                    sub_table: sub_table.clone(),
+                    sub_col: sc,
+                    op: *op,
+                    k: *k,
+                });
+            }
+        }
+    }
+
+    let mut group_by = Vec::new();
+    for c in &query.group_by {
+        group_by.push(resolve(c)?);
+    }
+
+    let mut aggs = Vec::new();
+    let mut select = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Column(c) => {
+                let rc = resolve(c)?;
+                if !group_by.contains(&rc) && !query.group_by.is_empty() {
+                    return Err(err(format!(
+                        "selected column {c} is not in GROUP BY"
+                    )));
+                }
+                select.push(BoundItem::Column(rc.0, rc.1));
+            }
+            SelectItem::CountStar => {
+                aggs.push(BoundAgg::CountStar);
+                select.push(BoundItem::Agg(aggs.len() - 1));
+            }
+            SelectItem::CountDistinct(c) => {
+                let (r, col) = resolve(c)?;
+                aggs.push(BoundAgg::CountDistinct(r, col));
+                select.push(BoundItem::Agg(aggs.len() - 1));
+            }
+        }
+    }
+
+    // Order-by columns must be selected plain columns; they bind to
+    // select-list positions.
+    let mut order_by = Vec::new();
+    for (c, desc) in &query.order_by {
+        let rc = resolve(c)?;
+        let pos = select
+            .iter()
+            .position(|s| matches!(s, BoundItem::Column(r, cc) if (*r, *cc) == rc))
+            .ok_or_else(|| err(format!("ORDER BY column {c} is not in the select list")))?;
+        order_by.push((pos, *desc));
+    }
+
+    Ok(BoundQuery {
+        rels,
+        joins,
+        filters,
+        ranges,
+        freqs,
+        group_by,
+        aggs,
+        select,
+        order_by,
+        limit: query.limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tab_sqlq::parse;
+    use tab_storage::{ColType, ColumnDef, Table, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for (name, cols) in [
+            ("r", vec!["a", "b", "c"]),
+            ("s", vec!["a", "d"]),
+        ] {
+            let t = Table::new(TableSchema::new(
+                name,
+                cols.into_iter()
+                    .map(|c| ColumnDef::new(c, ColType::Int))
+                    .collect(),
+            ));
+            db.add_table(t);
+        }
+        db
+    }
+
+    #[test]
+    fn binds_self_join() {
+        let q = parse(
+            "SELECT r1.b, COUNT(DISTINCT r2.c) FROM r r1, r r2, s \
+             WHERE r1.a = r2.a AND r1.b = s.a AND s.d = 5 GROUP BY r1.b",
+        )
+        .unwrap();
+        let b = bind(&q, &db()).unwrap();
+        assert_eq!(b.rels.len(), 3);
+        assert_eq!(b.joins.len(), 2);
+        assert_eq!(b.filters.len(), 1);
+        assert_eq!(b.aggs, vec![BoundAgg::CountDistinct(1, 2)]);
+        // Join edges normalized with a < b.
+        assert!(b.joins.iter().all(|e| e.a < e.b));
+    }
+
+    #[test]
+    fn merges_composite_join_edges() {
+        let q = parse("SELECT r.c, COUNT(*) FROM r, s WHERE r.a = s.a AND r.b = s.d GROUP BY r.c")
+            .unwrap();
+        let b = bind(&q, &db()).unwrap();
+        assert_eq!(b.joins.len(), 1);
+        assert_eq!(b.joins[0].cols.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        let db = db();
+        assert!(bind(&parse("SELECT t.a FROM t").unwrap(), &db).is_err());
+        assert!(bind(&parse("SELECT r.zz FROM r").unwrap(), &db).is_err());
+        assert!(bind(&parse("SELECT x.a FROM r WHERE x.a = 1").unwrap(), &db).is_err());
+    }
+
+    #[test]
+    fn rejects_ungrouped_select_column() {
+        let q = parse("SELECT r.a, r.b, COUNT(*) FROM r GROUP BY r.a").unwrap();
+        assert!(bind(&q, &db()).is_err());
+    }
+
+    #[test]
+    fn binds_order_by_and_limit() {
+        let q = parse("SELECT r.a, COUNT(*) FROM r GROUP BY r.a ORDER BY r.a DESC LIMIT 5")
+            .unwrap();
+        let b = bind(&q, &db()).unwrap();
+        assert_eq!(b.order_by, vec![(0, true)]);
+        assert_eq!(b.limit, Some(5));
+        // Ordering by an unselected column is rejected.
+        let bad = parse("SELECT r.a, COUNT(*) FROM r GROUP BY r.a ORDER BY r.b").unwrap();
+        assert!(bind(&bad, &db()).is_err());
+    }
+
+    #[test]
+    fn binds_range_filter() {
+        let q = parse("SELECT r.c, COUNT(*) FROM r WHERE r.a >= 3 AND r.b < 9 GROUP BY r.c")
+            .unwrap();
+        let b = bind(&q, &db()).unwrap();
+        assert_eq!(b.ranges.len(), 2);
+        assert_eq!(b.ranges[0].op, RangeOp::Ge);
+        assert_eq!(b.ranges[1].col, 1);
+        // Range columns are carried by the plan.
+        assert!(b.needed_columns()[0].contains(&0));
+        assert!(b.needed_columns()[0].contains(&1));
+    }
+
+    #[test]
+    fn binds_freq_filter() {
+        let q = parse(
+            "SELECT r.a, COUNT(*) FROM r WHERE r.a IN \
+             (SELECT a FROM s GROUP BY a HAVING COUNT(*) < 4) GROUP BY r.a",
+        )
+        .unwrap();
+        let b = bind(&q, &db()).unwrap();
+        assert_eq!(b.freqs.len(), 1);
+        assert_eq!(b.freqs[0].sub_table, "s");
+        assert_eq!(b.freqs[0].sub_col, 0);
+    }
+
+    #[test]
+    fn needed_columns_cover_all_uses() {
+        let q = parse(
+            "SELECT r1.b, COUNT(DISTINCT r2.c) FROM r r1, r r2, s \
+             WHERE r1.a = r2.a AND r1.b = s.a AND s.d = 5 GROUP BY r1.b",
+        )
+        .unwrap();
+        let b = bind(&q, &db()).unwrap();
+        let need = b.needed_columns();
+        assert_eq!(need[0], [0usize, 1].into_iter().collect());
+        assert_eq!(need[1], [0usize, 2].into_iter().collect());
+        assert_eq!(need[2], [0usize, 1].into_iter().collect());
+    }
+}

@@ -1,0 +1,268 @@
+//! The I/O-shaped cost model shared by the optimizer and the executor.
+//!
+//! The paper measures *elapsed seconds* on disk-resident databases with a
+//! 30-minute timeout. We substitute deterministic **cost units** that are
+//! dominated by pages touched, exactly as 2005 elapsed times were (see
+//! DESIGN.md §1): sequential pages are cheap, random pages expensive, and
+//! per-row CPU work is small but unbounded intermediates still add up.
+//!
+//! Calibration: a full scan of the largest NREF table at the default
+//! scale costs about what a 6.5 GB scan cost the authors (~100 s), and
+//! [`DEFAULT_TIMEOUT_UNITS`] maps to the paper's 30-minute timeout. The
+//! conversion to "simulated seconds" is a single constant so every figure
+//! can be read in the paper's units.
+
+/// Cost of reading one page sequentially.
+pub const SEQ_PAGE_COST: f64 = 0.25;
+
+/// Cost of reading one page at a random position (tree descent, heap
+/// fetch by row id).
+pub const RANDOM_PAGE_COST: f64 = 1.5;
+
+/// CPU cost of processing one row (predicate eval, hash insert/probe).
+///
+/// Deliberately small relative to page costs: the paper's elapsed times
+/// come from disk-resident databases an order of magnitude larger than
+/// RAM, where I/O dominates CPU by orders of magnitude (a 2005 CPU
+/// pushed ~1M simple rows/s through a pipelined operator while a disk
+/// delivered ~100 random pages/s).
+pub const ROW_COST: f64 = 0.0005;
+
+/// Simulated seconds per cost unit. Chosen so that
+/// `DEFAULT_TIMEOUT_UNITS` corresponds to the paper's 1800-second
+/// timeout, with the timeout budget allowing roughly a dozen sequential
+/// scans of the largest benchmark table -- the same ratio the paper's
+/// 30-minute timeout bears to a full scan of its largest table.
+pub const SIM_SECONDS_PER_UNIT: f64 = 1800.0 / DEFAULT_TIMEOUT_UNITS;
+
+/// Default execution budget: the paper's 30-minute timeout.
+pub const DEFAULT_TIMEOUT_UNITS: f64 = 35_000.0;
+
+/// Maximum rows a *budgeted* execution may process before it is
+/// declared timed out. This is the memory-governed component of the
+/// timeout: at the paper's scale the same queries process ~80x more
+/// rows and blow the 30-minute budget outright; at ours they would
+/// otherwise materialize multi-gigabyte intermediates in RAM.
+pub const BUDGET_ROW_CAP: u64 = 20_000_000;
+
+/// Rows a hash operator can hold in memory before spilling. Scaled with
+/// the benchmark databases exactly as the paper's 752 MB–1 GB desktops
+/// were scaled against their 6.5–10 GB databases: working memory holds a
+/// few percent of the largest table.
+pub const HASH_SPILL_ROWS: u64 = 50_000;
+
+/// Rows per page in spill files. Benchmark tuples run ~100-130 bytes,
+/// so a spill page holds about 64 of them.
+pub const SPILL_ROWS_PER_PAGE: u64 = 64;
+
+/// Partition fanout per Grace pass (bounded by memory for output
+/// buffers on a 2005-class machine).
+pub const SPILL_PARTITIONS: u64 = 8;
+
+/// Extra sequential pages charged when a hash operator over `build` and
+/// `probe` rows spills: Grace-style recursive partitioning writes and
+/// re-reads both inputs once per pass, and a build side far larger than
+/// memory needs multiple passes.
+pub fn spill_pages(build_rows: u64, probe_rows: u64) -> u64 {
+    if build_rows <= HASH_SPILL_ROWS {
+        return 0;
+    }
+    let ratio = (build_rows / HASH_SPILL_ROWS).max(1) as f64;
+    let passes = ratio.log(SPILL_PARTITIONS as f64).ceil().max(1.0) as u64;
+    passes * 2 * (build_rows + probe_rows) / SPILL_ROWS_PER_PAGE
+}
+
+/// Convert cost units to simulated seconds.
+pub fn units_to_sim_seconds(units: f64) -> f64 {
+    units * SIM_SECONDS_PER_UNIT
+}
+
+/// Error returned when an execution exceeds its budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedOut {
+    /// Units consumed when the budget tripped.
+    pub spent: f64,
+}
+
+/// Running cost account for one query execution.
+///
+/// The executor charges every page and row it touches; when a budget is
+/// set and exceeded, charging fails and the executor unwinds — the
+/// equivalent of the paper killing a query at the 30-minute mark.
+#[derive(Debug, Clone)]
+pub struct CostMeter {
+    seq_pages: u64,
+    random_pages: u64,
+    rows: u64,
+    budget: Option<f64>,
+}
+
+impl CostMeter {
+    /// A meter with no budget (never times out).
+    pub fn unbounded() -> Self {
+        CostMeter {
+            seq_pages: 0,
+            random_pages: 0,
+            rows: 0,
+            budget: None,
+        }
+    }
+
+    /// A meter that trips after `budget` cost units.
+    pub fn with_budget(budget: f64) -> Self {
+        CostMeter {
+            budget: Some(budget),
+            ..Self::unbounded()
+        }
+    }
+
+    /// Total cost units consumed so far.
+    pub fn units(&self) -> f64 {
+        self.seq_pages as f64 * SEQ_PAGE_COST
+            + self.random_pages as f64 * RANDOM_PAGE_COST
+            + self.rows as f64 * ROW_COST
+    }
+
+    /// Pages read sequentially so far.
+    pub fn seq_pages(&self) -> u64 {
+        self.seq_pages
+    }
+
+    /// Pages read randomly so far.
+    pub fn random_pages(&self) -> u64 {
+        self.random_pages
+    }
+
+    /// Rows processed so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    fn check(&self) -> Result<(), TimedOut> {
+        match self.budget {
+            Some(b) if self.units() > b || self.rows > BUDGET_ROW_CAP => {
+                Err(TimedOut { spent: self.units() })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Charge `n` sequential page reads.
+    pub fn charge_seq_pages(&mut self, n: u64) -> Result<(), TimedOut> {
+        self.seq_pages += n;
+        self.check()
+    }
+
+    /// Charge `n` random page reads.
+    pub fn charge_random_pages(&mut self, n: u64) -> Result<(), TimedOut> {
+        self.random_pages += n;
+        self.check()
+    }
+
+    /// Charge `n` rows of CPU work.
+    pub fn charge_rows(&mut self, n: u64) -> Result<(), TimedOut> {
+        self.rows += n;
+        self.check()
+    }
+}
+
+/// Result of one actual query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The query completed.
+    Done {
+        /// Total cost units consumed (the paper's `A(q, C)`).
+        units: f64,
+        /// Number of result rows.
+        rows: u64,
+    },
+    /// The query exceeded its budget (the paper's "timeout" bin).
+    Timeout {
+        /// The budget that was exceeded.
+        budget: f64,
+    },
+}
+
+impl Outcome {
+    /// Cost units if completed.
+    pub fn units(&self) -> Option<f64> {
+        match self {
+            Outcome::Done { units, .. } => Some(*units),
+            Outcome::Timeout { .. } => None,
+        }
+    }
+
+    /// Lower bound on cost units: actual if done, the budget if timed out
+    /// (the paper's §4.3 "we can use the timeout value to obtain a lower
+    /// bound").
+    pub fn units_lower_bound(&self) -> f64 {
+        match self {
+            Outcome::Done { units, .. } => *units,
+            Outcome::Timeout { budget } => *budget,
+        }
+    }
+
+    /// Whether the execution timed out.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, Outcome::Timeout { .. })
+    }
+
+    /// Simulated seconds, using the lower bound for timeouts.
+    pub fn sim_seconds_lower_bound(&self) -> f64 {
+        units_to_sim_seconds(self.units_lower_bound())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_times_out() {
+        let mut m = CostMeter::unbounded();
+        m.charge_seq_pages(1_000_000_000).unwrap();
+        assert!(m.units() > 0.0);
+    }
+
+    #[test]
+    fn budget_trips() {
+        let budget = 10.0 * RANDOM_PAGE_COST;
+        let mut m = CostMeter::with_budget(budget);
+        m.charge_random_pages(10).unwrap();
+        let err = m.charge_random_pages(1).unwrap_err();
+        assert!(err.spent > budget);
+    }
+
+    #[test]
+    fn cost_mix() {
+        let mut m = CostMeter::unbounded();
+        m.charge_seq_pages(10).unwrap();
+        m.charge_random_pages(2).unwrap();
+        m.charge_rows(500).unwrap();
+        let expect = 10.0 * SEQ_PAGE_COST + 2.0 * RANDOM_PAGE_COST + 500.0 * ROW_COST;
+        assert!((m.units() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_pages_cost_more_than_seq() {
+        assert!(RANDOM_PAGE_COST > SEQ_PAGE_COST * 5.0);
+    }
+
+    #[test]
+    fn timeout_lower_bound() {
+        let o = Outcome::Timeout { budget: 100.0 };
+        assert_eq!(o.units(), None);
+        assert_eq!(o.units_lower_bound(), 100.0);
+        assert!(o.is_timeout());
+        let d = Outcome::Done {
+            units: 5.0,
+            rows: 2,
+        };
+        assert_eq!(d.units(), Some(5.0));
+    }
+
+    #[test]
+    fn default_timeout_is_thirty_minutes() {
+        assert!((units_to_sim_seconds(DEFAULT_TIMEOUT_UNITS) - 1800.0).abs() < 1e-6);
+    }
+}

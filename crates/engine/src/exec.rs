@@ -1,0 +1,529 @@
+//! The physical-plan executor.
+//!
+//! Executes a [`PhysicalPlan`] against real storage, charging every page
+//! and row to a [`CostMeter`]. The meter's total is the paper's actual
+//! cost `A(q, C)`; when a budget is set, exceeding it aborts execution —
+//! the 30-minute timeout of the paper's protocol.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use tab_sqlq::{CmpOp, RangeOp};
+use tab_storage::{BTreeIndex, BuiltConfiguration, Database, Table, Value};
+
+use crate::catalog::{BoundAgg, BoundItem, BoundQuery, FreqFilter};
+use crate::cost::{CostMeter, TimedOut};
+use crate::plan::{Access, JoinMethod, PhysicalPlan, ProbeSource, RelOp};
+
+/// Resolves plan references to physical structures.
+pub struct Resolver<'a> {
+    db: &'a Database,
+    built: &'a BuiltConfiguration,
+}
+
+impl<'a> Resolver<'a> {
+    /// A resolver over a database and a built configuration.
+    pub fn new(db: &'a Database, built: &'a BuiltConfiguration) -> Self {
+        Resolver { db, built }
+    }
+
+    fn table(&self, source: &str) -> &'a Table {
+        if let Some(t) = self.db.table(source) {
+            return t;
+        }
+        self.built
+            .mviews
+            .iter()
+            .find(|(mv, _)| mv.spec.name == source)
+            .map(|(mv, _)| &mv.table)
+            .unwrap_or_else(|| panic!("unknown source `{source}`"))
+    }
+
+    fn index(&self, source: &str, columns: &[usize]) -> &'a BTreeIndex {
+        self.built
+            .indexes_on(source)
+            .find(|i| i.spec().columns == columns)
+            .unwrap_or_else(|| panic!("no index on `{source}` with columns {columns:?}"))
+    }
+}
+
+/// Column layout of intermediate tuples: `(rel, col) -> position`.
+#[derive(Debug, Default)]
+struct Layout {
+    pos: HashMap<(usize, usize), usize>,
+}
+
+impl Layout {
+    fn add_rel(&mut self, rel: usize, cols: &BTreeSet<usize>) {
+        for &c in cols {
+            let next = self.pos.len();
+            self.pos.insert((rel, c), next);
+        }
+    }
+
+    fn get(&self, rel: usize, col: usize) -> usize {
+        *self
+            .pos
+            .get(&(rel, col))
+            .unwrap_or_else(|| panic!("column ({rel},{col}) not in tuple layout"))
+    }
+}
+
+type Tuple = Vec<Value>;
+
+/// Execute `plan`, returning the result rows in select-list order.
+///
+/// Row order is unspecified (hash-based operators); callers that compare
+/// results should sort.
+pub fn execute(
+    plan: &PhysicalPlan,
+    resolver: &Resolver<'_>,
+    meter: &mut CostMeter,
+) -> Result<Vec<Vec<Value>>, TimedOut> {
+    let q = &plan.query;
+    let need = q.needed_columns();
+
+    // 1. Frequency-filter value sets, evaluated once each.
+    let freq_sets = eval_freq_sets(q, resolver, meter)?;
+
+    // 2. Driver.
+    let mut layout = Layout::default();
+    layout.add_rel(plan.driver.rel, &need[plan.driver.rel]);
+    let mut tuples = scan_rel(&plan.driver, q, resolver, meter, &freq_sets, &need)?;
+
+    // 3. Join steps.
+    for step in &plan.steps {
+        let rel = step.inner.rel;
+        match &step.method {
+            JoinMethod::Hash => {
+                let mut inner_layout = Layout::default();
+                inner_layout.add_rel(rel, &need[rel]);
+                let inner_tuples =
+                    scan_rel(&step.inner, q, resolver, meter, &freq_sets, &need)?;
+                // Grace-style spill when the build side exceeds memory.
+                meter.charge_seq_pages(crate::cost::spill_pages(
+                    inner_tuples.len() as u64,
+                    tuples.len() as u64,
+                ))?;
+                // Build on inner join cols.
+                let inner_cols: Vec<usize> =
+                    step.pairs.iter().map(|&(_, ic)| ic).collect();
+                let mut ht: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for (i, t) in inner_tuples.iter().enumerate() {
+                    meter.charge_rows(1)?;
+                    let key: Vec<Value> = inner_cols
+                        .iter()
+                        .map(|&c| t[inner_layout.get(rel, c)].clone())
+                        .collect();
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    ht.entry(key).or_default().push(i);
+                }
+                let mut out = Vec::new();
+                for t in &tuples {
+                    meter.charge_rows(1)?;
+                    let key: Vec<Value> = step
+                        .pairs
+                        .iter()
+                        .map(|&((orel, ocol), _)| t[layout.get(orel, ocol)].clone())
+                        .collect();
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    if let Some(ids) = ht.get(&key) {
+                        for &i in ids {
+                            meter.charge_rows(1)?;
+                            let mut combined = t.clone();
+                            combined.extend_from_slice(&inner_tuples[i]);
+                            out.push(combined);
+                        }
+                    }
+                }
+                layout.add_rel(rel, &need[rel]);
+                tuples = out;
+            }
+            JoinMethod::IndexNl {
+                columns,
+                probe,
+                covering,
+            } => {
+                let source = &q.rels[rel].source;
+                let table = resolver.table(source);
+                let index = resolver.index(source, columns);
+                let mut out = Vec::new();
+                // Residual join pairs not enforced by the probe prefix.
+                let probed: BTreeSet<usize> = columns[..probe.len()].iter().copied().collect();
+                let residual_pairs: Vec<((usize, usize), usize)> = step
+                    .pairs
+                    .iter()
+                    .filter(|(_, ic)| !probed.contains(ic))
+                    .cloned()
+                    .collect();
+                for t in &tuples {
+                    meter.charge_rows(1)?;
+                    let key: Vec<Value> = probe
+                        .iter()
+                        .map(|p| match p {
+                            ProbeSource::Outer(orel, ocol) => {
+                                t[layout.get(*orel, *ocol)].clone()
+                            }
+                            ProbeSource::Const(v) => v.clone(),
+                        })
+                        .collect();
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    let pr = index.probe(&key);
+                    meter.charge_random_pages(pr.pages_touched)?;
+                    if !covering && !pr.row_ids.is_empty() {
+                        let pages: BTreeSet<u64> =
+                            pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
+                        meter.charge_random_pages(pages.len() as u64)?;
+                    }
+                    for &id in &pr.row_ids {
+                        meter.charge_rows(1)?;
+                        let row = table.row(id);
+                        if !passes_filters(row, &step.inner.filters)
+                            || !passes_ranges(row, &step.inner.ranges)
+                            || !passes_freqs(row, &step.inner.freqs, q, &freq_sets)
+                        {
+                            continue;
+                        }
+                        // Residual join checks.
+                        let ok = residual_pairs.iter().all(|&((orel, ocol), icol)| {
+                            let ov = &t[layout.get(orel, ocol)];
+                            !ov.is_null() && *ov == row[icol]
+                        });
+                        if !ok {
+                            continue;
+                        }
+                        let mut combined = t.clone();
+                        combined.extend(need[rel].iter().map(|&c| row[c].clone()));
+                        out.push(combined);
+                    }
+                }
+                layout.add_rel(rel, &need[rel]);
+                tuples = out;
+            }
+        }
+    }
+
+    // 4. Aggregation / projection.
+    finish(q, &layout, tuples, meter)
+}
+
+/// Evaluate the distinct-value sets for the query's frequency filters.
+fn eval_freq_sets(
+    q: &BoundQuery,
+    resolver: &Resolver<'_>,
+    meter: &mut CostMeter,
+) -> Result<Vec<HashSet<Value>>, TimedOut> {
+    let mut sets = Vec::with_capacity(q.freqs.len());
+    for f in &q.freqs {
+        let table = resolver.table(&f.sub_table);
+        // Index-only evaluation when a built index leads with the column.
+        let idx = resolver
+            .built
+            .indexes_on(&f.sub_table)
+            .find(|i| i.spec().columns.first() == Some(&f.sub_col));
+        let mut counts: HashMap<Value, u64> = HashMap::new();
+        match idx {
+            Some(idx) => {
+                // Group sizes read off the leaf level: one operation per
+                // distinct key (id-list lengths are stored), not per row.
+                meter.charge_seq_pages(idx.n_pages())?;
+                meter.charge_rows(idx.n_distinct_keys() as u64)?;
+                for (key, ids) in idx.scan() {
+                    *counts.entry(key[0].clone()).or_insert(0) += ids.len() as u64;
+                }
+            }
+            None => {
+                meter.charge_seq_pages(table.n_pages())?;
+                meter.charge_rows(table.n_rows() as u64)?;
+                for (_, row) in table.iter() {
+                    let v = &row[f.sub_col];
+                    if !v.is_null() {
+                        *counts.entry(v.clone()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let set: HashSet<Value> = counts
+            .into_iter()
+            .filter(|(_, c)| qualifies(f.op, *c, f.k))
+            .map(|(v, _)| v)
+            .collect();
+        sets.push(set);
+    }
+    Ok(sets)
+}
+
+fn qualifies(op: CmpOp, count: u64, k: i64) -> bool {
+    match op {
+        CmpOp::Lt => (count as i64) < k,
+        CmpOp::Eq => (count as i64) == k,
+    }
+}
+
+fn passes_filters(row: &[Value], filters: &[(usize, Value)]) -> bool {
+    filters
+        .iter()
+        .all(|(c, v)| !row[*c].is_null() && row[*c] == *v)
+}
+
+fn passes_ranges(row: &[Value], ranges: &[(usize, RangeOp, Value)]) -> bool {
+    ranges.iter().all(|(c, op, v)| op.eval(&row[*c], v))
+}
+
+fn passes_freqs(
+    row: &[Value],
+    freqs: &[usize],
+    q: &BoundQuery,
+    sets: &[HashSet<Value>],
+) -> bool {
+    freqs.iter().all(|&fi| {
+        let f: &FreqFilter = &q.freqs[fi];
+        sets[fi].contains(&row[f.col])
+    })
+}
+
+/// Scan one relation per its `RelOp`, returning projected tuples of the
+/// relation's needed columns (in `BTreeSet` order).
+fn scan_rel(
+    op: &RelOp,
+    q: &BoundQuery,
+    resolver: &Resolver<'_>,
+    meter: &mut CostMeter,
+    freq_sets: &[HashSet<Value>],
+    need: &[BTreeSet<usize>],
+) -> Result<Vec<Tuple>, TimedOut> {
+    let source = &q.rels[op.rel].source;
+    let table = resolver.table(source);
+    let cols: Vec<usize> = need[op.rel].iter().copied().collect();
+    let mut out = Vec::new();
+    match &op.access {
+        Access::Seq => {
+            meter.charge_seq_pages(table.n_pages())?;
+            for (_, row) in table.iter() {
+                meter.charge_rows(1)?;
+                if passes_filters(row, &op.filters)
+                    && passes_ranges(row, &op.ranges)
+                    && passes_freqs(row, &op.freqs, q, freq_sets)
+                {
+                    out.push(cols.iter().map(|&c| row[c].clone()).collect());
+                }
+            }
+        }
+        Access::Index {
+            columns,
+            prefix,
+            covering,
+        } => {
+            let index = resolver.index(source, columns);
+            let pr = index.probe(prefix);
+            meter.charge_random_pages(pr.pages_touched)?;
+            if !covering && !pr.row_ids.is_empty() {
+                let pages: BTreeSet<u64> =
+                    pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
+                meter.charge_random_pages(pages.len() as u64)?;
+            }
+            for &id in &pr.row_ids {
+                meter.charge_rows(1)?;
+                let row = table.row(id);
+                if passes_filters(row, &op.filters)
+                    && passes_ranges(row, &op.ranges)
+                    && passes_freqs(row, &op.freqs, q, freq_sets)
+                {
+                    out.push(cols.iter().map(|&c| row[c].clone()).collect());
+                }
+            }
+        }
+        Access::IndexRange {
+            columns,
+            lo,
+            hi,
+            covering,
+        } => {
+            let index = resolver.index(source, columns);
+            let pr = index.probe_leading_range(
+                lo.as_ref().map(|(v, s)| (v, *s)),
+                hi.as_ref().map(|(v, s)| (v, *s)),
+            );
+            meter.charge_random_pages(pr.pages_touched)?;
+            if !covering && !pr.row_ids.is_empty() {
+                let pages: BTreeSet<u64> =
+                    pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
+                meter.charge_random_pages(pages.len() as u64)?;
+            }
+            for &id in &pr.row_ids {
+                meter.charge_rows(1)?;
+                let row = table.row(id);
+                if passes_filters(row, &op.filters)
+                    && passes_ranges(row, &op.ranges)
+                    && passes_freqs(row, &op.freqs, q, freq_sets)
+                {
+                    out.push(cols.iter().map(|&c| row[c].clone()).collect());
+                }
+            }
+        }
+        Access::IndexFreqScan {
+            columns,
+            freq,
+            covering,
+        } => {
+            let index = resolver.index(source, columns);
+            let set = &freq_sets[*freq];
+            // One pass over the leaf level; only qualifying keys' rows
+            // are examined and (if not covering) fetched.
+            meter.charge_seq_pages(index.n_pages())?;
+            meter.charge_rows(index.n_distinct_keys() as u64)?;
+            let mut matched: Vec<RowIdLocal> = Vec::new();
+            for (key, ids) in index.scan() {
+                if set.contains(&key[0]) {
+                    matched.extend_from_slice(ids);
+                }
+            }
+            meter.charge_rows(matched.len() as u64)?;
+            if !covering && !matched.is_empty() {
+                let pages: BTreeSet<u64> =
+                    matched.iter().map(|&id| table.page_of(id)).collect();
+                meter.charge_random_pages(pages.len() as u64)?;
+            }
+            for &id in &matched {
+                let row = table.row(id);
+                if passes_filters(row, &op.filters)
+                    && passes_ranges(row, &op.ranges)
+                    && passes_freqs(row, &op.freqs, q, freq_sets)
+                {
+                    out.push(cols.iter().map(|&c| row[c].clone()).collect());
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+type RowIdLocal = tab_storage::RowId;
+
+/// Group, aggregate, and project in select-list order.
+fn finish(
+    q: &BoundQuery,
+    layout: &Layout,
+    tuples: Vec<Tuple>,
+    meter: &mut CostMeter,
+) -> Result<Vec<Vec<Value>>, TimedOut> {
+    if q.aggs.is_empty() && q.group_by.is_empty() {
+        // Plain projection.
+        let mut out = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            meter.charge_rows(1)?;
+            out.push(
+                q.select
+                    .iter()
+                    .map(|s| match s {
+                        BoundItem::Column(r, c) => t[layout.get(*r, *c)].clone(),
+                        BoundItem::Agg(_) => unreachable!("no aggs"),
+                    })
+                    .collect(),
+            );
+        }
+        return order_and_limit(q, out, meter);
+    }
+
+    struct GroupState {
+        count: u64,
+        distincts: Vec<HashSet<Value>>,
+    }
+    // Hash aggregation spills when its input exceeds working memory.
+    meter.charge_seq_pages(crate::cost::spill_pages(tuples.len() as u64, 0))?;
+    let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
+    for t in &tuples {
+        meter.charge_rows(1)?;
+        let key: Vec<Value> = q
+            .group_by
+            .iter()
+            .map(|&(r, c)| t[layout.get(r, c)].clone())
+            .collect();
+        let st = groups.entry(key).or_insert_with(|| GroupState {
+            count: 0,
+            distincts: vec![HashSet::new(); q.aggs.len()],
+        });
+        st.count += 1;
+        for (ai, agg) in q.aggs.iter().enumerate() {
+            if let BoundAgg::CountDistinct(r, c) = agg {
+                meter.charge_rows(1)?;
+                let v = t[layout.get(*r, *c)].clone();
+                if !v.is_null() {
+                    st.distincts[ai].insert(v);
+                }
+            }
+        }
+    }
+    // COUNT over an empty input with no GROUP BY still yields one row.
+    if groups.is_empty() && q.group_by.is_empty() {
+        groups.insert(
+            Vec::new(),
+            GroupState {
+                count: 0,
+                distincts: vec![HashSet::new(); q.aggs.len()],
+            },
+        );
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, st) in groups {
+        meter.charge_rows(1)?;
+        let row: Vec<Value> = q
+            .select
+            .iter()
+            .map(|s| match s {
+                BoundItem::Column(r, c) => {
+                    let pos = q
+                        .group_by
+                        .iter()
+                        .position(|g| g == &(*r, *c))
+                        .expect("select column is grouped");
+                    key[pos].clone()
+                }
+                BoundItem::Agg(k) => match &q.aggs[*k] {
+                    BoundAgg::CountStar => Value::Int(st.count as i64),
+                    BoundAgg::CountDistinct(..) => {
+                        Value::Int(st.distincts[*k].len() as i64)
+                    }
+                },
+            })
+            .collect();
+        out.push(row);
+    }
+    order_and_limit(q, out, meter)
+}
+
+/// Apply the bound query's ORDER BY (ties broken by the full row, so
+/// the result is total) and LIMIT, charging sort work.
+fn order_and_limit(
+    q: &BoundQuery,
+    mut rows: Vec<Vec<Value>>,
+    meter: &mut CostMeter,
+) -> Result<Vec<Vec<Value>>, TimedOut> {
+    if !q.order_by.is_empty() {
+        // n log n comparisons' worth of row work, plus sort spill.
+        let n = rows.len() as u64;
+        let log = (n.max(2) as f64).log2().ceil() as u64;
+        meter.charge_rows(n.saturating_mul(log))?;
+        meter.charge_seq_pages(crate::cost::spill_pages(n, 0))?;
+        rows.sort_by(|a, b| {
+            for &(pos, desc) in &q.order_by {
+                let ord = a[pos].cmp(&b[pos]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.cmp(b) // total tie-break
+        });
+    }
+    if let Some(limit) = q.limit {
+        rows.truncate(limit as usize);
+    }
+    Ok(rows)
+}

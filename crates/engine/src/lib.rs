@@ -1,0 +1,39 @@
+//! # tab-engine
+//!
+//! The relational query engine substrate for `tab-bench`: name binding,
+//! a cost-based optimizer (access paths, join order, materialized-view
+//! rewrites), a page-charging executor with timeout support, and the
+//! *what-if* estimation interface that configuration recommenders build
+//! on.
+//!
+//! The paper's three cost functions map onto this crate as:
+//!
+//! | paper | here |
+//! |-------|------|
+//! | `A(q, C)` | [`Session::run`] — actual execution, metered |
+//! | `E(q, C)` | [`Session::estimate`] — real statistics |
+//! | `H(q, Ch, Ca)` | [`estimate_hypothetical`] — synthesized statistics |
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod cost;
+pub mod dml;
+pub mod exec;
+pub mod naive;
+pub mod plan;
+pub mod planner;
+pub mod session;
+pub mod stats_view;
+
+pub use catalog::{bind, BindError, BoundQuery};
+pub use cost::{
+    units_to_sim_seconds, CostMeter, Outcome, TimedOut, DEFAULT_TIMEOUT_UNITS,
+    RANDOM_PAGE_COST, ROW_COST, SEQ_PAGE_COST, SIM_SECONDS_PER_UNIT,
+};
+pub use dml::{apply_insert, validate_insert, InsertOutcome};
+pub use exec::{execute, Resolver};
+pub use plan::PhysicalPlan;
+pub use planner::plan;
+pub use session::{estimate_hypothetical, estimate_hypothetical_perfect, RunResult, Session};
+pub use stats_view::{HypotheticalStats, RealStats, StatsView};

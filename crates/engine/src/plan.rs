@@ -1,0 +1,182 @@
+//! Physical plan representation.
+//!
+//! Plans are produced by the planner against a [`StatsView`] and consumed
+//! by the executor against real structures. A plan is a left-deep
+//! pipeline: a driver relation access followed by join steps, then a
+//! hash aggregation implied by the bound query's group-by/aggregates.
+//!
+//! [`StatsView`]: crate::stats_view::StatsView
+
+use tab_sqlq::RangeOp;
+use tab_storage::Value;
+
+use crate::catalog::BoundQuery;
+
+/// How a relation's rows are obtained.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Access {
+    /// Sequential heap scan.
+    Seq,
+    /// Probe of an index identified by its key columns, with a constant
+    /// prefix taken from the query's filters.
+    Index {
+        /// The index's key columns (identifies the index on the source).
+        columns: Vec<usize>,
+        /// Constant values binding the leading `prefix.len()` columns.
+        prefix: Vec<Value>,
+        /// Whether the index covers every column the plan needs from this
+        /// relation (no heap fetches).
+        covering: bool,
+    },
+    /// Range scan on an index whose leading column carries a range
+    /// predicate: bounds `(value, strict)` with `None` = unbounded.
+    IndexRange {
+        /// The index's key columns.
+        columns: Vec<usize>,
+        /// Lower bound on the leading column.
+        lo: Option<(Value, bool)>,
+        /// Upper bound on the leading column.
+        hi: Option<(Value, bool)>,
+        /// Whether the index covers the relation's needed columns.
+        covering: bool,
+    },
+    /// Leaf-level scan of an index whose leading column carries a
+    /// frequency filter: only entries whose leading key qualifies are
+    /// fetched. This is the access path that lets a single-column index
+    /// answer the NREF2J templates without touching the heap for
+    /// non-qualifying rows.
+    IndexFreqScan {
+        /// The index's key columns.
+        columns: Vec<usize>,
+        /// Which of the query's frequency filters drives the scan.
+        freq: usize,
+        /// Whether the index covers the relation's needed columns.
+        covering: bool,
+    },
+}
+
+/// Access + residual work for one relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelOp {
+    /// Position in the bound query's relation list.
+    pub rel: usize,
+    /// Access path.
+    pub access: Access,
+    /// Residual constant filters `(col, value)` applied after access.
+    pub filters: Vec<(usize, Value)>,
+    /// Residual range filters `(col, op, value)` applied after access.
+    pub ranges: Vec<(usize, RangeOp, Value)>,
+    /// Indices into `BoundQuery::freqs` applied at this relation.
+    pub freqs: Vec<usize>,
+}
+
+/// Where one component of an index-probe key comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeSource {
+    /// A column of the already-joined (outer) side, identified by
+    /// `(rel, col)` in bound-query coordinates.
+    Outer(usize, usize),
+    /// A constant from the query.
+    Const(Value),
+}
+
+/// Join algorithm for one step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinMethod {
+    /// Build a hash table on the inner relation's (filtered) rows and
+    /// probe it with outer tuples. `build_cols` are the inner key
+    /// columns, aligned with `JoinStep::pairs`.
+    Hash,
+    /// For each outer tuple, probe an index on the inner relation.
+    IndexNl {
+        /// Key columns of the chosen index.
+        columns: Vec<usize>,
+        /// Probe key sources, one per bound leading index column.
+        probe: Vec<ProbeSource>,
+        /// Whether the index covers the inner relation's needed columns
+        /// (skip heap fetches).
+        covering: bool,
+    },
+}
+
+/// One join step: bring in `inner.rel` and connect it to the tuples
+/// produced so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinStep {
+    /// The inner relation and its residual work.
+    pub inner: RelOp,
+    /// Join algorithm.
+    pub method: JoinMethod,
+    /// Equi-join pairs `((outer_rel, outer_col), inner_col)` connecting
+    /// the inner relation to the already-placed relations. Empty means a
+    /// cartesian product.
+    pub pairs: Vec<((usize, usize), usize)>,
+}
+
+/// A complete physical plan.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// The (possibly view-rewritten) bound query this plan computes.
+    pub query: BoundQuery,
+    /// Driver relation.
+    pub driver: RelOp,
+    /// Join steps in execution order.
+    pub steps: Vec<JoinStep>,
+    /// Optimizer's total cost estimate in cost units — the paper's
+    /// `E(q,C)` or `H(q,Ch,Ca)` depending on the stats view used.
+    pub est_cost: f64,
+    /// Optimizer's estimate of the final row count.
+    pub est_rows: f64,
+    /// Names of materialized views this plan reads.
+    pub mviews_used: Vec<String>,
+}
+
+impl PhysicalPlan {
+    /// Short human-readable plan summary, for EXPLAIN-style output.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        let rel_name = |r: usize| self.query.rels[r].source.clone();
+        let access = |op: &RelOp| match &op.access {
+            Access::Seq => format!("SeqScan({})", rel_name(op.rel)),
+            Access::Index {
+                columns, covering, ..
+            } => format!(
+                "IndexScan({} cols={:?}{})",
+                rel_name(op.rel),
+                columns,
+                if *covering { " covering" } else { "" }
+            ),
+            Access::IndexFreqScan {
+                columns, covering, ..
+            } => format!(
+                "IndexFreqScan({} cols={:?}{})",
+                rel_name(op.rel),
+                columns,
+                if *covering { " covering" } else { "" }
+            ),
+            Access::IndexRange {
+                columns, covering, ..
+            } => format!(
+                "IndexRangeScan({} cols={:?}{})",
+                rel_name(op.rel),
+                columns,
+                if *covering { " covering" } else { "" }
+            ),
+        };
+        parts.push(access(&self.driver));
+        for s in &self.steps {
+            match &s.method {
+                JoinMethod::Hash => parts.push(format!("HashJoin[{}]", access(&s.inner))),
+                JoinMethod::IndexNl {
+                    columns, covering, ..
+                } => parts.push(format!(
+                    "IndexNLJoin({} cols={:?}{})",
+                    rel_name(s.inner.rel),
+                    columns,
+                    if *covering { " covering" } else { "" }
+                )),
+            }
+        }
+        parts.join(" -> ")
+    }
+}

@@ -1,0 +1,853 @@
+//! The cost-based optimizer.
+//!
+//! For the benchmark's query shapes (≤ 4 relations) the planner searches
+//! exhaustively: every materialized-view rewrite of the bound query,
+//! every relation permutation, and for each step the cheapest access
+//! path (sequential scan vs index probe) and join method (hash join vs
+//! index nested-loops). Costs come from a [`StatsView`], so the same
+//! search produces real estimates `E(q,C)` and hypothetical estimates
+//! `H(q,Ch,Ca)` — the two quantities §5 of the paper contrasts.
+
+use std::collections::BTreeSet;
+
+use tab_sqlq::RangeOp;
+use tab_storage::Value;
+
+use crate::catalog::{BoundQuery, BoundRel, JoinEdge};
+use crate::cost::{RANDOM_PAGE_COST, ROW_COST, SEQ_PAGE_COST};
+use crate::plan::{Access, JoinMethod, JoinStep, PhysicalPlan, ProbeSource, RelOp};
+use crate::stats_view::{IndexMeta, StatsView};
+
+/// Plan a bound query against a statistics view.
+///
+/// # Panics
+/// Panics if the query has more than [`MAX_RELATIONS`] relations.
+pub fn plan(bound: &BoundQuery, stats: &dyn StatsView) -> PhysicalPlan {
+    assert!(
+        bound.rels.len() <= MAX_RELATIONS,
+        "planner supports at most {MAX_RELATIONS} relations"
+    );
+    let mut candidates = vec![(bound.clone(), Vec::new())];
+    for (rewritten, view) in mv_rewrites(bound, stats) {
+        candidates.push((rewritten, vec![view]));
+    }
+    let mut best: Option<PhysicalPlan> = None;
+    for (cand, views) in candidates {
+        let p = best_for_candidate(&cand, stats, views);
+        if best.as_ref().is_none_or(|b| p.est_cost < b.est_cost) {
+            best = Some(p);
+        }
+    }
+    best.expect("at least the original candidate plans")
+}
+
+/// Maximum relations per query (the families use at most 3).
+pub const MAX_RELATIONS: usize = 6;
+
+/// Outcome of costing one relation's access.
+struct CostedRelOp {
+    op: RelOp,
+    cost: f64,
+    /// Rows emitted after all filters and frequency filters.
+    out_rows: f64,
+}
+
+fn best_for_candidate(
+    bound: &BoundQuery,
+    stats: &dyn StatsView,
+    mviews_used: Vec<String>,
+) -> PhysicalPlan {
+    let need = bound.needed_columns();
+    let freq_cost: f64 = bound
+        .freqs
+        .iter()
+        .map(|f| freq_eval_cost(&f.sub_table, f.sub_col, stats))
+        .sum();
+
+    let n = bound.rels.len();
+    let mut best: Option<(f64, RelOp, Vec<JoinStep>, f64)> = None;
+    for perm in permutations(n) {
+        if let Some((cost, driver, steps, rows)) = cost_perm(bound, stats, &need, &perm) {
+            let total = cost + freq_cost;
+            if best.as_ref().is_none_or(|(c, ..)| total < *c) {
+                best = Some((total, driver, steps, rows));
+            }
+        }
+    }
+    let (mut total, driver, steps, mut rows) = best.expect("some permutation");
+
+    // Aggregation on top.
+    if !bound.aggs.is_empty() || !bound.group_by.is_empty() {
+        let distinct_extra = bound
+            .aggs
+            .iter()
+            .filter(|a| matches!(a, crate::catalog::BoundAgg::CountDistinct(..)))
+            .count() as f64;
+        total += rows * ROW_COST * (1.0 + distinct_extra);
+        // Hash aggregation over more rows than memory holds spills too.
+        total += crate::cost::spill_pages(rows as u64, 0) as f64 * SEQ_PAGE_COST;
+        let groups = if bound.group_by.is_empty() {
+            1.0
+        } else {
+            let mut g = 1.0f64;
+            for &(r, c) in &bound.group_by {
+                g *= stats.n_distinct(&bound.rels[r].source, c).max(1.0);
+                if g > 1e15 {
+                    break;
+                }
+            }
+            g.min(rows.max(1.0))
+        };
+        rows = groups;
+    }
+    if !bound.order_by.is_empty() {
+        let log = rows.max(2.0).log2().ceil();
+        total += rows * log * ROW_COST
+            + crate::cost::spill_pages(rows as u64, 0) as f64 * SEQ_PAGE_COST;
+    }
+    if let Some(limit) = bound.limit {
+        rows = rows.min(limit as f64);
+    }
+
+    PhysicalPlan {
+        query: bound.clone(),
+        driver,
+        steps,
+        est_cost: total,
+        est_rows: rows,
+        mviews_used,
+    }
+}
+
+/// Cost a fixed relation order. Returns `(cost, driver, steps, out_rows)`.
+fn cost_perm(
+    bound: &BoundQuery,
+    stats: &dyn StatsView,
+    need: &[BTreeSet<usize>],
+    perm: &[usize],
+) -> Option<(f64, RelOp, Vec<JoinStep>, f64)> {
+    let d = best_rel_op(bound, stats, need, perm[0]);
+    let mut total = d.cost;
+    let mut tuples = d.out_rows;
+    let mut steps = Vec::new();
+    let mut placed = vec![perm[0]];
+
+    for &r in &perm[1..] {
+        // All join pairs connecting r to placed relations.
+        let mut pairs: Vec<((usize, usize), usize)> = Vec::new();
+        for e in &bound.joins {
+            collect_pairs(e, r, &placed, &mut pairs);
+        }
+        let (step, cost, out) = best_join_step(bound, stats, need, r, &pairs, tuples)?;
+        total += cost;
+        tuples = out;
+        steps.push(step);
+        placed.push(r);
+    }
+    Some((total, d.op, steps, tuples))
+}
+
+fn collect_pairs(
+    e: &JoinEdge,
+    r: usize,
+    placed: &[usize],
+    pairs: &mut Vec<((usize, usize), usize)>,
+) {
+    if e.b == r && placed.contains(&e.a) {
+        for &(ca, cb) in &e.cols {
+            pairs.push(((e.a, ca), cb));
+        }
+    } else if e.a == r && placed.contains(&e.b) {
+        for &(ca, cb) in &e.cols {
+            pairs.push(((e.b, cb), ca));
+        }
+    }
+}
+
+/// Best access path for a single relation (used for drivers and hash-join
+/// inners).
+fn best_rel_op(
+    bound: &BoundQuery,
+    stats: &dyn StatsView,
+    need: &[BTreeSet<usize>],
+    rel: usize,
+) -> CostedRelOp {
+    let source = &bound.rels[rel].source;
+    let rows = stats.rel_rows(source);
+    let pages = stats.rel_pages(source);
+    let filters: Vec<(usize, Value)> = bound
+        .filters
+        .iter()
+        .filter(|f| f.rel == rel)
+        .map(|f| (f.col, f.value.clone()))
+        .collect();
+    let freqs: Vec<usize> = bound
+        .freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.rel == rel)
+        .map(|(i, _)| i)
+        .collect();
+    let ranges: Vec<(usize, RangeOp, Value)> = bound
+        .ranges
+        .iter()
+        .filter(|f| f.rel == rel)
+        .map(|f| (f.col, f.op, f.value.clone()))
+        .collect();
+
+    let mut sel_all = 1.0;
+    for (c, v) in &filters {
+        sel_all *= stats.eq_selectivity(source, *c, v);
+    }
+    for (c, op, v) in &ranges {
+        sel_all *= stats.range_selectivity(source, *c, *op, v);
+    }
+    for &fi in &freqs {
+        let f = &bound.freqs[fi];
+        sel_all *= stats.freq_fraction(&f.sub_table, f.sub_col, f.op, f.k);
+    }
+    let out_rows = rows * sel_all;
+
+    // Sequential scan baseline.
+    let mut best = CostedRelOp {
+        op: RelOp {
+            rel,
+            access: Access::Seq,
+            filters: filters.clone(),
+            ranges: ranges.clone(),
+            freqs: freqs.clone(),
+        },
+        cost: pages * SEQ_PAGE_COST + rows * ROW_COST,
+        out_rows,
+    };
+
+    // Index-filtered frequency scans: an index whose leading column
+    // carries a frequency filter reads only the qualifying entries'
+    // rows, skipping the heap for everything else.
+    for idx in stats.indexes_on(source) {
+        let Some(&lead) = idx.columns.first() else {
+            continue;
+        };
+        let Some((fi, f)) = freqs
+            .iter()
+            .map(|&fi| (fi, &bound.freqs[fi]))
+            .find(|(_, f)| f.col == lead)
+        else {
+            continue;
+        };
+        // Only self-referential filters (subquery over this very column)
+        // can drive the scan: the qualifying key set is then exactly the
+        // index's own leading-key groups.
+        if f.sub_table != *source || f.sub_col != lead {
+            continue;
+        }
+        let frac = stats.freq_fraction(&f.sub_table, f.sub_col, f.op, f.k);
+        let qual_rows = rows * frac;
+        let covering = need[rel].iter().all(|c| idx.columns.contains(c));
+        let distinct = stats.n_distinct(source, lead);
+        let fetch = if covering {
+            0.0
+        } else {
+            (qual_rows * idx.clustering).ceil().min(pages)
+        };
+        let cost = idx.pages * SEQ_PAGE_COST
+            + (distinct + qual_rows) * ROW_COST
+            + fetch * RANDOM_PAGE_COST;
+        if cost < best.cost {
+            best = CostedRelOp {
+                op: RelOp {
+                    rel,
+                    access: Access::IndexFreqScan {
+                        columns: idx.columns.clone(),
+                        freq: fi,
+                        covering,
+                    },
+                    filters: filters.clone(),
+                    ranges: ranges.clone(),
+                    freqs: freqs.clone(),
+                },
+                cost,
+                out_rows,
+            };
+        }
+    }
+
+    // Index range scans: an index whose leading column carries a range
+    // filter reads only the qualifying key span.
+    for idx in stats.indexes_on(source) {
+        let Some(&lead) = idx.columns.first() else {
+            continue;
+        };
+        let leading_ranges: Vec<&(usize, RangeOp, Value)> =
+            ranges.iter().filter(|(c, _, _)| *c == lead).collect();
+        if leading_ranges.is_empty() {
+            continue;
+        }
+        // Tightest bounds over the leading column.
+        let mut lo: Option<(Value, bool)> = None;
+        let mut hi: Option<(Value, bool)> = None;
+        let mut span_sel = 1.0;
+        for (c, op, v) in &leading_ranges.iter().map(|r| (*r).clone()).collect::<Vec<_>>() {
+            span_sel *= stats.range_selectivity(source, *c, *op, v);
+            match op {
+                RangeOp::Gt | RangeOp::Ge => {
+                    let strict = matches!(op, RangeOp::Gt);
+                    if lo.as_ref().is_none_or(|(cur, _)| v > cur) {
+                        lo = Some((v.clone(), strict));
+                    }
+                }
+                RangeOp::Lt | RangeOp::Le => {
+                    let strict = matches!(op, RangeOp::Lt);
+                    if hi.as_ref().is_none_or(|(cur, _)| v < cur) {
+                        hi = Some((v.clone(), strict));
+                    }
+                }
+            }
+        }
+        let matches = rows * span_sel;
+        let covering = need[rel].iter().all(|c| idx.columns.contains(c));
+        let leaf = (matches / idx.entries_per_page).ceil().max(1.0);
+        let fetch = if covering {
+            0.0
+        } else {
+            (matches * idx.clustering).ceil().min(pages)
+        };
+        let cost = (idx.height + leaf) * RANDOM_PAGE_COST
+            + fetch * RANDOM_PAGE_COST
+            + matches * ROW_COST;
+        if cost < best.cost {
+            best = CostedRelOp {
+                op: RelOp {
+                    rel,
+                    access: Access::IndexRange {
+                        columns: idx.columns.clone(),
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                        covering,
+                    },
+                    filters: filters.clone(),
+                    ranges: ranges.clone(),
+                    freqs: freqs.clone(),
+                },
+                cost,
+                out_rows,
+            };
+        }
+    }
+
+    // Index probes on constant-filter prefixes.
+    for idx in stats.indexes_on(source) {
+        let mut prefix = Vec::new();
+        let mut prefix_sel = 1.0;
+        let mut used = BTreeSet::new();
+        for &col in &idx.columns {
+            match filters.iter().find(|(c, _)| *c == col) {
+                Some((_, v)) => {
+                    prefix_sel *= stats.eq_selectivity(source, col, v);
+                    prefix.push(v.clone());
+                    used.insert(col);
+                }
+                None => break,
+            }
+        }
+        if prefix.is_empty() {
+            continue;
+        }
+        let covering = need[rel].iter().all(|c| idx.columns.contains(c));
+        let matches = rows * prefix_sel;
+        let cost = probe_cost(&idx, matches, pages, covering);
+        if cost < best.cost {
+            let residual: Vec<(usize, Value)> = filters
+                .iter()
+                .filter(|(c, _)| !used.contains(c))
+                .cloned()
+                .collect();
+            best = CostedRelOp {
+                op: RelOp {
+                    rel,
+                    access: Access::Index {
+                        columns: idx.columns.clone(),
+                        prefix,
+                        covering,
+                    },
+                    filters: residual,
+                    ranges: ranges.clone(),
+                    freqs: freqs.clone(),
+                },
+                cost,
+                out_rows,
+            };
+        }
+    }
+    best
+}
+
+/// Cost of one index probe returning `matches` rows. Heap fetches are
+/// scaled by the index's clustering factor (rows co-located with their
+/// key cost far fewer pages).
+fn probe_cost(idx: &IndexMeta, matches: f64, heap_pages: f64, covering: bool) -> f64 {
+    let leaf = (matches / idx.entries_per_page).ceil().max(1.0);
+    let heap = if covering {
+        0.0
+    } else {
+        (matches * idx.clustering).ceil().min(heap_pages)
+    };
+    (idx.height + leaf + heap) * RANDOM_PAGE_COST + matches * ROW_COST
+}
+
+/// Choose the cheapest join method bringing `rel` into the pipeline.
+fn best_join_step(
+    bound: &BoundQuery,
+    stats: &dyn StatsView,
+    need: &[BTreeSet<usize>],
+    rel: usize,
+    pairs: &[((usize, usize), usize)],
+    outer_rows: f64,
+) -> Option<(JoinStep, f64, f64)> {
+    let source = &bound.rels[rel].source;
+    let rows = stats.rel_rows(source);
+    let pages = stats.rel_pages(source);
+
+    // Join selectivity over all pairs, used for output estimation.
+    let mut join_sel = 1.0;
+    for &((orel, ocol), icol) in pairs {
+        let nd_o = stats.n_distinct(&bound.rels[orel].source, ocol);
+        let nd_i = stats.n_distinct(source, icol);
+        join_sel /= nd_o.max(nd_i).max(1.0);
+    }
+
+    // Hash join with best inner access, spilling when the build side
+    // exceeds working memory.
+    let inner = best_rel_op(bound, stats, need, rel);
+    let out = (outer_rows * inner.out_rows * join_sel).max(0.0);
+    let spill = crate::cost::spill_pages(inner.out_rows as u64, outer_rows as u64) as f64
+        * SEQ_PAGE_COST;
+    let hash_cost = inner.cost
+        + inner.out_rows * ROW_COST
+        + outer_rows * ROW_COST
+        + out * ROW_COST
+        + spill;
+    let mut best = (
+        JoinStep {
+            inner: inner.op,
+            method: JoinMethod::Hash,
+            pairs: pairs.to_vec(),
+        },
+        hash_cost,
+        out,
+    );
+
+    // Index nested-loops over each index whose prefix can be bound from
+    // join columns and constant filters.
+    let filters: Vec<(usize, Value)> = bound
+        .filters
+        .iter()
+        .filter(|f| f.rel == rel)
+        .map(|f| (f.col, f.value.clone()))
+        .collect();
+    let freqs: Vec<usize> = bound
+        .freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.rel == rel)
+        .map(|(i, _)| i)
+        .collect();
+    let ranges: Vec<(usize, RangeOp, Value)> = bound
+        .ranges
+        .iter()
+        .filter(|f| f.rel == rel)
+        .map(|f| (f.col, f.op, f.value.clone()))
+        .collect();
+    let mut filter_sel = 1.0;
+    for (c, v) in &filters {
+        filter_sel *= stats.eq_selectivity(source, *c, v);
+    }
+    for (c, op, v) in &ranges {
+        filter_sel *= stats.range_selectivity(source, *c, *op, v);
+    }
+    let mut freq_sel = 1.0;
+    for &fi in &freqs {
+        let f = &bound.freqs[fi];
+        freq_sel *= stats.freq_fraction(&f.sub_table, f.sub_col, f.op, f.k);
+    }
+
+    for idx in stats.indexes_on(source) {
+        let mut probe = Vec::new();
+        let mut probe_sel = 1.0;
+        // Only columns bound from a *constant* may drop their filter from
+        // the residual list; a column bound from the outer join value
+        // still needs its constant filter re-checked after the probe.
+        let mut used_const_cols = BTreeSet::new();
+        let mut has_outer = false;
+        for &col in &idx.columns {
+            if let Some(&((orel, ocol), _)) = pairs.iter().find(|(_, ic)| *ic == col) {
+                probe.push(ProbeSource::Outer(orel, ocol));
+                probe_sel /= stats.n_distinct(source, col).max(1.0);
+                has_outer = true;
+            } else if let Some((_, v)) = filters.iter().find(|(c, _)| *c == col) {
+                probe.push(ProbeSource::Const(v.clone()));
+                probe_sel *= stats.eq_selectivity(source, col, v);
+                used_const_cols.insert(col);
+            } else {
+                break;
+            }
+        }
+        if !has_outer {
+            continue;
+        }
+        let covering = need[rel].iter().all(|c| idx.columns.contains(c));
+        let matches_pp = rows * probe_sel;
+        let cost = outer_rows * probe_cost(&idx, matches_pp, pages, covering)
+            + outer_rows * matches_pp * ROW_COST;
+        if cost < best.1 {
+            let residual: Vec<(usize, Value)> = filters
+                .iter()
+                .filter(|(c, _)| !used_const_cols.contains(c))
+                .cloned()
+                .collect();
+            let out = (outer_rows * rows * join_sel * filter_sel * freq_sel).max(0.0);
+            best = (
+                JoinStep {
+                    inner: RelOp {
+                        rel,
+                        access: Access::Seq, // unused for IndexNl
+                        filters: residual,
+                        ranges: ranges.clone(),
+                        freqs: freqs.clone(),
+                    },
+                    method: JoinMethod::IndexNl {
+                        columns: idx.columns.clone(),
+                        probe,
+                        covering,
+                    },
+                    pairs: pairs.to_vec(),
+                },
+                cost,
+                out,
+            );
+        }
+    }
+    Some(best)
+}
+
+/// Cost of evaluating a frequency subquery once. With an index leading
+/// on the grouped column the group sizes are read off the leaf level —
+/// one operation per *distinct key*, not per row; without one, the
+/// whole table is scanned and hashed.
+fn freq_eval_cost(sub_table: &str, sub_col: usize, stats: &dyn StatsView) -> f64 {
+    let rows = stats.rel_rows(sub_table);
+    let pages = stats.rel_pages(sub_table);
+    let index_only = stats
+        .indexes_on(sub_table)
+        .into_iter()
+        .find(|i| i.columns.first() == Some(&sub_col));
+    match index_only {
+        Some(idx) => {
+            idx.pages * SEQ_PAGE_COST + stats.n_distinct(sub_table, sub_col) * ROW_COST
+        }
+        None => pages * SEQ_PAGE_COST + 2.0 * rows * ROW_COST,
+    }
+}
+
+/// All permutations of `0..n` in lexicographic order.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = (0..n).collect();
+    let mut free: Vec<bool> = vec![true; n];
+    fn rec(
+        n: usize,
+        depth: usize,
+        cur: &mut Vec<usize>,
+        free: &mut Vec<bool>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if depth == n {
+            out.push(cur[..n].to_vec());
+            return;
+        }
+        for i in 0..n {
+            if free[i] {
+                free[i] = false;
+                cur[depth] = i;
+                rec(n, depth + 1, cur, free, out);
+                free[i] = true;
+            }
+        }
+    }
+    rec(n, 0, &mut cur, &mut free, &mut out);
+    out
+}
+
+/// Enumerate single-view rewrites of `bound` using the views visible in
+/// `stats`. Each result replaces one join edge (two relations) with a
+/// scan of the view.
+fn mv_rewrites(bound: &BoundQuery, stats: &dyn StatsView) -> Vec<(BoundQuery, String)> {
+    let mut out = Vec::new();
+    for meta in stats.mviews() {
+        if meta.spec.base.len() != 2 {
+            continue;
+        }
+        for e in &bound.joins {
+            for flip in [false, true] {
+                if let Some(rw) = try_rewrite(bound, &meta.spec, e, flip) {
+                    out.push((rw, meta.spec.name.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Try to replace edge `e` (rels `e.a`, `e.b`) with view `spec`.
+/// `flip=false` maps `e.a → base[0]`; `flip=true` maps `e.a → base[1]`.
+fn try_rewrite(
+    bound: &BoundQuery,
+    spec: &tab_storage::MViewSpec,
+    e: &JoinEdge,
+    flip: bool,
+) -> Option<BoundQuery> {
+    let (i, j) = (e.a, e.b);
+    let (base_i, base_j) = if flip {
+        (&spec.base[1], &spec.base[0])
+    } else {
+        (&spec.base[0], &spec.base[1])
+    };
+    if &bound.rels[i].source != base_i || &bound.rels[j].source != base_j {
+        return None;
+    }
+    // Edge column pairs must exactly match the view's join definition.
+    let mut edge_cols: Vec<(usize, usize)> = if flip {
+        e.cols.iter().map(|&(ca, cb)| (cb, ca)).collect()
+    } else {
+        e.cols.clone()
+    };
+    let mut view_cols = spec.join_on.clone();
+    edge_cols.sort_unstable();
+    view_cols.sort_unstable();
+    if edge_cols != view_cols {
+        return None;
+    }
+
+    // Needed columns once this edge is gone.
+    let mut without_edge = bound.clone();
+    without_edge
+        .joins
+        .retain(|x| !(x.a == e.a && x.b == e.b && x.cols == e.cols));
+    let need = without_edge.needed_columns();
+
+    // Base-table position within the view for each of our two relations.
+    let tpos = |rel: usize| -> usize {
+        match (rel == i, flip) {
+            (true, false) | (false, true) => 0,
+            _ => 1,
+        }
+    };
+    // Every needed column of i and j must be projected.
+    for rel in [i, j] {
+        for &c in &need[rel] {
+            spec.view_column_of(tpos(rel), c)?;
+        }
+    }
+
+    // New relation list: everything but i and j, view appended last.
+    let mut new_rels: Vec<BoundRel> = Vec::new();
+    let mut old_to_new = vec![usize::MAX; bound.rels.len()];
+    for (k, r) in bound.rels.iter().enumerate() {
+        if k != i && k != j {
+            old_to_new[k] = new_rels.len();
+            new_rels.push(r.clone());
+        }
+    }
+    let view_idx = new_rels.len();
+    new_rels.push(BoundRel {
+        alias: format!("${}", spec.name),
+        source: spec.name.clone(),
+    });
+
+    let remap = |rel: usize, col: usize| -> Option<(usize, usize)> {
+        if rel == i || rel == j {
+            Some((view_idx, spec.view_column_of(tpos(rel), col)?))
+        } else {
+            Some((old_to_new[rel], col))
+        }
+    };
+
+    // Remap joins (matched edge already removed), merging duplicates.
+    let mut joins: Vec<JoinEdge> = Vec::new();
+    for x in &without_edge.joins {
+        let mut cols = Vec::new();
+        let mut endpoints = None;
+        for &(ca, cb) in &x.cols {
+            let (ra, ca2) = remap(x.a, ca)?;
+            let (rb, cb2) = remap(x.b, cb)?;
+            let (a, b, ca3, cb3) = if ra <= rb {
+                (ra, rb, ca2, cb2)
+            } else {
+                (rb, ra, cb2, ca2)
+            };
+            if a == b {
+                // Edge collapsed inside the view: it held by construction
+                // of the view only if the view joined on it; since the
+                // matched edge was removed, any residual self-edge means
+                // the rewrite is invalid.
+                return None;
+            }
+            endpoints = Some((a, b));
+            cols.push((ca3, cb3));
+        }
+        let (a, b) = endpoints?;
+        match joins.iter_mut().find(|g| g.a == a && g.b == b) {
+            Some(g) => g.cols.extend(cols),
+            None => joins.push(JoinEdge { a, b, cols }),
+        }
+    }
+
+    let mut filters = Vec::new();
+    for f in &bound.filters {
+        let (rel, col) = remap(f.rel, f.col)?;
+        filters.push(crate::catalog::ConstFilter {
+            rel,
+            col,
+            value: f.value.clone(),
+        });
+    }
+    let mut ranges = Vec::new();
+    for f in &bound.ranges {
+        let (rel, col) = remap(f.rel, f.col)?;
+        ranges.push(crate::catalog::RangeFilter {
+            rel,
+            col,
+            op: f.op,
+            value: f.value.clone(),
+        });
+    }
+    let mut freqs = Vec::new();
+    for f in &bound.freqs {
+        let (rel, col) = remap(f.rel, f.col)?;
+        freqs.push(crate::catalog::FreqFilter {
+            rel,
+            col,
+            ..f.clone()
+        });
+    }
+    let mut group_by = Vec::new();
+    for &(r, c) in &bound.group_by {
+        group_by.push(remap(r, c)?);
+    }
+    let mut aggs = Vec::new();
+    for a in &bound.aggs {
+        aggs.push(match a {
+            crate::catalog::BoundAgg::CountStar => crate::catalog::BoundAgg::CountStar,
+            crate::catalog::BoundAgg::CountDistinct(r, c) => {
+                let (r2, c2) = remap(*r, *c)?;
+                crate::catalog::BoundAgg::CountDistinct(r2, c2)
+            }
+        });
+    }
+    let mut select = Vec::new();
+    for s in &bound.select {
+        select.push(match s {
+            crate::catalog::BoundItem::Column(r, c) => {
+                let (r2, c2) = remap(*r, *c)?;
+                crate::catalog::BoundItem::Column(r2, c2)
+            }
+            crate::catalog::BoundItem::Agg(k) => crate::catalog::BoundItem::Agg(*k),
+        });
+    }
+
+    Some(BoundQuery {
+        rels: new_rels,
+        joins,
+        filters,
+        ranges,
+        freqs,
+        group_by,
+        aggs,
+        select,
+        order_by: bound.order_by.clone(),
+        limit: bound.limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutations_count_and_order() {
+        let p = permutations(3);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p[0], vec![0, 1, 2]);
+        assert_eq!(p[5], vec![2, 1, 0]);
+        assert_eq!(permutations(1), vec![vec![0]]);
+    }
+}
+
+#[cfg(test)]
+mod planner_behavior_tests {
+    use super::*;
+    use crate::catalog::bind;
+    use crate::stats_view::RealStats;
+    use tab_sqlq::parse;
+    use tab_storage::{
+        BuiltConfiguration, ColType, ColumnDef, Configuration, Database, MViewDef, MViewSpec,
+        Table, TableSchema, Value,
+    };
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        // `a` is large and scattered; `b` is a small dimension, so the
+        // materialized join is smaller than scanning and joining the
+        // bases -- the regime where the view rewrite must win.
+        for (name, rows, key_mod) in [("a", 20_000i64, 400), ("b", 40, 400)] {
+            let mut t = Table::new(TableSchema::new(
+                name,
+                (0..2)
+                    .map(|i| ColumnDef::new(format!("c{i}"), ColType::Int))
+                    .collect(),
+            ));
+            for i in 0..rows {
+                t.insert(vec![Value::Int(i % key_mod), Value::Int(i)]);
+            }
+            db.add_table(t);
+        }
+        db.collect_stats();
+        db
+    }
+
+    fn mv_config() -> Configuration {
+        let mut cfg = Configuration::named("mv");
+        cfg.mviews.push(MViewDef {
+            spec: MViewSpec::join_of("ab", "a", "b", vec![(0, 0)], vec![(0, 1), (1, 1)]),
+            indexes: vec![],
+        });
+        cfg
+    }
+
+    #[test]
+    fn stale_views_are_not_planned() {
+        let mut dbx = db();
+        let mut built = BuiltConfiguration::build(mv_config(), &dbx);
+        let q = parse("SELECT a.c1, COUNT(*) FROM a, b WHERE a.c0 = b.c0 GROUP BY a.c1").unwrap();
+        let bound = bind(&q, &dbx).unwrap();
+        // Fresh view: rewrite used.
+        let fresh_plan = plan(&bound, &RealStats::new(&dbx, &built));
+        assert_eq!(fresh_plan.mviews_used, vec!["ab".to_string()]);
+        // Stale view: rewrite must disappear.
+        let id = dbx.table_mut("a").unwrap().insert(vec![Value::Int(1), Value::Int(9)]);
+        built.apply_insert("a", &[Value::Int(1), Value::Int(9)], id);
+        dbx.collect_stats();
+        let stale_plan = plan(&bound, &RealStats::new(&dbx, &built));
+        assert!(stale_plan.mviews_used.is_empty());
+    }
+
+    #[test]
+    fn spill_raises_hash_join_estimate() {
+        // Join estimates must include the spill term once the build side
+        // exceeds working memory.
+        let small = crate::cost::spill_pages(100, 100);
+        let big = crate::cost::spill_pages(100_000, 50_000);
+        assert_eq!(small, 0);
+        assert!(big > 1000);
+    }
+}

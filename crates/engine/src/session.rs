@@ -1,0 +1,412 @@
+//! The session facade: the paper's three cost functions in one place.
+//!
+//! - [`Session::run`] → `A(q, C)`: actual execution cost, with timeout;
+//! - [`Session::estimate`] → `E(q, C)`: the optimizer's estimate using
+//!   statistics collected in the current (built) configuration;
+//! - [`estimate_hypothetical`] → `H(q, Ch, Ca)`: a what-if estimate of a
+//!   configuration that was never built, produced from the current one.
+
+use tab_sqlq::Query;
+use tab_storage::{BuiltConfiguration, Configuration, Database, Value};
+
+use crate::catalog::{bind, BindError};
+use crate::cost::{CostMeter, Outcome};
+use crate::exec::{execute, Resolver};
+use crate::plan::PhysicalPlan;
+use crate::planner::plan;
+use crate::stats_view::{HypotheticalStats, RealStats};
+
+/// Result of an actual execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Cost outcome (done with units, or timeout).
+    pub outcome: Outcome,
+    /// Result rows if the query completed (select-list order, unsorted).
+    pub rows: Option<Vec<Vec<Value>>>,
+    /// The plan that was executed.
+    pub plan: PhysicalPlan,
+}
+
+/// A query session over one database in one built configuration.
+pub struct Session<'a> {
+    db: &'a Database,
+    built: &'a BuiltConfiguration,
+}
+
+impl<'a> Session<'a> {
+    /// Open a session. `db.collect_stats()` must have been called.
+    pub fn new(db: &'a Database, built: &'a BuiltConfiguration) -> Self {
+        Session { db, built }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    /// The current configuration.
+    pub fn configuration(&self) -> &'a BuiltConfiguration {
+        self.built
+    }
+
+    /// Plan a query with the current configuration's real statistics.
+    pub fn plan_query(&self, q: &Query) -> Result<PhysicalPlan, BindError> {
+        let bound = bind(q, self.db)?;
+        let stats = RealStats::new(self.db, self.built);
+        Ok(plan(&bound, &stats))
+    }
+
+    /// Execute a query with an optional cost budget (the timeout).
+    pub fn run(&self, q: &Query, budget: Option<f64>) -> Result<RunResult, BindError> {
+        let p = self.plan_query(q)?;
+        let mut meter = match budget {
+            Some(b) => CostMeter::with_budget(b),
+            None => CostMeter::unbounded(),
+        };
+        let resolver = Resolver::new(self.db, self.built);
+        match execute(&p, &resolver, &mut meter) {
+            Ok(rows) => Ok(RunResult {
+                outcome: Outcome::Done {
+                    units: meter.units(),
+                    rows: rows.len() as u64,
+                },
+                rows: Some(rows),
+                plan: p,
+            }),
+            Err(_) => Ok(RunResult {
+                outcome: Outcome::Timeout {
+                    budget: budget.expect("only budgeted runs can time out"),
+                },
+                rows: None,
+                plan: p,
+            }),
+        }
+    }
+
+    /// The optimizer's cost estimate `E(q, C)` for the current
+    /// configuration.
+    pub fn estimate(&self, q: &Query) -> Result<f64, BindError> {
+        Ok(self.plan_query(q)?.est_cost)
+    }
+}
+
+/// The what-if estimate `H(q, Ch, Ca)`: cost of `q` under hypothetical
+/// configuration `hyp`, estimated while `current` is the built
+/// configuration (statistics for `hyp`'s structures are synthesized).
+pub fn estimate_hypothetical(
+    db: &Database,
+    current: &BuiltConfiguration,
+    hyp: &Configuration,
+    q: &Query,
+) -> Result<f64, BindError> {
+    let bound = bind(q, db)?;
+    let stats = HypotheticalStats::new(db, current, hyp);
+    Ok(plan(&bound, &stats).est_cost)
+}
+
+/// Ablation variant of [`estimate_hypothetical`]: hypothetical
+/// structures get full distribution statistics (the "observe" step the
+/// paper's conclusion calls for).
+pub fn estimate_hypothetical_perfect(
+    db: &Database,
+    current: &BuiltConfiguration,
+    hyp: &Configuration,
+    q: &Query,
+) -> Result<f64, BindError> {
+    let bound = bind(q, db)?;
+    let stats = HypotheticalStats::with_perfect_distributions(db, current, hyp);
+    Ok(plan(&bound, &stats).est_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tab_sqlq::parse;
+    use tab_storage::{ColType, ColumnDef, IndexSpec, Table, TableSchema, Value};
+
+    /// A small two-table database with skew on `fact.k`.
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut fact = Table::new(TableSchema::new(
+            "fact",
+            vec![
+                ColumnDef::new("id", ColType::Int),
+                ColumnDef::new("k", ColType::Int),
+                ColumnDef::new("g", ColType::Int),
+            ],
+        ));
+        for i in 0..50_000i64 {
+            // k: value 0 hot (half the rows), the rest ~10 rows each.
+            let k = if i % 2 == 0 { 0 } else { 1 + ((i / 2) % 2500) };
+            fact.insert(vec![Value::Int(i), Value::Int(k), Value::Int(i % 7)]);
+        }
+        let mut dim = Table::new(TableSchema::new(
+            "dim",
+            vec![
+                ColumnDef::new("k", ColType::Int),
+                ColumnDef::new("name", ColType::Str),
+            ],
+        ));
+        // Large enough that hashing it loses to a single index probe.
+        for i in 0..60_000i64 {
+            dim.insert(vec![Value::Int(i % 6000), Value::str(format!("n{i}"))]);
+        }
+        db.add_table(fact);
+        db.add_table(dim);
+        db.collect_stats();
+        db
+    }
+
+    fn built(db: &Database, specs: Vec<IndexSpec>) -> BuiltConfiguration {
+        let mut cfg = Configuration::named("t");
+        cfg.indexes = specs;
+        BuiltConfiguration::build(cfg, db)
+    }
+
+    #[test]
+    fn run_produces_correct_counts() {
+        let db = db();
+        let p = built(&db, vec![]);
+        let s = Session::new(&db, &p);
+        let q = parse("SELECT f.g, COUNT(*) FROM fact f WHERE f.k = 0 GROUP BY f.g").unwrap();
+        let r = s.run(&q, None).unwrap();
+        let rows = r.rows.unwrap();
+        let total: i64 = rows.iter().map(|r| r[1].as_int().unwrap()).sum();
+        assert_eq!(total, 25_000);
+        assert_eq!(rows.len(), 7);
+    }
+
+    #[test]
+    fn index_reduces_actual_cost_for_selective_query() {
+        let db = db();
+        let p = built(&db, vec![]);
+        let ix = built(&db, vec![IndexSpec::new("fact", vec![1])]);
+        let q = parse("SELECT f.g, COUNT(*) FROM fact f WHERE f.k = 42 GROUP BY f.g").unwrap();
+        let a_p = Session::new(&db, &p)
+            .run(&q, None)
+            .unwrap()
+            .outcome
+            .units()
+            .unwrap();
+        let a_ix = Session::new(&db, &ix)
+            .run(&q, None)
+            .unwrap()
+            .outcome
+            .units()
+            .unwrap();
+        assert!(
+            a_ix * 2.0 < a_p,
+            "selective probe should beat scan: {a_ix} vs {a_p}"
+        );
+    }
+
+    #[test]
+    fn plans_identical_results_across_configs() {
+        let db = db();
+        let p = built(&db, vec![]);
+        let ix = built(
+            &db,
+            vec![
+                IndexSpec::new("fact", vec![1]),
+                IndexSpec::new("dim", vec![0]),
+            ],
+        );
+        let q = parse(
+            "SELECT f.g, COUNT(*) FROM fact f, dim d \
+             WHERE f.k = d.k AND f.k = 3 GROUP BY f.g",
+        )
+        .unwrap();
+        let mut r1 = Session::new(&db, &p).run(&q, None).unwrap().rows.unwrap();
+        let mut r2 = Session::new(&db, &ix).run(&q, None).unwrap().rows.unwrap();
+        r1.sort();
+        r2.sort();
+        assert_eq!(r1, r2);
+        assert!(!r1.is_empty());
+    }
+
+    #[test]
+    fn join_uses_index_nested_loops_when_cheap() {
+        let db = db();
+        let ix = built(
+            &db,
+            vec![
+                IndexSpec::new("fact", vec![1]),
+                IndexSpec::new("dim", vec![0]),
+            ],
+        );
+        let s = Session::new(&db, &ix);
+        // Highly selective driver -> index NL join into dim should win.
+        let q = parse(
+            "SELECT f.g, COUNT(*) FROM fact f, dim d \
+             WHERE f.k = d.k AND f.id = 77 GROUP BY f.g",
+        )
+        .unwrap();
+        let plan = s.plan_query(&q).unwrap();
+        assert!(
+            plan.describe().contains("IndexNLJoin"),
+            "got: {}",
+            plan.describe()
+        );
+    }
+
+    #[test]
+    fn timeout_fires_on_tiny_budget() {
+        let db = db();
+        let p = built(&db, vec![]);
+        let s = Session::new(&db, &p);
+        let q = parse("SELECT f.g, COUNT(*) FROM fact f GROUP BY f.g").unwrap();
+        let r = s.run(&q, Some(0.5)).unwrap();
+        assert!(r.outcome.is_timeout());
+        assert!(r.rows.is_none());
+    }
+
+    #[test]
+    fn estimate_orders_configurations() {
+        let db = db();
+        let p = built(&db, vec![]);
+        let ix = built(&db, vec![IndexSpec::new("fact", vec![1])]);
+        let q = parse("SELECT f.g, COUNT(*) FROM fact f WHERE f.k = 42 GROUP BY f.g").unwrap();
+        let e_p = Session::new(&db, &p).estimate(&q).unwrap();
+        let e_ix = Session::new(&db, &ix).estimate(&q).unwrap();
+        assert!(e_ix < e_p, "E should prefer the indexed config");
+    }
+
+    #[test]
+    fn hypothetical_estimate_is_conservative_under_skew() {
+        // For a *rare* value on a skewed column, H (uniform) overestimates
+        // the probe's result size and therefore its cost relative to E.
+        let db = db();
+        let p = built(&db, vec![]);
+        let ixcfg = {
+            let mut c = Configuration::named("ix");
+            c.indexes.push(IndexSpec::new("fact", vec![1]));
+            c
+        };
+        let ix = BuiltConfiguration::build(ixcfg.clone(), &db);
+        let q = parse("SELECT f.g, COUNT(*) FROM fact f WHERE f.k = 42 GROUP BY f.g").unwrap();
+        let e = Session::new(&db, &ix).estimate(&q).unwrap();
+        let h = estimate_hypothetical(&db, &p, &ixcfg, &q).unwrap();
+        assert!(
+            h > e,
+            "uniform hypothetical stats should be more conservative: H={h} E={e}"
+        );
+    }
+
+    #[test]
+    fn range_scan_uses_index_and_matches_naive() {
+        let db = db();
+        let ix = built(&db, vec![IndexSpec::new("fact", vec![0])]);
+        let q = parse(
+            "SELECT f.g, COUNT(*) FROM fact f WHERE f.id >= 49900 AND f.id < 49950 GROUP BY f.g",
+        )
+        .unwrap();
+        let s = Session::new(&db, &ix);
+        let plan = s.plan_query(&q).unwrap();
+        assert!(
+            plan.describe().contains("IndexRangeScan"),
+            "selective leading-column range should use the index: {}",
+            plan.describe()
+        );
+        let bound = crate::catalog::bind(&q, &db).unwrap();
+        let mut expect = crate::naive::evaluate(&bound, &db);
+        let mut got = s.run(&q, None).unwrap().rows.unwrap();
+        expect.sort();
+        got.sort();
+        assert_eq!(expect, got);
+        let total: i64 = got.iter().map(|r| r[1].as_int().unwrap()).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn const_filter_on_probed_join_column_is_enforced() {
+        // Regression: an index-NL probe that binds a column from the
+        // outer join value must still re-check a constant filter on that
+        // same column (found by the executor-vs-naive property test).
+        let mut db = Database::new();
+        let mut r = Table::new(TableSchema::new(
+            "r",
+            vec![ColumnDef::new("b", ColType::Int)],
+        ));
+        r.insert(vec![Value::Int(0)]);
+        let mut s = Table::new(TableSchema::new(
+            "s",
+            vec![ColumnDef::new("d", ColType::Int)],
+        ));
+        for _ in 0..100 {
+            s.insert(vec![Value::Int(0)]);
+        }
+        db.add_table(r);
+        db.add_table(s);
+        db.collect_stats();
+        let ix = built(&db, vec![IndexSpec::new("s", vec![0])]);
+        // Join binds s.d from r.b (= 0); the filter s.d = 1 must yield 0.
+        let q = parse("SELECT COUNT(*) FROM r, s WHERE r.b = s.d AND s.d = 1").unwrap();
+        let rows = Session::new(&db, &ix).run(&q, None).unwrap().rows.unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn order_by_and_limit_produce_topk() {
+        let db = db();
+        let p = built(&db, vec![]);
+        let s = Session::new(&db, &p);
+        let q = parse(
+            "SELECT f.g, COUNT(*) FROM fact f GROUP BY f.g ORDER BY f.g DESC LIMIT 3",
+        )
+        .unwrap();
+        let rows = s.run(&q, None).unwrap().rows.unwrap();
+        assert_eq!(rows.len(), 3);
+        let gs: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(gs, vec![6, 5, 4], "descending top-3 of g in 0..7");
+    }
+
+    #[test]
+    fn freq_filter_execution_matches_naive() {
+        let db = db();
+        let p = built(&db, vec![]);
+        let q = parse(
+            "SELECT f.k, COUNT(*) FROM fact f WHERE f.k IN \
+             (SELECT k FROM fact GROUP BY k HAVING COUNT(*) < 11) GROUP BY f.k",
+        )
+        .unwrap();
+        let bound = crate::catalog::bind(&q, &db).unwrap();
+        let mut expect = crate::naive::evaluate(&bound, &db);
+        let mut got = Session::new(&db, &p).run(&q, None).unwrap().rows.unwrap();
+        expect.sort();
+        got.sort();
+        assert_eq!(expect, got);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn mview_rewrite_is_used_and_correct() {
+        let db = db();
+        let mut cfg = Configuration::named("mv");
+        // fact(k) join dim(k), projecting fact.g and dim.name.
+        cfg.mviews.push(tab_storage::MViewDef {
+            spec: tab_storage::MViewSpec::join_of(
+                "fact_dim",
+                "fact",
+                "dim",
+                vec![(1, 0)],
+                vec![(0, 1), (0, 2), (1, 1)],
+            ),
+            indexes: vec![vec![0]],
+        });
+        let built_mv = BuiltConfiguration::build(cfg, &db);
+        let plain = built(&db, vec![]);
+        let q = parse(
+            "SELECT f.g, COUNT(*) FROM fact f, dim d \
+             WHERE f.k = d.k AND f.k = 3 GROUP BY f.g",
+        )
+        .unwrap();
+        let s_mv = Session::new(&db, &built_mv);
+        let plan = s_mv.plan_query(&q).unwrap();
+        assert_eq!(plan.mviews_used, vec!["fact_dim".to_string()]);
+        let mut r1 = s_mv.run(&q, None).unwrap().rows.unwrap();
+        let mut r2 = Session::new(&db, &plain).run(&q, None).unwrap().rows.unwrap();
+        r1.sort();
+        r2.sort();
+        assert_eq!(r1, r2);
+    }
+}

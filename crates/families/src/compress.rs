@@ -1,0 +1,157 @@
+//! Workload compression.
+//!
+//! §2.1 notes that recommenders may be fed by "a component in charge of
+//! automatically providing such a workload … based on observing the
+//! RDBMS operation" and cites workload compression (Chaudhuri et al.,
+//! SIGMOD 2002). This module implements the simplest sound form: group
+//! queries by *template shape* (the query with constants stripped) and
+//! keep one weighted representative per shape — exactly what makes
+//! thousand-query observed workloads digestible for a what-if search.
+
+use std::collections::HashMap;
+
+use tab_sqlq::{Predicate, Query};
+
+/// A compressed workload entry: a representative query and how many
+/// original queries it stands for.
+#[derive(Debug, Clone)]
+pub struct WeightedQuery {
+    /// The representative (the first query seen with this shape).
+    pub query: Query,
+    /// Number of original queries sharing the shape.
+    pub weight: usize,
+}
+
+/// The shape signature of a query: its SQL with every constant replaced
+/// by `?`. Queries with equal signatures differ only in constants.
+pub fn shape_signature(q: &Query) -> String {
+    let mut shape = q.clone();
+    for p in &mut shape.predicates {
+        match p {
+            Predicate::ConstEq(_, v) => *v = tab_storage::Value::str("?"),
+            Predicate::ConstRange(_, _, v) => *v = tab_storage::Value::str("?"),
+            Predicate::InFrequency { k, .. } => *k = -1,
+            Predicate::JoinEq(..) => {}
+        }
+    }
+    shape.to_string()
+}
+
+/// Compress a workload to at most `max_shapes` weighted representatives.
+/// Shapes are kept by descending weight (ties broken by first
+/// appearance), so the compressed workload covers the most frequent
+/// templates first.
+///
+/// ```
+/// use tab_families::compress;
+/// use tab_sqlq::parse;
+///
+/// let workload = vec![
+///     parse("SELECT t.a, COUNT(*) FROM t WHERE t.b = 1 GROUP BY t.a").unwrap(),
+///     parse("SELECT t.a, COUNT(*) FROM t WHERE t.b = 2 GROUP BY t.a").unwrap(),
+/// ];
+/// let compressed = compress(&workload, 10);
+/// assert_eq!(compressed.len(), 1);       // same template shape
+/// assert_eq!(compressed[0].weight, 2);   // stands for both queries
+/// ```
+pub fn compress(workload: &[Query], max_shapes: usize) -> Vec<WeightedQuery> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_shape: HashMap<String, WeightedQuery> = HashMap::new();
+    for q in workload {
+        let sig = shape_signature(q);
+        match by_shape.get_mut(&sig) {
+            Some(e) => e.weight += 1,
+            None => {
+                order.push(sig.clone());
+                by_shape.insert(
+                    sig,
+                    WeightedQuery {
+                        query: q.clone(),
+                        weight: 1,
+                    },
+                );
+            }
+        }
+    }
+    let mut entries: Vec<(usize, WeightedQuery)> = order
+        .iter()
+        .enumerate()
+        .map(|(i, sig)| (i, by_shape[sig].clone()))
+        .collect();
+    entries.sort_by(|a, b| b.1.weight.cmp(&a.1.weight).then(a.0.cmp(&b.0)));
+    entries
+        .into_iter()
+        .take(max_shapes)
+        .map(|(_, e)| e)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tab_sqlq::parse;
+
+    fn q(sql: &str) -> Query {
+        parse(sql).unwrap()
+    }
+
+    #[test]
+    fn same_template_different_constants_share_a_shape() {
+        let a = q("SELECT t.a, COUNT(*) FROM t WHERE t.b = 1 GROUP BY t.a");
+        let b = q("SELECT t.a, COUNT(*) FROM t WHERE t.b = 999 GROUP BY t.a");
+        let c = q("SELECT t.a, COUNT(*) FROM t WHERE t.c = 1 GROUP BY t.a");
+        assert_eq!(shape_signature(&a), shape_signature(&b));
+        assert_ne!(shape_signature(&a), shape_signature(&c));
+    }
+
+    #[test]
+    fn compress_weights_and_caps() {
+        let w = vec![
+            q("SELECT t.a, COUNT(*) FROM t WHERE t.b = 1 GROUP BY t.a"),
+            q("SELECT t.a, COUNT(*) FROM t WHERE t.b = 2 GROUP BY t.a"),
+            q("SELECT t.a, COUNT(*) FROM t WHERE t.b = 3 GROUP BY t.a"),
+            q("SELECT t.a, COUNT(*) FROM t WHERE t.c = 1 GROUP BY t.a"),
+            q("SELECT t.a, COUNT(*) FROM t WHERE t.c = 2 GROUP BY t.a"),
+            q("SELECT t.x, COUNT(*) FROM t GROUP BY t.x"),
+        ];
+        let full = compress(&w, 10);
+        assert_eq!(full.len(), 3);
+        assert_eq!(full[0].weight, 3);
+        assert_eq!(full[1].weight, 2);
+        assert_eq!(full[2].weight, 1);
+        // Total weight is preserved.
+        assert_eq!(full.iter().map(|e| e.weight).sum::<usize>(), w.len());
+        // Capping keeps the heaviest shapes.
+        let capped = compress(&w, 1);
+        assert_eq!(capped.len(), 1);
+        assert_eq!(capped[0].weight, 3);
+    }
+
+    #[test]
+    fn range_and_frequency_constants_are_stripped() {
+        let a = q("SELECT t.a, COUNT(*) FROM t WHERE t.b >= 5 GROUP BY t.a");
+        let b = q("SELECT t.a, COUNT(*) FROM t WHERE t.b >= 50 GROUP BY t.a");
+        assert_eq!(shape_signature(&a), shape_signature(&b));
+        let f1 = q("SELECT t.a, COUNT(*) FROM t WHERE t.a IN \
+                    (SELECT a FROM t GROUP BY a HAVING COUNT(*) < 4) GROUP BY t.a");
+        let f2 = q("SELECT t.a, COUNT(*) FROM t WHERE t.a IN \
+                    (SELECT a FROM t GROUP BY a HAVING COUNT(*) < 9) GROUP BY t.a");
+        assert_eq!(shape_signature(&f1), shape_signature(&f2));
+    }
+
+    #[test]
+    fn empty_workload() {
+        assert!(compress(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn deterministic_representatives() {
+        let w = vec![
+            q("SELECT t.a, COUNT(*) FROM t WHERE t.b = 7 GROUP BY t.a"),
+            q("SELECT t.a, COUNT(*) FROM t WHERE t.b = 8 GROUP BY t.a"),
+        ];
+        let c = compress(&w, 5);
+        // The first-seen query is the representative.
+        assert_eq!(c[0].query, w[0]);
+    }
+}

@@ -1,0 +1,22 @@
+//! # tab-families
+//!
+//! Template-generated query families for the `tab-bench` workloads
+//! (§3.2.2 of the paper): NREF2J, NREF3J, SkTH3J, SkTH3Js, and UnTH3J,
+//! together with the constant-selection procedure (`k1/k2/k3` magnitude
+//! tiers taken from the actual data) and the distribution-preserving
+//! 100-query sampler of §4.1.1.
+
+#![warn(missing_docs)]
+
+pub mod columns;
+pub mod compress;
+pub mod constants;
+pub mod family;
+pub mod nref2j;
+pub mod nref3j;
+pub mod sample;
+pub mod th3j;
+
+pub use compress::{compress, shape_signature, WeightedQuery};
+pub use family::Family;
+pub use sample::sample_preserving;

@@ -1,0 +1,335 @@
+//! System configurations: the object the paper's recommenders recommend.
+//!
+//! A [`Configuration`] is a declarative set of index specs and
+//! materialized-view definitions (the paper's `C_i`, §2.2). Building one
+//! against a [`Database`] yields a [`BuiltConfiguration`] holding the
+//! physical structures plus the *build cost* and *size* that populate
+//! Table 1, and supporting the per-tuple insertion maintenance costs of
+//! the §4.4 experiment.
+
+use std::collections::BTreeMap;
+
+use crate::db::Database;
+use crate::index::{BTreeIndex, IndexSpec};
+use crate::mview::{MViewSpec, MaterializedView};
+use crate::table::{RowId, PAGE_SIZE};
+use crate::value::Value;
+
+/// A materialized view together with the indexes to define over it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MViewDef {
+    /// The view definition.
+    pub spec: MViewSpec,
+    /// Index key column lists, positions into the view's projection.
+    pub indexes: Vec<Vec<usize>>,
+}
+
+/// A declarative configuration: what to build, not the built artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct Configuration {
+    /// Display name, e.g. `A_NREF_P`, `B_NREF2J_R`, `C_SkTH_1C`.
+    pub name: String,
+    /// Secondary indexes over base tables.
+    pub indexes: Vec<IndexSpec>,
+    /// Materialized views with their indexes.
+    pub mviews: Vec<MViewDef>,
+}
+
+impl Configuration {
+    /// An empty configuration with a name.
+    pub fn named(name: impl Into<String>) -> Self {
+        Configuration {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Number of base-table indexes with exactly `n` key columns
+    /// (Table 2 / Table 3 rows).
+    pub fn count_indexes_with_width(&self, n: usize) -> usize {
+        self.indexes.iter().filter(|i| i.columns.len() == n).count()
+    }
+
+    /// Number of MV indexes with exactly `n` key columns.
+    pub fn count_mv_indexes_with_width(&self, n: usize) -> usize {
+        self.mviews
+            .iter()
+            .flat_map(|m| m.indexes.iter())
+            .filter(|cols| cols.len() == n)
+            .count()
+    }
+
+    /// Deduplicate indexes and drop those subsumed by a wider index with
+    /// the same prefix.
+    pub fn normalize(&mut self) {
+        self.indexes.sort();
+        self.indexes.dedup();
+        let all = self.indexes.clone();
+        self.indexes
+            .retain(|i| !all.iter().any(|j| j != i && j.subsumes(i)));
+    }
+}
+
+/// Build-cost and size summary for one built configuration (Table 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildReport {
+    /// Pages written while building indexes and materializing views.
+    pub pages_written: u64,
+    /// Pages occupied by the configuration's auxiliary structures
+    /// (indexes + view heaps + view indexes), excluding base heaps.
+    pub aux_pages: u64,
+}
+
+impl BuildReport {
+    /// Auxiliary size in bytes.
+    pub fn aux_bytes(&self) -> u64 {
+        self.aux_pages * PAGE_SIZE as u64
+    }
+}
+
+/// A configuration physically built against a database.
+#[derive(Debug)]
+pub struct BuiltConfiguration {
+    /// The declarative description.
+    pub config: Configuration,
+    /// Built base-table indexes.
+    pub indexes: Vec<BTreeIndex>,
+    /// Built views, each with its indexes.
+    pub mviews: Vec<(MaterializedView, Vec<BTreeIndex>)>,
+    /// Build cost and size.
+    pub report: BuildReport,
+    /// Per-table index positions for fast maintenance lookups.
+    by_table: BTreeMap<String, Vec<usize>>,
+}
+
+impl BuiltConfiguration {
+    /// Build `config` against `db`.
+    ///
+    /// # Panics
+    /// Panics if a spec references a missing table or column — configs
+    /// are produced by in-repo advisors against the same database.
+    pub fn build(config: Configuration, db: &Database) -> Self {
+        let mut pages_written = 0u64;
+        let mut aux_pages = 0u64;
+        let mut indexes = Vec::with_capacity(config.indexes.len());
+        let mut by_table: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for spec in &config.indexes {
+            let table = db
+                .table(&spec.table)
+                .unwrap_or_else(|| panic!("index on missing table `{}`", spec.table));
+            let (idx, cost) = BTreeIndex::build(spec.clone(), table);
+            pages_written += cost;
+            aux_pages += idx.n_pages();
+            by_table
+                .entry(spec.table.clone())
+                .or_default()
+                .push(indexes.len());
+            indexes.push(idx);
+        }
+        let mut mviews = Vec::with_capacity(config.mviews.len());
+        for def in &config.mviews {
+            let bases: Vec<_> = def
+                .spec
+                .base
+                .iter()
+                .map(|n| {
+                    db.table(n)
+                        .unwrap_or_else(|| panic!("mview on missing table `{n}`"))
+                })
+                .collect();
+            let (mv, cost) = MaterializedView::materialize(def.spec.clone(), &bases);
+            pages_written += cost;
+            aux_pages += mv.table.n_pages();
+            let mut mv_indexes = Vec::with_capacity(def.indexes.len());
+            for cols in &def.indexes {
+                let (idx, icost) = mv.build_index(cols.clone());
+                pages_written += icost;
+                aux_pages += idx.n_pages();
+                mv_indexes.push(idx);
+            }
+            mviews.push((mv, mv_indexes));
+        }
+        BuiltConfiguration {
+            config,
+            indexes,
+            mviews,
+            report: BuildReport {
+                pages_written,
+                aux_pages,
+            },
+            by_table,
+        }
+    }
+
+    /// Indexes defined over a given base table or view name.
+    pub fn indexes_on<'a>(&'a self, table: &str) -> impl Iterator<Item = &'a BTreeIndex> {
+        let table = table.to_string();
+        let base = self
+            .by_table
+            .get(&table)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.indexes[i]);
+        let views = self
+            .mviews
+            .iter()
+            .filter(move |(mv, _)| mv.spec.name == table)
+            .flat_map(|(_, idxs)| idxs.iter());
+        base.chain(views)
+    }
+
+    /// Non-stale materialized views.
+    pub fn fresh_mviews(&self) -> impl Iterator<Item = &(MaterializedView, Vec<BTreeIndex>)> {
+        self.mviews.iter().filter(|(mv, _)| !mv.stale)
+    }
+
+    /// Apply an insertion into base table `table` (already appended to the
+    /// heap as row id `id`), maintaining base-table indexes and marking
+    /// dependent views stale.
+    ///
+    /// Returns the maintenance cost in pages: one amortized heap write
+    /// plus a tree descent and leaf write per index on the table, plus a
+    /// modeled delta-join charge per dependent view — the cost structure
+    /// behind §4.4's "it takes longer to insert tuples in 1C than in the
+    /// recommended configuration".
+    pub fn apply_insert(&mut self, table: &str, row: &[Value], id: RowId) -> u64 {
+        let mut pages = 1; // heap page write (worst-case, uncached)
+        if let Some(positions) = self.by_table.get(table) {
+            for &p in positions {
+                pages += self.indexes[p].insert(row, id);
+            }
+        }
+        for (mv, _) in &mut self.mviews {
+            if mv.spec.base.iter().any(|b| b == table) {
+                // Delta maintenance: probe the other side + write the view.
+                pages += 3;
+                mv.stale = true;
+            }
+        }
+        pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColType, ColumnDef, TableSchema};
+    use crate::table::Table;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ColType::Int),
+                ColumnDef::new("b", ColType::Int),
+            ],
+        ));
+        for i in 0..1000 {
+            t.insert(vec![Value::Int(i % 7), Value::Int(i)]);
+        }
+        let mut u = Table::new(TableSchema::new(
+            "u",
+            vec![
+                ColumnDef::new("a", ColType::Int),
+                ColumnDef::new("c", ColType::Str),
+            ],
+        ));
+        for i in 0..100 {
+            u.insert(vec![Value::Int(i % 7), Value::str(format!("u{i}"))]);
+        }
+        db.add_table(t);
+        db.add_table(u);
+        db
+    }
+
+    #[test]
+    fn build_reports_size_and_cost() {
+        let db = db();
+        let mut cfg = Configuration::named("test");
+        cfg.indexes.push(IndexSpec::new("t", vec![0]));
+        cfg.indexes.push(IndexSpec::new("t", vec![0, 1]));
+        let built = BuiltConfiguration::build(cfg, &db);
+        assert_eq!(built.indexes.len(), 2);
+        assert!(built.report.aux_pages >= 2);
+        assert!(built.report.pages_written >= built.report.aux_pages);
+        assert_eq!(built.indexes_on("t").count(), 2);
+        assert_eq!(built.indexes_on("u").count(), 0);
+    }
+
+    #[test]
+    fn build_with_mview_and_mv_index() {
+        let db = db();
+        let mut cfg = Configuration::named("mv");
+        cfg.mviews.push(MViewDef {
+            spec: MViewSpec::join_of("v", "t", "u", vec![(0, 0)], vec![(0, 1), (1, 1)]),
+            indexes: vec![vec![0]],
+        });
+        let built = BuiltConfiguration::build(cfg, &db);
+        assert_eq!(built.mviews.len(), 1);
+        assert!(built.mviews[0].0.table.n_rows() > 0);
+        assert_eq!(built.indexes_on("v").count(), 1);
+    }
+
+    #[test]
+    fn insert_maintenance_costs_scale_with_index_count() {
+        let db = db();
+        let p = BuiltConfiguration::build(Configuration::named("p"), &db);
+        let mut cfg = Configuration::named("1c");
+        cfg.indexes.push(IndexSpec::new("t", vec![0]));
+        cfg.indexes.push(IndexSpec::new("t", vec![1]));
+        let mut onec = BuiltConfiguration::build(cfg, &db);
+        let mut p = p;
+        let row = vec![Value::Int(3), Value::Int(9999)];
+        let cost_p = p.apply_insert("t", &row, 1000);
+        let cost_1c = onec.apply_insert("t", &row, 1000);
+        assert!(cost_1c > cost_p, "indexed config must pay more per insert");
+        // Index actually reflects the insert.
+        assert!(onec.indexes[1]
+            .probe(&[Value::Int(9999)])
+            .row_ids
+            .contains(&1000));
+    }
+
+    #[test]
+    fn insert_marks_dependent_view_stale() {
+        let db = db();
+        let mut cfg = Configuration::named("mv");
+        cfg.mviews.push(MViewDef {
+            spec: MViewSpec::projection_of("v", "t", vec![0]),
+            indexes: vec![],
+        });
+        let mut built = BuiltConfiguration::build(cfg, &db);
+        assert_eq!(built.fresh_mviews().count(), 1);
+        built.apply_insert("t", &[Value::Int(1), Value::Int(2)], 1000);
+        assert_eq!(built.fresh_mviews().count(), 0);
+    }
+
+    #[test]
+    fn normalize_removes_subsumed() {
+        let mut cfg = Configuration::named("n");
+        cfg.indexes.push(IndexSpec::new("t", vec![0]));
+        cfg.indexes.push(IndexSpec::new("t", vec![0, 1]));
+        cfg.indexes.push(IndexSpec::new("t", vec![0]));
+        cfg.indexes.push(IndexSpec::new("t", vec![1]));
+        cfg.normalize();
+        assert_eq!(cfg.indexes.len(), 2);
+        assert!(cfg.indexes.contains(&IndexSpec::new("t", vec![0, 1])));
+        assert!(cfg.indexes.contains(&IndexSpec::new("t", vec![1])));
+    }
+
+    #[test]
+    fn width_counts_for_tables_2_and_3() {
+        let mut cfg = Configuration::named("w");
+        cfg.indexes.push(IndexSpec::new("t", vec![0]));
+        cfg.indexes.push(IndexSpec::new("t", vec![0, 1]));
+        cfg.mviews.push(MViewDef {
+            spec: MViewSpec::projection_of("v", "t", vec![0, 1]),
+            indexes: vec![vec![0], vec![0, 1]],
+        });
+        assert_eq!(cfg.count_indexes_with_width(1), 1);
+        assert_eq!(cfg.count_indexes_with_width(2), 1);
+        assert_eq!(cfg.count_mv_indexes_with_width(1), 1);
+        assert_eq!(cfg.count_mv_indexes_with_width(2), 1);
+    }
+}

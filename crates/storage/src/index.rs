@@ -1,0 +1,478 @@
+//! B+tree secondary indexes over one to four columns.
+//!
+//! An index maps a composite key (the indexed column values, in order) to
+//! the list of matching row ids. Probes support full-key point lookups
+//! and prefix range scans, and report how many *index pages* the probe
+//! touched so the executor can charge I/O costs. A covering check lets
+//! the optimizer skip heap fetches when the index contains every column a
+//! query needs — the mechanism behind the multi-column covering indexes
+//! that the paper's recommenders favour (Tables 2–3).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Bound;
+
+use crate::table::{RowId, Table, PAGE_SIZE};
+use crate::value::Value;
+
+/// Maximum number of key columns, per the paper's observation that "no
+/// index with more than 4 columns was recommended" (Tables 2–3).
+pub const MAX_INDEX_COLUMNS: usize = 4;
+
+/// Static description of an index: which table, which columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexSpec {
+    /// Table (or materialized view) name the index is defined on.
+    pub table: String,
+    /// Indexed column positions, significant order, 1..=4 entries.
+    pub columns: Vec<usize>,
+}
+
+impl IndexSpec {
+    /// A new spec.
+    ///
+    /// # Panics
+    /// Panics if `columns` is empty or longer than [`MAX_INDEX_COLUMNS`].
+    pub fn new(table: impl Into<String>, columns: Vec<usize>) -> Self {
+        assert!(
+            !columns.is_empty() && columns.len() <= MAX_INDEX_COLUMNS,
+            "index must have 1..={MAX_INDEX_COLUMNS} columns"
+        );
+        IndexSpec {
+            table: table.into(),
+            columns,
+        }
+    }
+
+    /// Stable display name, e.g. `idx_source(1,4)`.
+    pub fn name(&self) -> String {
+        let cols: Vec<String> = self.columns.iter().map(|c| c.to_string()).collect();
+        format!("idx_{}({})", self.table, cols.join(","))
+    }
+
+    /// Whether this index's key starts with the other's key (so it can
+    /// answer every probe the other can).
+    pub fn subsumes(&self, other: &IndexSpec) -> bool {
+        self.table == other.table
+            && other.columns.len() <= self.columns.len()
+            && self.columns[..other.columns.len()] == other.columns[..]
+    }
+}
+
+impl fmt::Display for IndexSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Composite index key.
+pub type Key = Vec<Value>;
+
+/// Result of an index probe: matching row ids plus the I/O charged.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// Matching row ids, in key order.
+    pub row_ids: Vec<RowId>,
+    /// Index pages touched (tree descent + leaf scan).
+    pub pages_touched: u64,
+}
+
+/// An in-memory B+tree index with a page-cost model.
+#[derive(Debug, Clone)]
+pub struct BTreeIndex {
+    spec: IndexSpec,
+    map: BTreeMap<Key, Vec<RowId>>,
+    n_entries: u64,
+    entry_width: u32,
+    clustering: f64,
+}
+
+impl BTreeIndex {
+    /// Build the index over a table's current contents.
+    ///
+    /// Returns the index together with its build cost in pages written
+    /// (the sort + write cost model used for Table 1's build times).
+    pub fn build(spec: IndexSpec, table: &Table) -> (Self, u64) {
+        let key_width: u32 = spec
+            .columns
+            .iter()
+            .map(|&c| table.schema().columns[c].byte_width)
+            .sum();
+        // Key bytes + row-id pointer + entry header.
+        let entry_width = key_width + 8 + 4;
+        let mut map: BTreeMap<Key, Vec<RowId>> = BTreeMap::new();
+        for (id, row) in table.iter() {
+            let key: Key = spec.columns.iter().map(|&c| row[c].clone()).collect();
+            map.entry(key).or_default().push(id);
+        }
+        let n_entries = table.n_rows() as u64;
+        // Clustering factor (Oracle-style): walk the index in key order
+        // and count heap-page switches; divide by entries. Near zero when
+        // index order matches heap order (each page serves many entries),
+        // 1.0 when every entry lands on a different page.
+        let mut page_switches = 0u64;
+        let mut last_page: Option<u64> = None;
+        for ids in map.values() {
+            for &id in ids {
+                let pg = table.page_of(id);
+                if last_page != Some(pg) {
+                    page_switches += 1;
+                    last_page = Some(pg);
+                }
+            }
+        }
+        let clustering = if n_entries == 0 {
+            1.0
+        } else {
+            (page_switches as f64 / n_entries as f64).clamp(0.0, 1.0)
+        };
+        let idx = BTreeIndex {
+            spec,
+            map,
+            n_entries,
+            entry_width,
+            clustering,
+        };
+        // Build cost: read the heap once, sort (log factor), write leaves.
+        let sort_factor = (n_entries.max(2) as f64).log2().ceil() as u64;
+        let build_pages = table.n_pages() * sort_factor.max(1) / 4 + idx.n_pages();
+        (idx, build_pages.max(1))
+    }
+
+    /// The index spec.
+    pub fn spec(&self) -> &IndexSpec {
+        &self.spec
+    }
+
+    /// Entries per leaf page under the page model.
+    pub fn entries_per_page(&self) -> u64 {
+        (PAGE_SIZE / self.entry_width.max(1)).max(1) as u64
+    }
+
+    /// Leaf-level size in pages.
+    pub fn n_pages(&self) -> u64 {
+        self.n_entries.div_ceil(self.entries_per_page()).max(1)
+    }
+
+    /// Nominal byte size.
+    pub fn n_bytes(&self) -> u64 {
+        self.n_pages() * PAGE_SIZE as u64
+    }
+
+    /// Height of the tree (descent cost per probe).
+    pub fn height(&self) -> u64 {
+        // Fanout ~ entries per page; height = ceil(log_f(leaves)) + 1.
+        let leaves = self.n_pages();
+        let fanout = self.entries_per_page().max(2);
+        let mut h = 1;
+        let mut span = fanout;
+        while span < leaves {
+            span = span.saturating_mul(fanout);
+            h += 1;
+        }
+        h
+    }
+
+    /// Point/prefix probe: all rows whose key starts with `prefix`.
+    ///
+    /// `prefix` may bind fewer columns than the key has, in which case
+    /// this is a range scan over the bound prefix.
+    pub fn probe(&self, prefix: &[Value]) -> Probe {
+        assert!(
+            !prefix.is_empty() && prefix.len() <= self.spec.columns.len(),
+            "probe prefix must bind 1..=key_len columns"
+        );
+        let lo: Key = prefix.to_vec();
+        let mut row_ids = Vec::new();
+        let mut entries = 0u64;
+        for (k, ids) in self
+            .map
+            .range((Bound::Included(lo), Bound::Unbounded))
+        {
+            if k[..prefix.len()] != prefix[..] {
+                break;
+            }
+            entries += ids.len() as u64;
+            row_ids.extend_from_slice(ids);
+        }
+        let leaf_pages = entries.div_ceil(self.entries_per_page()).max(1);
+        Probe {
+            row_ids,
+            pages_touched: self.height() + leaf_pages,
+        }
+    }
+
+    /// Iterate all `(key, row_ids)` groups in key order (full index scan).
+    pub fn scan(&self) -> impl Iterator<Item = (&Key, &Vec<RowId>)> {
+        self.map.iter()
+    }
+
+    /// Range probe on the leading key column: all rows whose first key
+    /// component satisfies `lo/hi` style bounds expressed as
+    /// `(value, strict)` pairs (`None` = unbounded).
+    pub fn probe_leading_range(
+        &self,
+        lo: Option<(&Value, bool)>,
+        hi: Option<(&Value, bool)>,
+    ) -> Probe {
+        let mut row_ids = Vec::new();
+        let mut entries = 0u64;
+        let start: Bound<Key> = match lo {
+            // `[v]` sorts before `[v, ...]`, so Included(vec![v]) starts
+            // exactly at the first key whose head is v.
+            Some((v, _)) => Bound::Included(vec![v.clone()]),
+            None => Bound::Unbounded,
+        };
+        for (k, ids) in self.map.range((start, Bound::Unbounded)) {
+            let head = &k[0];
+            if let Some((v, strict)) = lo {
+                if strict && head == v {
+                    continue; // lo-exclusive: skip heads equal to v
+                }
+            }
+            if let Some((v, strict)) = hi {
+                if head > v || (strict && head == v) {
+                    break;
+                }
+            }
+            entries += ids.len() as u64;
+            row_ids.extend_from_slice(ids);
+        }
+        let leaf_pages = entries.div_ceil(self.entries_per_page()).max(1);
+        Probe {
+            row_ids,
+            pages_touched: self.height() + leaf_pages,
+        }
+    }
+
+    /// Insert a table row that was just appended (index maintenance).
+    ///
+    /// Returns pages written (descent + leaf update) for the insertion
+    /// cost model of §4.4.
+    pub fn insert(&mut self, row: &[Value], id: RowId) -> u64 {
+        let key: Key = self.spec.columns.iter().map(|&c| row[c].clone()).collect();
+        self.map.entry(key).or_default().push(id);
+        self.n_entries += 1;
+        self.height() + 1
+    }
+
+    /// Total number of entries.
+    pub fn n_entries(&self) -> u64 {
+        self.n_entries
+    }
+
+    /// Measured clustering factor: average heap pages per matching row
+    /// for a single-key probe (0 = perfectly clustered, 1 = scattered).
+    pub fn clustering(&self) -> f64 {
+        self.clustering
+    }
+
+    /// Number of distinct keys.
+    pub fn n_distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColType, ColumnDef, TableSchema};
+
+    fn table_with(n: i64) -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ColType::Int),
+                ColumnDef::new("b", ColType::Int),
+                ColumnDef::new("c", ColType::Str),
+            ],
+        ));
+        for i in 0..n {
+            t.insert(vec![
+                Value::Int(i % 10),
+                Value::Int(i),
+                Value::str(format!("s{}", i % 3)),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn point_probe_finds_all_matches() {
+        let t = table_with(100);
+        let (idx, _) = BTreeIndex::build(IndexSpec::new("t", vec![0]), &t);
+        let p = idx.probe(&[Value::Int(3)]);
+        assert_eq!(p.row_ids.len(), 10);
+        for id in &p.row_ids {
+            assert_eq!(t.row(*id)[0], Value::Int(3));
+        }
+        assert!(p.pages_touched >= 1);
+    }
+
+    #[test]
+    fn prefix_probe_on_composite_key() {
+        let t = table_with(60);
+        let (idx, _) = BTreeIndex::build(IndexSpec::new("t", vec![0, 1]), &t);
+        // Prefix on first column only.
+        let p = idx.probe(&[Value::Int(5)]);
+        assert_eq!(p.row_ids.len(), 6);
+        // Full key is unique here.
+        let p2 = idx.probe(&[Value::Int(5), Value::Int(5)]);
+        assert_eq!(p2.row_ids.len(), 1);
+    }
+
+    #[test]
+    fn probe_missing_key_is_empty() {
+        let t = table_with(10);
+        let (idx, _) = BTreeIndex::build(IndexSpec::new("t", vec![0]), &t);
+        assert!(idx.probe(&[Value::Int(99)]).row_ids.is_empty());
+    }
+
+    #[test]
+    fn insert_maintains_index() {
+        let mut t = table_with(10);
+        let (mut idx, _) = BTreeIndex::build(IndexSpec::new("t", vec![1]), &t);
+        let row = vec![Value::Int(0), Value::Int(777), Value::str("x")];
+        let id = t.insert(row.clone());
+        let pages = idx.insert(&row, id);
+        assert!(pages >= 2);
+        assert_eq!(idx.probe(&[Value::Int(777)]).row_ids, vec![id]);
+    }
+
+    #[test]
+    fn subsumption() {
+        let wide = IndexSpec::new("t", vec![0, 1, 2]);
+        let narrow = IndexSpec::new("t", vec![0, 1]);
+        let other = IndexSpec::new("t", vec![1]);
+        assert!(wide.subsumes(&narrow));
+        assert!(!narrow.subsumes(&wide));
+        assert!(!wide.subsumes(&other));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4")]
+    fn too_many_columns_rejected() {
+        IndexSpec::new("t", vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn size_grows_with_entries() {
+        let small = table_with(100);
+        let big = table_with(100_000);
+        let (i1, _) = BTreeIndex::build(IndexSpec::new("t", vec![0]), &small);
+        let (i2, _) = BTreeIndex::build(IndexSpec::new("t", vec![0]), &big);
+        assert!(i2.n_pages() > i1.n_pages());
+        assert!(i2.height() >= i1.height());
+    }
+}
+
+#[cfg(test)]
+mod clustering_tests {
+    use super::*;
+    use crate::schema::{ColType, ColumnDef, TableSchema};
+
+    fn table(clustered: bool, n: i64) -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("k", ColType::Int),
+                ColumnDef::new("v", ColType::Int),
+            ],
+        ));
+        for i in 0..n {
+            // clustered: rows with equal k adjacent; scattered: interleaved.
+            let k = if clustered { i / 50 } else { i % (n / 50).max(1) };
+            t.insert(vec![Value::Int(k), Value::Int(i)]);
+        }
+        t
+    }
+
+    #[test]
+    fn clustered_heap_has_low_clustering_factor() {
+        let (ci, _) = BTreeIndex::build(IndexSpec::new("t", vec![0]), &table(true, 20_000));
+        let (si, _) = BTreeIndex::build(IndexSpec::new("t", vec![0]), &table(false, 20_000));
+        assert!(
+            ci.clustering() < 0.1,
+            "clustered index factor should be small: {}",
+            ci.clustering()
+        );
+        assert!(
+            si.clustering() > 5.0 * ci.clustering(),
+            "scattered ({}) should far exceed clustered ({})",
+            si.clustering(),
+            ci.clustering()
+        );
+    }
+
+    #[test]
+    fn clustering_bounded_by_one() {
+        let (i, _) = BTreeIndex::build(IndexSpec::new("t", vec![1]), &table(false, 5_000));
+        assert!(i.clustering() <= 1.0);
+        assert!(i.clustering() > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod range_probe_tests {
+    use super::*;
+    use crate::schema::{ColType, ColumnDef, TableSchema};
+
+    fn idx() -> (Table, BTreeIndex) {
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("k", ColType::Int),
+                ColumnDef::new("v", ColType::Int),
+            ],
+        ));
+        for i in 0..100i64 {
+            t.insert(vec![Value::Int(i % 10), Value::Int(i)]);
+        }
+        let (i, _) = BTreeIndex::build(IndexSpec::new("t", vec![0, 1]), &t);
+        (t, i)
+    }
+
+    #[test]
+    fn bounded_both_sides() {
+        let (t, idx) = idx();
+        // 3 <= k < 6 -> k in {3,4,5}, 10 rows each.
+        let lo = Value::Int(3);
+        let hi = Value::Int(6);
+        let p = idx.probe_leading_range(Some((&lo, false)), Some((&hi, true)));
+        assert_eq!(p.row_ids.len(), 30);
+        for id in &p.row_ids {
+            let k = t.row(*id)[0].as_int().unwrap();
+            assert!((3..6).contains(&k));
+        }
+    }
+
+    #[test]
+    fn strict_and_inclusive_bounds() {
+        let (_, idx) = idx();
+        let v = Value::Int(5);
+        // k > 5 vs k >= 5 differ by exactly the 10 rows at k = 5.
+        let gt = idx.probe_leading_range(Some((&v, true)), None);
+        let ge = idx.probe_leading_range(Some((&v, false)), None);
+        assert_eq!(ge.row_ids.len() - gt.row_ids.len(), 10);
+        // k < 5 vs k <= 5 likewise.
+        let lt = idx.probe_leading_range(None, Some((&v, true)));
+        let le = idx.probe_leading_range(None, Some((&v, false)));
+        assert_eq!(le.row_ids.len() - lt.row_ids.len(), 10);
+    }
+
+    #[test]
+    fn unbounded_returns_everything() {
+        let (_, idx) = idx();
+        let p = idx.probe_leading_range(None, None);
+        assert_eq!(p.row_ids.len(), 100);
+        assert!(p.pages_touched >= 1);
+    }
+
+    #[test]
+    fn empty_span() {
+        let (_, idx) = idx();
+        let lo = Value::Int(50);
+        let p = idx.probe_leading_range(Some((&lo, false)), None);
+        assert!(p.row_ids.is_empty());
+    }
+}

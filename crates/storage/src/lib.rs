@@ -1,0 +1,35 @@
+//! # tab-storage
+//!
+//! The storage substrate for `tab-bench`, the reproduction of *"Goals and
+//! Benchmarks for Autonomic Configuration Recommenders"* (SIGMOD 2005):
+//! typed values, heap tables with a page-based I/O cost model, B+tree
+//! secondary indexes (1–4 columns), exact statistics with MCV lists and
+//! equi-depth histograms, materialized join views, and the
+//! [`config::Configuration`] / [`config::BuiltConfiguration`] pair that
+//! models the paper's system configurations `C_i`.
+//!
+//! Everything is deterministic and in-memory; the page model (rather
+//! than wall-clock time) is what stands in for the paper's disk-resident
+//! elapsed times — see `DESIGN.md` at the workspace root.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod csv;
+pub mod db;
+pub mod index;
+pub mod mview;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use config::{BuildReport, BuiltConfiguration, Configuration, MViewDef};
+pub use csv::{export_table, import_table, CsvError};
+pub use db::Database;
+pub use index::{BTreeIndex, IndexSpec, Probe};
+pub use mview::{MViewSpec, MaterializedView};
+pub use schema::{ColType, ColumnDef, ForeignKey, TableSchema};
+pub use stats::{ColumnStats, TableStats};
+pub use table::{Row, RowId, Table, PAGE_SIZE};
+pub use value::Value;

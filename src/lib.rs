@@ -1,0 +1,18 @@
+//! Umbrella crate re-exporting the public API of the `tab-bench` workspace.
+//!
+//! See the individual crates for details:
+//! - [`tab_storage`]: storage engine substrate
+//! - [`tab_sqlq`]: SQL-subset parser
+//! - [`tab_engine`]: optimizer + executor + what-if interface
+//! - [`tab_datagen`]: NREF and TPC-H data generators
+//! - [`tab_families`]: query-family templates and sampling
+//! - [`tab_advisor`]: configuration recommenders and baselines
+//! - [`tab_core`]: the evaluation framework (CFC curves, goals, ratios)
+
+pub use tab_advisor as advisor;
+pub use tab_core as eval;
+pub use tab_datagen as datagen;
+pub use tab_engine as engine;
+pub use tab_families as families;
+pub use tab_sqlq as sqlq;
+pub use tab_storage as storage;

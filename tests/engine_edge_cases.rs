@@ -1,0 +1,155 @@
+//! Edge-case behaviour of the engine that the shape-randomized property
+//! tests can hit only occasionally: cartesian products, empty inputs,
+//! NULL semantics, and estimate/actual consistency around them.
+
+use tab_bench::engine::{bind, naive, Session};
+use tab_bench::sqlq::parse;
+use tab_bench::storage::{
+    BuiltConfiguration, ColType, ColumnDef, Configuration, Database, IndexSpec, Table,
+    TableSchema, Value,
+};
+
+fn db_with(r_rows: &[(Option<i64>, i64)], s_rows: &[i64]) -> Database {
+    let mut db = Database::new();
+    let mut r = Table::new(TableSchema::new(
+        "r",
+        vec![
+            ColumnDef::new("a", ColType::Int),
+            ColumnDef::new("b", ColType::Int),
+        ],
+    ));
+    for &(a, b) in r_rows {
+        r.insert(vec![
+            a.map(Value::Int).unwrap_or(Value::Null),
+            Value::Int(b),
+        ]);
+    }
+    let mut s = Table::new(TableSchema::new(
+        "s",
+        vec![ColumnDef::new("a", ColType::Int)],
+    ));
+    for &a in s_rows {
+        s.insert(vec![Value::Int(a)]);
+    }
+    db.add_table(r);
+    db.add_table(s);
+    db.collect_stats();
+    db
+}
+
+fn run_both(db: &Database, sql: &str) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+    let built = BuiltConfiguration::build(Configuration::named("p"), db);
+    let q = parse(sql).unwrap();
+    let bound = bind(&q, db).unwrap();
+    let mut expect = naive::evaluate(&bound, db);
+    let mut got = Session::new(db, &built)
+        .run(&q, None)
+        .unwrap()
+        .rows
+        .unwrap();
+    expect.sort();
+    got.sort();
+    (expect, got)
+}
+
+#[test]
+fn cartesian_product_counts() {
+    let db = db_with(&[(Some(1), 10), (Some(2), 20)], &[5, 6, 7]);
+    let (expect, got) = run_both(&db, "SELECT r.b, COUNT(*) FROM r, s GROUP BY r.b");
+    assert_eq!(expect, got);
+    // Each r row pairs with all 3 s rows.
+    assert!(got.iter().all(|row| row[1] == Value::Int(3)));
+}
+
+#[test]
+fn count_over_empty_input_is_zero_row() {
+    let db = db_with(&[], &[]);
+    let (expect, got) = run_both(&db, "SELECT COUNT(*) FROM r");
+    assert_eq!(expect, got);
+    assert_eq!(got, vec![vec![Value::Int(0)]]);
+}
+
+#[test]
+fn group_by_over_empty_input_is_empty() {
+    let db = db_with(&[], &[1]);
+    let (expect, got) = run_both(&db, "SELECT r.b, COUNT(*) FROM r GROUP BY r.b");
+    assert_eq!(expect, got);
+    assert!(got.is_empty());
+}
+
+#[test]
+fn nulls_never_join() {
+    // r.a contains NULLs; NULL = NULL must not match.
+    let db = db_with(&[(None, 1), (Some(5), 2), (None, 3)], &[5]);
+    let (expect, got) =
+        run_both(&db, "SELECT COUNT(*) FROM r, s WHERE r.a = s.a");
+    assert_eq!(expect, got);
+    assert_eq!(got, vec![vec![Value::Int(1)]]);
+}
+
+#[test]
+fn nulls_fail_equality_and_range_filters() {
+    let db = db_with(&[(None, 1), (Some(0), 2), (Some(9), 3)], &[]);
+    let (e1, g1) = run_both(&db, "SELECT COUNT(*) FROM r WHERE r.a = 0");
+    assert_eq!(e1, g1);
+    assert_eq!(g1, vec![vec![Value::Int(1)]]);
+    let (e2, g2) = run_both(&db, "SELECT COUNT(*) FROM r WHERE r.a >= 0");
+    assert_eq!(e2, g2);
+    assert_eq!(g2, vec![vec![Value::Int(2)]], "NULL must fail ranges too");
+}
+
+#[test]
+fn count_distinct_ignores_nulls() {
+    let db = db_with(&[(None, 1), (Some(4), 2), (Some(4), 3)], &[]);
+    let (expect, got) = run_both(&db, "SELECT COUNT(DISTINCT r.a) FROM r");
+    assert_eq!(expect, got);
+    assert_eq!(got, vec![vec![Value::Int(1)]]);
+}
+
+#[test]
+fn index_probe_on_missing_value_is_cheap_and_empty() {
+    let mut db = db_with(&[], &[]);
+    let mut r = Table::new(TableSchema::new(
+        "big",
+        vec![
+            ColumnDef::new("a", ColType::Int),
+            ColumnDef::new("b", ColType::Int),
+        ],
+    ));
+    for i in 0..50_000i64 {
+        r.insert(vec![Value::Int(i % 500), Value::Int(i)]);
+    }
+    db.add_table(r);
+    db.collect_stats();
+    let mut cfg = Configuration::named("ix");
+    cfg.indexes.push(IndexSpec::new("big", vec![0]));
+    let built = BuiltConfiguration::build(cfg, &db);
+    let s = Session::new(&db, &built);
+    let q = parse("SELECT COUNT(*) FROM big b WHERE b.a = 123456").unwrap();
+    let r = s.run(&q, None).unwrap();
+    assert_eq!(r.rows.unwrap(), vec![vec![Value::Int(0)]]);
+    // Proving emptiness through the index costs a handful of pages, not
+    // a scan.
+    assert!(
+        r.outcome.units().unwrap() < 20.0,
+        "units = {:?}",
+        r.outcome.units()
+    );
+}
+
+#[test]
+fn estimates_are_finite_and_positive_for_all_shapes() {
+    let db = db_with(&[(Some(1), 2), (Some(3), 4)], &[1, 3]);
+    let built = BuiltConfiguration::build(Configuration::named("p"), &db);
+    let s = Session::new(&db, &built);
+    for sql in [
+        "SELECT COUNT(*) FROM r",
+        "SELECT r.b, COUNT(*) FROM r, s WHERE r.a = s.a GROUP BY r.b",
+        "SELECT COUNT(*) FROM r, s",
+        "SELECT COUNT(*) FROM r WHERE r.a >= 2 AND r.a < 100",
+        "SELECT COUNT(*) FROM r WHERE r.a IN (SELECT a FROM s GROUP BY a HAVING COUNT(*) < 2)",
+    ] {
+        let est = s.estimate(&parse(sql).unwrap()).unwrap();
+        assert!(est.is_finite() && est > 0.0, "estimate for `{sql}` = {est}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the evaluation framework itself: CFC curves,
+//! goals, histograms, and the Zipf sampler.
+
+use proptest::prelude::*;
+
+use tab_bench::datagen::Zipf;
+use tab_bench::eval::{Cfc, Goal, LogHistogram, RatioHistogram};
+
+fn times_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            9 => (0.01f64..10_000.0),
+            1 => Just(f64::INFINITY),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CFC is monotone non-decreasing and bounded by the completed
+    /// fraction.
+    #[test]
+    fn cfc_monotone_and_bounded(times in times_strategy(), xs in proptest::collection::vec(0.001f64..1e6, 1..30)) {
+        let cfc = Cfc::from_values(&times);
+        let mut xs = xs;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = 0.0;
+        for &x in &xs {
+            let v = cfc.at(x);
+            prop_assert!(v >= last - 1e-12);
+            prop_assert!(v <= cfc.completed_fraction() + 1e-12);
+            last = v;
+        }
+    }
+
+    /// Quantile and at() are consistent: at least fraction p completes
+    /// by quantile(p).
+    #[test]
+    fn quantile_consistent(times in times_strategy(), p in 0.01f64..1.0) {
+        let cfc = Cfc::from_values(&times);
+        if let Some(t) = cfc.quantile(p) {
+            // Evaluate just above t (strict inequality in the definition).
+            let v = cfc.at(t * (1.0 + 1e-9) + 1e-12);
+            prop_assert!(v + 1e-9 >= p.min(cfc.completed_fraction()),
+                "v={v} p={p}");
+        } else {
+            prop_assert!(p > cfc.completed_fraction() - 1e-9 || cfc.size() == 0);
+        }
+    }
+
+    /// Dominance is antisymmetric and irreflexive.
+    #[test]
+    fn dominance_antisymmetric(a in times_strategy(), b in times_strategy()) {
+        let ca = Cfc::from_values(&a);
+        let cb = Cfc::from_values(&b);
+        prop_assert!(!(ca.dominates(&cb) && cb.dominates(&ca)));
+        prop_assert!(!ca.dominates(&ca.clone()));
+    }
+
+    /// Shifting every completed time down (speeding everything up) can
+    /// never lose a goal that was satisfied.
+    #[test]
+    fn speedup_preserves_goal(times in times_strategy(), factor in 1.0f64..100.0) {
+        let goal = Goal::from_steps(vec![(10.0, 0.1), (100.0, 0.5), (1000.0, 0.9)]);
+        let cfc = Cfc::from_values(&times);
+        let faster: Vec<f64> = times.iter().map(|t| t / factor).collect();
+        let cfc_fast = Cfc::from_values(&faster);
+        if goal.satisfied_by(&cfc) {
+            prop_assert!(goal.satisfied_by(&cfc_fast));
+        }
+    }
+
+    /// Histogram counts partition the observations.
+    #[test]
+    fn histogram_partitions(times in times_strategy()) {
+        let h = LogHistogram::new(&times, 0.1, 10_000.0, 2);
+        prop_assert_eq!(h.total(), times.len());
+        let cum = h.cumulative_fractions();
+        prop_assert!(cum.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    /// Ratio histograms count every positive finite ratio exactly once.
+    #[test]
+    fn ratio_histogram_total(ratios in proptest::collection::vec(0.001f64..1000.0, 0..100)) {
+        let h = RatioHistogram::new(&ratios, 4);
+        let total: usize = h.counts.iter().sum();
+        prop_assert_eq!(total, ratios.len());
+    }
+
+    /// Zipf samples stay in range and rank-1 frequency tracks its
+    /// theoretical probability.
+    #[test]
+    fn zipf_in_range(n in 1usize..500, theta in 0.0f64..2.0, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let z = Zipf::new(n, theta);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let s = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&s));
+        }
+    }
+
+    /// Zipf probabilities are non-increasing in rank.
+    #[test]
+    fn zipf_monotone(n in 2usize..200, theta in 0.0f64..2.0) {
+        let z = Zipf::new(n, theta);
+        for r in 1..n {
+            prop_assert!(z.probability(r) >= z.probability(r + 1) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration tests for the operational surfaces: CSV round-trips of
+//! generated databases and workload compression over real families.
+
+use tab_bench::datagen::{generate_nref, NrefParams};
+use tab_bench::families::{compress, shape_signature, Family};
+use tab_bench::storage::{export_table, import_table};
+
+#[test]
+fn generated_nref_round_trips_through_csv() {
+    let db = generate_nref(NrefParams {
+        proteins: 300,
+        seed: 21,
+    });
+    let dir = std::env::temp_dir().join(format!("tab_csv_it_{}", std::process::id()));
+    for name in ["protein", "taxonomy", "identical_seq"] {
+        let table = db.table(name).unwrap();
+        let path = dir.join(format!("{name}.csv"));
+        export_table(table, &path).unwrap();
+        let back = import_table(table.schema().clone(), &path).unwrap();
+        assert_eq!(back.n_rows(), table.n_rows(), "{name} row count");
+        // Spot-check several rows across the file.
+        for i in [0usize, table.n_rows() / 2, table.n_rows() - 1] {
+            assert_eq!(back.row(i as u32), table.row(i as u32), "{name} row {i}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn family_compression_reduces_to_templates() {
+    let db = generate_nref(NrefParams {
+        proteins: 400,
+        seed: 22,
+    });
+    let family = Family::Nref3J.enumerate(&db);
+    assert!(family.len() > 50);
+    let compressed = compress(&family, usize::MAX);
+    // Compression collapses the per-constant variants: fewer shapes
+    // than queries, and templates instantiated with the full three
+    // k1/k2/k3 tiers collapse to weight-3 entries.
+    assert!(
+        compressed.len() < family.len(),
+        "{} shapes from {} queries",
+        compressed.len(),
+        family.len()
+    );
+    assert!(compressed.iter().any(|e| e.weight >= 3));
+    // Weights account for every original query.
+    let total: usize = compressed.iter().map(|e| e.weight).sum();
+    assert_eq!(total, family.len());
+    // Every representative's shape is unique.
+    let mut sigs: Vec<String> = compressed
+        .iter()
+        .map(|e| shape_signature(&e.query))
+        .collect();
+    sigs.sort();
+    sigs.dedup();
+    assert_eq!(sigs.len(), compressed.len());
+}
+
+#[test]
+fn compressed_workload_is_executable() {
+    let db = generate_nref(NrefParams {
+        proteins: 300,
+        seed: 23,
+    });
+    let family = Family::Nref2J.enumerate(&db);
+    let compressed = compress(&family, 5);
+    let p = tab_bench::eval::build_p(&db, "NREF");
+    let session = tab_bench::engine::Session::new(&db, &p);
+    for e in &compressed {
+        let r = session.run(&e.query, None).unwrap();
+        assert!(r.rows.is_some(), "representative failed: {}", e.query);
+    }
+}
+
+mod csv_properties {
+    use proptest::prelude::*;
+    use tab_bench::storage::{
+        export_table, import_table, ColType, ColumnDef, Table, TableSchema, Value,
+    };
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("i", ColType::Int),
+                ColumnDef::new("s", ColType::Str),
+                ColumnDef::new("f", ColType::Float),
+            ],
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Arbitrary content — including embedded quotes, commas, CR/LF,
+        /// the literal string "NULL", and NULL values — must round-trip
+        /// exactly through export + import.
+        #[test]
+        fn csv_round_trips_arbitrary_content(
+            rows in proptest::collection::vec(
+                (
+                    any::<i64>(),
+                    proptest::option::of("[ -~\n\r\t\"]{0,30}"),
+                    proptest::option::of(-1.0e9f64..1.0e9),
+                ),
+                0..40,
+            )
+        ) {
+            let mut t = Table::new(schema());
+            for (i, s, f) in &rows {
+                t.insert(vec![
+                    Value::Int(*i),
+                    s.as_deref().map(Value::str).unwrap_or(Value::Null),
+                    f.map(Value::Float).unwrap_or(Value::Null),
+                ]);
+            }
+            let path = std::env::temp_dir().join(format!(
+                "tab_csv_prop_{}_{}.csv",
+                std::process::id(),
+                rows.len()
+            ));
+            export_table(&t, &path).unwrap();
+            let back = import_table(schema(), &path).unwrap();
+            std::fs::remove_file(&path).ok();
+            prop_assert_eq!(back.n_rows(), t.n_rows());
+            for i in 0..t.n_rows() {
+                prop_assert_eq!(back.row(i as u32), t.row(i as u32));
+            }
+        }
+    }
+}
