@@ -107,7 +107,12 @@ pub fn generate(db: &Database, workload: &[Query], style: CandidateStyle) -> Vec
                     .map(|t| t.schema().columns[*c].indexable)
                     .unwrap_or(false)
             };
-            let filters: Vec<usize> = rc.filters.iter().filter(|c| indexable(c)).copied().collect();
+            let filters: Vec<usize> = rc
+                .filters
+                .iter()
+                .filter(|c| indexable(c))
+                .copied()
+                .collect();
             let joins: Vec<usize> = rc.joins.iter().filter(|c| indexable(c)).copied().collect();
             let freqs: Vec<usize> = rc.freqs.iter().filter(|c| indexable(c)).copied().collect();
             let groups: Vec<usize> = rc.groups.iter().filter(|c| indexable(c)).copied().collect();
@@ -270,10 +275,10 @@ mod tests {
 
     fn workload(db: &Database) -> Vec<Query> {
         let _ = db;
-        vec![parse(
-            "SELECT r.g, COUNT(*) FROM r, s WHERE r.a = s.a AND s.c = 2 GROUP BY r.g",
-        )
-        .unwrap()]
+        vec![
+            parse("SELECT r.g, COUNT(*) FROM r, s WHERE r.a = s.a AND s.c = 2 GROUP BY r.g")
+                .unwrap(),
+        ]
     }
 
     #[test]

@@ -75,11 +75,7 @@ fn objective_value(costs: &[f64], objective: Objective) -> f64 {
 
 /// Estimated size in bytes of a candidate, using the same hypothetical
 /// geometry the optimizer sees.
-pub fn candidate_bytes(
-    db: &Database,
-    current: &BuiltConfiguration,
-    cand: &Candidate,
-) -> u64 {
+pub fn candidate_bytes(db: &Database, current: &BuiltConfiguration, cand: &Candidate) -> u64 {
     let mut probe = Configuration::named("size-probe");
     match cand {
         Candidate::Index(i) => probe.indexes.push(i.clone()),
@@ -143,9 +139,7 @@ pub fn greedy_select(
             workload
                 .iter()
                 .enumerate()
-                .filter(|(_, q)| {
-                    q.from.iter().any(|t| tables.contains(&t.table.as_str()))
-                })
+                .filter(|(_, q)| q.from.iter().any(|t| tables.contains(&t.table.as_str())))
                 .map(|(i, _)| i)
                 .collect()
         })

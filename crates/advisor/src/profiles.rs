@@ -205,11 +205,7 @@ mod tests {
             workload: &w,
             budget_bytes: budget,
         };
-        for r in [
-            &SystemA::default() as &dyn Recommender,
-            &SystemB,
-            &SystemC,
-        ] {
+        for r in [&SystemA::default() as &dyn Recommender, &SystemB, &SystemC] {
             let cfg = r.recommend(&input).expect("recommendation");
             let built = BuiltConfiguration::build(cfg, &db);
             let added = built

@@ -8,12 +8,11 @@
 //! - total-cost vs percentile objective in the greedy search.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use tab_advisor::{
-    generate_candidates, greedy_select, p_configuration, CandidateStyle, GreedyOptions,
-    Objective,
+    generate_candidates, greedy_select, p_configuration, CandidateStyle, GreedyOptions, Objective,
 };
 use tab_datagen::{generate_nref, NrefParams};
 use tab_sqlq::parse;

@@ -2,8 +2,8 @@
 //! what-if selection.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use tab_advisor::{
     generate_candidates, greedy_select, p_configuration, CandidateStyle, GreedyOptions,
@@ -30,9 +30,7 @@ fn bench_advisor(c: &mut Criterion) {
         .collect();
 
     c.bench_function("candidate_generation_covering", |b| {
-        b.iter(|| {
-            black_box(generate_candidates(&db, &workload, CandidateStyle::Covering).len())
-        })
+        b.iter(|| black_box(generate_candidates(&db, &workload, CandidateStyle::Covering).len()))
     });
     c.bench_function("greedy_whatif_selection", |b| {
         let cands = generate_candidates(&db, &workload, CandidateStyle::Covering);

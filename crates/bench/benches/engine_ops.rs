@@ -1,8 +1,8 @@
 //! Operator and optimizer microbenchmarks: scan, probe, join, plan.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use tab_datagen::{generate_nref, NrefParams};
 use tab_engine::{CostMeter, Resolver, Session};
@@ -17,17 +17,17 @@ fn bench_engine(c: &mut Criterion) {
     let p = BuiltConfiguration::build(Configuration::named("p"), &db);
     let mut icfg = Configuration::named("ix");
     let tax = db.table("taxonomy").unwrap().schema();
-    icfg.indexes
-        .push(IndexSpec::new("taxonomy", vec![tax.require_column("taxon_id")]));
-    icfg.indexes
-        .push(IndexSpec::new("source", vec![1])); // p_id
+    icfg.indexes.push(IndexSpec::new(
+        "taxonomy",
+        vec![tax.require_column("taxon_id")],
+    ));
+    icfg.indexes.push(IndexSpec::new("source", vec![1])); // p_id
     let ix = BuiltConfiguration::build(icfg, &db);
 
     let scan_q = parse("SELECT t.lineage, COUNT(*) FROM taxonomy t GROUP BY t.lineage").unwrap();
-    let probe_q = parse(
-        "SELECT t.lineage, COUNT(*) FROM taxonomy t WHERE t.taxon_id = 3 GROUP BY t.lineage",
-    )
-    .unwrap();
+    let probe_q =
+        parse("SELECT t.lineage, COUNT(*) FROM taxonomy t WHERE t.taxon_id = 3 GROUP BY t.lineage")
+            .unwrap();
     let join_q = parse(
         "SELECT t.lineage, COUNT(*) FROM taxonomy t, source s \
          WHERE t.taxon_id = s.taxon_id AND s.p_id = 1 GROUP BY t.lineage",

@@ -1,8 +1,8 @@
 //! Query-family enumeration and sampling benchmarks.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
 use tab_families::{sample_preserving, Family};
@@ -30,9 +30,7 @@ fn bench_families(c: &mut Criterion) {
     c.bench_function("sample_100_preserving", |b| {
         let family = Family::Nref2J.enumerate(&nref);
         b.iter(|| {
-            black_box(
-                sample_preserving(&family, |q| q.to_string().len() as f64, 100, 7).len(),
-            )
+            black_box(sample_preserving(&family, |q| q.to_string().len() as f64, 100, 7).len())
         })
     });
 }

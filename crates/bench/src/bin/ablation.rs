@@ -14,10 +14,10 @@
 //! cargo run --release -p tab-bench-harness --bin ablation
 //! ```
 
-use tab_advisor::{
-    generate_candidates, greedy_select, CandidateStyle, GreedyOptions, Objective,
+use tab_advisor::{generate_candidates, greedy_select, CandidateStyle, GreedyOptions, Objective};
+use tab_core::{
+    build_1c, build_p, prepare_workload, run_workload, space_budget, Suite, SuiteParams,
 };
-use tab_core::{build_1c, build_p, prepare_workload, run_workload, space_budget, Suite, SuiteParams};
 use tab_families::Family;
 use tab_storage::BuiltConfiguration;
 

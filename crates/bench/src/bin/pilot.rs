@@ -4,7 +4,9 @@
 use std::time::Instant;
 
 use tab_advisor::{AdvisorInput, Recommender, SystemA, SystemB};
-use tab_core::{build_1c, build_p, prepare_workload, run_workload, space_budget, Suite, SuiteParams};
+use tab_core::{
+    build_1c, build_p, prepare_workload, run_workload, space_budget, Suite, SuiteParams,
+};
 use tab_families::Family;
 use tab_storage::BuiltConfiguration;
 
@@ -19,27 +21,55 @@ fn main() {
         return;
     }
     for t in suite.nref.tables() {
-        eprintln!("  nref.{}: {} rows {} pages", t.schema().name, t.n_rows(), t.n_pages());
+        eprintln!(
+            "  nref.{}: {} rows {} pages",
+            t.schema().name,
+            t.n_rows(),
+            t.n_pages()
+        );
     }
 
     let db = &suite.nref;
     let p = build_p(db, "NREF");
-    eprintln!("[{:?}] P built (aux {} MiB)", t0.elapsed(), p.report.aux_bytes() / 1048576);
+    eprintln!(
+        "[{:?}] P built (aux {} MiB)",
+        t0.elapsed(),
+        p.report.aux_bytes() / 1048576
+    );
     let c1 = build_1c(db, "NREF");
-    eprintln!("[{:?}] 1C built (aux {} MiB)", t0.elapsed(), c1.report.aux_bytes() / 1048576);
+    eprintln!(
+        "[{:?}] 1C built (aux {} MiB)",
+        t0.elapsed(),
+        c1.report.aux_bytes() / 1048576
+    );
     let budget = space_budget(db, "NREF");
     eprintln!("budget = {} MiB", budget / 1048576);
 
     for fam in [Family::Nref2J, Family::Nref3J] {
         let all = fam.enumerate(db);
-        eprintln!("[{:?}] {} family size = {}", t0.elapsed(), fam.name(), all.len());
+        eprintln!(
+            "[{:?}] {} family size = {}",
+            t0.elapsed(),
+            fam.name(),
+            all.len()
+        );
         let w = prepare_workload(&suite, fam, &p);
         eprintln!("[{:?}] workload sampled: {}", t0.elapsed(), w.len());
 
         let run_p = run_workload(db, &p, &w, params.timeout_units);
-        eprintln!("[{:?}] P run: timeouts {}, total_lb {:.0}s", t0.elapsed(), run_p.timeout_count(), run_p.total_lower_bound_sim_seconds());
+        eprintln!(
+            "[{:?}] P run: timeouts {}, total_lb {:.0}s",
+            t0.elapsed(),
+            run_p.timeout_count(),
+            run_p.total_lower_bound_sim_seconds()
+        );
         let run_1c = run_workload(db, &c1, &w, params.timeout_units);
-        eprintln!("[{:?}] 1C run: timeouts {}, total_lb {:.0}s", t0.elapsed(), run_1c.timeout_count(), run_1c.total_lower_bound_sim_seconds());
+        eprintln!(
+            "[{:?}] 1C run: timeouts {}, total_lb {:.0}s",
+            t0.elapsed(),
+            run_1c.timeout_count(),
+            run_1c.total_lower_bound_sim_seconds()
+        );
 
         // quantiles
         let cp = run_p.cfc();
@@ -49,17 +79,46 @@ fn main() {
         }
 
         // System A and B candidate counts + recommendation
-        for (name, rec) in [("A", &SystemA::default() as &dyn Recommender), ("B", &SystemB)] {
-            let cands = tab_advisor::generate_candidates(db, &w, match name { "A" => tab_advisor::CandidateStyle::SingleColumn, _ => tab_advisor::CandidateStyle::Covering });
-            eprintln!("[{:?}] system {name} candidates = {} (x workload = {})", t0.elapsed(), cands.len(), cands.len()*w.len());
-            let input = AdvisorInput { db, current: &p, workload: &w, budget_bytes: budget };
+        for (name, rec) in [
+            ("A", &SystemA::default() as &dyn Recommender),
+            ("B", &SystemB),
+        ] {
+            let cands = tab_advisor::generate_candidates(
+                db,
+                &w,
+                match name {
+                    "A" => tab_advisor::CandidateStyle::SingleColumn,
+                    _ => tab_advisor::CandidateStyle::Covering,
+                },
+            );
+            eprintln!(
+                "[{:?}] system {name} candidates = {} (x workload = {})",
+                t0.elapsed(),
+                cands.len(),
+                cands.len() * w.len()
+            );
+            let input = AdvisorInput {
+                db,
+                current: &p,
+                workload: &w,
+                budget_bytes: budget,
+            };
             match rec.recommend(&input) {
                 None => eprintln!("  {name}: NO RECOMMENDATION"),
                 Some(cfg) => {
-                    eprintln!("  {name}: {} indexes {:?}", cfg.indexes.len(), cfg.indexes.iter().map(|i| i.name()).collect::<Vec<_>>());
+                    eprintln!(
+                        "  {name}: {} indexes {:?}",
+                        cfg.indexes.len(),
+                        cfg.indexes.iter().map(|i| i.name()).collect::<Vec<_>>()
+                    );
                     let built = BuiltConfiguration::build(cfg, db);
                     let run_r = run_workload(db, &built, &w, params.timeout_units);
-                    eprintln!("[{:?}]  {name} R run: timeouts {}, total_lb {:.0}s", t0.elapsed(), run_r.timeout_count(), run_r.total_lower_bound_sim_seconds());
+                    eprintln!(
+                        "[{:?}]  {name} R run: timeouts {}, total_lb {:.0}s",
+                        t0.elapsed(),
+                        run_r.timeout_count(),
+                        run_r.total_lower_bound_sim_seconds()
+                    );
                     let cr = run_r.cfc();
                     for x in [1.0, 10.0, 31.6, 100.0, 1000.0] {
                         eprintln!("   CFC({x:7.1}s): R={:.2}", cr.at(x));
@@ -71,7 +130,6 @@ fn main() {
     eprintln!("[{:?}] pilot done", t0.elapsed());
 }
 
-
 fn tpch_pilot(suite: &Suite, params: SuiteParams, t0: Instant) {
     use tab_advisor::SystemC;
     for (db, label, fams) in [
@@ -79,34 +137,80 @@ fn tpch_pilot(suite: &Suite, params: SuiteParams, t0: Instant) {
         (&suite.unth, "UnTH", vec![Family::UnTH3J]),
     ] {
         for t in db.tables() {
-            eprintln!("  {label}.{}: {} rows {} pages", t.schema().name, t.n_rows(), t.n_pages());
+            eprintln!(
+                "  {label}.{}: {} rows {} pages",
+                t.schema().name,
+                t.n_rows(),
+                t.n_pages()
+            );
         }
         let p = build_p(db, label);
         let c1 = build_1c(db, label);
         let budget = space_budget(db, label);
-        eprintln!("[{:?}] {label}: P/1C built, budget {} MiB", t0.elapsed(), budget / 1048576);
+        eprintln!(
+            "[{:?}] {label}: P/1C built, budget {} MiB",
+            t0.elapsed(),
+            budget / 1048576
+        );
         for fam in fams {
             let all = fam.enumerate(db);
-            eprintln!("[{:?}] {} family size = {}", t0.elapsed(), fam.name(), all.len());
+            eprintln!(
+                "[{:?}] {} family size = {}",
+                t0.elapsed(),
+                fam.name(),
+                all.len()
+            );
             let w = prepare_workload(suite, fam, &p);
             let run_p = run_workload(db, &p, &w, params.timeout_units);
-            eprintln!("[{:?}] P run: timeouts {}, total_lb {:.0}s", t0.elapsed(), run_p.timeout_count(), run_p.total_lower_bound_sim_seconds());
+            eprintln!(
+                "[{:?}] P run: timeouts {}, total_lb {:.0}s",
+                t0.elapsed(),
+                run_p.timeout_count(),
+                run_p.total_lower_bound_sim_seconds()
+            );
             let run_1c = run_workload(db, &c1, &w, params.timeout_units);
-            eprintln!("[{:?}] 1C run: timeouts {}, total_lb {:.0}s", t0.elapsed(), run_1c.timeout_count(), run_1c.total_lower_bound_sim_seconds());
-            let input = AdvisorInput { db, current: &p, workload: &w, budget_bytes: budget };
+            eprintln!(
+                "[{:?}] 1C run: timeouts {}, total_lb {:.0}s",
+                t0.elapsed(),
+                run_1c.timeout_count(),
+                run_1c.total_lower_bound_sim_seconds()
+            );
+            let input = AdvisorInput {
+                db,
+                current: &p,
+                workload: &w,
+                budget_bytes: budget,
+            };
             match SystemC.recommend(&input) {
                 None => eprintln!("  C: NO RECOMMENDATION"),
                 Some(cfg) => {
-                    eprintln!("[{:?}]  C: {} indexes {:?}, {} views {:?}", t0.elapsed(), cfg.indexes.len(),
+                    eprintln!(
+                        "[{:?}]  C: {} indexes {:?}, {} views {:?}",
+                        t0.elapsed(),
+                        cfg.indexes.len(),
                         cfg.indexes.iter().map(|i| i.name()).collect::<Vec<_>>(),
                         cfg.mviews.len(),
-                        cfg.mviews.iter().map(|m| (m.spec.name.clone(), m.indexes.len())).collect::<Vec<_>>());
+                        cfg.mviews
+                            .iter()
+                            .map(|m| (m.spec.name.clone(), m.indexes.len()))
+                            .collect::<Vec<_>>()
+                    );
                     let built = BuiltConfiguration::build(cfg, db);
                     let run_r = run_workload(db, &built, &w, params.timeout_units);
-                    eprintln!("[{:?}]  C R run: timeouts {}, total_lb {:.0}s", t0.elapsed(), run_r.timeout_count(), run_r.total_lower_bound_sim_seconds());
+                    eprintln!(
+                        "[{:?}]  C R run: timeouts {}, total_lb {:.0}s",
+                        t0.elapsed(),
+                        run_r.timeout_count(),
+                        run_r.total_lower_bound_sim_seconds()
+                    );
                     let (cp, cc, cr) = (run_p.cfc(), run_1c.cfc(), run_r.cfc());
                     for x in [1.0, 10.0, 31.6, 100.0, 1000.0] {
-                        eprintln!("  CFC({x:7.1}s): P={:.2} 1C={:.2} R={:.2}", cp.at(x), cc.at(x), cr.at(x));
+                        eprintln!(
+                            "  CFC({x:7.1}s): P={:.2} 1C={:.2} R={:.2}",
+                            cp.at(x),
+                            cc.at(x),
+                            cr.at(x)
+                        );
                     }
                 }
             }

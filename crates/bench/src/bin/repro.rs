@@ -4,19 +4,61 @@
 //! cargo run --release -p tab-bench-harness --bin repro            # full scale
 //! cargo run --release -p tab-bench-harness --bin repro -- --small # smoke run
 //! ```
+//!
+//! Flags:
+//!
+//! - `--small`        small-scale smoke run into `results-small/`
+//! - `--threads N`    worker threads (0 or absent = all cores); results
+//!   are identical at any setting
+//! - `--check`        exit non-zero if any shape claim diverges (CI mode)
+//! - `--expect FILE`  with `--check`: compare claim verdicts against an
+//!   `id,status` baseline instead of demanding all-HOLDS (some paper
+//!   claims diverge by design at reduced scale — see EXPERIMENTS.md)
+//! - `--out DIR`      override the output directory
+
+use std::process::ExitCode;
 
 use tab_bench_harness::repro::{run_all, ReproConfig};
 
-fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let cfg = if small {
+fn usage() -> ! {
+    eprintln!("usage: repro [--small] [--threads N] [--check] [--expect FILE] [--out DIR]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut small = false;
+    let mut check = false;
+    let mut threads: usize = 0;
+    let mut out: Option<String> = None;
+    let mut expect: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--check" => check = true,
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                threads = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--expect" => expect = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+
+    let mut cfg = if small {
         ReproConfig::small()
     } else {
         ReproConfig::full()
-    };
+    }
+    .with_threads(threads);
+    if let Some(dir) = out {
+        cfg.out_dir = dir.into();
+    }
     eprintln!(
-        "tab-bench reproduction ({} scale) -> {}",
+        "tab-bench reproduction ({} scale, {} threads) -> {}",
         if small { "small" } else { "full" },
+        cfg.params.par.threads(),
         cfg.out_dir.display()
     );
     let summary = run_all(&cfg);
@@ -30,4 +72,59 @@ fn main() {
             c.evidence
         );
     }
+    if check {
+        match &expect {
+            Some(path) => {
+                let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("--expect: cannot read {path}: {e}");
+                    std::process::exit(2);
+                });
+                let expected: std::collections::BTreeMap<&str, &str> = baseline
+                    .lines()
+                    .skip(1)
+                    .filter(|l| !l.trim().is_empty())
+                    .filter_map(|l| l.split_once(','))
+                    .collect();
+                let mut bad = 0usize;
+                for c in &summary.claims {
+                    let got = if c.holds { "HOLDS" } else { "DIVERGES" };
+                    match expected.get(c.id.as_str()) {
+                        Some(&want) if want == got => {}
+                        Some(&want) => {
+                            eprintln!("--check: claim {} is {got}, baseline says {want}", c.id);
+                            bad += 1;
+                        }
+                        None => {
+                            eprintln!("--check: claim {} missing from baseline {path}", c.id);
+                            bad += 1;
+                        }
+                    }
+                }
+                if expected.len() != summary.claims.len() {
+                    eprintln!(
+                        "--check: baseline has {} claims, run produced {}",
+                        expected.len(),
+                        summary.claims.len()
+                    );
+                    bad += 1;
+                }
+                if bad > 0 {
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "--check: all {} claim verdicts match {path}",
+                    summary.claims.len()
+                );
+            }
+            None if summary.passed() != summary.claims.len() => {
+                eprintln!(
+                    "--check: {} claim(s) diverged",
+                    summary.claims.len() - summary.passed()
+                );
+                return ExitCode::FAILURE;
+            }
+            None => {}
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -11,9 +11,10 @@ use std::time::Instant;
 use tab_advisor::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};
 use tab_core::report::{cfc_csv_rows, render_cfc_ascii, render_histogram_ascii, write_csv};
 use tab_core::{
-    build_1c, build_p, estimate_workload, estimate_workload_hypothetical, improvement_ratios,
-    insertion_breakeven, prepare_workload_db, run_workload, space_budget, table1_row, Cfc, Goal,
-    LogHistogram, RatioHistogram, SuiteParams, WorkloadRun,
+    build_1c, build_p, estimate_workload_hypothetical_with, estimate_workload_with,
+    improvement_ratios, insertion_breakeven, prepare_workload_db_with, run_grid, space_budget,
+    table1_row, timings_json, CellTiming, Cfc, Goal, GridCell, LogHistogram, RatioHistogram,
+    SuiteParams, WorkloadRun,
 };
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
 use tab_families::Family;
@@ -22,7 +23,7 @@ use tab_storage::{BuiltConfiguration, Configuration};
 
 /// Configuration of a reproduction run.
 pub struct ReproConfig {
-    /// Suite scales and seeds.
+    /// Suite scales, seeds, and parallelism.
     pub params: SuiteParams,
     /// Output directory for CSVs and rendered figures.
     pub out_dir: PathBuf,
@@ -43,6 +44,12 @@ impl ReproConfig {
             params: SuiteParams::small(),
             out_dir: PathBuf::from("results-small"),
         }
+    }
+
+    /// The same run with an explicit thread count (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.params = self.params.with_threads(threads);
+        self
     }
 }
 
@@ -79,6 +86,7 @@ struct Ctx {
     timeout: f64,
     claims: Vec<Claim>,
     figures: String,
+    timings: Vec<CellTiming>,
     t0: Instant,
 }
 
@@ -101,16 +109,11 @@ impl Ctx {
     }
 
     fn figure(&mut self, title: &str, body: &str) {
-        self.figures.push_str(&format!("\n=== {title} ===\n{body}\n"));
+        self.figures
+            .push_str(&format!("\n=== {title} ===\n{body}\n"));
     }
 
-    fn write_cfc_figure(
-        &mut self,
-        file: &str,
-        title: &str,
-        curves: &[(&str, &Cfc)],
-        max_x: f64,
-    ) {
+    fn write_cfc_figure(&mut self, file: &str, title: &str, curves: &[(&str, &Cfc)], max_x: f64) {
         let (header, rows) = cfc_csv_rows(curves, 0.1, max_x, 60);
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         write_csv(self.out.join(file), &header_refs, &rows).expect("write figure csv");
@@ -127,10 +130,12 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         timeout: cfg.params.timeout_units,
         claims: Vec::new(),
         figures: String::new(),
+        timings: Vec::new(),
         t0: Instant::now(),
     };
     let timeout_s = tab_engine::units_to_sim_seconds(cfg.params.timeout_units);
-
+    let par = cfg.params.par;
+    ctx.log(&format!("parallelism: {} threads", par.threads()));
 
     let mut table1: Vec<Vec<String>> = Vec::new();
     let mut table2: Vec<Vec<String>> = Vec::new();
@@ -178,8 +183,22 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     ctx.log(&format!("NREF budget = {} MiB", budget / (1 << 20)));
 
     ctx.log("NREF: preparing workloads");
-    let w2 = prepare_workload_db(nref, Family::Nref2J, &p, cfg.params.workload_size, cfg.params.seed);
-    let w3 = prepare_workload_db(nref, Family::Nref3J, &p, cfg.params.workload_size, cfg.params.seed);
+    let w2 = prepare_workload_db_with(
+        nref,
+        Family::Nref2J,
+        &p,
+        cfg.params.workload_size,
+        cfg.params.seed,
+        par,
+    );
+    let w3 = prepare_workload_db_with(
+        nref,
+        Family::Nref3J,
+        &p,
+        cfg.params.workload_size,
+        cfg.params.seed,
+        par,
+    );
 
     let input2 = AdvisorInput {
         db: nref,
@@ -202,7 +221,10 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         "sec4.2-a-fails-nref3j",
         "System A produces no recommendation for the 100-query NREF3J workload",
         a3_cfg.is_none(),
-        format!("A on NREF3J returned {}", if a3_cfg.is_some() { "Some" } else { "None" }),
+        format!(
+            "A on NREF3J returned {}",
+            if a3_cfg.is_some() { "Some" } else { "None" }
+        ),
     );
     // ... but succeeds on smaller NREF3J workloads (the paper tried 25/12/6/3).
     let small3: Vec<Query> = w3.iter().take(25).cloned().collect();
@@ -216,7 +238,10 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         "sec4.2-a-small-workloads",
         "System A can produce recommendations for smaller NREF3J workloads",
         a3_small.is_some(),
-        format!("A on 25-query NREF3J returned {}", if a3_small.is_some() { "Some" } else { "None" }),
+        format!(
+            "A on 25-query NREF3J returned {}",
+            if a3_small.is_some() { "Some" } else { "None" }
+        ),
     );
 
     ctx.log("NREF: System B recommending for NREF2J and NREF3J");
@@ -231,15 +256,41 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     let b2 = BuiltConfiguration::build(named(b2_cfg, "B_NREF2J_R"), nref);
     let b3 = BuiltConfiguration::build(named(b3_cfg, "B_NREF3J_R"), nref);
 
-    ctx.log("NREF: running NREF2J on P / 1C / A_R / B_R");
-    let r2_p = run_workload(nref, &p, &w2, ctx.timeout);
-    let r2_1c = run_workload(nref, &c1, &w2, ctx.timeout);
-    let r2_a = a2.as_ref().map(|b| run_workload(nref, b, &w2, ctx.timeout));
-    let r2_b = run_workload(nref, &b2, &w2, ctx.timeout);
-    ctx.log("NREF: running NREF3J on P / 1C / B_R");
-    let r3_p = run_workload(nref, &p, &w3, ctx.timeout);
-    let r3_1c = run_workload(nref, &c1, &w3, ctx.timeout);
-    let r3_b = run_workload(nref, &b3, &w3, ctx.timeout);
+    ctx.log("NREF: running the NREF2J/NREF3J x P/1C/R grid");
+    let timeout = ctx.timeout;
+    let cell = move |family: &'static str, built, workload| GridCell {
+        family,
+        db: nref,
+        built,
+        workload,
+        timeout_units: timeout,
+    };
+    let mut cells = vec![
+        cell("NREF2J", &p, w2.as_slice()),
+        cell("NREF2J", &c1, &w2),
+        cell("NREF2J", &b2, &w2),
+        cell("NREF3J", &p, &w3),
+        cell("NREF3J", &c1, &w3),
+        cell("NREF3J", &b3, &w3),
+    ];
+    if let Some(a) = &a2 {
+        cells.push(cell("NREF2J", a, &w2));
+    }
+    let mut grid: std::collections::VecDeque<(WorkloadRun, CellTiming)> =
+        run_grid(&cells, par).into();
+    drop(cells);
+    let mut take = |ctx: &mut Ctx| -> WorkloadRun {
+        let (run, timing) = grid.pop_front().expect("one result per grid cell");
+        ctx.timings.push(timing);
+        run
+    };
+    let r2_p = take(&mut ctx);
+    let r2_1c = take(&mut ctx);
+    let r2_b = take(&mut ctx);
+    let r3_p = take(&mut ctx);
+    let r3_1c = take(&mut ctx);
+    let r3_b = take(&mut ctx);
+    let r2_a = a2.as_ref().map(|_| take(&mut ctx));
 
     for (fam, run) in [
         ("NREF2J", &r2_p),
@@ -267,8 +318,16 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
             2,
         );
         for (file, title, h) in [
-            ("fig01_hist_nref2j_P.csv", "Figure 1: NREF2J on A_NREF_P (histogram)", &h1),
-            ("fig02_hist_nref2j_R.csv", "Figure 2: NREF2J on A_NREF2J_R (histogram)", &h2),
+            (
+                "fig01_hist_nref2j_P.csv",
+                "Figure 1: NREF2J on A_NREF_P (histogram)",
+                &h1,
+            ),
+            (
+                "fig02_hist_nref2j_R.csv",
+                "Figure 2: NREF2J on A_NREF2J_R (histogram)",
+                &h2,
+            ),
         ] {
             let mut rows: Vec<Vec<String>> = Vec::new();
             let labels = h.labels();
@@ -303,7 +362,12 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
             cfc_a = ra.cfc();
             curves.push(("R", &cfc_a));
         }
-        ctx.write_cfc_figure("fig03_cfc_A_nref2j.csv", "Figure 3: System A on NREF2J", &curves, max_x);
+        ctx.write_cfc_figure(
+            "fig03_cfc_A_nref2j.csv",
+            "Figure 3: System A on NREF2J",
+            &curves,
+            max_x,
+        );
         let x = 31.6;
         ctx.claim(
             "fig3-1c-best-at-31s",
@@ -370,8 +434,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         "fig5-B-R-near-P",
         "System B's NREF2J recommendation performs close to P, far from 1C",
         r2_b.total_lower_bound_sim_seconds() > 0.5 * r2_p.total_lower_bound_sim_seconds()
-            && r2_1c.total_lower_bound_sim_seconds()
-                < 0.8 * r2_b.total_lower_bound_sim_seconds(),
+            && r2_1c.total_lower_bound_sim_seconds() < 0.8 * r2_b.total_lower_bound_sim_seconds(),
         format!(
             "totals: P={:.0}s R={:.0}s 1C={:.0}s",
             r2_p.total_lower_bound_sim_seconds(),
@@ -400,16 +463,16 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
             (timeout_s, 0.9),
         ]);
         let sat = |c: &Cfc| goal.satisfied_by(c);
-        let rows: Vec<Vec<String>> = [
-            ("P", &cfc2_p),
-            ("1C", &cfc2_1c),
-            ("R_B", &cfc2_b),
-        ]
-        .iter()
-        .map(|(n, c)| vec![n.to_string(), sat(c).to_string()])
-        .collect();
-        write_csv(ctx.out.join("goal_example2.csv"), &["config", "satisfied"], &rows)
-            .expect("write goal");
+        let rows: Vec<Vec<String>> = [("P", &cfc2_p), ("1C", &cfc2_1c), ("R_B", &cfc2_b)]
+            .iter()
+            .map(|(n, c)| vec![n.to_string(), sat(c).to_string()])
+            .collect();
+        write_csv(
+            ctx.out.join("goal_example2.csv"),
+            &["config", "satisfied"],
+            &rows,
+        )
+        .expect("write goal");
         ctx.claim(
             "ex2-goal-separates",
             "The Example-2-style goal is satisfied by 1C but not by P (Figure 3 reading)",
@@ -421,11 +484,11 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     // Figure 10: estimate curves for NREF3J on System B.
     ctx.log("NREF: computing Figure 10 estimate curves");
     {
-        let ep = estimate_workload(nref, &p, &w3);
-        let er = estimate_workload(nref, &b3, &w3);
-        let e1c = estimate_workload(nref, &c1, &w3);
-        let hr = estimate_workload_hypothetical(nref, &p, &b3.config, &w3);
-        let h1c = estimate_workload_hypothetical(nref, &p, &c1.config, &w3);
+        let ep = estimate_workload_with(nref, &p, &w3, par);
+        let er = estimate_workload_with(nref, &b3, &w3, par);
+        let e1c = estimate_workload_with(nref, &c1, &w3, par);
+        let hr = estimate_workload_hypothetical_with(nref, &p, &b3.config, &w3, par);
+        let h1c = estimate_workload_hypothetical_with(nref, &p, &c1.config, &w3, par);
         let curves: Vec<(&str, Cfc)> = vec![
             ("EP", Cfc::from_values(&ep)),
             ("ER", Cfc::from_values(&er)),
@@ -444,8 +507,12 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
             * 1.2;
         let (header, rows) = cfc_csv_rows(&refs, lo, hi, 60);
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        write_csv(ctx.out.join("fig10_estimates_nref3j.csv"), &header_refs, &rows)
-            .expect("write fig10");
+        write_csv(
+            ctx.out.join("fig10_estimates_nref3j.csv"),
+            &header_refs,
+            &rows,
+        )
+        .expect("write fig10");
         ctx.figure(
             "Figure 10: estimate curves for NREF3J on System B (estimation units)",
             &render_cfc_ascii(&refs, lo, hi, 64, 16),
@@ -525,7 +592,10 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                 hists[2].1.at_decade(d)
             ));
         }
-        ctx.figure("Figure 11: improvement ratios R vs 1C on NREF3J (B)", &fig11);
+        ctx.figure(
+            "Figure 11: improvement ratios R vs 1C on NREF3J (B)",
+            &fig11,
+        );
         let mass_above_one = |h: &RatioHistogram| -> f64 {
             let above: usize = (1..=3).map(|d| h.at_decade(d)).sum();
             let total: usize = h.counts.iter().sum();
@@ -633,7 +703,11 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
 
     // ================= TPC-H (System C) =================
     for (dist, label, families) in [
-        (Distribution::Zipf(1.0), "SkTH", vec![Family::SkTH3J, Family::SkTH3Js]),
+        (
+            Distribution::Zipf(1.0),
+            "SkTH",
+            vec![Family::SkTH3J, Family::SkTH3Js],
+        ),
         (Distribution::Uniform, "UnTH", vec![Family::UnTH3J]),
     ] {
         ctx.log(&format!("{label}: generating database"));
@@ -650,10 +724,23 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         let mut family_runs: BTreeMap<&'static str, (WorkloadRun, WorkloadRun, WorkloadRun)> =
             BTreeMap::new();
 
+        // Phase 1: per family, sample the workload and let System C
+        // recommend (enumeration and stratification are parallel inside).
+        let mut preps: Vec<(Family, Vec<Query>, BuiltConfiguration)> = Vec::new();
         for fam in families {
             ctx.log(&format!("{label}: preparing {}", fam.name()));
-            let w = prepare_workload_db(db, fam, &p, cfg.params.workload_size, cfg.params.seed);
-            ctx.log(&format!("{label}: System C recommending for {}", fam.name()));
+            let w = prepare_workload_db_with(
+                db,
+                fam,
+                &p,
+                cfg.params.workload_size,
+                cfg.params.seed,
+                par,
+            );
+            ctx.log(&format!(
+                "{label}: System C recommending for {}",
+                fam.name()
+            ));
             let rec = SystemC
                 .recommend(&AdvisorInput {
                     db,
@@ -664,11 +751,35 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                 .expect("C always recommends");
             let rec_name = format!("C_{}_R", fam.name());
             let built = BuiltConfiguration::build(named(rec, &rec_name), db);
+            preps.push((fam, w, built));
+        }
 
-            ctx.log(&format!("{label}: running {} on P / 1C / R", fam.name()));
-            let run_p = run_workload(db, &p, &w, ctx.timeout);
-            let run_1c = run_workload(db, &c1, &w, ctx.timeout);
-            let run_r = run_workload(db, &built, &w, ctx.timeout);
+        // Phase 2: one flat family x {P, 1C, R} grid per database.
+        ctx.log(&format!("{label}: running the family x P/1C/R grid"));
+        let cells: Vec<GridCell> = preps
+            .iter()
+            .flat_map(|(fam, w, built)| {
+                [&p, &c1, built].map(|b| GridCell {
+                    family: fam.name(),
+                    db,
+                    built: b,
+                    workload: w,
+                    timeout_units: ctx.timeout,
+                })
+            })
+            .collect();
+        let mut grid = run_grid(&cells, par).into_iter();
+        drop(cells);
+
+        for (fam, _w, built) in &preps {
+            let mut next = || {
+                let (run, timing) = grid.next().expect("one result per grid cell");
+                ctx.timings.push(timing);
+                run
+            };
+            let run_p = next();
+            let run_1c = next();
+            let run_r = next();
             for r in [&run_p, &run_1c, &run_r] {
                 record_run(&mut runs_csv, &mut totals_csv, fam.name(), r);
             }
@@ -681,13 +792,16 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
             let (cp, cc, cr) = (run_p.cfc(), run_1c.cfc(), run_r.cfc());
             ctx.write_cfc_figure(file, title, &[("P", &cp), ("1C", &cc), ("R", &cr)], max_x);
 
-            let row = table1_row(db, &built);
+            let row = table1_row(db, built);
             table1.push(vec![
-                rec_name.clone(),
+                built.config.name.clone(),
                 format!("{:.1}", row.size_mib),
                 format!("{:.1}", row.build_sim_minutes),
             ]);
-            table3.extend(index_width_rows(&[(&rec_name, &built.config)], &p.config));
+            table3.extend(index_width_rows(
+                &[(built.config.name.as_str(), &built.config)],
+                &p.config,
+            ));
 
             family_runs.insert(fam.name(), (run_p, run_1c, run_r));
         }
@@ -820,6 +934,11 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     .expect("write claims");
     std::fs::write(ctx.out.join("figures.txt"), &ctx.figures).expect("write figures");
 
+    // Per-grid-cell timings. Wall-clock varies run to run, so this file
+    // is excluded from determinism comparisons (see tests/determinism.rs).
+    let timings = timings_json(par.threads(), ctx.t0.elapsed().as_secs_f64(), &ctx.timings);
+    std::fs::write(ctx.out.join("timings.json"), timings).expect("write timings");
+
     ctx.log(&format!(
         "done: {}/{} claims hold",
         ctx.claims.iter().filter(|c| c.holds).count(),
@@ -834,10 +953,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
 /// Rows of Tables 2/3: per-table counts of 1..4-column indexes in a
 /// recommended configuration, excluding the `P` baseline's primary-key
 /// indexes; materialized-view indexes appear as `view:<name>` rows.
-fn index_width_rows(
-    recs: &[(&str, &Configuration)],
-    p_config: &Configuration,
-) -> Vec<Vec<String>> {
+fn index_width_rows(recs: &[(&str, &Configuration)], p_config: &Configuration) -> Vec<Vec<String>> {
     let mut out = Vec::new();
     for (name, cfg) in recs {
         let mut per_table: BTreeMap<String, [usize; 4]> = BTreeMap::new();

@@ -19,10 +19,10 @@ use std::process::ExitCode;
 use args::Args;
 use tab_advisor::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};
 use tab_core::report::render_cfc_ascii;
-use tab_core::{run_workload, Goal};
+use tab_core::{run_workload_with, Goal, Parallelism};
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
 use tab_engine::{apply_insert, Session};
-use tab_families::{sample_preserving, Family};
+use tab_families::{sample_preserving_par, Family};
 use tab_sqlq::{parse_statement, Statement};
 use tab_storage::{BuiltConfiguration, Database};
 
@@ -36,6 +36,9 @@ USAGE:
   tab advise  --db SPEC --family NAME [--system A|B|C] [--workload N]
   tab bench   --db SPEC --family NAME [--configs p,1c] [--workload N] [--timeout-secs T]
   tab goal    --db SPEC --family NAME --steps \"10:0.1,60:0.5\" [--config p|1c]
+
+All commands accept --threads N (worker threads; 0 or absent = all
+cores). Results are identical at any thread count.
 
 DB SPEC: nref[:proteins] | skth[:scale] | unth[:scale]
 FAMILY:  NREF2J | NREF3J | SkTH3J | SkTH3Js | UnTH3J";
@@ -132,6 +135,11 @@ fn sql_arg(args: &Args) -> Result<String, String> {
     Ok(args.positional.join(" "))
 }
 
+/// The `--threads` flag as a [`Parallelism`] (0 or absent = all cores).
+fn par_of(args: &Args) -> Result<Parallelism, String> {
+    Ok(Parallelism::new(args.get_parsed("threads")?.unwrap_or(0)))
+}
+
 fn workload_for(
     args: &Args,
     db: &Database,
@@ -139,16 +147,21 @@ fn workload_for(
     family: Family,
 ) -> Result<Vec<tab_sqlq::Query>, String> {
     let n: usize = args.get_parsed("workload")?.unwrap_or(50);
-    let all = family.enumerate(db);
+    let par = par_of(args)?;
+    let all = family.enumerate_with(db, par);
     if all.is_empty() {
-        return Err(format!("family {} is empty on this database", family.name()));
+        return Err(format!(
+            "family {} is empty on this database",
+            family.name()
+        ));
     }
     let session = Session::new(db, p);
-    Ok(sample_preserving(
+    Ok(sample_preserving_par(
         &all,
         |q| session.estimate(q).unwrap_or(f64::INFINITY),
         n,
         2005,
+        par,
     ))
 }
 
@@ -177,9 +190,11 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     let session = Session::new(&db, &built);
     let plan = session.plan_query(&q).map_err(|e| e.to_string())?;
     println!("plan:     {}", plan.describe());
-    println!("estimate: {:.1} units ({:.2} simulated seconds)",
+    println!(
+        "estimate: {:.1} units ({:.2} simulated seconds)",
         plan.est_cost,
-        tab_engine::units_to_sim_seconds(plan.est_cost));
+        tab_engine::units_to_sim_seconds(plan.est_cost)
+    );
     println!("est rows: {:.0}", plan.est_rows);
     Ok(())
 }
@@ -218,7 +233,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                         r.plan.describe()
                     );
                 }
-                _ => println!("TIMEOUT after {:.0} simulated seconds", r.outcome.sim_seconds_lower_bound()),
+                _ => println!(
+                    "TIMEOUT after {:.0} simulated seconds",
+                    r.outcome.sim_seconds_lower_bound()
+                ),
             }
         }
     }
@@ -297,7 +315,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             "1c" | "1C" => tab_core::build_1c(&db, &label),
             other => return Err(format!("unknown config `{other}`")),
         };
-        let run = run_workload(&db, &built, &w, timeout_units);
+        let run = run_workload_with(&db, &built, &w, timeout_units, par_of(args)?);
         println!(
             "{:>4}: total (lower bound) {:.0}s, timeouts {}/{}",
             name,
@@ -307,8 +325,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         );
         curves.push((name.trim().to_uppercase(), run.cfc()));
     }
-    let refs: Vec<(&str, &tab_core::Cfc)> =
-        curves.iter().map(|(l, c)| (l.as_str(), c)).collect();
+    let refs: Vec<(&str, &tab_core::Cfc)> = curves.iter().map(|(l, c)| (l.as_str(), c)).collect();
     let max_x = tab_engine::units_to_sim_seconds(timeout_units) * 1.1;
     println!("\n{}", render_cfc_ascii(&refs, 0.1, max_x, 64, 16));
     Ok(())
@@ -321,7 +338,13 @@ fn cmd_goal(args: &Args) -> Result<(), String> {
     let p = tab_core::build_p(&db, &label);
     let built = load_config(args, &db, &label)?;
     let w = workload_for(args, &db, &p, family)?;
-    let run = run_workload(&db, &built, &w, tab_engine::DEFAULT_TIMEOUT_UNITS);
+    let run = run_workload_with(
+        &db,
+        &built,
+        &w,
+        tab_engine::DEFAULT_TIMEOUT_UNITS,
+        par_of(args)?,
+    );
     let cfc = run.cfc();
     println!(
         "goal {} on {} ({}): {}",
@@ -335,7 +358,10 @@ fn cmd_goal(args: &Args) -> Result<(), String> {
         }
     );
     for (x, f) in goal.steps() {
-        println!("  at {x:>8.1}s: required {f:.2}, achieved {:.2}", cfc.at(*x));
+        println!(
+            "  at {x:>8.1}s: required {f:.2}, achieved {:.2}",
+            cfc.at(*x)
+        );
     }
     Ok(())
 }

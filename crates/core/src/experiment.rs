@@ -10,13 +10,13 @@
 use tab_advisor::{one_column_budget_bytes, one_column_configuration, p_configuration};
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
 use tab_engine::{RANDOM_PAGE_COST, SEQ_PAGE_COST};
-use tab_families::{sample_preserving, Family};
+use tab_families::{sample_preserving_par, Family};
 use tab_sqlq::Query;
-use tab_storage::{BuiltConfiguration, Database};
+use tab_storage::{par_run, BuiltConfiguration, Database, Parallelism};
 
 use crate::measure::WorkloadRun;
 
-/// Suite-level parameters (scales, seeds, timeout).
+/// Suite-level parameters (scales, seeds, timeout, parallelism).
 #[derive(Debug, Clone, Copy)]
 pub struct SuiteParams {
     /// Proteins in the synthetic NREF (other tables follow the paper's
@@ -31,6 +31,9 @@ pub struct SuiteParams {
     pub timeout_units: f64,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for the measurement fan-out. Results are
+    /// identical at any setting; only wall-clock time changes.
+    pub par: Parallelism,
 }
 
 impl Default for SuiteParams {
@@ -45,6 +48,7 @@ impl Default for SuiteParams {
             workload_size: 100,
             timeout_units: tab_engine::DEFAULT_TIMEOUT_UNITS,
             seed: 2005,
+            par: Parallelism::available(),
         }
     }
 }
@@ -58,7 +62,15 @@ impl SuiteParams {
             workload_size: 30,
             timeout_units: tab_engine::DEFAULT_TIMEOUT_UNITS / 10.0,
             seed: 2005,
+            par: Parallelism::available(),
         }
+    }
+
+    /// The same parameters with an explicit thread count (`0` = all
+    /// available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.par = Parallelism::new(threads);
+        self
     }
 }
 
@@ -75,22 +87,36 @@ pub struct Suite {
 }
 
 impl Suite {
-    /// Generate all three databases.
+    /// Generate all three databases, concurrently when `params.par`
+    /// allows. Each generator owns its seed, so the databases are
+    /// independent of how the builds are scheduled.
     pub fn build(params: SuiteParams) -> Self {
-        let nref = generate_nref(NrefParams {
-            proteins: params.nref_proteins,
-            seed: params.seed,
-        });
-        let skth = generate_tpch(TpchParams {
-            scale: params.tpch_scale,
-            distribution: Distribution::Zipf(1.0),
-            seed: params.seed + 1,
-        });
-        let unth = generate_tpch(TpchParams {
-            scale: params.tpch_scale,
-            distribution: Distribution::Uniform,
-            seed: params.seed + 2,
-        });
+        let jobs: Vec<Box<dyn FnOnce() -> Database + Send>> = vec![
+            Box::new(move || {
+                generate_nref(NrefParams {
+                    proteins: params.nref_proteins,
+                    seed: params.seed,
+                })
+            }),
+            Box::new(move || {
+                generate_tpch(TpchParams {
+                    scale: params.tpch_scale,
+                    distribution: Distribution::Zipf(1.0),
+                    seed: params.seed + 1,
+                })
+            }),
+            Box::new(move || {
+                generate_tpch(TpchParams {
+                    scale: params.tpch_scale,
+                    distribution: Distribution::Uniform,
+                    seed: params.seed + 2,
+                })
+            }),
+        ];
+        let mut dbs = par_run(params.par, jobs).into_iter();
+        let nref = dbs.next().expect("three jobs");
+        let skth = dbs.next().expect("three jobs");
+        let unth = dbs.next().expect("three jobs");
         Suite {
             params,
             nref,
@@ -129,17 +155,14 @@ pub fn space_budget(db: &Database, label: &str) -> u64 {
 /// Enumerate a family and sample the benchmark workload from it,
 /// preserving the family's cost distribution (§4.1.1; stratified on
 /// estimated cost in `P` — see `tab-families::sample`).
-pub fn prepare_workload(
-    suite: &Suite,
-    family: Family,
-    p_built: &BuiltConfiguration,
-) -> Vec<Query> {
-    prepare_workload_db(
+pub fn prepare_workload(suite: &Suite, family: Family, p_built: &BuiltConfiguration) -> Vec<Query> {
+    prepare_workload_db_with(
         suite.db_for(family),
         family,
         p_built,
         suite.params.workload_size,
         suite.params.seed,
+        suite.params.par,
     )
 }
 
@@ -152,13 +175,35 @@ pub fn prepare_workload_db(
     workload_size: usize,
     seed: u64,
 ) -> Vec<Query> {
-    let all = family.enumerate(db);
+    prepare_workload_db_with(
+        db,
+        family,
+        p_built,
+        workload_size,
+        seed,
+        Parallelism::sequential(),
+    )
+}
+
+/// [`prepare_workload_db`] with enumeration and stratification cost
+/// estimation fanned out across threads. The sampled workload is
+/// identical at any thread count.
+pub fn prepare_workload_db_with(
+    db: &Database,
+    family: Family,
+    p_built: &BuiltConfiguration,
+    workload_size: usize,
+    seed: u64,
+    par: Parallelism,
+) -> Vec<Query> {
+    let all = family.enumerate_with(db, par);
     let session = tab_engine::Session::new(db, p_built);
-    sample_preserving(
+    sample_preserving_par(
         &all,
         |q| session.estimate(q).unwrap_or(f64::INFINITY),
         workload_size,
         seed ^ family.name().len() as u64,
+        par,
     )
 }
 
@@ -269,7 +314,34 @@ mod tests {
             workload_size: 10,
             timeout_units: 500.0,
             seed: 7,
+            par: Parallelism::sequential(),
         })
+    }
+
+    #[test]
+    fn parallel_suite_matches_sequential() {
+        let seq = tiny_suite();
+        let par = Suite::build(SuiteParams {
+            par: Parallelism::new(3),
+            ..seq.params
+        });
+        for (a, b) in [
+            (&seq.nref, &par.nref),
+            (&seq.skth, &par.skth),
+            (&seq.unth, &par.unth),
+        ] {
+            for name in a.table_names() {
+                assert_eq!(
+                    a.table(name).unwrap().n_rows(),
+                    b.table(name).unwrap().n_rows(),
+                    "{name}"
+                );
+            }
+        }
+        let p = build_p(&seq.nref, "NREF");
+        let w_seq = prepare_workload(&seq, Family::Nref2J, &p);
+        let w_par = prepare_workload(&par, Family::Nref2J, &p);
+        assert_eq!(w_seq, w_par);
     }
 
     #[test]
@@ -326,8 +398,7 @@ mod tests {
         assert!(a.per_insert_1c > a.per_insert_r);
         let be = a.breakeven_tuples.expect("finite break-even");
         // Sanity: inserting `be` tuples equalizes the totals.
-        let lhs = a.workload_1c
-            + be * tab_engine::units_to_sim_seconds(a.per_insert_1c);
+        let lhs = a.workload_1c + be * tab_engine::units_to_sim_seconds(a.per_insert_1c);
         let rhs = a.workload_r + be * tab_engine::units_to_sim_seconds(a.per_insert_r);
         assert!((lhs - rhs).abs() < 1e-6);
     }

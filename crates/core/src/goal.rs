@@ -89,10 +89,7 @@ impl Goal {
             let (x, f) = part
                 .split_once(':')
                 .ok_or_else(|| format!("expected `seconds:fraction`, got `{part}`"))?;
-            let x: f64 = x
-                .trim()
-                .parse()
-                .map_err(|_| format!("bad seconds `{x}`"))?;
+            let x: f64 = x.trim().parse().map_err(|_| format!("bad seconds `{x}`"))?;
             let f = f.trim();
             let frac: f64 = if let Some(pct) = f.strip_suffix('%') {
                 pct.trim()

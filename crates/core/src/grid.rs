@@ -1,0 +1,270 @@
+//! The experiment grid: every (family, configuration) cell of the
+//! reproduction, executed as one flat pool of per-query jobs.
+//!
+//! The repro driver measures each sampled workload on several built
+//! configurations. Cells vary enormously in cost — a configuration that
+//! times out on most of its workload spends the full timeout budget per
+//! query — so parallelizing cell-by-cell would leave threads idle behind
+//! the slowest cell. Instead [`run_grid`] flattens the whole grid into
+//! (cell, query) jobs and lets the dynamic scheduler in
+//! [`tab_storage::par_map`] balance them; outcomes are reassembled per
+//! cell in workload order, so every [`WorkloadRun`] is identical to what
+//! the serial loop would have produced.
+//!
+//! Each cell also gets a [`CellTiming`]: real wall-clock spent on its
+//! queries plus the modeled cost units the paper's analysis is based
+//! on. [`timings_json`] renders those machine-readably for CI trend
+//! tracking.
+
+use std::time::Instant;
+
+use tab_engine::{Outcome, Session};
+use tab_sqlq::Query;
+use tab_storage::{par_map, BuiltConfiguration, Database, Parallelism};
+
+use crate::measure::WorkloadRun;
+
+/// One (family, configuration) cell of the experiment grid, borrowed
+/// from the driver that owns the databases and configurations.
+pub struct GridCell<'a> {
+    /// Family name, e.g. `NREF2J`.
+    pub family: &'a str,
+    /// Database the workload runs on.
+    pub db: &'a Database,
+    /// Built configuration to measure.
+    pub built: &'a BuiltConfiguration,
+    /// The sampled workload, in order.
+    pub workload: &'a [Query],
+    /// Timeout budget in cost units.
+    pub timeout_units: f64,
+}
+
+/// Timing record for one executed grid cell.
+#[derive(Debug, Clone)]
+pub struct CellTiming {
+    /// Family name, e.g. `NREF2J`.
+    pub family: String,
+    /// Configuration display name, e.g. `NREF_P`.
+    pub config: String,
+    /// Queries in the cell.
+    pub queries: usize,
+    /// Queries that hit the timeout budget.
+    pub timeouts: usize,
+    /// Real wall-clock seconds summed over the cell's queries. Under a
+    /// parallel run this is aggregate compute time, not elapsed time.
+    pub wall_seconds: f64,
+    /// Modeled cost units, timeouts charged at the budget (the §4.3
+    /// lower bound).
+    pub cost_units: f64,
+}
+
+/// Execute every cell of the grid and return, per cell in input order,
+/// the workload run and its timing.
+pub fn run_grid(cells: &[GridCell<'_>], par: Parallelism) -> Vec<(WorkloadRun, CellTiming)> {
+    // Flatten to (cell, query) so the scheduler balances across cells.
+    let jobs: Vec<(usize, usize)> = cells
+        .iter()
+        .enumerate()
+        .flat_map(|(c, cell)| (0..cell.workload.len()).map(move |q| (c, q)))
+        .collect();
+    let results: Vec<(Outcome, f64)> = par_map(par, &jobs, |&(c, q)| {
+        let cell = &cells[c];
+        let session = Session::new(cell.db, cell.built);
+        let t0 = Instant::now();
+        let outcome = session
+            .run(&cell.workload[q], Some(cell.timeout_units))
+            .expect("grid workloads bind against their databases")
+            .outcome;
+        (outcome, t0.elapsed().as_secs_f64())
+    });
+
+    // Jobs were emitted cell-major and par_map preserves input order, so
+    // the results regroup by walking them once.
+    let mut out = Vec::with_capacity(cells.len());
+    let mut it = results.into_iter();
+    for cell in cells {
+        let mut outcomes = Vec::with_capacity(cell.workload.len());
+        let mut wall_seconds = 0.0;
+        for _ in 0..cell.workload.len() {
+            let (outcome, wall) = it.next().expect("one result per job");
+            wall_seconds += wall;
+            outcomes.push(outcome);
+        }
+        let timing = CellTiming {
+            family: cell.family.to_string(),
+            config: cell.built.config.name.clone(),
+            queries: outcomes.len(),
+            timeouts: outcomes.iter().filter(|o| o.is_timeout()).count(),
+            wall_seconds,
+            cost_units: outcomes
+                .iter()
+                .map(|o| match o {
+                    Outcome::Done { units, .. } => *units,
+                    Outcome::Timeout { budget } => *budget,
+                })
+                .sum(),
+        };
+        out.push((
+            WorkloadRun {
+                config: cell.built.config.name.clone(),
+                outcomes,
+            },
+            timing,
+        ));
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render cell timings as a `timings.json` document:
+///
+/// ```json
+/// {
+///   "threads": 4,
+///   "total_wall_seconds": 12.3,
+///   "cells": [ { "family": "NREF2J", "config": "NREF_P", ... }, ... ]
+/// }
+/// ```
+pub fn timings_json(threads: usize, total_wall_seconds: f64, cells: &[CellTiming]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!(
+        "  \"total_wall_seconds\": {total_wall_seconds:.3},\n"
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"family\": \"{}\", \"config\": \"{}\", \"queries\": {}, \"timeouts\": {}, \"wall_seconds\": {:.6}, \"cost_units\": {:.3}}}{}\n",
+            json_escape(&c.family),
+            json_escape(&c.config),
+            c.queries,
+            c.timeouts,
+            c.wall_seconds,
+            c.cost_units,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{build_1c, build_p};
+    use crate::measure::run_workload;
+    use tab_datagen::{generate_nref, NrefParams};
+    use tab_sqlq::parse;
+
+    fn setup() -> (Database, Vec<Query>) {
+        let db = generate_nref(NrefParams {
+            proteins: 200,
+            seed: 9,
+        });
+        let qs: Vec<Query> = (0..6)
+            .map(|i| {
+                parse(&format!(
+                    "SELECT p.p_name, COUNT(*) FROM protein p \
+                     WHERE p.last_updated = {i} GROUP BY p.p_name"
+                ))
+                .unwrap()
+            })
+            .collect();
+        (db, qs)
+    }
+
+    #[test]
+    fn grid_matches_per_cell_run_workload_at_any_thread_count() {
+        let (db, qs) = setup();
+        let p = build_p(&db, "NREF");
+        let c1 = build_1c(&db, "NREF");
+        let cells = [
+            GridCell {
+                family: "F1",
+                db: &db,
+                built: &p,
+                workload: &qs,
+                timeout_units: 500.0,
+            },
+            GridCell {
+                family: "F1",
+                db: &db,
+                built: &c1,
+                workload: &qs,
+                timeout_units: 500.0,
+            },
+            GridCell {
+                family: "F2",
+                db: &db,
+                built: &p,
+                workload: &qs[..3],
+                timeout_units: 10.0,
+            },
+        ];
+        let serial: Vec<WorkloadRun> = cells
+            .iter()
+            .map(|c| run_workload(c.db, c.built, c.workload, c.timeout_units))
+            .collect();
+        for threads in [1, 2, 4] {
+            let grid = run_grid(&cells, Parallelism::new(threads));
+            assert_eq!(grid.len(), serial.len());
+            for ((run, timing), want) in grid.iter().zip(&serial) {
+                assert_eq!(run.config, want.config);
+                assert_eq!(run.outcomes.len(), want.outcomes.len());
+                for (a, b) in run.outcomes.iter().zip(&want.outcomes) {
+                    assert_eq!(format!("{a:?}"), format!("{b:?}"), "threads={threads}");
+                }
+                assert_eq!(timing.queries, run.outcomes.len());
+                assert_eq!(timing.timeouts, run.timeout_count());
+                assert!(timing.wall_seconds >= 0.0);
+                assert!(timing.cost_units > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn timings_json_shape() {
+        let cells = vec![
+            CellTiming {
+                family: "NREF2J".into(),
+                config: "NREF_P".into(),
+                queries: 30,
+                timeouts: 4,
+                wall_seconds: 1.25,
+                cost_units: 42.0,
+            },
+            CellTiming {
+                family: "SkTH3J".into(),
+                config: "SkTH_\"q\"".into(),
+                queries: 30,
+                timeouts: 0,
+                wall_seconds: 0.5,
+                cost_units: 7.0,
+            },
+        ];
+        let j = timings_json(4, 3.0, &cells);
+        assert!(j.contains("\"threads\": 4"));
+        assert!(j.contains("\"total_wall_seconds\": 3.000"));
+        assert!(j.contains("\"family\": \"NREF2J\""));
+        assert!(j.contains("SkTH_\\\"q\\\""));
+        // A comma between the two cell objects, none trailing.
+        assert!(j.contains("},\n"));
+        assert!(!j.contains("},\n  ]"));
+    }
+}

@@ -21,18 +21,23 @@
 pub mod cfc;
 pub mod experiment;
 pub mod goal;
+pub mod grid;
 pub mod histogram;
 pub mod measure;
 pub mod report;
 
 pub use cfc::Cfc;
 pub use experiment::{
-    build_1c, build_p, insertion_breakeven, per_insert_cost, prepare_workload, prepare_workload_db, space_budget,
-    table1_row, InsertionAnalysis, Suite, SuiteParams, Table1Row,
+    build_1c, build_p, insertion_breakeven, per_insert_cost, prepare_workload, prepare_workload_db,
+    prepare_workload_db_with, space_budget, table1_row, InsertionAnalysis, Suite, SuiteParams,
+    Table1Row,
 };
 pub use goal::{improvement_ratio, Goal};
+pub use grid::{run_grid, timings_json, CellTiming, GridCell};
 pub use histogram::{LogHistogram, RatioHistogram};
 pub use measure::{
-    estimate_workload, estimate_workload_hypothetical, improvement_ratios, run_update_workload,
-    run_workload, UpdateWorkloadRun, WorkloadOp, WorkloadRun,
+    estimate_workload, estimate_workload_hypothetical, estimate_workload_hypothetical_with,
+    estimate_workload_with, improvement_ratios, run_update_workload, run_workload,
+    run_workload_with, UpdateWorkloadRun, WorkloadOp, WorkloadRun,
 };
+pub use tab_storage::Parallelism;

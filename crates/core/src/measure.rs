@@ -3,7 +3,7 @@
 
 use tab_engine::{apply_insert, estimate_hypothetical, Outcome, Session};
 use tab_sqlq::{Insert, Query};
-use tab_storage::{BuiltConfiguration, Configuration, Database};
+use tab_storage::{par_map, BuiltConfiguration, Configuration, Database, Parallelism};
 
 use crate::cfc::Cfc;
 
@@ -57,16 +57,33 @@ pub fn run_workload(
     workload: &[Query],
     timeout_units: f64,
 ) -> WorkloadRun {
+    run_workload_with(
+        db,
+        built,
+        workload,
+        timeout_units,
+        Parallelism::sequential(),
+    )
+}
+
+/// [`run_workload`] fanned out over queries. Queries are independent
+/// (sessions are read-only views over `db` and `built`) and outcomes are
+/// collected in workload order, so the result is identical at any
+/// thread count.
+pub fn run_workload_with(
+    db: &Database,
+    built: &BuiltConfiguration,
+    workload: &[Query],
+    timeout_units: f64,
+    par: Parallelism,
+) -> WorkloadRun {
     let session = Session::new(db, built);
-    let outcomes = workload
-        .iter()
-        .map(|q| {
-            session
-                .run(q, Some(timeout_units))
-                .expect("workload queries bind against their database")
-                .outcome
-        })
-        .collect();
+    let outcomes = par_map(par, workload, |q| {
+        session
+            .run(q, Some(timeout_units))
+            .expect("workload queries bind against their database")
+            .outcome
+    });
     WorkloadRun {
         config: built.config.name.clone(),
         outcomes,
@@ -79,11 +96,20 @@ pub fn estimate_workload(
     built: &BuiltConfiguration,
     workload: &[Query],
 ) -> Vec<f64> {
+    estimate_workload_with(db, built, workload, Parallelism::sequential())
+}
+
+/// [`estimate_workload`] fanned out over queries, order-preserving.
+pub fn estimate_workload_with(
+    db: &Database,
+    built: &BuiltConfiguration,
+    workload: &[Query],
+    par: Parallelism,
+) -> Vec<f64> {
     let session = Session::new(db, built);
-    workload
-        .iter()
-        .map(|q| session.estimate(q).expect("queries bind"))
-        .collect()
+    par_map(par, workload, |q| {
+        session.estimate(q).expect("queries bind")
+    })
 }
 
 /// Per-query hypothetical estimates `H(q, Ch, Ca)`.
@@ -93,10 +119,21 @@ pub fn estimate_workload_hypothetical(
     hyp: &Configuration,
     workload: &[Query],
 ) -> Vec<f64> {
-    workload
-        .iter()
-        .map(|q| estimate_hypothetical(db, current, hyp, q).expect("queries bind"))
-        .collect()
+    estimate_workload_hypothetical_with(db, current, hyp, workload, Parallelism::sequential())
+}
+
+/// [`estimate_workload_hypothetical`] fanned out over queries,
+/// order-preserving.
+pub fn estimate_workload_hypothetical_with(
+    db: &Database,
+    current: &BuiltConfiguration,
+    hyp: &Configuration,
+    workload: &[Query],
+    par: Parallelism,
+) -> Vec<f64> {
+    par_map(par, workload, |q| {
+        estimate_hypothetical(db, current, hyp, q).expect("queries bind")
+    })
 }
 
 /// One operation of a mixed (read/write) workload — §4.4's extension.

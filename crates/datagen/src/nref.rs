@@ -78,7 +78,9 @@ pub fn nref_schemas() -> Vec<TableSchema> {
             vec![
                 id("nref_id"),
                 taxon("taxon_id"),
-                ColumnDef::new("lineage", ColType::Str).domain("lineage").width(48),
+                ColumnDef::new("lineage", ColType::Str)
+                    .domain("lineage")
+                    .width(48),
                 name("species_name"),
                 name("common_name"),
             ],
@@ -145,17 +147,14 @@ pub fn generate(params: NrefParams) -> Database {
     let name_z = Zipf::new(n_names, 1.05);
     let sources = ["SwissProt", "TrEMBL", "RefSeq", "GenPept", "PDB", "PIR-PSD"];
 
-    let lineage_of = |taxon: usize| -> Value {
-        Value::str(format!("lin_{:05}", taxon % n_lineages))
-    };
+    let lineage_of =
+        |taxon: usize| -> Value { Value::str(format!("lin_{:05}", taxon % n_lineages)) };
     let name_of = |rank: usize| -> Value { Value::str(format!("prot name {rank:06}")) };
     let species_of = |taxon: usize| -> Value { Value::str(format!("species {taxon:05}")) };
 
     let schemas = nref_schemas();
     let mut tables: Vec<Table> = schemas.into_iter().map(Table::new).collect();
-    let [protein, source, taxonomy, organism, neighboring, identical] =
-        &mut tables[..]
-    else {
+    let [protein, source, taxonomy, organism, neighboring, identical] = &mut tables[..] else {
         unreachable!("six schemas");
     };
 
@@ -344,7 +343,11 @@ mod tests {
     #[test]
     fn sequence_column_not_indexable() {
         let schemas = nref_schemas();
-        let seq = schemas[0].columns.iter().find(|c| c.name == "sequence").unwrap();
+        let seq = schemas[0]
+            .columns
+            .iter()
+            .find(|c| c.name == "sequence")
+            .unwrap();
         assert!(!seq.indexable);
     }
 }

@@ -220,8 +220,21 @@ pub fn generate(params: TpchParams) -> Database {
                 .map(move |b| format!("{a} {b}"))
         })
         .collect();
-    let containers = ["SM CASE", "SM BOX", "MED BAG", "LG JAR", "WRAP PKG", "JUMBO DRUM"];
-    let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+    let containers = [
+        "SM CASE",
+        "SM BOX",
+        "MED BAG",
+        "LG JAR",
+        "WRAP PKG",
+        "JUMBO DRUM",
+    ];
+    let segments = [
+        "AUTOMOBILE",
+        "BUILDING",
+        "FURNITURE",
+        "MACHINERY",
+        "HOUSEHOLD",
+    ];
     let priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
     let modes = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"];
     let z_small = Zipf::new(25, theta);
@@ -233,8 +246,7 @@ pub fn generate(params: TpchParams) -> Database {
 
     let schemas = tpch_schemas();
     let mut tables: Vec<Table> = schemas.into_iter().map(Table::new).collect();
-    let [region, nation, supplier, part, customer, partsupp, orders, lineitem] =
-        &mut tables[..]
+    let [region, nation, supplier, part, customer, partsupp, orders, lineitem] = &mut tables[..]
     else {
         unreachable!("eight schemas");
     };
@@ -262,7 +274,10 @@ pub fn generate(params: TpchParams) -> Database {
     for i in 1..=n_part {
         part.insert(vec![
             Value::Int(i as i64),
-            Value::str(format!("part {:06}", picker.pick(&mut rng, n_part, &z_part))),
+            Value::str(format!(
+                "part {:06}",
+                picker.pick(&mut rng, n_part, &z_part)
+            )),
             pick_str(&mut rng, &brand_refs, &z_small, &picker),
             pick_str(&mut rng, &type_refs, &z_small, &picker),
             Value::Int(picker.pick(&mut rng, 50, &z_size)),
@@ -308,25 +323,25 @@ pub fn generate(params: TpchParams) -> Database {
     let lines_per_order = (n_lineitem / n_orders).max(1);
     for o in 1..=n_orders {
         for line in 0..lines_per_order {
-        let orderkey = o as i64;
-        let partkey = picker.pick(&mut rng, n_part, &z_part);
-        let ship = picker.pick(&mut rng, 2400, &z_date);
-        lineitem.insert(vec![
-            Value::Int(orderkey),
-            Value::Int(partkey),
-            Value::Int(picker.pick(&mut rng, n_supplier, &z_supp)),
-            Value::Int(line as i64 + 1),
-            Value::Int(picker.pick(&mut rng, 50, &z_qty)),
-            Value::Int(picker.pick(&mut rng, 10_000, &z_price)),
-            Value::Int(picker.pick(&mut rng, 10, &z_small)),
-            Value::Int(picker.pick(&mut rng, 8, &z_small)),
-            pick_str(&mut rng, &["A", "N", "R"], &z_small, &picker),
-            pick_str(&mut rng, &["O", "F"], &z_small, &picker),
-            Value::Int(ship),
-            Value::Int(ship + picker.pick(&mut rng, 30, &z_small)),
-            Value::Int(ship + picker.pick(&mut rng, 60, &z_small)),
-            pick_str(&mut rng, &modes, &z_small, &picker),
-        ]);
+            let orderkey = o as i64;
+            let partkey = picker.pick(&mut rng, n_part, &z_part);
+            let ship = picker.pick(&mut rng, 2400, &z_date);
+            lineitem.insert(vec![
+                Value::Int(orderkey),
+                Value::Int(partkey),
+                Value::Int(picker.pick(&mut rng, n_supplier, &z_supp)),
+                Value::Int(line as i64 + 1),
+                Value::Int(picker.pick(&mut rng, 50, &z_qty)),
+                Value::Int(picker.pick(&mut rng, 10_000, &z_price)),
+                Value::Int(picker.pick(&mut rng, 10, &z_small)),
+                Value::Int(picker.pick(&mut rng, 8, &z_small)),
+                pick_str(&mut rng, &["A", "N", "R"], &z_small, &picker),
+                pick_str(&mut rng, &["O", "F"], &z_small, &picker),
+                Value::Int(ship),
+                Value::Int(ship + picker.pick(&mut rng, 30, &z_small)),
+                Value::Int(ship + picker.pick(&mut rng, 60, &z_small)),
+                pick_str(&mut rng, &modes, &z_small, &picker),
+            ]);
         }
     }
 
@@ -400,9 +415,15 @@ mod tests {
                 .domain
                 .clone()
         };
-        assert_eq!(dom("lineitem", "l_quantity"), dom("partsupp", "ps_availqty"));
+        assert_eq!(
+            dom("lineitem", "l_quantity"),
+            dom("partsupp", "ps_availqty")
+        );
         assert_eq!(dom("lineitem", "l_shipdate"), dom("orders", "o_orderdate"));
-        assert_eq!(dom("lineitem", "l_extendedprice"), dom("orders", "o_totalprice"));
+        assert_eq!(
+            dom("lineitem", "l_extendedprice"),
+            dom("orders", "o_totalprice")
+        );
     }
 
     #[test]

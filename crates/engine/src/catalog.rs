@@ -192,15 +192,12 @@ pub fn bind(query: &Query, db: &Database) -> Result<BoundQuery, BindError> {
             .position(|r| r.alias == c.alias)
             .ok_or_else(|| err(format!("unknown alias `{}`", c.alias)))?;
         let table = db.table(&rels[rel].source).expect("checked above");
-        let col = table
-            .schema()
-            .column_index(&c.column)
-            .ok_or_else(|| {
-                err(format!(
-                    "unknown column `{}` on `{}`",
-                    c.column, rels[rel].source
-                ))
-            })?;
+        let col = table.schema().column_index(&c.column).ok_or_else(|| {
+            err(format!(
+                "unknown column `{}` on `{}`",
+                c.column, rels[rel].source
+            ))
+        })?;
         Ok((rel, col))
     };
 
@@ -261,9 +258,7 @@ pub fn bind(query: &Query, db: &Database) -> Result<BoundQuery, BindError> {
                     .table(sub_table)
                     .ok_or_else(|| err(format!("unknown subquery table `{sub_table}`")))?;
                 let sc = st.schema().column_index(sub_column).ok_or_else(|| {
-                    err(format!(
-                        "unknown column `{sub_column}` on `{sub_table}`"
-                    ))
+                    err(format!("unknown column `{sub_column}` on `{sub_table}`"))
                 })?;
                 freqs.push(FreqFilter {
                     rel,
@@ -289,9 +284,7 @@ pub fn bind(query: &Query, db: &Database) -> Result<BoundQuery, BindError> {
             SelectItem::Column(c) => {
                 let rc = resolve(c)?;
                 if !group_by.contains(&rc) && !query.group_by.is_empty() {
-                    return Err(err(format!(
-                        "selected column {c} is not in GROUP BY"
-                    )));
+                    return Err(err(format!("selected column {c} is not in GROUP BY")));
                 }
                 select.push(BoundItem::Column(rc.0, rc.1));
             }
@@ -341,10 +334,7 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        for (name, cols) in [
-            ("r", vec!["a", "b", "c"]),
-            ("s", vec!["a", "d"]),
-        ] {
+        for (name, cols) in [("r", vec!["a", "b", "c"]), ("s", vec!["a", "d"])] {
             let t = Table::new(TableSchema::new(
                 name,
                 cols.into_iter()
@@ -397,8 +387,8 @@ mod tests {
 
     #[test]
     fn binds_order_by_and_limit() {
-        let q = parse("SELECT r.a, COUNT(*) FROM r GROUP BY r.a ORDER BY r.a DESC LIMIT 5")
-            .unwrap();
+        let q =
+            parse("SELECT r.a, COUNT(*) FROM r GROUP BY r.a ORDER BY r.a DESC LIMIT 5").unwrap();
         let b = bind(&q, &db()).unwrap();
         assert_eq!(b.order_by, vec![(0, true)]);
         assert_eq!(b.limit, Some(5));
@@ -409,8 +399,8 @@ mod tests {
 
     #[test]
     fn binds_range_filter() {
-        let q = parse("SELECT r.c, COUNT(*) FROM r WHERE r.a >= 3 AND r.b < 9 GROUP BY r.c")
-            .unwrap();
+        let q =
+            parse("SELECT r.c, COUNT(*) FROM r WHERE r.a >= 3 AND r.b < 9 GROUP BY r.c").unwrap();
         let b = bind(&q, &db()).unwrap();
         assert_eq!(b.ranges.len(), 2);
         assert_eq!(b.ranges[0].op, RangeOp::Ge);

@@ -140,9 +140,9 @@ impl CostMeter {
 
     fn check(&self) -> Result<(), TimedOut> {
         match self.budget {
-            Some(b) if self.units() > b || self.rows > BUDGET_ROW_CAP => {
-                Err(TimedOut { spent: self.units() })
-            }
+            Some(b) if self.units() > b || self.rows > BUDGET_ROW_CAP => Err(TimedOut {
+                spent: self.units(),
+            }),
             _ => Ok(()),
         }
     }

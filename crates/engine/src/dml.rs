@@ -44,13 +44,13 @@ pub fn validate_insert(insert: &Insert, db: &Database) -> Result<(), BindError> 
         )));
     }
     for (v, c) in insert.values.iter().zip(cols) {
-        let ok = match (v, c.ty) {
-            (Value::Null, _) => true,
-            (Value::Int(_), ColType::Int) => true,
-            (Value::Int(_) | Value::Float(_), ColType::Float) => true,
-            (Value::Str(_), ColType::Str) => true,
-            _ => false,
-        };
+        let ok = matches!(
+            (v, c.ty),
+            (Value::Null, _)
+                | (Value::Int(_), ColType::Int)
+                | (Value::Int(_) | Value::Float(_), ColType::Float)
+                | (Value::Str(_), ColType::Str)
+        );
         if !ok {
             return Err(err(format!(
                 "value {v} does not fit column `{}` of type {}",
@@ -72,9 +72,7 @@ pub fn apply_insert(
     built: &mut BuiltConfiguration,
 ) -> Result<InsertOutcome, BindError> {
     validate_insert(insert, db)?;
-    let table = db
-        .table_mut(&insert.table)
-        .expect("validated table exists");
+    let table = db.table_mut(&insert.table).expect("validated table exists");
     let row_id = table.insert(insert.values.clone());
     let pages = built.apply_insert(&insert.table, &insert.values, row_id);
     Ok(InsertOutcome {

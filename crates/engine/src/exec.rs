@@ -97,16 +97,14 @@ pub fn execute(
             JoinMethod::Hash => {
                 let mut inner_layout = Layout::default();
                 inner_layout.add_rel(rel, &need[rel]);
-                let inner_tuples =
-                    scan_rel(&step.inner, q, resolver, meter, &freq_sets, &need)?;
+                let inner_tuples = scan_rel(&step.inner, q, resolver, meter, &freq_sets, &need)?;
                 // Grace-style spill when the build side exceeds memory.
                 meter.charge_seq_pages(crate::cost::spill_pages(
                     inner_tuples.len() as u64,
                     tuples.len() as u64,
                 ))?;
                 // Build on inner join cols.
-                let inner_cols: Vec<usize> =
-                    step.pairs.iter().map(|&(_, ic)| ic).collect();
+                let inner_cols: Vec<usize> = step.pairs.iter().map(|&(_, ic)| ic).collect();
                 let mut ht: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
                 for (i, t) in inner_tuples.iter().enumerate() {
                     meter.charge_rows(1)?;
@@ -164,9 +162,7 @@ pub fn execute(
                     let key: Vec<Value> = probe
                         .iter()
                         .map(|p| match p {
-                            ProbeSource::Outer(orel, ocol) => {
-                                t[layout.get(*orel, *ocol)].clone()
-                            }
+                            ProbeSource::Outer(orel, ocol) => t[layout.get(*orel, *ocol)].clone(),
                             ProbeSource::Const(v) => v.clone(),
                         })
                         .collect();
@@ -275,12 +271,7 @@ fn passes_ranges(row: &[Value], ranges: &[(usize, RangeOp, Value)]) -> bool {
     ranges.iter().all(|(c, op, v)| op.eval(&row[*c], v))
 }
 
-fn passes_freqs(
-    row: &[Value],
-    freqs: &[usize],
-    q: &BoundQuery,
-    sets: &[HashSet<Value>],
-) -> bool {
+fn passes_freqs(row: &[Value], freqs: &[usize], q: &BoundQuery, sets: &[HashSet<Value>]) -> bool {
     freqs.iter().all(|&fi| {
         let f: &FreqFilter = &q.freqs[fi];
         sets[fi].contains(&row[f.col])
@@ -323,8 +314,7 @@ fn scan_rel(
             let pr = index.probe(prefix);
             meter.charge_random_pages(pr.pages_touched)?;
             if !covering && !pr.row_ids.is_empty() {
-                let pages: BTreeSet<u64> =
-                    pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
+                let pages: BTreeSet<u64> = pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
                 meter.charge_random_pages(pages.len() as u64)?;
             }
             for &id in &pr.row_ids {
@@ -351,8 +341,7 @@ fn scan_rel(
             );
             meter.charge_random_pages(pr.pages_touched)?;
             if !covering && !pr.row_ids.is_empty() {
-                let pages: BTreeSet<u64> =
-                    pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
+                let pages: BTreeSet<u64> = pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
                 meter.charge_random_pages(pages.len() as u64)?;
             }
             for &id in &pr.row_ids {
@@ -385,8 +374,7 @@ fn scan_rel(
             }
             meter.charge_rows(matched.len() as u64)?;
             if !covering && !matched.is_empty() {
-                let pages: BTreeSet<u64> =
-                    matched.iter().map(|&id| table.page_of(id)).collect();
+                let pages: BTreeSet<u64> = matched.iter().map(|&id| table.page_of(id)).collect();
                 meter.charge_random_pages(pages.len() as u64)?;
             }
             for &id in &matched {
@@ -487,9 +475,7 @@ fn finish(
                 }
                 BoundItem::Agg(k) => match &q.aggs[*k] {
                     BoundAgg::CountStar => Value::Int(st.count as i64),
-                    BoundAgg::CountDistinct(..) => {
-                        Value::Int(st.distincts[*k].len() as i64)
-                    }
+                    BoundAgg::CountDistinct(..) => Value::Int(st.distincts[*k].len() as i64),
                 },
             })
             .collect();

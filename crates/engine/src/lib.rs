@@ -28,8 +28,8 @@ pub mod stats_view;
 
 pub use catalog::{bind, BindError, BoundQuery};
 pub use cost::{
-    units_to_sim_seconds, CostMeter, Outcome, TimedOut, DEFAULT_TIMEOUT_UNITS,
-    RANDOM_PAGE_COST, ROW_COST, SEQ_PAGE_COST, SIM_SECONDS_PER_UNIT,
+    units_to_sim_seconds, CostMeter, Outcome, TimedOut, DEFAULT_TIMEOUT_UNITS, RANDOM_PAGE_COST,
+    ROW_COST, SEQ_PAGE_COST, SIM_SECONDS_PER_UNIT,
 };
 pub use dml::{apply_insert, validate_insert, InsertOutcome};
 pub use exec::{execute, Resolver};

@@ -102,8 +102,8 @@ fn best_for_candidate(
     }
     if !bound.order_by.is_empty() {
         let log = rows.max(2.0).log2().ceil();
-        total += rows * log * ROW_COST
-            + crate::cost::spill_pages(rows as u64, 0) as f64 * SEQ_PAGE_COST;
+        total +=
+            rows * log * ROW_COST + crate::cost::spill_pages(rows as u64, 0) as f64 * SEQ_PAGE_COST;
     }
     if let Some(limit) = bound.limit {
         rows = rows.min(limit as f64);
@@ -287,7 +287,11 @@ fn best_rel_op(
         let mut lo: Option<(Value, bool)> = None;
         let mut hi: Option<(Value, bool)> = None;
         let mut span_sel = 1.0;
-        for (c, op, v) in &leading_ranges.iter().map(|r| (*r).clone()).collect::<Vec<_>>() {
+        for (c, op, v) in &leading_ranges
+            .iter()
+            .map(|r| (*r).clone())
+            .collect::<Vec<_>>()
+        {
             span_sel *= stats.range_selectivity(source, *c, *op, v);
             match op {
                 RangeOp::Gt | RangeOp::Ge => {
@@ -312,9 +316,8 @@ fn best_rel_op(
         } else {
             (matches * idx.clustering).ceil().min(pages)
         };
-        let cost = (idx.height + leaf) * RANDOM_PAGE_COST
-            + fetch * RANDOM_PAGE_COST
-            + matches * ROW_COST;
+        let cost =
+            (idx.height + leaf) * RANDOM_PAGE_COST + fetch * RANDOM_PAGE_COST + matches * ROW_COST;
         if cost < best.cost {
             best = CostedRelOp {
                 op: RelOp {
@@ -420,13 +423,10 @@ fn best_join_step(
     // exceeds working memory.
     let inner = best_rel_op(bound, stats, need, rel);
     let out = (outer_rows * inner.out_rows * join_sel).max(0.0);
-    let spill = crate::cost::spill_pages(inner.out_rows as u64, outer_rows as u64) as f64
-        * SEQ_PAGE_COST;
-    let hash_cost = inner.cost
-        + inner.out_rows * ROW_COST
-        + outer_rows * ROW_COST
-        + out * ROW_COST
-        + spill;
+    let spill =
+        crate::cost::spill_pages(inner.out_rows as u64, outer_rows as u64) as f64 * SEQ_PAGE_COST;
+    let hash_cost =
+        inner.cost + inner.out_rows * ROW_COST + outer_rows * ROW_COST + out * ROW_COST + spill;
     let mut best = (
         JoinStep {
             inner: inner.op,
@@ -542,9 +542,7 @@ fn freq_eval_cost(sub_table: &str, sub_col: usize, stats: &dyn StatsView) -> f64
         .into_iter()
         .find(|i| i.columns.first() == Some(&sub_col));
     match index_only {
-        Some(idx) => {
-            idx.pages * SEQ_PAGE_COST + stats.n_distinct(sub_table, sub_col) * ROW_COST
-        }
+        Some(idx) => idx.pages * SEQ_PAGE_COST + stats.n_distinct(sub_table, sub_col) * ROW_COST,
         None => pages * SEQ_PAGE_COST + 2.0 * rows * ROW_COST,
     }
 }
@@ -834,7 +832,10 @@ mod planner_behavior_tests {
         let fresh_plan = plan(&bound, &RealStats::new(&dbx, &built));
         assert_eq!(fresh_plan.mviews_used, vec!["ab".to_string()]);
         // Stale view: rewrite must disappear.
-        let id = dbx.table_mut("a").unwrap().insert(vec![Value::Int(1), Value::Int(9)]);
+        let id = dbx
+            .table_mut("a")
+            .unwrap()
+            .insert(vec![Value::Int(1), Value::Int(9)]);
         built.apply_insert("a", &[Value::Int(1), Value::Int(9)], id);
         dbx.collect_stats();
         let stale_plan = plan(&bound, &RealStats::new(&dbx, &built));

@@ -118,6 +118,11 @@ pub fn estimate_hypothetical_perfect(
     Ok(plan(&bound, &stats).est_cost)
 }
 
+/// Sessions are created per worker thread over shared `&Database` /
+/// `&BuiltConfiguration`; this compile-time audit keeps them that way.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<Session<'static>>();
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,10 +355,8 @@ mod tests {
         let db = db();
         let p = built(&db, vec![]);
         let s = Session::new(&db, &p);
-        let q = parse(
-            "SELECT f.g, COUNT(*) FROM fact f GROUP BY f.g ORDER BY f.g DESC LIMIT 3",
-        )
-        .unwrap();
+        let q = parse("SELECT f.g, COUNT(*) FROM fact f GROUP BY f.g ORDER BY f.g DESC LIMIT 3")
+            .unwrap();
         let rows = s.run(&q, None).unwrap().rows.unwrap();
         assert_eq!(rows.len(), 3);
         let gs: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
@@ -404,7 +407,11 @@ mod tests {
         let plan = s_mv.plan_query(&q).unwrap();
         assert_eq!(plan.mviews_used, vec!["fact_dim".to_string()]);
         let mut r1 = s_mv.run(&q, None).unwrap().rows.unwrap();
-        let mut r2 = Session::new(&db, &plain).run(&q, None).unwrap().rows.unwrap();
+        let mut r2 = Session::new(&db, &plain)
+            .run(&q, None)
+            .unwrap()
+            .rows
+            .unwrap();
         r1.sort();
         r2.sort();
         assert_eq!(r1, r2);

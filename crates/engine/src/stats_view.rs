@@ -113,12 +113,7 @@ fn range_sel_from_stats(stats: &ColumnStats, op: RangeOp, value: &Value) -> f64 
 
 /// Estimate index geometry from schema widths and a row count, the same
 /// formulas `BTreeIndex` uses, applied without building anything.
-pub fn estimate_index_meta(
-    table: &str,
-    columns: &[usize],
-    key_width: u32,
-    rows: f64,
-) -> IndexMeta {
+pub fn estimate_index_meta(table: &str, columns: &[usize], key_width: u32, rows: f64) -> IndexMeta {
     let entry_width = (key_width + 12).max(1) as f64;
     let entries_per_page = (PAGE_SIZE as f64 / entry_width).max(1.0).floor();
     let pages = (rows / entries_per_page).ceil().max(1.0);
@@ -304,11 +299,7 @@ pub struct HypotheticalStats<'a> {
 
 impl<'a> HypotheticalStats<'a> {
     /// Hypothetical view of `hyp` taken from `current`.
-    pub fn new(
-        db: &'a Database,
-        current: &'a BuiltConfiguration,
-        hyp: &'a Configuration,
-    ) -> Self {
+    pub fn new(db: &'a Database, current: &'a BuiltConfiguration, hyp: &'a Configuration) -> Self {
         HypotheticalStats {
             db,
             current,
@@ -504,7 +495,9 @@ impl StatsView for HypotheticalStats<'_> {
             .indexes
             .iter()
             .filter(|s| s.table == source)
-            .map(|s| estimate_index_meta(source, &s.columns, self.key_width(source, &s.columns), rows))
+            .map(|s| {
+                estimate_index_meta(source, &s.columns, self.key_width(source, &s.columns), rows)
+            })
             .chain(
                 self.hyp
                     .mviews
@@ -512,12 +505,7 @@ impl StatsView for HypotheticalStats<'_> {
                     .filter(|d| d.spec.name == source)
                     .flat_map(|d| {
                         d.indexes.iter().map(|cols| {
-                            estimate_index_meta(
-                                source,
-                                cols,
-                                self.key_width(source, cols),
-                                rows,
-                            )
+                            estimate_index_meta(source, cols, self.key_width(source, cols), rows)
                         })
                     }),
             )

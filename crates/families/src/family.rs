@@ -1,7 +1,7 @@
 //! The five benchmark query families, by name.
 
 use tab_sqlq::Query;
-use tab_storage::Database;
+use tab_storage::{Database, Parallelism};
 
 /// One of the paper's query families (§3.2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,11 +41,17 @@ impl Family {
 
     /// Enumerate the (restricted) family against its database instance.
     pub fn enumerate(&self, db: &Database) -> Vec<Query> {
+        self.enumerate_with(db, Parallelism::sequential())
+    }
+
+    /// [`Family::enumerate`] with template instantiation fanned out
+    /// across threads; the family is identical at any thread count.
+    pub fn enumerate_with(&self, db: &Database, par: Parallelism) -> Vec<Query> {
         match self {
-            Family::Nref2J => crate::nref2j::enumerate(db),
-            Family::Nref3J => crate::nref3j::enumerate(db),
-            Family::SkTH3J | Family::UnTH3J => crate::th3j::enumerate(db, false),
-            Family::SkTH3Js => crate::th3j::enumerate(db, true),
+            Family::Nref2J => crate::nref2j::enumerate_par(db, par),
+            Family::Nref3J => crate::nref3j::enumerate_par(db, par),
+            Family::SkTH3J | Family::UnTH3J => crate::th3j::enumerate_par(db, false, par),
+            Family::SkTH3Js => crate::th3j::enumerate_par(db, true, par),
         }
     }
 }

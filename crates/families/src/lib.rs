@@ -19,4 +19,4 @@ pub mod th3j;
 
 pub use compress::{compress, shape_signature, WeightedQuery};
 pub use family::Family;
-pub use sample::sample_preserving;
+pub use sample::{sample_preserving, sample_preserving_par};

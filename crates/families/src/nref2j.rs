@@ -17,7 +17,7 @@
 //! third design criterion).
 
 use tab_sqlq::{CmpOp, ColRef, Predicate, Query, SelectItem, TableRef};
-use tab_storage::Database;
+use tab_storage::{par_map, Database, Parallelism, Table};
 
 use crate::columns::{group_by_variants, usable_columns};
 
@@ -27,36 +27,50 @@ pub const BIG_TABLE_ROWS: usize = 100_000;
 
 /// Enumerate the (restricted) NREF2J family over `db`.
 pub fn enumerate(db: &Database) -> Vec<Query> {
-    let mut out = Vec::new();
+    enumerate_par(db, Parallelism::sequential())
+}
+
+/// [`enumerate`] fanned out over outer tables. Each outer table's
+/// template instantiations are independent, and per-table blocks are
+/// concatenated in table order, so the family is identical at any
+/// thread count.
+pub fn enumerate_par(db: &Database, par: Parallelism) -> Vec<Query> {
     let tables: Vec<_> = db.tables().collect();
-    for r in &tables {
-        let rs = r.schema();
-        for s in &tables {
-            let ss = s.schema();
-            if rs.name == ss.name {
+    par_map(par, &tables, |r| queries_for_outer(&tables, r))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// All NREF2J instantiations with `r` as the outer (grouped) table.
+fn queries_for_outer(tables: &[&Table], r: &Table) -> Vec<Query> {
+    let mut out = Vec::new();
+    let rs = r.schema();
+    for s in tables {
+        let ss = s.schema();
+        if rs.name == ss.name {
+            continue;
+        }
+        for &c1 in &usable_columns(rs) {
+            let Some(domain) = rs.columns[c1].domain.as_deref() else {
                 continue;
-            }
-            for &c1 in &usable_columns(rs) {
-                let Some(domain) = rs.columns[c1].domain.as_deref() else {
+            };
+            for &c2 in &usable_columns(ss) {
+                if ss.columns[c2].domain.as_deref() != Some(domain) {
                     continue;
-                };
-                for &c2 in &usable_columns(ss) {
-                    if ss.columns[c2].domain.as_deref() != Some(domain) {
-                        continue;
-                    }
-                    let max_groups = if r.n_rows() > BIG_TABLE_ROWS { 1 } else { 3 };
-                    for extra in group_by_variants(rs, &[c1], max_groups) {
-                        out.push(build(
-                            &rs.name,
-                            &ss.name,
-                            &rs.columns[c1].name,
-                            &ss.columns[c2].name,
-                            &extra
-                                .iter()
-                                .map(|&c| rs.columns[c].name.as_str())
-                                .collect::<Vec<_>>(),
-                        ));
-                    }
+                }
+                let max_groups = if r.n_rows() > BIG_TABLE_ROWS { 1 } else { 3 };
+                for extra in group_by_variants(rs, &[c1], max_groups) {
+                    out.push(build(
+                        &rs.name,
+                        &ss.name,
+                        &rs.columns[c1].name,
+                        &ss.columns[c2].name,
+                        &extra
+                            .iter()
+                            .map(|&c| rs.columns[c].name.as_str())
+                            .collect::<Vec<_>>(),
+                    ));
                 }
             }
         }
@@ -117,12 +131,13 @@ mod tests {
             assert_ne!(q.from[0].table, q.from[1].table);
             // Exactly one join + two frequency filters.
             assert_eq!(q.predicates.len(), 3);
-            assert!(q
-                .predicates
-                .iter()
-                .filter(|p| matches!(p, Predicate::InFrequency { .. }))
-                .count()
-                == 2);
+            assert!(
+                q.predicates
+                    .iter()
+                    .filter(|p| matches!(p, Predicate::InFrequency { .. }))
+                    .count()
+                    == 2
+            );
             assert!(!q.group_by.is_empty());
         }
     }

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use tab_sqlq::{ColRef, Predicate, Query, SelectItem, TableRef};
-use tab_storage::{Database, Value};
+use tab_storage::{par_map, Database, Parallelism, Table, Value};
 
 use crate::columns::{group_by_variants, usable_columns, usable_in_domain};
 use crate::constants::selection_tiers;
@@ -23,47 +23,60 @@ use crate::nref2j::BIG_TABLE_ROWS;
 
 /// Enumerate the (restricted) NREF3J family over `db`.
 pub fn enumerate(db: &Database) -> Vec<Query> {
-    let mut out = Vec::new();
-    let tables: Vec<_> = db.tables().collect();
-    let mut tier_cache: HashMap<(String, usize), Vec<(Value, u64)>> = HashMap::new();
+    enumerate_par(db, Parallelism::sequential())
+}
 
-    for r in &tables {
-        let rs = r.schema();
-        let r_usable = usable_columns(rs);
-        for &c1 in &r_usable {
-            if rs.columns[c1].domain.is_none() {
+/// [`enumerate`] fanned out over outer (self-joined) tables. Each
+/// worker keeps its own selection-tier cache; per-table blocks are
+/// concatenated in table order, so the family is identical at any
+/// thread count.
+pub fn enumerate_par(db: &Database, par: Parallelism) -> Vec<Query> {
+    let tables: Vec<_> = db.tables().collect();
+    par_map(par, &tables, |r| queries_for_outer(&tables, r))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// All NREF3J instantiations with `r` as the self-joined table.
+fn queries_for_outer(tables: &[&Table], r: &Table) -> Vec<Query> {
+    let mut out = Vec::new();
+    let mut tier_cache: HashMap<(String, usize), Vec<(Value, u64)>> = HashMap::new();
+    let rs = r.schema();
+    let r_usable = usable_columns(rs);
+    for &c1 in &r_usable {
+        if rs.columns[c1].domain.is_none() {
+            continue;
+        }
+        for &c2 in &r_usable {
+            if c2 == c1 {
                 continue;
             }
-            for &c2 in &r_usable {
-                if c2 == c1 {
+            let Some(dom2) = rs.columns[c2].domain.as_deref() else {
+                continue;
+            };
+            for s in tables {
+                let ss = s.schema();
+                if ss.name == rs.name {
                     continue;
                 }
-                let Some(dom2) = rs.columns[c2].domain.as_deref() else {
-                    continue;
-                };
-                for s in &tables {
-                    let ss = s.schema();
-                    if ss.name == rs.name {
+                for &c3 in &usable_in_domain(ss, dom2) {
+                    // Selection columns of S: the first usable column
+                    // other than c3 that has magnitude tiers; large S
+                    // contributes only its rarest tier (§4.1.1).
+                    let s_usable = usable_columns(ss);
+                    let Some(&c4) = s_usable.iter().find(|&&c| c != c3) else {
                         continue;
-                    }
-                    for &c3 in &usable_in_domain(ss, dom2) {
-                        // Selection columns of S: the first usable column
-                        // other than c3 that has magnitude tiers; large S
-                        // contributes only its rarest tier (§4.1.1).
-                        let s_usable = usable_columns(ss);
-                        let Some(&c4) = s_usable.iter().find(|&&c| c != c3) else {
-                            continue;
-                        };
-                        let tiers = tier_cache
-                            .entry((ss.name.clone(), c4))
-                            .or_insert_with(|| selection_tiers(s, c4))
-                            .clone();
-                        let n_tiers = if s.n_rows() > BIG_TABLE_ROWS { 1 } else { 3 };
-                        let max_groups = if r.n_rows() > BIG_TABLE_ROWS { 0 } else { 2 };
-                        for (k, _) in tiers.iter().take(n_tiers) {
-                            for extra in group_by_variants(rs, &[c1, c2], max_groups) {
-                                out.push(build(rs, ss, c1, c2, c3, c4, k.clone(), &extra));
-                            }
+                    };
+                    let tiers = tier_cache
+                        .entry((ss.name.clone(), c4))
+                        .or_insert_with(|| selection_tiers(s, c4))
+                        .clone();
+                    let n_tiers = if s.n_rows() > BIG_TABLE_ROWS { 1 } else { 3 };
+                    let max_groups = if r.n_rows() > BIG_TABLE_ROWS { 0 } else { 2 };
+                    for (k, _) in tiers.iter().take(n_tiers) {
+                        for extra in group_by_variants(rs, &[c1, c2], max_groups) {
+                            out.push(build(rs, ss, c1, c2, c3, c4, k.clone(), &extra));
                         }
                     }
                 }
@@ -164,10 +177,7 @@ mod tests {
             for c in &consts {
                 shape = shape.replace(c, "?");
             }
-            shapes
-                .entry(shape)
-                .or_default()
-                .insert(consts.join(","));
+            shapes.entry(shape).or_default().insert(consts.join(","));
         }
         assert!(
             shapes.values().any(|s| s.len() >= 2),

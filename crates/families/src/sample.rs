@@ -15,6 +15,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use tab_sqlq::Query;
+use tab_storage::{par_map, Parallelism};
 
 /// Sample `n` queries preserving the distribution of `cost_of` across
 /// log10 buckets. Deterministic for a fixed seed. If the family has at
@@ -28,12 +29,38 @@ pub fn sample_preserving(
     if queries.len() <= n {
         return queries.to_vec();
     }
+    let costs: Vec<f64> = queries.iter().map(&mut cost_of).collect();
+    sample_preserving_costed(queries, &costs, n, seed)
+}
+
+/// [`sample_preserving`] with the cost model evaluated in parallel —
+/// stratification costs one planner invocation per enumerated query
+/// (thousands per family), which dominates the sampling step. The
+/// sampled workload is identical at any thread count: costs are
+/// collected in query order before bucketing.
+pub fn sample_preserving_par(
+    queries: &[Query],
+    cost_of: impl Fn(&Query) -> f64 + Sync,
+    n: usize,
+    seed: u64,
+    par: Parallelism,
+) -> Vec<Query> {
+    if queries.len() <= n {
+        return queries.to_vec();
+    }
+    let costs = par_map(par, queries, cost_of);
+    sample_preserving_costed(queries, &costs, n, seed)
+}
+
+/// Shared core: bucket precomputed costs by order of magnitude and draw
+/// a largest-remainder proportional sample.
+fn sample_preserving_costed(queries: &[Query], costs: &[f64], n: usize, seed: u64) -> Vec<Query> {
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Bucket by order of magnitude.
     let mut buckets: Vec<(i32, Vec<usize>)> = Vec::new();
-    for (i, q) in queries.iter().enumerate() {
-        let c = cost_of(q).max(1e-9);
+    for (i, c) in costs.iter().enumerate() {
+        let c = c.max(1e-9);
         let b = c.log10().floor() as i32;
         match buckets.iter_mut().find(|(k, _)| *k == b) {
             Some((_, v)) => v.push(i),
@@ -97,7 +124,12 @@ mod tests {
 
     fn mk(n: usize) -> Vec<Query> {
         (0..n)
-            .map(|i| parse(&format!("SELECT t.a, COUNT(*) FROM t WHERE t.b = {i} GROUP BY t.a")).unwrap())
+            .map(|i| {
+                parse(&format!(
+                    "SELECT t.a, COUNT(*) FROM t WHERE t.b = {i} GROUP BY t.a"
+                ))
+                .unwrap()
+            })
             .collect()
     }
 
@@ -143,6 +175,16 @@ mod tests {
         assert_eq!(a, b);
         let c = sample_preserving(&qs, cost, 100, 8);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let qs = mk(800);
+        let serial = sample_preserving(&qs, cost, 100, 11);
+        for threads in [1, 2, 4] {
+            let par = sample_preserving_par(&qs, cost, 100, 11, Parallelism::new(threads));
+            assert_eq!(serial, par, "threads={threads}");
+        }
     }
 
     #[test]

@@ -21,23 +21,28 @@
 use std::collections::HashMap;
 
 use tab_sqlq::{CmpOp, ColRef, Predicate, Query, SelectItem, TableRef};
-use tab_storage::{Database, Table, TableSchema, Value};
+use tab_storage::{par_map, Database, Parallelism, Table, TableSchema, Value};
 
 use crate::columns::{usable_columns, usable_in_domain};
 use crate::constants::{count_tiers, selection_tiers};
 
+/// An `(R, S)` pair joined by a declared FK, with the joined column
+/// index pairs in `(referencing, referenced)` order.
+type FkPair<'a> = (&'a Table, &'a Table, Vec<(usize, usize)>);
+
 /// Enumerate the TH3J family. `simple` selects the SkTH3Js variant.
 pub fn enumerate(db: &Database, simple: bool) -> Vec<Query> {
-    let allowed = ["lineitem", "orders", "partsupp"];
-    let in_scope = |name: &str| !simple || allowed.contains(&name);
+    enumerate_par(db, simple, Parallelism::sequential())
+}
 
-    let mut out = Vec::new();
+/// [`enumerate`] fanned out over the FK-joined `(R, S)` pairs. Each
+/// worker keeps its own tier caches; per-pair blocks are concatenated
+/// in pair order, so the family is identical at any thread count.
+pub fn enumerate_par(db: &Database, simple: bool, par: Parallelism) -> Vec<Query> {
     let tables: Vec<&Table> = db.tables().collect();
-    let mut sel_cache: HashMap<(String, usize), Vec<(Value, u64)>> = HashMap::new();
-    let mut cnt_cache: HashMap<(String, usize), Vec<i64>> = HashMap::new();
 
     // (R, S) pairs joined by a declared FK, in both orientations.
-    let mut rs_pairs: Vec<(&Table, &Table, Vec<(usize, usize)>)> = Vec::new();
+    let mut rs_pairs: Vec<FkPair<'_>> = Vec::new();
     for f in &tables {
         for fk in &f.schema().foreign_keys {
             let Some(p) = db.table(&fk.ref_table) else {
@@ -51,17 +56,36 @@ pub fn enumerate(db: &Database, simple: bool) -> Vec<Query> {
                 .collect();
             // R = referencing, S = referenced and the reverse.
             rs_pairs.push((f, p, pairs.clone()));
-            rs_pairs.push((
-                p,
-                f,
-                pairs.iter().map(|&(a, b)| (b, a)).collect(),
-            ));
+            rs_pairs.push((p, f, pairs.iter().map(|&(a, b)| (b, a)).collect()));
         }
     }
 
-    for (r, s, fk_pairs) in rs_pairs {
+    par_map(par, &rs_pairs, |(r, s, fk_pairs)| {
+        queries_for_pair(&tables, r, s, fk_pairs, simple)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// All TH3J instantiations for one FK-joined `(R, S)` pair.
+fn queries_for_pair(
+    tables: &[&Table],
+    r: &Table,
+    s: &Table,
+    fk_pairs: &[(usize, usize)],
+    simple: bool,
+) -> Vec<Query> {
+    let allowed = ["lineitem", "orders", "partsupp"];
+    let in_scope = |name: &str| !simple || allowed.contains(&name);
+
+    let mut out = Vec::new();
+    let mut sel_cache: HashMap<(String, usize), Vec<(Value, u64)>> = HashMap::new();
+    let mut cnt_cache: HashMap<(String, usize), Vec<i64>> = HashMap::new();
+
+    {
         if !in_scope(&r.schema().name) || !in_scope(&s.schema().name) {
-            continue;
+            return out;
         }
         let ss = s.schema();
         let s_nonkey: Vec<usize> = usable_columns(ss)
@@ -72,7 +96,7 @@ pub fn enumerate(db: &Database, simple: bool) -> Vec<Query> {
             let Some(dom) = ss.columns[c1].domain.as_deref() else {
                 continue;
             };
-            for t in &tables {
+            for t in tables {
                 let ts = t.schema();
                 if ts.name == ss.name || ts.name == r.schema().name || !in_scope(&ts.name) {
                     continue;
@@ -98,42 +122,42 @@ pub fn enumerate(db: &Database, simple: bool) -> Vec<Query> {
                         .collect();
 
                     for &c3 in &c3s {
-                    for groups in &group_variants {
-                        let eq_tiers = sel_cache
-                            .entry((ss.name.clone(), c3))
-                            .or_insert_with(|| selection_tiers(s, c3))
-                            .clone();
-                        for (p, _) in &eq_tiers {
-                            out.push(build(
-                                r.schema(),
-                                ss,
-                                ts,
-                                &fk_pairs,
-                                c1,
-                                c2,
-                                Theta::Eq(c3, p.clone()),
-                                groups,
-                            ));
-                        }
-                        if !simple {
-                            let tiers = cnt_cache
+                        for groups in &group_variants {
+                            let eq_tiers = sel_cache
                                 .entry((ss.name.clone(), c3))
-                                .or_insert_with(|| count_tiers(s, c3))
+                                .or_insert_with(|| selection_tiers(s, c3))
                                 .clone();
-                            for p in tiers {
+                            for (p, _) in &eq_tiers {
                                 out.push(build(
                                     r.schema(),
                                     ss,
                                     ts,
-                                    &fk_pairs,
+                                    fk_pairs,
                                     c1,
                                     c2,
-                                    Theta::InCount(c3, p),
+                                    Theta::Eq(c3, p.clone()),
                                     groups,
                                 ));
                             }
+                            if !simple {
+                                let tiers = cnt_cache
+                                    .entry((ss.name.clone(), c3))
+                                    .or_insert_with(|| count_tiers(s, c3))
+                                    .clone();
+                                for p in tiers {
+                                    out.push(build(
+                                        r.schema(),
+                                        ss,
+                                        ts,
+                                        fk_pairs,
+                                        c1,
+                                        c2,
+                                        Theta::InCount(c3, p),
+                                        groups,
+                                    ));
+                                }
+                            }
                         }
-                    }
                     }
                 }
             }
@@ -158,9 +182,8 @@ fn build(
     theta: Theta,
     groups: &[usize],
 ) -> Query {
-    let col = |alias: &str, schema: &TableSchema, c: usize| {
-        ColRef::new(alias, &schema.columns[c].name)
-    };
+    let col =
+        |alias: &str, schema: &TableSchema, c: usize| ColRef::new(alias, &schema.columns[c].name);
     let mut select: Vec<SelectItem> = groups
         .iter()
         .map(|&c| SelectItem::Column(col("t", ts, c)))
@@ -212,9 +235,10 @@ mod tests {
     fn full_family_has_both_theta_forms() {
         let qs = enumerate(&db(), false);
         assert!(qs.len() > 30, "family too small: {}", qs.len());
-        assert!(qs
+        assert!(qs.iter().any(|q| q
+            .predicates
             .iter()
-            .any(|q| q.predicates.iter().any(|p| matches!(p, Predicate::ConstEq(..)))));
+            .any(|p| matches!(p, Predicate::ConstEq(..)))));
         assert!(qs.iter().any(|q| q
             .predicates
             .iter()

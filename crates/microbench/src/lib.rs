@@ -1,0 +1,215 @@
+//! A vendored, dependency-free micro-benchmark harness exposing the
+//! subset of the Criterion API the workspace benches use
+//! (`Criterion::default().sample_size(..).measurement_time(..)
+//! .warm_up_time(..)`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! aliases this crate as `criterion`. Timing methodology: each sample
+//! runs the closure in a loop sized so one sample lasts roughly
+//! `measurement_time / sample_size`; the report prints the median,
+//! minimum, and maximum per-iteration time across samples.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver: collects settings, runs registered functions.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Untimed warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark: warm up, sample, and print a one-line report.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            mode: Mode::WarmUp {
+                until: self.warm_up_time,
+            },
+            iters_per_sample: 1,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        b.mode = Mode::Measure {
+            samples: self.sample_size,
+            per_sample,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+enum Mode {
+    WarmUp { until: Duration },
+    Measure { samples: usize, per_sample: f64 },
+}
+
+/// Handed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    mode: Mode,
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time the closure. In the warm-up pass this also calibrates how
+    /// many iterations fit in one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < until {
+                    std::hint::black_box(f());
+                    iters += 1;
+                }
+                let per_iter = start.elapsed().as_secs_f64() / iters.max(1) as f64;
+                self.iters_per_sample = ((0.05 / per_iter.max(1e-12)) as u64).max(1);
+            }
+            Mode::Measure {
+                samples,
+                per_sample,
+            } => {
+                // Refine the calibration so one sample approximates the
+                // requested duration.
+                let probe = Instant::now();
+                std::hint::black_box(f());
+                let per_iter = probe.elapsed().as_secs_f64();
+                let iters = ((per_sample / per_iter.max(1e-12)) as u64)
+                    .clamp(1, self.iters_per_sample.max(1) * 1000);
+                self.samples.clear();
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(f());
+                    }
+                    self.samples
+                        .push(start.elapsed().as_secs_f64() / iters as f64);
+                }
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = s[s.len() / 2];
+        println!(
+            "{name:<40} median {:>12} (min {}, max {}, {} samples)",
+            fmt_time(median),
+            fmt_time(s[0]),
+            fmt_time(s[s.len() - 1]),
+            s.len()
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Registers a group function running the given targets, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups, mirroring Criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.filter = None;
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -165,7 +165,8 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 }
                 tokens.push(Token::Str(s));
             }
-            c if c.is_ascii_digit() || (c == '-' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())) =>
+            c if c.is_ascii_digit()
+                || (c == '-' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())) =>
             {
                 let start = i;
                 i += 1;

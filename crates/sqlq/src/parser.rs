@@ -21,7 +21,9 @@ use std::fmt;
 
 use tab_storage::Value;
 
-use crate::ast::{CmpOp, ColRef, Insert, Predicate, Query, RangeOp, SelectItem, Statement, TableRef};
+use crate::ast::{
+    CmpOp, ColRef, Insert, Predicate, Query, RangeOp, SelectItem, Statement, TableRef,
+};
 use crate::lexer::{lex, LexError, Token};
 
 /// Parse error.
@@ -426,10 +428,8 @@ mod tests {
 
     #[test]
     fn parses_order_by_and_limit() {
-        let q = parse(
-            "SELECT t.a, COUNT(*) FROM t GROUP BY t.a ORDER BY t.a DESC LIMIT 10",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT t.a, COUNT(*) FROM t GROUP BY t.a ORDER BY t.a DESC LIMIT 10").unwrap();
         assert_eq!(q.order_by.len(), 1);
         assert!(q.order_by[0].1, "DESC flag");
         assert_eq!(q.limit, Some(10));

@@ -210,12 +210,10 @@ pub fn import_table(schema: TableSchema, path: impl AsRef<Path>) -> Result<Table
                     row: i,
                     message: format!("bad integer `{field}` in `{}`", col.name),
                 })?),
-                ColType::Float => {
-                    Value::Float(field.parse().map_err(|_| CsvError::Malformed {
-                        row: i,
-                        message: format!("bad float `{field}` in `{}`", col.name),
-                    })?)
-                }
+                ColType::Float => Value::Float(field.parse().map_err(|_| CsvError::Malformed {
+                    row: i,
+                    message: format!("bad float `{field}` in `{}`", col.name),
+                })?),
                 ColType::Str => Value::str(field),
             };
             row.push(v);
@@ -268,7 +266,10 @@ mod tests {
         let path = tmp("nulls");
         export_table(&t, &path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("\"NULL\""), "string NULL must be quoted: {text}");
+        assert!(
+            text.contains("\"NULL\""),
+            "string NULL must be quoted: {text}"
+        );
         let back = import_table(schema(), &path).unwrap();
         assert_eq!(back.row(0)[1], Value::str("NULL"));
         assert_eq!(back.row(0)[2], Value::Null);

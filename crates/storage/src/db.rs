@@ -164,8 +164,11 @@ mod tests {
 
         let mut bad = Database::new();
         bad.add_table(Table::new(
-            TableSchema::new("x", vec![ColumnDef::new("a", ColType::Int)])
-                .foreign_key(&["a"], "ghost", &["id"]),
+            TableSchema::new("x", vec![ColumnDef::new("a", ColType::Int)]).foreign_key(
+                &["a"],
+                "ghost",
+                &["id"],
+            ),
         ));
         assert_eq!(bad.validate().len(), 1);
     }

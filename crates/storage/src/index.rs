@@ -185,10 +185,7 @@ impl BTreeIndex {
         let lo: Key = prefix.to_vec();
         let mut row_ids = Vec::new();
         let mut entries = 0u64;
-        for (k, ids) in self
-            .map
-            .range((Bound::Included(lo), Bound::Unbounded))
-        {
+        for (k, ids) in self.map.range((Bound::Included(lo), Bound::Unbounded)) {
             if k[..prefix.len()] != prefix[..] {
                 break;
             }
@@ -381,7 +378,11 @@ mod clustering_tests {
         ));
         for i in 0..n {
             // clustered: rows with equal k adjacent; scattered: interleaved.
-            let k = if clustered { i / 50 } else { i % (n / 50).max(1) };
+            let k = if clustered {
+                i / 50
+            } else {
+                i % (n / 50).max(1)
+            };
             t.insert(vec![Value::Int(k), Value::Int(i)]);
         }
         t

@@ -19,6 +19,7 @@ pub mod csv;
 pub mod db;
 pub mod index;
 pub mod mview;
+pub mod par;
 pub mod schema;
 pub mod stats;
 pub mod table;
@@ -29,7 +30,20 @@ pub use csv::{export_table, import_table, CsvError};
 pub use db::Database;
 pub use index::{BTreeIndex, IndexSpec, Probe};
 pub use mview::{MViewSpec, MaterializedView};
+pub use par::{par_map, par_run, Job, Parallelism};
 pub use schema::{ColType, ColumnDef, ForeignKey, TableSchema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Row, RowId, Table, PAGE_SIZE};
 pub use value::Value;
+
+/// The parallel harness shares these read-only across worker threads; a
+/// regression introducing interior mutability (`Cell`, `Rc`, …) must
+/// fail to compile, not corrupt a benchmark run.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<Database>();
+    _assert_send_sync::<BuiltConfiguration>();
+    _assert_send_sync::<Table>();
+    _assert_send_sync::<BTreeIndex>();
+    _assert_send_sync::<MaterializedView>();
+};

@@ -64,7 +64,9 @@ impl MViewSpec {
 
     /// Position within the view of base column `(t, c)`, if projected.
     pub fn view_column_of(&self, t: usize, c: usize) -> Option<usize> {
-        self.projection.iter().position(|&(pt, pc)| pt == t && pc == c)
+        self.projection
+            .iter()
+            .position(|&(pt, pc)| pt == t && pc == c)
     }
 }
 
@@ -104,23 +106,24 @@ impl MaterializedView {
         let mut cost = bases.iter().map(|t| t.n_pages()).sum::<u64>();
         if spec.join_on.is_empty() {
             for (_, row) in bases[0].iter() {
-                let proj: Vec<Value> =
-                    spec.projection.iter().map(|&(_, c)| row[c].clone()).collect();
+                let proj: Vec<Value> = spec
+                    .projection
+                    .iter()
+                    .map(|&(_, c)| row[c].clone())
+                    .collect();
                 out.insert(proj);
             }
         } else {
             // Hash the right side on its join columns.
             let mut ht: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
             for (id, row) in bases[1].iter() {
-                let key: Vec<Value> =
-                    spec.join_on.iter().map(|&(_, r)| row[r].clone()).collect();
+                let key: Vec<Value> = spec.join_on.iter().map(|&(_, r)| row[r].clone()).collect();
                 if !key.iter().any(Value::is_null) {
                     ht.entry(key).or_default().push(id);
                 }
             }
             for (_, lrow) in bases[0].iter() {
-                let key: Vec<Value> =
-                    spec.join_on.iter().map(|&(l, _)| lrow[l].clone()).collect();
+                let key: Vec<Value> = spec.join_on.iter().map(|&(l, _)| lrow[l].clone()).collect();
                 if let Some(ids) = ht.get(&key) {
                     for &rid in ids {
                         let rrow = bases[1].row(rid);

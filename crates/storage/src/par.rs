@@ -1,0 +1,168 @@
+//! Deterministic fan-out over OS threads.
+//!
+//! The paper's methodology is an embarrassingly parallel grid (families
+//! × configurations × queries), and everything in this workspace is
+//! immutable while being measured, so parallel execution is safe — the
+//! only thing that must be engineered is *determinism*: results are
+//! collected by input index, so the output of [`par_map`] is
+//! byte-identical at any thread count, including 1.
+//!
+//! Work is distributed dynamically (an atomic cursor over the input),
+//! because grid cells vary by orders of magnitude in cost — a timed-out
+//! query costs the whole timeout budget while its neighbour finishes in
+//! microseconds — and static chunking would leave threads idle.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads a parallel region may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: NonZeroUsize,
+}
+
+impl Parallelism {
+    /// Exactly `threads` workers; `0` means "all available cores".
+    pub fn new(threads: usize) -> Self {
+        match NonZeroUsize::new(threads) {
+            Some(t) => Parallelism { threads: t },
+            None => Parallelism::available(),
+        }
+    }
+
+    /// Single-threaded execution (the in-place fallback).
+    pub fn sequential() -> Self {
+        Parallelism {
+            threads: NonZeroUsize::MIN,
+        }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn available() -> Self {
+        Parallelism {
+            threads: std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::available()
+    }
+}
+
+/// Map `f` over `items` on up to `par.threads()` threads, returning the
+/// results *in input order* regardless of completion order. `f` must be
+/// pure for the output to be deterministic; every caller in this
+/// workspace satisfies that (sessions are read-only views).
+pub fn par_map<T, U, F>(par: Parallelism, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = par.threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    let sink = Mutex::new(&mut indexed);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Batch locally so the sink lock is touched rarely.
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                sink.lock().expect("worker panicked").extend(local);
+            });
+        }
+    });
+    // Completion order is nondeterministic; input order is restored here.
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, v)| v).collect()
+}
+
+/// A one-shot job for [`par_run`].
+pub type Job<'a, U> = Box<dyn FnOnce() -> U + Send + 'a>;
+
+/// Run independent jobs concurrently (up to `par.threads()` at a time),
+/// returning their results in job order. Used for coarse-grained
+/// fan-out such as building several databases at once.
+pub fn par_run<U: Send>(par: Parallelism, jobs: Vec<Job<'_, U>>) -> Vec<U> {
+    let slots: Vec<Mutex<Option<Job<'_, U>>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    par_map(par, &slots, |slot| {
+        let job = slot
+            .lock()
+            .expect("job mutex poisoned")
+            .take()
+            .expect("each job runs exactly once");
+        job()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 8] {
+            let got = par_map(Parallelism::new(threads), &items, |x| x * x);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(Parallelism::new(4), &empty, |x| *x).is_empty());
+        assert_eq!(par_map(Parallelism::new(4), &[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn unbalanced_work_still_ordered() {
+        // Front-loaded heavy items exercise the dynamic cursor.
+        let items: Vec<u64> = (0..64).rev().collect();
+        let got = par_map(Parallelism::new(4), &items, |x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (acc, *x).1
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn par_run_returns_in_job_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| Box::new(move || i * 10) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let got = par_run(Parallelism::new(3), jobs);
+        assert_eq!(got, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn zero_threads_means_available() {
+        assert!(Parallelism::new(0).threads() >= 1);
+        assert_eq!(Parallelism::sequential().threads(), 1);
+        assert_eq!(Parallelism::new(3).threads(), 3);
+    }
+}

@@ -126,10 +126,7 @@ impl TableSchema {
     /// constructed statically by generators, so this is a programming
     /// error, not a runtime condition.
     pub fn primary_key(mut self, names: &[&str]) -> Self {
-        self.primary_key = names
-            .iter()
-            .map(|n| self.require_column(n))
-            .collect();
+        self.primary_key = names.iter().map(|n| self.require_column(n)).collect();
         self
     }
 

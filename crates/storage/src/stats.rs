@@ -105,13 +105,7 @@ impl ColumnStats {
         let mass: u64 = self
             .freq_of_freq
             .iter()
-            .filter(|&&(c, _)| {
-                if lt {
-                    (c as i64) < k
-                } else {
-                    c as i64 == k
-                }
-            })
+            .filter(|&&(c, _)| if lt { (c as i64) < k } else { c as i64 == k })
             .map(|&(c, nv)| c * nv)
             .sum();
         mass as f64 / self.n_rows as f64

@@ -75,7 +75,9 @@ impl Table {
 
     /// Heap size in pages under the page model.
     pub fn n_pages(&self) -> u64 {
-        (self.rows.len() as u64).div_ceil(self.rows_per_page as u64).max(1)
+        (self.rows.len() as u64)
+            .div_ceil(self.rows_per_page as u64)
+            .max(1)
     }
 
     /// Rows that fit in one page for this schema.
@@ -95,10 +97,7 @@ impl Table {
 
     /// Iterate over `(RowId, &Row)` in heap order.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
-        self.rows
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (i as RowId, r))
+        self.rows.iter().enumerate().map(|(i, r)| (i as RowId, r))
     }
 
     /// Heap page number holding a given row.

@@ -34,7 +34,10 @@ fn main() {
 
     let run_p = run_workload(db, &p, &workload, params.timeout_units);
     let run_1c = run_workload(db, &one_c, &workload, params.timeout_units);
-    let mut curves = vec![("P".to_string(), run_p.cfc()), ("1".to_string(), run_1c.cfc())];
+    let mut curves = vec![
+        ("P".to_string(), run_p.cfc()),
+        ("1".to_string(), run_1c.cfc()),
+    ];
 
     let input = AdvisorInput {
         db,
@@ -42,11 +45,7 @@ fn main() {
         workload: &workload,
         budget_bytes: budget,
     };
-    for rec in [
-        &SystemA::default() as &dyn Recommender,
-        &SystemB,
-        &SystemC,
-    ] {
+    for rec in [&SystemA::default() as &dyn Recommender, &SystemB, &SystemC] {
         match rec.recommend(&input) {
             None => println!("System {}: no recommendation (gave up)", rec.name()),
             Some(cfg) => {

@@ -42,10 +42,7 @@ fn main() {
         };
         println!("\nconfiguration {label}: goal {verdict}");
         for (x, f) in goal.steps() {
-            println!(
-                "  at {x:8.1}s: required {f:.2}, achieved {:.2}",
-                cfc.at(*x)
-            );
+            println!("  at {x:8.1}s: required {f:.2}, achieved {:.2}", cfc.at(*x));
         }
     }
 }

@@ -37,7 +37,10 @@ fn main() {
     let p = build_p(db, "NREF");
     let one_c = build_1c(db, "NREF");
 
-    for (label, cfg) in [("P (primary keys only)", &p), ("1C (single-column)", &one_c)] {
+    for (label, cfg) in [
+        ("P (primary keys only)", &p),
+        ("1C (single-column)", &one_c),
+    ] {
         let session = Session::new(db, cfg);
         let r = session.run(&example_1, Some(params.timeout_units)).unwrap();
         println!(

@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use tab_bench::eval::report::render_cfc_ascii;
 use tab_bench::eval::{build_1c, build_p, run_workload, Suite, SuiteParams};
 use tab_bench::families::Family;
-use tab_bench::eval::report::render_cfc_ascii;
 
 fn main() {
     // 1. A small benchmark suite: synthetic NREF + two TPC-H variants.
@@ -32,7 +32,11 @@ fn main() {
     // 3. A workload from the NREF2J family, sampled to preserve the
     //    family's cost distribution.
     let workload = tab_bench::eval::prepare_workload(&suite, Family::Nref2J, &p);
-    println!("workload: {} queries, e.g.:\n  {}", workload.len(), workload[0]);
+    println!(
+        "workload: {} queries, e.g.:\n  {}",
+        workload.len(),
+        workload[0]
+    );
 
     // 4. Execute on both configurations with the timeout.
     let run_p = run_workload(&suite.nref, &p, &workload, params.timeout_units);

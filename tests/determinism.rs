@@ -1,0 +1,84 @@
+//! The parallel harness's central guarantee: a reproduction run's
+//! outputs are byte-identical at any thread count (timings.json is the
+//! documented exception — wall-clock varies run to run).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use tab_bench::eval::SuiteParams;
+use tab_bench_harness::repro::{run_all, ReproConfig};
+
+fn tiny(out: &Path, threads: usize) -> ReproConfig {
+    ReproConfig {
+        params: SuiteParams {
+            nref_proteins: 400,
+            tpch_scale: 0.002,
+            workload_size: 8,
+            timeout_units: 500.0,
+            seed: 7,
+            ..SuiteParams::small()
+        }
+        .with_threads(threads),
+        out_dir: out.to_path_buf(),
+    }
+}
+
+/// Read every output file, excluding `timings.json`.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("read output dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == "timings.json" {
+            continue;
+        }
+        out.insert(name, std::fs::read(entry.path()).expect("read output file"));
+    }
+    out
+}
+
+#[test]
+fn repro_outputs_identical_at_one_and_four_threads() {
+    let base = std::env::temp_dir().join(format!("tab_determinism_{}", std::process::id()));
+    let dirs = [base.join("t1"), base.join("t1b"), base.join("t4")];
+    let summaries = [
+        run_all(&tiny(&dirs[0], 1)),
+        run_all(&tiny(&dirs[1], 1)),
+        run_all(&tiny(&dirs[2], 4)),
+    ];
+
+    // Claims agree across repeats and thread counts, verdicts included.
+    for s in &summaries[1..] {
+        assert_eq!(s.claims.len(), summaries[0].claims.len());
+        for (a, b) in s.claims.iter().zip(&summaries[0].claims) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.holds, b.holds, "claim {} verdict differs", a.id);
+            assert_eq!(a.evidence, b.evidence, "claim {} evidence differs", a.id);
+        }
+    }
+
+    // Every CSV and figure file is byte-identical.
+    let want = snapshot(&dirs[0]);
+    assert!(
+        want.keys().any(|k| k.ends_with(".csv")),
+        "expected CSV outputs, got {:?}",
+        want.keys().collect::<Vec<_>>()
+    );
+    for dir in &dirs[1..] {
+        let got = snapshot(dir);
+        assert_eq!(
+            got.keys().collect::<Vec<_>>(),
+            want.keys().collect::<Vec<_>>()
+        );
+        for (name, bytes) in &want {
+            assert_eq!(&got[name], bytes, "{name} differs between runs");
+        }
+    }
+
+    // timings.json exists and records the thread count.
+    let t = std::fs::read_to_string(dirs[2].join("timings.json")).expect("timings.json");
+    assert!(t.contains("\"threads\": 4"), "unexpected timings: {t}");
+    assert!(t.contains("\"family\": \"NREF2J\""));
+
+    std::fs::remove_dir_all(&base).ok();
+}

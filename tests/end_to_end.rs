@@ -17,6 +17,7 @@ fn small_suite() -> Suite {
         workload_size: 25,
         timeout_units: 3_000.0,
         seed: 42,
+        ..SuiteParams::small()
     })
 }
 

@@ -5,8 +5,8 @@
 use tab_bench::engine::{bind, naive, Session};
 use tab_bench::sqlq::parse;
 use tab_bench::storage::{
-    BuiltConfiguration, ColType, ColumnDef, Configuration, Database, IndexSpec, Table,
-    TableSchema, Value,
+    BuiltConfiguration, ColType, ColumnDef, Configuration, Database, IndexSpec, Table, TableSchema,
+    Value,
 };
 
 fn db_with(r_rows: &[(Option<i64>, i64)], s_rows: &[i64]) -> Database {
@@ -81,8 +81,7 @@ fn group_by_over_empty_input_is_empty() {
 fn nulls_never_join() {
     // r.a contains NULLs; NULL = NULL must not match.
     let db = db_with(&[(None, 1), (Some(5), 2), (None, 3)], &[5]);
-    let (expect, got) =
-        run_both(&db, "SELECT COUNT(*) FROM r, s WHERE r.a = s.a");
+    let (expect, got) = run_both(&db, "SELECT COUNT(*) FROM r, s WHERE r.a = s.a");
     assert_eq!(expect, got);
     assert_eq!(got, vec![vec![Value::Int(1)]]);
 }

@@ -3,8 +3,8 @@
 //! skewed data, and the gap shrinks on uniform data.
 
 use tab_bench::eval::{
-    build_1c, build_p, estimate_workload, estimate_workload_hypothetical, prepare_workload,
-    Suite, SuiteParams,
+    build_1c, build_p, estimate_workload, estimate_workload_hypothetical, prepare_workload, Suite,
+    SuiteParams,
 };
 use tab_bench::families::Family;
 
@@ -15,6 +15,7 @@ fn suite() -> Suite {
         workload_size: 25,
         timeout_units: 3_000.0,
         seed: 7,
+        ..SuiteParams::small()
     })
 }
 

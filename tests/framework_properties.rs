@@ -1,113 +1,179 @@
-//! Property tests for the evaluation framework itself: CFC curves,
-//! goals, histograms, and the Zipf sampler.
+//! Randomized tests for the evaluation framework itself: CFC curves,
+//! goals, histograms, and the Zipf sampler. Cases are generated from a
+//! fixed-seed PRNG (the offline stand-in for the original proptest
+//! strategies).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use tab_bench::datagen::Zipf;
 use tab_bench::eval::{Cfc, Goal, LogHistogram, RatioHistogram};
 
-fn times_strategy() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(
-        prop_oneof![
-            9 => (0.01f64..10_000.0),
-            1 => Just(f64::INFINITY),
-        ],
-        0..200,
-    )
+/// Elapsed-time vectors: mostly finite values spanning six decades, with
+/// ~10% timeouts (`INFINITY`), length 0..200.
+fn random_times(rng: &mut StdRng) -> Vec<f64> {
+    let n = rng.random_range(0usize..200);
+    (0..n)
+        .map(|_| {
+            if rng.random_bool(0.1) {
+                f64::INFINITY
+            } else {
+                // Log-uniform over [0.01, 10_000).
+                let e: f64 = rng.random();
+                0.01 * 10f64.powf(e * 6.0)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// CFC is monotone non-decreasing and bounded by the completed
-    /// fraction.
-    #[test]
-    fn cfc_monotone_and_bounded(times in times_strategy(), xs in proptest::collection::vec(0.001f64..1e6, 1..30)) {
+/// CFC is monotone non-decreasing and bounded by the completed
+/// fraction.
+#[test]
+fn cfc_monotone_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xF12A_0001);
+    for case in 0..128 {
+        let times = random_times(&mut rng);
+        let n_xs = rng.random_range(1usize..30);
+        let mut xs: Vec<f64> = (0..n_xs)
+            .map(|_| 0.001 + rng.random::<f64>() * 1e6)
+            .collect();
         let cfc = Cfc::from_values(&times);
-        let mut xs = xs;
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut last = 0.0;
         for &x in &xs {
             let v = cfc.at(x);
-            prop_assert!(v >= last - 1e-12);
-            prop_assert!(v <= cfc.completed_fraction() + 1e-12);
+            assert!(v >= last - 1e-12, "case {case}: not monotone at {x}");
+            assert!(
+                v <= cfc.completed_fraction() + 1e-12,
+                "case {case}: exceeds completed fraction at {x}"
+            );
             last = v;
         }
     }
+}
 
-    /// Quantile and at() are consistent: at least fraction p completes
-    /// by quantile(p).
-    #[test]
-    fn quantile_consistent(times in times_strategy(), p in 0.01f64..1.0) {
+/// Quantile and at() are consistent: at least fraction p completes
+/// by quantile(p).
+#[test]
+fn quantile_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xF12A_0002);
+    for case in 0..128 {
+        let times = random_times(&mut rng);
+        let p = 0.01 + rng.random::<f64>() * 0.98;
         let cfc = Cfc::from_values(&times);
         if let Some(t) = cfc.quantile(p) {
             // Evaluate just above t (strict inequality in the definition).
             let v = cfc.at(t * (1.0 + 1e-9) + 1e-12);
-            prop_assert!(v + 1e-9 >= p.min(cfc.completed_fraction()),
-                "v={v} p={p}");
+            assert!(
+                v + 1e-9 >= p.min(cfc.completed_fraction()),
+                "case {case}: v={v} p={p}"
+            );
         } else {
-            prop_assert!(p > cfc.completed_fraction() - 1e-9 || cfc.size() == 0);
+            assert!(
+                p > cfc.completed_fraction() - 1e-9 || cfc.size() == 0,
+                "case {case}: quantile missing below completed fraction"
+            );
         }
     }
+}
 
-    /// Dominance is antisymmetric and irreflexive.
-    #[test]
-    fn dominance_antisymmetric(a in times_strategy(), b in times_strategy()) {
-        let ca = Cfc::from_values(&a);
-        let cb = Cfc::from_values(&b);
-        prop_assert!(!(ca.dominates(&cb) && cb.dominates(&ca)));
-        prop_assert!(!ca.dominates(&ca.clone()));
+/// Dominance is antisymmetric and irreflexive.
+#[test]
+fn dominance_antisymmetric() {
+    let mut rng = StdRng::seed_from_u64(0xF12A_0003);
+    for case in 0..128 {
+        let ca = Cfc::from_values(&random_times(&mut rng));
+        let cb = Cfc::from_values(&random_times(&mut rng));
+        assert!(
+            !(ca.dominates(&cb) && cb.dominates(&ca)),
+            "case {case}: mutual dominance"
+        );
+        assert!(!ca.dominates(&ca.clone()), "case {case}: self-dominance");
     }
+}
 
-    /// Shifting every completed time down (speeding everything up) can
-    /// never lose a goal that was satisfied.
-    #[test]
-    fn speedup_preserves_goal(times in times_strategy(), factor in 1.0f64..100.0) {
+/// Shifting every completed time down (speeding everything up) can
+/// never lose a goal that was satisfied.
+#[test]
+fn speedup_preserves_goal() {
+    let mut rng = StdRng::seed_from_u64(0xF12A_0004);
+    for case in 0..128 {
+        let times = random_times(&mut rng);
+        let factor = 1.0 + rng.random::<f64>() * 99.0;
         let goal = Goal::from_steps(vec![(10.0, 0.1), (100.0, 0.5), (1000.0, 0.9)]);
         let cfc = Cfc::from_values(&times);
         let faster: Vec<f64> = times.iter().map(|t| t / factor).collect();
         let cfc_fast = Cfc::from_values(&faster);
         if goal.satisfied_by(&cfc) {
-            prop_assert!(goal.satisfied_by(&cfc_fast));
+            assert!(
+                goal.satisfied_by(&cfc_fast),
+                "case {case}: speedup by {factor} lost the goal"
+            );
         }
     }
+}
 
-    /// Histogram counts partition the observations.
-    #[test]
-    fn histogram_partitions(times in times_strategy()) {
+/// Histogram counts partition the observations.
+#[test]
+fn histogram_partitions() {
+    let mut rng = StdRng::seed_from_u64(0xF12A_0005);
+    for case in 0..128 {
+        let times = random_times(&mut rng);
         let h = LogHistogram::new(&times, 0.1, 10_000.0, 2);
-        prop_assert_eq!(h.total(), times.len());
+        assert_eq!(h.total(), times.len(), "case {case}");
         let cum = h.cumulative_fractions();
-        prop_assert!(cum.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!(
+            cum.windows(2).all(|w| w[0] <= w[1] + 1e-12),
+            "case {case}: cumulative fractions not monotone"
+        );
     }
+}
 
-    /// Ratio histograms count every positive finite ratio exactly once.
-    #[test]
-    fn ratio_histogram_total(ratios in proptest::collection::vec(0.001f64..1000.0, 0..100)) {
+/// Ratio histograms count every positive finite ratio exactly once.
+#[test]
+fn ratio_histogram_total() {
+    let mut rng = StdRng::seed_from_u64(0xF12A_0006);
+    for case in 0..128 {
+        let n = rng.random_range(0usize..100);
+        let ratios: Vec<f64> = (0..n)
+            .map(|_| 0.001 * 10f64.powf(rng.random::<f64>() * 6.0))
+            .collect();
         let h = RatioHistogram::new(&ratios, 4);
         let total: usize = h.counts.iter().sum();
-        prop_assert_eq!(total, ratios.len());
+        assert_eq!(total, ratios.len(), "case {case}");
     }
+}
 
-    /// Zipf samples stay in range and rank-1 frequency tracks its
-    /// theoretical probability.
-    #[test]
-    fn zipf_in_range(n in 1usize..500, theta in 0.0f64..2.0, seed in any::<u64>()) {
-        use rand::SeedableRng;
+/// Zipf samples stay in range regardless of size, skew, and seed.
+#[test]
+fn zipf_in_range() {
+    let mut rng = StdRng::seed_from_u64(0xF12A_0007);
+    for case in 0..128 {
+        let n = rng.random_range(1usize..500);
+        let theta = rng.random::<f64>() * 2.0;
+        let seed: u64 = rng.random();
         let z = Zipf::new(n, theta);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut zrng = StdRng::seed_from_u64(seed);
         for _ in 0..100 {
-            let s = z.sample(&mut rng);
-            prop_assert!((1..=n).contains(&s));
+            let s = z.sample(&mut zrng);
+            assert!((1..=n).contains(&s), "case {case}: {s} not in 1..={n}");
         }
     }
+}
 
-    /// Zipf probabilities are non-increasing in rank.
-    #[test]
-    fn zipf_monotone(n in 2usize..200, theta in 0.0f64..2.0) {
+/// Zipf probabilities are non-increasing in rank.
+#[test]
+fn zipf_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xF12A_0008);
+    for case in 0..128 {
+        let n = rng.random_range(2usize..200);
+        let theta = rng.random::<f64>() * 2.0;
         let z = Zipf::new(n, theta);
         for r in 1..n {
-            prop_assert!(z.probability(r) >= z.probability(r + 1) - 1e-12);
+            assert!(
+                z.probability(r) >= z.probability(r + 1) - 1e-12,
+                "case {case}: rank {r} of {n} at theta {theta}"
+            );
         }
     }
 }

@@ -75,7 +75,8 @@ fn compressed_workload_is_executable() {
 }
 
 mod csv_properties {
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use tab_bench::storage::{
         export_table, import_table, ColType, ColumnDef, Table, TableSchema, Value,
     };
@@ -91,42 +92,59 @@ mod csv_properties {
         )
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Strings over printable ASCII plus the CSV-hostile characters:
+    /// quotes, commas, CR, LF, tabs — and occasionally the literal
+    /// string "NULL".
+    fn hostile_string(rng: &mut StdRng) -> String {
+        if rng.random_bool(0.05) {
+            return "NULL".to_string();
+        }
+        let len = rng.random_range(0usize..30);
+        (0..len)
+            .map(|_| {
+                if rng.random_bool(0.25) {
+                    ['"', ',', '\n', '\r', '\t'][rng.random_range(0usize..5)]
+                } else {
+                    rng.random_range(0x20u32..0x7F) as u8 as char
+                }
+            })
+            .collect()
+    }
 
-        /// Arbitrary content — including embedded quotes, commas, CR/LF,
-        /// the literal string "NULL", and NULL values — must round-trip
-        /// exactly through export + import.
-        #[test]
-        fn csv_round_trips_arbitrary_content(
-            rows in proptest::collection::vec(
-                (
-                    any::<i64>(),
-                    proptest::option::of("[ -~\n\r\t\"]{0,30}"),
-                    proptest::option::of(-1.0e9f64..1.0e9),
-                ),
-                0..40,
-            )
-        ) {
+    /// Arbitrary content — including embedded quotes, commas, CR/LF,
+    /// the literal string "NULL", and NULL values — must round-trip
+    /// exactly through export + import.
+    #[test]
+    fn csv_round_trips_arbitrary_content() {
+        let mut rng = StdRng::seed_from_u64(0xC57_0001);
+        for case in 0..48 {
+            let n = rng.random_range(0usize..40);
             let mut t = Table::new(schema());
-            for (i, s, f) in &rows {
-                t.insert(vec![
-                    Value::Int(*i),
-                    s.as_deref().map(Value::str).unwrap_or(Value::Null),
-                    f.map(Value::Float).unwrap_or(Value::Null),
-                ]);
+            for _ in 0..n {
+                let i: u64 = rng.random();
+                let s = if rng.random_bool(0.25) {
+                    Value::Null
+                } else {
+                    Value::str(hostile_string(&mut rng))
+                };
+                let f = if rng.random_bool(0.25) {
+                    Value::Null
+                } else {
+                    Value::Float((rng.random::<f64>() - 0.5) * 2.0e9)
+                };
+                t.insert(vec![Value::Int(i as i64), s, f]);
             }
             let path = std::env::temp_dir().join(format!(
                 "tab_csv_prop_{}_{}.csv",
                 std::process::id(),
-                rows.len()
+                case
             ));
             export_table(&t, &path).unwrap();
             let back = import_table(schema(), &path).unwrap();
             std::fs::remove_file(&path).ok();
-            prop_assert_eq!(back.n_rows(), t.n_rows());
+            assert_eq!(back.n_rows(), t.n_rows(), "case {case}");
             for i in 0..t.n_rows() {
-                prop_assert_eq!(back.row(i as u32), t.row(i as u32));
+                assert_eq!(back.row(i as u32), t.row(i as u32), "case {case} row {i}");
             }
         }
     }

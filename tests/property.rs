@@ -1,14 +1,19 @@
-//! Property-based tests spanning the workspace: the optimizer+executor
+//! Randomized tests spanning the workspace: the optimizer+executor
 //! pipeline must agree with the brute-force interpreter on arbitrary
 //! queries, under arbitrary index configurations.
+//!
+//! Cases are generated from a fixed-seed PRNG (the offline stand-in for
+//! the original proptest strategies); every failure message includes the
+//! case number so a regression can be replayed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use tab_bench::engine::{bind, naive, CostMeter, Resolver};
 use tab_bench::sqlq::{parse, CmpOp, ColRef, Predicate, Query, RangeOp, SelectItem, TableRef};
 use tab_bench::storage::{
-    BuiltConfiguration, ColType, ColumnDef, Configuration, Database, IndexSpec, Table,
-    TableSchema, Value,
+    BuiltConfiguration, ColType, ColumnDef, Configuration, Database, IndexSpec, Table, TableSchema,
+    Value,
 };
 
 /// Small database over two tables with tiny value domains so joins and
@@ -44,47 +49,61 @@ fn build_db(r_rows: &[(i64, i64, i64)], s_rows: &[(i64, i64)]) -> Database {
 
 #[derive(Debug, Clone)]
 struct Shape {
-    join: u8,            // 0 = none (cartesian), 1 = r.a=s.a, 2 = r.b=s.d
+    join: u8, // 0 = none (cartesian), 1 = r.a=s.a, 2 = r.b=s.d
     filter_r: Option<i64>,
     filter_s: Option<i64>,
     range_r: Option<(u8, i64)>, // r.c {<,<=,>,>=} const
-    freq: Option<i64>,   // r.a IN (... HAVING COUNT(*) < k)
-    group: bool,         // group by r.c
-    agg: u8,             // 0 = COUNT(*), 1 = COUNT(DISTINCT r.b), 2 = COUNT(DISTINCT s.d)
-    self_join: bool,     // add second alias of r joined on r.a
-    order_desc: Option<bool>, // ORDER BY r.c [DESC] (only when grouped)
+    freq: Option<i64>,          // r.a IN (... HAVING COUNT(*) < k)
+    group: bool,                // group by r.c
+    agg: u8,                    // 0 = COUNT(*), 1 = COUNT(DISTINCT r.b), 2 = COUNT(DISTINCT s.d)
+    self_join: bool,            // add second alias of r joined on r.a
+    order_desc: Option<bool>,   // ORDER BY r.c [DESC] (only when grouped)
     limit: Option<u8>,
 }
 
-fn shape_strategy() -> impl Strategy<Value = Shape> {
-    (
-        0u8..3,
-        proptest::option::of(0i64..6),
-        proptest::option::of(0i64..6),
-        proptest::option::of((0u8..4, 0i64..6)),
-        proptest::option::of(1i64..5),
-        any::<bool>(),
-        0u8..3,
-        any::<bool>(),
-        proptest::option::of(any::<bool>()),
-        proptest::option::of(0u8..8),
-    )
-        .prop_map(
-            |(join, filter_r, filter_s, range_r, freq, group, agg, self_join, order_desc, limit)| {
-                Shape {
-                    join,
-                    filter_r,
-                    filter_s,
-                    range_r,
-                    freq,
-                    group,
-                    agg,
-                    self_join,
-                    order_desc,
-                    limit,
-                }
-            },
-        )
+fn opt<T>(rng: &mut StdRng, f: impl FnOnce(&mut StdRng) -> T) -> Option<T> {
+    if rng.random_bool(0.5) {
+        Some(f(rng))
+    } else {
+        None
+    }
+}
+
+fn random_shape(rng: &mut StdRng) -> Shape {
+    Shape {
+        join: rng.random_range(0u32..3) as u8,
+        filter_r: opt(rng, |r| r.random_range(0i64..6)),
+        filter_s: opt(rng, |r| r.random_range(0i64..6)),
+        range_r: opt(rng, |r| {
+            (r.random_range(0u32..4) as u8, r.random_range(0i64..6))
+        }),
+        freq: opt(rng, |r| r.random_range(1i64..5)),
+        group: rng.random_bool(0.5),
+        agg: rng.random_range(0u32..3) as u8,
+        self_join: rng.random_bool(0.5),
+        order_desc: opt(rng, |r| r.random_bool(0.5)),
+        limit: opt(rng, |r| r.random_range(0u32..8) as u8),
+    }
+}
+
+fn random_r_rows(rng: &mut StdRng, max: usize) -> Vec<(i64, i64, i64)> {
+    let n = rng.random_range(0usize..max);
+    (0..n)
+        .map(|_| {
+            (
+                rng.random_range(0i64..6),
+                rng.random_range(0i64..6),
+                rng.random_range(0i64..6),
+            )
+        })
+        .collect()
+}
+
+fn random_s_rows(rng: &mut StdRng, max: usize) -> Vec<(i64, i64)> {
+    let n = rng.random_range(0usize..max);
+    (0..n)
+        .map(|_| (rng.random_range(0i64..6), rng.random_range(0i64..6)))
+        .collect()
 }
 
 fn build_query(shape: &Shape) -> Query {
@@ -118,7 +137,11 @@ fn build_query(shape: &Shape) -> Query {
             2 => RangeOp::Gt,
             _ => RangeOp::Ge,
         };
-        predicates.push(Predicate::ConstRange(ColRef::new("r1", "c"), op, Value::Int(v)));
+        predicates.push(Predicate::ConstRange(
+            ColRef::new("r1", "c"),
+            op,
+            Value::Int(v),
+        ));
     }
     if let Some(v) = shape.filter_s {
         predicates.push(Predicate::ConstEq(ColRef::new("s", "d"), Value::Int(v)));
@@ -184,18 +207,16 @@ fn config_from_mask(mask: u8) -> Configuration {
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The planned-and-executed result must equal the brute-force result
-    /// for every query shape and every index configuration.
-    #[test]
-    fn executor_matches_naive(
-        r_rows in proptest::collection::vec((0i64..6, 0i64..6, 0i64..6), 0..25),
-        s_rows in proptest::collection::vec((0i64..6, 0i64..6), 0..25),
-        shape in shape_strategy(),
-        mask in 0u8..32,
-    ) {
+/// The planned-and-executed result must equal the brute-force result
+/// for every query shape and every index configuration.
+#[test]
+fn executor_matches_naive() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0001);
+    for case in 0..64 {
+        let r_rows = random_r_rows(&mut rng, 25);
+        let s_rows = random_s_rows(&mut rng, 25);
+        let shape = random_shape(&mut rng);
+        let mask = rng.random_range(0u32..32) as u8;
         let db = build_db(&r_rows, &s_rows);
         let built = BuiltConfiguration::build(config_from_mask(mask), &db);
         let q = build_query(&shape);
@@ -209,30 +230,42 @@ proptest! {
             let mut got = got;
             expect.sort();
             got.sort();
-            prop_assert_eq!(expect, got);
+            assert_eq!(expect, got, "case {case}: shape {shape:?} mask {mask}");
         } else {
             // Ordered (and possibly limited) results compare as lists.
-            prop_assert_eq!(expect, got);
+            assert_eq!(expect, got, "case {case}: shape {shape:?} mask {mask}");
         }
     }
+}
 
-    /// Printing a generated query and reparsing it yields the same AST.
-    #[test]
-    fn sql_print_parse_roundtrip(shape in shape_strategy()) {
+/// Printing a generated query and reparsing it yields the same AST.
+#[test]
+fn sql_print_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0002);
+    for case in 0..128 {
+        let shape = random_shape(&mut rng);
         let q = build_query(&shape);
         let text = q.to_string();
         let q2 = parse(&text).expect("rendered SQL parses");
-        prop_assert_eq!(q, q2);
+        assert_eq!(q, q2, "case {case}: {text}");
     }
+}
 
-    /// Execution cost never increases when the executor runs the exact
-    /// same plan; and a budget equal to the unbounded cost never trips.
-    #[test]
-    fn budget_at_actual_cost_completes(
-        r_rows in proptest::collection::vec((0i64..6, 0i64..6, 0i64..6), 1..20),
-        s_rows in proptest::collection::vec((0i64..6, 0i64..6), 1..20),
-        shape in shape_strategy(),
-    ) {
+/// Execution cost never increases when the executor runs the exact
+/// same plan; and a budget equal to the unbounded cost never trips.
+#[test]
+fn budget_at_actual_cost_completes() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0003);
+    for case in 0..64 {
+        let mut r_rows = random_r_rows(&mut rng, 20);
+        if r_rows.is_empty() {
+            r_rows.push((0, 0, 0));
+        }
+        let mut s_rows = random_s_rows(&mut rng, 20);
+        if s_rows.is_empty() {
+            s_rows.push((0, 0));
+        }
+        let shape = random_shape(&mut rng);
         let db = build_db(&r_rows, &s_rows);
         let built = BuiltConfiguration::build(Configuration::named("p"), &db);
         let q = build_query(&shape);
@@ -240,17 +273,22 @@ proptest! {
         let r1 = session.run(&q, None).unwrap();
         let units = r1.outcome.units().unwrap();
         let r2 = session.run(&q, Some(units + 1e-9)).unwrap();
-        prop_assert!(!r2.outcome.is_timeout());
-        prop_assert!((r2.outcome.units().unwrap() - units).abs() < 1e-9);
+        assert!(!r2.outcome.is_timeout(), "case {case}: shape {shape:?}");
+        assert!(
+            (r2.outcome.units().unwrap() - units).abs() < 1e-9,
+            "case {case}: shape {shape:?}"
+        );
     }
+}
 
-    /// The executor's metered totals are deterministic.
-    #[test]
-    fn execution_is_deterministic(
-        r_rows in proptest::collection::vec((0i64..6, 0i64..6, 0i64..6), 0..20),
-        s_rows in proptest::collection::vec((0i64..6, 0i64..6), 0..20),
-        shape in shape_strategy(),
-    ) {
+/// The executor's metered totals are deterministic.
+#[test]
+fn execution_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0004);
+    for case in 0..64 {
+        let r_rows = random_r_rows(&mut rng, 20);
+        let s_rows = random_s_rows(&mut rng, 20);
+        let shape = random_shape(&mut rng);
         let db = build_db(&r_rows, &s_rows);
         let built = BuiltConfiguration::build(Configuration::named("p"), &db);
         let q = build_query(&shape);
@@ -262,6 +300,6 @@ proptest! {
         let mut m2 = CostMeter::unbounded();
         tab_bench::engine::execute(&plan, &resolver, &mut m1).unwrap();
         tab_bench::engine::execute(&plan, &resolver, &mut m2).unwrap();
-        prop_assert_eq!(m1.units(), m2.units());
+        assert_eq!(m1.units(), m2.units(), "case {case}: shape {shape:?}");
     }
 }

@@ -17,6 +17,7 @@ fn suite() -> Suite {
         workload_size: 10,
         timeout_units: 2_000.0,
         seed: 13,
+        ..SuiteParams::small()
     })
 }
 
@@ -84,7 +85,9 @@ fn measured_insert_cost_matches_model() {
     let run = run_update_workload(
         &mut db,
         &mut built,
-        &(0..10).map(|i| WorkloadOp::Insert(ns_insert(i))).collect::<Vec<_>>(),
+        &(0..10)
+            .map(|i| WorkloadOp::Insert(ns_insert(i)))
+            .collect::<Vec<_>>(),
         s.params.timeout_units,
     );
     let measured = run.insert_units / 10.0;
