@@ -7,7 +7,10 @@ use std::time::Duration;
 use tab_datagen::{generate_nref, NrefParams};
 use tab_engine::{CostMeter, Resolver, Session};
 use tab_sqlq::parse;
-use tab_storage::{BuiltConfiguration, Configuration, IndexSpec};
+use tab_storage::{
+    BuiltConfiguration, ColType, ColumnDef, Configuration, Database, IndexSpec, Table, TableSchema,
+    Value,
+};
 
 fn bench_engine(c: &mut Criterion) {
     let db = generate_nref(NrefParams {
@@ -68,6 +71,83 @@ fn bench_engine(c: &mut Criterion) {
     });
 }
 
+/// Synthetic star schema sized for the batch-operator benches: `fact`
+/// has `n` rows with a 10:1 fan-in onto `dim` (so an equi-join emits
+/// exactly `n` rows) and 64 grouping values in `g`; `grp` maps each
+/// grouping value to one row. Deterministic, no RNG.
+fn batch_db(n: usize) -> Database {
+    let mut db = Database::new();
+    let mut fact = Table::new(TableSchema::new(
+        "fact",
+        vec![
+            ColumnDef::new("k", ColType::Int),
+            ColumnDef::new("g", ColType::Int),
+            ColumnDef::new("v", ColType::Int),
+        ],
+    ));
+    let n_dim = (n / 10).max(1);
+    for i in 0..n {
+        fact.insert(vec![
+            Value::Int((i % n_dim) as i64),
+            Value::Int((i % 64) as i64),
+            Value::Int(i as i64),
+        ]);
+    }
+    let mut dim = Table::new(TableSchema::new(
+        "dim",
+        vec![
+            ColumnDef::new("k", ColType::Int),
+            ColumnDef::new("w", ColType::Int),
+        ],
+    ));
+    for i in 0..n_dim {
+        dim.insert(vec![Value::Int(i as i64), Value::Int((i * 7) as i64)]);
+    }
+    let mut grp = Table::new(TableSchema::new(
+        "grp",
+        vec![
+            ColumnDef::new("g", ColType::Int),
+            ColumnDef::new("z", ColType::Int),
+        ],
+    ));
+    for i in 0..64 {
+        grp.insert(vec![Value::Int(i as i64), Value::Int((i * 3) as i64)]);
+    }
+    db.add_table(fact);
+    db.add_table(dim);
+    db.add_table(grp);
+    db.collect_stats();
+    db
+}
+
+/// Hash-join, group-by, and 3-way-join throughput at 10^3..10^5 rows —
+/// the operators the late-materialization executor batches. All run
+/// under the index-less `P` configuration so the planner picks hash
+/// joins.
+fn bench_batch_operators(c: &mut Criterion) {
+    let join_q = parse("SELECT COUNT(*) FROM fact f, dim d WHERE f.k = d.k").unwrap();
+    let group_q = parse("SELECT f.g, COUNT(*) FROM fact f GROUP BY f.g").unwrap();
+    let three_q = parse(
+        "SELECT COUNT(*) FROM fact f, dim d, grp e \
+         WHERE f.k = d.k AND f.g = e.g",
+    )
+    .unwrap();
+    for n in [1_000usize, 10_000, 100_000] {
+        let db = batch_db(n);
+        let p = BuiltConfiguration::build(Configuration::named("p"), &db);
+        let s = Session::new(&db, &p);
+        c.bench_function(&format!("hash_join_{n}"), |b| {
+            b.iter(|| black_box(s.run(&join_q, None).unwrap().outcome.units()))
+        });
+        c.bench_function(&format!("group_by_{n}"), |b| {
+            b.iter(|| black_box(s.run(&group_q, None).unwrap().outcome.units()))
+        });
+        c.bench_function(&format!("three_way_join_{n}"), |b| {
+            b.iter(|| black_box(s.run(&three_q, None).unwrap().outcome.units()))
+        });
+    }
+}
+
 fn configured() -> Criterion {
     // Keep full-workspace bench runs to minutes, not hours: these are
     // coarse-grained operations (whole queries, whole advisor searches),
@@ -78,5 +158,5 @@ fn configured() -> Criterion {
         .warm_up_time(Duration::from_secs(1))
 }
 
-criterion_group!(name = benches; config = configured(); targets = bench_engine);
+criterion_group!(name = benches; config = configured(); targets = bench_engine, bench_batch_operators);
 criterion_main!(benches);

@@ -109,7 +109,10 @@ fn main() {
                     eprintln!(
                         "  {name}: {} indexes {:?}",
                         cfg.indexes.len(),
-                        cfg.indexes.iter().map(|i| i.name()).collect::<Vec<_>>()
+                        cfg.indexes
+                            .iter()
+                            .map(|i| i.to_string())
+                            .collect::<Vec<_>>()
                     );
                     let built = BuiltConfiguration::build(cfg, db);
                     let run_r = run_workload(db, &built, &w, params.timeout_units);
@@ -188,7 +191,10 @@ fn tpch_pilot(suite: &Suite, params: SuiteParams, t0: Instant) {
                         "[{:?}]  C: {} indexes {:?}, {} views {:?}",
                         t0.elapsed(),
                         cfg.indexes.len(),
-                        cfg.indexes.iter().map(|i| i.name()).collect::<Vec<_>>(),
+                        cfg.indexes
+                            .iter()
+                            .map(|i| i.to_string())
+                            .collect::<Vec<_>>(),
                         cfg.mviews.len(),
                         cfg.mviews
                             .iter()

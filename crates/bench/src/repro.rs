@@ -11,10 +11,10 @@ use std::time::Instant;
 use tab_advisor::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};
 use tab_core::report::{cfc_csv_rows, render_cfc_ascii, render_histogram_ascii, write_csv};
 use tab_core::{
-    build_1c, build_p, estimate_workload_hypothetical_with, estimate_workload_with,
+    bench_json, build_1c, build_p, estimate_workload_hypothetical_with, estimate_workload_with,
     improvement_ratios, insertion_breakeven, prepare_workload_db_with, run_grid, space_budget,
-    table1_row, timings_json, CellTiming, Cfc, Goal, GridCell, LogHistogram, RatioHistogram,
-    SuiteParams, WorkloadRun,
+    table1_row, timings_json, CellTiming, Cfc, Goal, GridCell, LogHistogram, PhaseTiming,
+    RatioHistogram, SuiteParams, WorkloadRun,
 };
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
 use tab_families::Family;
@@ -87,12 +87,30 @@ struct Ctx {
     claims: Vec<Claim>,
     figures: String,
     timings: Vec<CellTiming>,
+    /// Coarse (phase name, wall seconds) spans for `BENCH_repro_*.json`,
+    /// in first-seen order, accumulated across sections.
+    phases: Vec<(&'static str, f64)>,
     t0: Instant,
+    /// When the span being attributed to the *next* [`Ctx::mark`] began.
+    last_mark: Instant,
 }
 
 impl Ctx {
     fn log(&self, msg: &str) {
         eprintln!("[{:8.1?}] {msg}", self.t0.elapsed());
+    }
+
+    /// Attribute the wall-clock since the previous mark to `phase`. The
+    /// NREF and TPC-H sections run the same phases in turn, so repeated
+    /// marks accumulate into one entry per phase name.
+    fn mark(&mut self, phase: &'static str) {
+        let now = Instant::now();
+        let secs = now.duration_since(self.last_mark).as_secs_f64();
+        self.last_mark = now;
+        match self.phases.iter_mut().find(|(n, _)| *n == phase) {
+            Some(e) => e.1 += secs,
+            None => self.phases.push((phase, secs)),
+        }
     }
 
     fn claim(&mut self, id: &str, statement: &str, holds: bool, evidence: String) {
@@ -125,13 +143,16 @@ impl Ctx {
 /// Run the full reproduction.
 pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
+    let t0 = Instant::now();
     let mut ctx = Ctx {
         out: cfg.out_dir.clone(),
         timeout: cfg.params.timeout_units,
         claims: Vec::new(),
         figures: String::new(),
         timings: Vec::new(),
-        t0: Instant::now(),
+        phases: Vec::new(),
+        t0,
+        last_mark: t0,
     };
     let timeout_s = tab_engine::units_to_sim_seconds(cfg.params.timeout_units);
     let par = cfg.params.par;
@@ -176,6 +197,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         seed: cfg.params.seed,
     });
     let nref = &nref_db;
+    ctx.mark("generate");
     ctx.log("NREF: building P and 1C");
     let p = build_p(nref, "NREF");
     let c1 = build_1c(nref, "NREF");
@@ -199,6 +221,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         cfg.params.seed,
         par,
     );
+    ctx.mark("prepare");
 
     let input2 = AdvisorInput {
         db: nref,
@@ -255,6 +278,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     let a2 = a2_cfg.map(|c| BuiltConfiguration::build(named(c, "A_NREF2J_R"), nref));
     let b2 = BuiltConfiguration::build(named(b2_cfg, "B_NREF2J_R"), nref);
     let b3 = BuiltConfiguration::build(named(b3_cfg, "B_NREF3J_R"), nref);
+    ctx.mark("recommend");
 
     ctx.log("NREF: running the NREF2J/NREF3J x P/1C/R grid");
     let timeout = ctx.timeout;
@@ -279,6 +303,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     let mut grid: std::collections::VecDeque<(WorkloadRun, CellTiming)> =
         run_grid(&cells, par).into();
     drop(cells);
+    ctx.mark("measurement-grid");
     let mut take = |ctx: &mut Ctx| -> WorkloadRun {
         let (run, timing) = grid.pop_front().expect("one result per grid cell");
         ctx.timings.push(timing);
@@ -700,6 +725,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     drop(c1);
     drop(p);
     drop(nref_db);
+    ctx.mark("analysis");
 
     // ================= TPC-H (System C) =================
     for (dist, label, families) in [
@@ -717,10 +743,12 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
             seed: cfg.params.seed + if label == "SkTH" { 1 } else { 2 },
         });
         let db = &tpch_db;
+        ctx.mark("generate");
         ctx.log(&format!("{label}: building P and 1C"));
         let p = build_p(db, label);
         let c1 = build_1c(db, label);
         let budget = space_budget(db, label);
+        ctx.mark("prepare");
         let mut family_runs: BTreeMap<&'static str, (WorkloadRun, WorkloadRun, WorkloadRun)> =
             BTreeMap::new();
 
@@ -737,6 +765,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                 cfg.params.seed,
                 par,
             );
+            ctx.mark("prepare");
             ctx.log(&format!(
                 "{label}: System C recommending for {}",
                 fam.name()
@@ -751,6 +780,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                 .expect("C always recommends");
             let rec_name = format!("C_{}_R", fam.name());
             let built = BuiltConfiguration::build(named(rec, &rec_name), db);
+            ctx.mark("recommend");
             preps.push((fam, w, built));
         }
 
@@ -770,6 +800,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
             .collect();
         let mut grid = run_grid(&cells, par).into_iter();
         drop(cells);
+        ctx.mark("measurement-grid");
 
         for (fam, _w, built) in &preps {
             let mut next = || {
@@ -880,6 +911,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                 ),
             );
         }
+        ctx.mark("analysis");
     }
 
     // ================= Tables and summary files =================
@@ -938,6 +970,41 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     // is excluded from determinism comparisons (see tests/determinism.rs).
     let timings = timings_json(par.threads(), ctx.t0.elapsed().as_secs_f64(), &ctx.timings);
     std::fs::write(ctx.out.join("timings.json"), timings).expect("write timings");
+
+    // Per-phase performance record (schema documented on `bench_json`).
+    // The measurement grid is the only phase running metered queries,
+    // so it carries the run's entire cost-unit total; the remaining
+    // wall-clock since the last mark (tables, summary files) is folded
+    // into `report`. Like `timings.json`, `BENCH_*` files hold
+    // wall-clock and are skipped by determinism comparisons.
+    ctx.mark("report");
+    let scale = if cfg.params.nref_proteins < SuiteParams::default().nref_proteins {
+        "small"
+    } else {
+        "full"
+    };
+    let grid_units: f64 = ctx.timings.iter().map(|t| t.cost_units).sum();
+    let phases: Vec<PhaseTiming> = ctx
+        .phases
+        .iter()
+        .map(|&(name, wall_seconds)| PhaseTiming {
+            name: name.to_string(),
+            wall_seconds,
+            cost_units: if name == "measurement-grid" {
+                grid_units
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    let bench = bench_json(
+        scale,
+        par.threads(),
+        ctx.t0.elapsed().as_secs_f64(),
+        &phases,
+    );
+    std::fs::write(ctx.out.join(format!("BENCH_repro_{scale}.json")), bench)
+        .expect("write bench record");
 
     ctx.log(&format!(
         "done: {}/{} claims hold",

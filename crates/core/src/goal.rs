@@ -144,10 +144,10 @@ mod tests {
     fn satisfied_and_violated() {
         let g = Goal::example_2();
         // 10 queries: all at 1s -> satisfies everything.
-        let fast = Cfc::from_values(&vec![1.0; 10]);
+        let fast = Cfc::from_values(&[1.0; 10]);
         assert!(g.satisfied_by(&fast));
         // All queries at 100s: 0% under 10s -> fails the first step.
-        let slow = Cfc::from_values(&vec![100.0; 10]);
+        let slow = Cfc::from_values(&[100.0; 10]);
         assert!(!g.satisfied_by(&slow));
         // 90% fast but 20% at timeout-ish: fails the 90% step.
         let mut v = vec![1.0; 7];

@@ -90,27 +90,19 @@ pub fn run_grid(cells: &[GridCell<'_>], par: Parallelism) -> Vec<(WorkloadRun, C
             wall_seconds += wall;
             outcomes.push(outcome);
         }
+        let run = WorkloadRun {
+            config: cell.built.config.name.clone(),
+            outcomes,
+        };
         let timing = CellTiming {
             family: cell.family.to_string(),
-            config: cell.built.config.name.clone(),
-            queries: outcomes.len(),
-            timeouts: outcomes.iter().filter(|o| o.is_timeout()).count(),
+            config: run.config.clone(),
+            queries: run.outcomes.len(),
+            timeouts: run.timeout_count(),
             wall_seconds,
-            cost_units: outcomes
-                .iter()
-                .map(|o| match o {
-                    Outcome::Done { units, .. } => *units,
-                    Outcome::Timeout { budget } => *budget,
-                })
-                .sum(),
+            cost_units: run.total_lower_bound_units(),
         };
-        out.push((
-            WorkloadRun {
-                config: cell.built.config.name.clone(),
-                outcomes,
-            },
-            timing,
-        ));
+        out.push((run, timing));
     }
     out
 }
@@ -158,6 +150,69 @@ pub fn timings_json(threads: usize, total_wall_seconds: f64, cells: &[CellTiming
             c.wall_seconds,
             c.cost_units,
             if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// One coarse phase of a reproduction run, aggregated across sections
+/// (e.g. `generate` sums NREF and both TPC-H generations).
+#[derive(Debug, Clone)]
+pub struct PhaseTiming {
+    /// Phase name, e.g. `measurement-grid`.
+    pub name: String,
+    /// Real wall-clock seconds attributed to the phase.
+    pub wall_seconds: f64,
+    /// Modeled cost units consumed by the phase's metered query
+    /// executions, `0` for phases that run no metered queries.
+    pub cost_units: f64,
+}
+
+/// Render per-phase timings as a `BENCH_repro_<scale>.json` document,
+/// the machine-readable performance record a repro run leaves next to
+/// `timings.json`.
+///
+/// Schema (`tab-bench-phases-v1`):
+///
+/// ```json
+/// {
+///   "schema": "tab-bench-phases-v1",
+///   "scale": "small",            // SuiteParams preset: "small" | "full"
+///   "threads": 1,                // worker threads the run used
+///   "total_wall_seconds": 7.980, // elapsed time of the whole run
+///   "phases": [                  // in execution order, wall-clock sums
+///     {"name": "generate", "wall_seconds": 0.51, "cost_units": 0.0},
+///     {"name": "measurement-grid", "wall_seconds": 5.2, "cost_units": 1.9e6}
+///   ]
+/// }
+/// ```
+///
+/// `wall_seconds` vary run to run, so determinism checks must skip
+/// `BENCH_*` files; `cost_units` are deterministic and comparable
+/// across machines.
+pub fn bench_json(
+    scale: &str,
+    threads: usize,
+    total_wall_seconds: f64,
+    phases: &[PhaseTiming],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tab-bench-phases-v1\",\n");
+    s.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(scale)));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!(
+        "  \"total_wall_seconds\": {total_wall_seconds:.3},\n"
+    ));
+    s.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_seconds\": {:.3}, \"cost_units\": {:.3}}}{}\n",
+            json_escape(&p.name),
+            p.wall_seconds,
+            p.cost_units,
+            if i + 1 < phases.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");
@@ -264,6 +319,32 @@ mod tests {
         assert!(j.contains("\"family\": \"NREF2J\""));
         assert!(j.contains("SkTH_\\\"q\\\""));
         // A comma between the two cell objects, none trailing.
+        assert!(j.contains("},\n"));
+        assert!(!j.contains("},\n  ]"));
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let phases = vec![
+            PhaseTiming {
+                name: "generate".into(),
+                wall_seconds: 0.5,
+                cost_units: 0.0,
+            },
+            PhaseTiming {
+                name: "measurement-grid".into(),
+                wall_seconds: 5.25,
+                cost_units: 1234.5,
+            },
+        ];
+        let j = bench_json("small", 2, 7.98, &phases);
+        assert!(j.contains("\"schema\": \"tab-bench-phases-v1\""));
+        assert!(j.contains("\"scale\": \"small\""));
+        assert!(j.contains("\"threads\": 2"));
+        assert!(j.contains("\"total_wall_seconds\": 7.980"));
+        assert!(j.contains(
+            "\"name\": \"measurement-grid\", \"wall_seconds\": 5.250, \"cost_units\": 1234.500"
+        ));
         assert!(j.contains("},\n"));
         assert!(!j.contains("},\n  ]"));
     }

@@ -33,7 +33,7 @@ pub use experiment::{
     Table1Row,
 };
 pub use goal::{improvement_ratio, Goal};
-pub use grid::{run_grid, timings_json, CellTiming, GridCell};
+pub use grid::{bench_json, run_grid, timings_json, CellTiming, GridCell, PhaseTiming};
 pub use histogram::{LogHistogram, RatioHistogram};
 pub use measure::{
     estimate_workload, estimate_workload_hypothetical, estimate_workload_hypothetical_with,

@@ -47,6 +47,13 @@ impl WorkloadRun {
             .map(Outcome::sim_seconds_lower_bound)
             .sum()
     }
+
+    /// The same conservative total in raw cost units: actual units for
+    /// completed queries, the budget for timed-out ones. This is the
+    /// quantity the grid timings and `BENCH_repro_*.json` aggregate.
+    pub fn total_lower_bound_units(&self) -> f64 {
+        self.outcomes.iter().map(Outcome::units_lower_bound).sum()
+    }
 }
 
 /// Execute a workload on a configuration with the given timeout budget
@@ -246,6 +253,7 @@ mod tests {
         let expect = tab_engine::units_to_sim_seconds(10.0 + 100.0 + 20.0);
         assert!((lb - expect).abs() < 1e-9);
         assert_eq!(r.timeout_count(), 1);
+        assert!((r.total_lower_bound_units() - 130.0).abs() < 1e-9);
     }
 
     #[test]

@@ -89,6 +89,20 @@ pub struct TimedOut {
 /// The executor charges every page and row it touches; when a budget is
 /// set and exceeded, charging fails and the executor unwinds — the
 /// equivalent of the paper killing a query at the 30-minute mark.
+///
+/// # Charge order does not matter
+///
+/// The meter keeps three non-negative counters and derives [`units`]
+/// from their totals, so splitting, merging, or reordering charges
+/// leaves the final total bit-identical. The budget check is monotone —
+/// the total exceeds the budget at some prefix of the charge sequence
+/// if and only if it exceeds it at the end — so batching also preserves
+/// the Done/Timeout outcome (a [`Outcome::Timeout`] reports only the
+/// budget, never the trip point). The executor relies on this to charge
+/// operator inputs in bulk instead of per tuple; see the note in
+/// `exec.rs`.
+///
+/// [`units`]: CostMeter::units
 #[derive(Debug, Clone)]
 pub struct CostMeter {
     seq_pages: u64,
@@ -117,6 +131,7 @@ impl CostMeter {
     }
 
     /// Total cost units consumed so far.
+    #[inline]
     pub fn units(&self) -> f64 {
         self.seq_pages as f64 * SEQ_PAGE_COST
             + self.random_pages as f64 * RANDOM_PAGE_COST
@@ -138,6 +153,7 @@ impl CostMeter {
         self.rows
     }
 
+    #[inline]
     fn check(&self) -> Result<(), TimedOut> {
         match self.budget {
             Some(b) if self.units() > b || self.rows > BUDGET_ROW_CAP => Err(TimedOut {
@@ -148,18 +164,21 @@ impl CostMeter {
     }
 
     /// Charge `n` sequential page reads.
+    #[inline]
     pub fn charge_seq_pages(&mut self, n: u64) -> Result<(), TimedOut> {
         self.seq_pages += n;
         self.check()
     }
 
     /// Charge `n` random page reads.
+    #[inline]
     pub fn charge_random_pages(&mut self, n: u64) -> Result<(), TimedOut> {
         self.random_pages += n;
         self.check()
     }
 
     /// Charge `n` rows of CPU work.
+    #[inline]
     pub fn charge_rows(&mut self, n: u64) -> Result<(), TimedOut> {
         self.rows += n;
         self.check()
@@ -245,7 +264,7 @@ mod tests {
 
     #[test]
     fn random_pages_cost_more_than_seq() {
-        assert!(RANDOM_PAGE_COST > SEQ_PAGE_COST * 5.0);
+        const { assert!(RANDOM_PAGE_COST > SEQ_PAGE_COST * 5.0) }
     }
 
     #[test]

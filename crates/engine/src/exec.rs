@@ -4,11 +4,39 @@
 //! and row to a [`CostMeter`]. The meter's total is the paper's actual
 //! cost `A(q, C)`; when a budget is set, exceeding it aborts execution —
 //! the 30-minute timeout of the paper's protocol.
+//!
+//! # Late materialization
+//!
+//! Intermediate tuples are **not** vectors of values. A tuple is a
+//! fixed-width array of [`RowId`]s — one `u32` slot per relation in the
+//! bound query — stored back to back in a flat [`Arena`]. Joins append
+//! row ids; column values are fetched from base tables (or materialized
+//! views) only at predicate evaluation, join-key extraction, and final
+//! projection/aggregation, through [`Table::value`]. This removes the
+//! per-step `clone` + `extend` of value vectors that dominated the old
+//! executor's profile.
+//!
+//! Join and group-by keys are interned to dense `u64` ids via a
+//! per-operation value dictionary ([`KeyInterner`]); hash buckets and
+//! group states are indexed by id. Single-column integer equi-joins —
+//! every join in the NREF2J/NREF3J/TH3J families — take a
+//! zero-allocation fast path keyed directly on `i64`.
+//!
+//! # Cost accounting is execution-strategy independent
+//!
+//! The meter's totals are *what* the plan touches, not *how* the
+//! executor iterates: n pages for a scan, one row per tuple entering an
+//! operator, one row per emitted match. Charges here are batched (one
+//! `charge_rows(n)` per operator input, a pending counter flushed every
+//! [`ROW_CHARGE_BATCH`] emitted matches), which is safe because charges
+//! are non-negative and the budget check is monotone — see the invariant
+//! note on [`CostMeter`].
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use tab_sqlq::{CmpOp, RangeOp};
-use tab_storage::{BTreeIndex, BuiltConfiguration, Database, Table, Value};
+use tab_storage::{BTreeIndex, BuiltConfiguration, Database, RowId, Table, Value};
 
 use crate::catalog::{BoundAgg, BoundItem, BoundQuery, FreqFilter};
 use crate::cost::{CostMeter, TimedOut};
@@ -46,29 +74,153 @@ impl<'a> Resolver<'a> {
     }
 }
 
-/// Column layout of intermediate tuples: `(rel, col) -> position`.
-#[derive(Debug, Default)]
-struct Layout {
-    pos: HashMap<(usize, usize), usize>,
+/// Flush granularity for row charges that are only known as matches are
+/// emitted. Large enough to amortize the budget check, small enough that
+/// a timed-out join cannot materialize an unbounded intermediate before
+/// the meter notices (cf. [`crate::cost::BUDGET_ROW_CAP`]).
+const ROW_CHARGE_BATCH: u64 = 4096;
+
+/// Largest magnitude whose `i64 -> f64` cast is exact; the integer fast
+/// path is restricted to keys in this range so `Int`/`Float` cross-type
+/// equality (which compares through `f64`) cannot diverge from exact
+/// `i64` equality.
+const INT_EXACT_ABS: u64 = 1 << 53;
+
+/// Flat arena of late-materialized tuples: `stride` row-id slots per
+/// tuple, slot `r` holding the row id of bound relation `r` (slots of
+/// not-yet-joined relations are zero and never read).
+struct Arena {
+    ids: Vec<RowId>,
+    stride: usize,
 }
 
-impl Layout {
-    fn add_rel(&mut self, rel: usize, cols: &BTreeSet<usize>) {
-        for &c in cols {
-            let next = self.pos.len();
-            self.pos.insert((rel, c), next);
+impl Arena {
+    fn new(stride: usize) -> Self {
+        Arena {
+            ids: Vec::new(),
+            stride,
         }
     }
 
-    fn get(&self, rel: usize, col: usize) -> usize {
-        *self
-            .pos
-            .get(&(rel, col))
-            .unwrap_or_else(|| panic!("column ({rel},{col}) not in tuple layout"))
+    #[inline]
+    fn len(&self) -> usize {
+        self.ids.len() / self.stride
+    }
+
+    #[inline]
+    fn tuple(&self, i: usize) -> &[RowId] {
+        &self.ids[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Append a driver tuple: only `slot` is meaningful.
+    fn push_single(&mut self, slot: usize, id: RowId) {
+        let start = self.ids.len();
+        self.ids.resize(start + self.stride, 0);
+        self.ids[start + slot] = id;
+    }
+
+    /// Append a joined tuple: `outer`'s slots plus `id` at `slot`.
+    #[inline]
+    fn push_joined(&mut self, outer: &[RowId], slot: usize, id: RowId) {
+        let start = self.ids.len();
+        self.ids.extend_from_slice(outer);
+        self.ids[start + slot] = id;
     }
 }
 
-type Tuple = Vec<Value>;
+/// Per-operation dictionary interning composite key values to dense ids.
+///
+/// Lookups take a borrowed `&[Value]` (the caller's reused scratch
+/// buffer), so probing allocates nothing; a key is copied into the
+/// dictionary only the first time it is seen.
+struct KeyInterner {
+    dict: HashMap<Arc<[Value]>, u64>,
+    keys: Vec<Arc<[Value]>>,
+}
+
+impl KeyInterner {
+    fn new() -> Self {
+        KeyInterner {
+            dict: HashMap::new(),
+            keys: Vec::new(),
+        }
+    }
+
+    /// Id for `key`, assigning the next dense id on first sight.
+    fn intern(&mut self, key: &[Value]) -> u64 {
+        if let Some(&id) = self.dict.get(key) {
+            return id;
+        }
+        let stored: Arc<[Value]> = key.to_vec().into();
+        let id = self.keys.len() as u64;
+        self.keys.push(Arc::clone(&stored));
+        self.dict.insert(stored, id);
+        id
+    }
+
+    /// Id for `key` if it has been interned.
+    #[inline]
+    fn lookup(&self, key: &[Value]) -> Option<u64> {
+        self.dict.get(key).copied()
+    }
+
+    /// The key values behind an id (first-seen order).
+    fn key(&self, id: u64) -> &[Value] {
+        &self.keys[id as usize]
+    }
+}
+
+/// Hash-join build table: interned general keys, or the zero-allocation
+/// single-column integer fast path.
+enum BuildTable {
+    /// All build keys are `Int` with magnitude ≤ 2^53.
+    Int(HashMap<i64, Vec<RowId>>),
+    /// Arbitrary composite keys, interned.
+    General {
+        interner: KeyInterner,
+        buckets: Vec<Vec<RowId>>,
+    },
+}
+
+/// Build-side admission to the integer fast path: exact small ints only.
+#[inline]
+fn build_int_key(v: &Value) -> Option<i64> {
+    match v {
+        Value::Int(i) if i.unsigned_abs() <= INT_EXACT_ABS => Some(*i),
+        _ => None,
+    }
+}
+
+/// Probe-side conversion for the integer fast path. A probe value can
+/// only match an admitted build key if it equals a small integer under
+/// the cross-type numeric equality of [`Value`]; anything else — a
+/// fractional or non-finite float, a string — matches nothing.
+#[inline]
+fn probe_int_key(v: &Value) -> Option<i64> {
+    match v {
+        Value::Int(i) => Some(*i),
+        Value::Float(f) if f.is_finite() && *f == f.trunc() && f.abs() <= INT_EXACT_ABS as f64 => {
+            Some(*f as i64)
+        }
+        _ => None,
+    }
+}
+
+/// Shared read-only execution state: the bound query, one resolved table
+/// per relation, and the frequency-filter value sets.
+struct Exec<'a> {
+    q: &'a BoundQuery,
+    tables: Vec<&'a Table>,
+    freq_sets: Vec<HashSet<Value>>,
+}
+
+impl<'a> Exec<'a> {
+    /// Borrow the value of `(rel, col)` for a tuple.
+    #[inline]
+    fn val(&self, tuple: &[RowId], rel: usize, col: usize) -> &'a Value {
+        self.tables[rel].value(tuple[rel], col)
+    }
+}
 
 /// Execute `plan`, returning the result rows in select-list order.
 ///
@@ -80,64 +232,79 @@ pub fn execute(
     meter: &mut CostMeter,
 ) -> Result<Vec<Vec<Value>>, TimedOut> {
     let q = &plan.query;
-    let need = q.needed_columns();
 
     // 1. Frequency-filter value sets, evaluated once each.
     let freq_sets = eval_freq_sets(q, resolver, meter)?;
+    let exec = Exec {
+        q,
+        tables: q.rels.iter().map(|r| resolver.table(&r.source)).collect(),
+        freq_sets,
+    };
 
     // 2. Driver.
-    let mut layout = Layout::default();
-    layout.add_rel(plan.driver.rel, &need[plan.driver.rel]);
-    let mut tuples = scan_rel(&plan.driver, q, resolver, meter, &freq_sets, &need)?;
+    let stride = q.rels.len();
+    let mut tuples = Arena::new(stride);
+    for id in scan_rel(&plan.driver, &exec, resolver, meter)? {
+        tuples.push_single(plan.driver.rel, id);
+    }
 
     // 3. Join steps.
     for step in &plan.steps {
         let rel = step.inner.rel;
         match &step.method {
             JoinMethod::Hash => {
-                let mut inner_layout = Layout::default();
-                inner_layout.add_rel(rel, &need[rel]);
-                let inner_tuples = scan_rel(&step.inner, q, resolver, meter, &freq_sets, &need)?;
+                let inner_ids = scan_rel(&step.inner, &exec, resolver, meter)?;
                 // Grace-style spill when the build side exceeds memory.
                 meter.charge_seq_pages(crate::cost::spill_pages(
-                    inner_tuples.len() as u64,
+                    inner_ids.len() as u64,
                     tuples.len() as u64,
                 ))?;
-                // Build on inner join cols.
-                let inner_cols: Vec<usize> = step.pairs.iter().map(|&(_, ic)| ic).collect();
-                let mut ht: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                for (i, t) in inner_tuples.iter().enumerate() {
-                    meter.charge_rows(1)?;
-                    let key: Vec<Value> = inner_cols
-                        .iter()
-                        .map(|&c| t[inner_layout.get(rel, c)].clone())
-                        .collect();
-                    if key.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    ht.entry(key).or_default().push(i);
-                }
-                let mut out = Vec::new();
-                for t in &tuples {
-                    meter.charge_rows(1)?;
-                    let key: Vec<Value> = step
-                        .pairs
-                        .iter()
-                        .map(|&((orel, ocol), _)| t[layout.get(orel, ocol)].clone())
-                        .collect();
-                    if key.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    if let Some(ids) = ht.get(&key) {
-                        for &i in ids {
-                            meter.charge_rows(1)?;
-                            let mut combined = t.clone();
-                            combined.extend_from_slice(&inner_tuples[i]);
-                            out.push(combined);
+                // Build on inner join cols; one row of work per inner
+                // tuple, charged up front.
+                meter.charge_rows(inner_ids.len() as u64)?;
+                let inner_table = exec.tables[rel];
+                let ht = build_hash_table(&inner_ids, inner_table, step.inner_cols());
+                // Probe with the outer arena; one row of work per outer
+                // tuple up front, one per emitted match (batched).
+                meter.charge_rows(tuples.len() as u64)?;
+                let mut out = Arena::new(stride);
+                let mut pending = 0u64;
+                let mut scratch: Vec<Value> = Vec::with_capacity(step.pairs.len());
+                for i in 0..tuples.len() {
+                    let t = tuples.tuple(i);
+                    let bucket = match &ht {
+                        BuildTable::Int(map) => {
+                            let ((orel, ocol), _) = step.pairs[0];
+                            let v = exec.val(t, orel, ocol);
+                            if v.is_null() {
+                                continue;
+                            }
+                            probe_int_key(v).and_then(|k| map.get(&k))
+                        }
+                        BuildTable::General { interner, buckets } => {
+                            scratch.clear();
+                            scratch.extend(
+                                step.outer_cols()
+                                    .map(|(orel, ocol)| exec.val(t, orel, ocol).clone()),
+                            );
+                            if scratch.iter().any(Value::is_null) {
+                                continue;
+                            }
+                            interner.lookup(&scratch).map(|id| &buckets[id as usize])
+                        }
+                    };
+                    if let Some(ids) = bucket {
+                        for &id in ids {
+                            out.push_joined(t, rel, id);
+                            pending += 1;
+                            if pending >= ROW_CHARGE_BATCH {
+                                meter.charge_rows(pending)?;
+                                pending = 0;
+                            }
                         }
                     }
                 }
-                layout.add_rel(rel, &need[rel]);
+                meter.charge_rows(pending)?;
                 tuples = out;
             }
             JoinMethod::IndexNl {
@@ -145,10 +312,8 @@ pub fn execute(
                 probe,
                 covering,
             } => {
-                let source = &q.rels[rel].source;
-                let table = resolver.table(source);
-                let index = resolver.index(source, columns);
-                let mut out = Vec::new();
+                let table = exec.tables[rel];
+                let index = resolver.index(&q.rels[rel].source, columns);
                 // Residual join pairs not enforced by the probe prefix.
                 let probed: BTreeSet<usize> = columns[..probe.len()].iter().copied().collect();
                 let residual_pairs: Vec<((usize, usize), usize)> = step
@@ -157,55 +322,98 @@ pub fn execute(
                     .filter(|(_, ic)| !probed.contains(ic))
                     .cloned()
                     .collect();
-                for t in &tuples {
-                    meter.charge_rows(1)?;
-                    let key: Vec<Value> = probe
-                        .iter()
-                        .map(|p| match p {
-                            ProbeSource::Outer(orel, ocol) => t[layout.get(*orel, *ocol)].clone(),
-                            ProbeSource::Const(v) => v.clone(),
-                        })
-                        .collect();
-                    if key.iter().any(Value::is_null) {
+                // One row of work per outer tuple, charged up front.
+                meter.charge_rows(tuples.len() as u64)?;
+                let mut out = Arena::new(stride);
+                let mut scratch: Vec<Value> = Vec::with_capacity(probe.len());
+                for i in 0..tuples.len() {
+                    let t = tuples.tuple(i);
+                    scratch.clear();
+                    scratch.extend(probe.iter().map(|p| match p {
+                        ProbeSource::Outer(orel, ocol) => exec.val(t, *orel, *ocol).clone(),
+                        ProbeSource::Const(v) => v.clone(),
+                    }));
+                    if scratch.iter().any(Value::is_null) {
                         continue;
                     }
-                    let pr = index.probe(&key);
+                    let pr = index.probe(&scratch);
                     meter.charge_random_pages(pr.pages_touched)?;
                     if !covering && !pr.row_ids.is_empty() {
                         let pages: BTreeSet<u64> =
                             pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
                         meter.charge_random_pages(pages.len() as u64)?;
                     }
+                    meter.charge_rows(pr.row_ids.len() as u64)?;
                     for &id in &pr.row_ids {
-                        meter.charge_rows(1)?;
                         let row = table.row(id);
                         if !passes_filters(row, &step.inner.filters)
                             || !passes_ranges(row, &step.inner.ranges)
-                            || !passes_freqs(row, &step.inner.freqs, q, &freq_sets)
+                            || !passes_freqs(row, &step.inner.freqs, q, &exec.freq_sets)
                         {
                             continue;
                         }
                         // Residual join checks.
                         let ok = residual_pairs.iter().all(|&((orel, ocol), icol)| {
-                            let ov = &t[layout.get(orel, ocol)];
+                            let ov = exec.val(t, orel, ocol);
                             !ov.is_null() && *ov == row[icol]
                         });
                         if !ok {
                             continue;
                         }
-                        let mut combined = t.clone();
-                        combined.extend(need[rel].iter().map(|&c| row[c].clone()));
-                        out.push(combined);
+                        out.push_joined(t, rel, id);
                     }
                 }
-                layout.add_rel(rel, &need[rel]);
                 tuples = out;
             }
         }
     }
 
     // 4. Aggregation / projection.
-    finish(q, &layout, tuples, meter)
+    finish(&exec, &tuples, meter)
+}
+
+/// Build the hash-join build side over the inner relation's filtered row
+/// ids, picking the integer fast path when every non-null build key
+/// admits it (a deterministic pre-scan decides, so the path — and any
+/// future cost attached to it — cannot depend on hash iteration order).
+fn build_hash_table<'c>(
+    inner_ids: &[RowId],
+    inner_table: &Table,
+    mut inner_cols: impl Iterator<Item = usize> + Clone + 'c,
+) -> BuildTable {
+    let cols: Vec<usize> = inner_cols.by_ref().collect();
+    if cols.len() == 1 {
+        let c = cols[0];
+        let all_int = inner_ids
+            .iter()
+            .map(|&id| inner_table.value(id, c))
+            .all(|v| v.is_null() || build_int_key(v).is_some());
+        if all_int {
+            let mut map: HashMap<i64, Vec<RowId>> = HashMap::new();
+            for &id in inner_ids {
+                if let Some(k) = build_int_key(inner_table.value(id, c)) {
+                    map.entry(k).or_default().push(id);
+                }
+            }
+            return BuildTable::Int(map);
+        }
+    }
+    let mut interner = KeyInterner::new();
+    let mut buckets: Vec<Vec<RowId>> = Vec::new();
+    let mut scratch: Vec<Value> = Vec::with_capacity(cols.len());
+    for &id in inner_ids {
+        scratch.clear();
+        scratch.extend(cols.iter().map(|&c| inner_table.value(id, c).clone()));
+        if scratch.iter().any(Value::is_null) {
+            continue;
+        }
+        let key_id = interner.intern(&scratch) as usize;
+        if key_id == buckets.len() {
+            buckets.push(Vec::new());
+        }
+        buckets[key_id].push(id);
+    }
+    BuildTable::General { interner, buckets }
 }
 
 /// Evaluate the distinct-value sets for the query's frequency filters.
@@ -278,30 +486,30 @@ fn passes_freqs(row: &[Value], freqs: &[usize], q: &BoundQuery, sets: &[HashSet<
     })
 }
 
-/// Scan one relation per its `RelOp`, returning projected tuples of the
-/// relation's needed columns (in `BTreeSet` order).
+/// Scan one relation per its `RelOp`, returning the ids of the rows
+/// that survive its residual filters. Values are not materialized.
 fn scan_rel(
     op: &RelOp,
-    q: &BoundQuery,
+    exec: &Exec<'_>,
     resolver: &Resolver<'_>,
     meter: &mut CostMeter,
-    freq_sets: &[HashSet<Value>],
-    need: &[BTreeSet<usize>],
-) -> Result<Vec<Tuple>, TimedOut> {
+) -> Result<Vec<RowId>, TimedOut> {
+    let q = exec.q;
     let source = &q.rels[op.rel].source;
-    let table = resolver.table(source);
-    let cols: Vec<usize> = need[op.rel].iter().copied().collect();
+    let table = exec.tables[op.rel];
+    let keep = |row: &[Value]| {
+        passes_filters(row, &op.filters)
+            && passes_ranges(row, &op.ranges)
+            && passes_freqs(row, &op.freqs, q, &exec.freq_sets)
+    };
     let mut out = Vec::new();
     match &op.access {
         Access::Seq => {
             meter.charge_seq_pages(table.n_pages())?;
-            for (_, row) in table.iter() {
-                meter.charge_rows(1)?;
-                if passes_filters(row, &op.filters)
-                    && passes_ranges(row, &op.ranges)
-                    && passes_freqs(row, &op.freqs, q, freq_sets)
-                {
-                    out.push(cols.iter().map(|&c| row[c].clone()).collect());
+            meter.charge_rows(table.n_rows() as u64)?;
+            for (id, row) in table.iter() {
+                if keep(row) {
+                    out.push(id);
                 }
             }
         }
@@ -312,19 +520,10 @@ fn scan_rel(
         } => {
             let index = resolver.index(source, columns);
             let pr = index.probe(prefix);
-            meter.charge_random_pages(pr.pages_touched)?;
-            if !covering && !pr.row_ids.is_empty() {
-                let pages: BTreeSet<u64> = pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
-                meter.charge_random_pages(pages.len() as u64)?;
-            }
+            charge_probe(&pr, table, *covering, meter)?;
             for &id in &pr.row_ids {
-                meter.charge_rows(1)?;
-                let row = table.row(id);
-                if passes_filters(row, &op.filters)
-                    && passes_ranges(row, &op.ranges)
-                    && passes_freqs(row, &op.freqs, q, freq_sets)
-                {
-                    out.push(cols.iter().map(|&c| row[c].clone()).collect());
+                if keep(table.row(id)) {
+                    out.push(id);
                 }
             }
         }
@@ -339,19 +538,10 @@ fn scan_rel(
                 lo.as_ref().map(|(v, s)| (v, *s)),
                 hi.as_ref().map(|(v, s)| (v, *s)),
             );
-            meter.charge_random_pages(pr.pages_touched)?;
-            if !covering && !pr.row_ids.is_empty() {
-                let pages: BTreeSet<u64> = pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
-                meter.charge_random_pages(pages.len() as u64)?;
-            }
+            charge_probe(&pr, table, *covering, meter)?;
             for &id in &pr.row_ids {
-                meter.charge_rows(1)?;
-                let row = table.row(id);
-                if passes_filters(row, &op.filters)
-                    && passes_ranges(row, &op.ranges)
-                    && passes_freqs(row, &op.freqs, q, freq_sets)
-                {
-                    out.push(cols.iter().map(|&c| row[c].clone()).collect());
+                if keep(table.row(id)) {
+                    out.push(id);
                 }
             }
         }
@@ -361,12 +551,12 @@ fn scan_rel(
             covering,
         } => {
             let index = resolver.index(source, columns);
-            let set = &freq_sets[*freq];
+            let set = &exec.freq_sets[*freq];
             // One pass over the leaf level; only qualifying keys' rows
             // are examined and (if not covering) fetched.
             meter.charge_seq_pages(index.n_pages())?;
             meter.charge_rows(index.n_distinct_keys() as u64)?;
-            let mut matched: Vec<RowIdLocal> = Vec::new();
+            let mut matched: Vec<RowId> = Vec::new();
             for (key, ids) in index.scan() {
                 if set.contains(&key[0]) {
                     matched.extend_from_slice(ids);
@@ -378,12 +568,8 @@ fn scan_rel(
                 meter.charge_random_pages(pages.len() as u64)?;
             }
             for &id in &matched {
-                let row = table.row(id);
-                if passes_filters(row, &op.filters)
-                    && passes_ranges(row, &op.ranges)
-                    && passes_freqs(row, &op.freqs, q, freq_sets)
-                {
-                    out.push(cols.iter().map(|&c| row[c].clone()).collect());
+                if keep(table.row(id)) {
+                    out.push(id);
                 }
             }
         }
@@ -391,25 +577,41 @@ fn scan_rel(
     Ok(out)
 }
 
-type RowIdLocal = tab_storage::RowId;
+/// Charge an index probe: index pages touched, plus the distinct heap
+/// pages fetched when the index does not cover the relation.
+fn charge_probe(
+    pr: &tab_storage::Probe,
+    table: &Table,
+    covering: bool,
+    meter: &mut CostMeter,
+) -> Result<(), TimedOut> {
+    meter.charge_random_pages(pr.pages_touched)?;
+    if !covering && !pr.row_ids.is_empty() {
+        let pages: BTreeSet<u64> = pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
+        meter.charge_random_pages(pages.len() as u64)?;
+    }
+    meter.charge_rows(pr.row_ids.len() as u64)
+}
 
 /// Group, aggregate, and project in select-list order.
 fn finish(
-    q: &BoundQuery,
-    layout: &Layout,
-    tuples: Vec<Tuple>,
+    exec: &Exec<'_>,
+    tuples: &Arena,
     meter: &mut CostMeter,
 ) -> Result<Vec<Vec<Value>>, TimedOut> {
+    let q = exec.q;
+    let n = tuples.len();
     if q.aggs.is_empty() && q.group_by.is_empty() {
         // Plain projection.
-        let mut out = Vec::with_capacity(tuples.len());
-        for t in tuples {
-            meter.charge_rows(1)?;
+        meter.charge_rows(n as u64)?;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = tuples.tuple(i);
             out.push(
                 q.select
                     .iter()
                     .map(|s| match s {
-                        BoundItem::Column(r, c) => t[layout.get(*r, *c)].clone(),
+                        BoundItem::Column(r, c) => exec.val(t, *r, *c).clone(),
                         BoundItem::Agg(_) => unreachable!("no aggs"),
                     })
                     .collect(),
@@ -423,44 +625,59 @@ fn finish(
         distincts: Vec<HashSet<Value>>,
     }
     // Hash aggregation spills when its input exceeds working memory.
-    meter.charge_seq_pages(crate::cost::spill_pages(tuples.len() as u64, 0))?;
-    let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
-    for t in &tuples {
-        meter.charge_rows(1)?;
-        let key: Vec<Value> = q
-            .group_by
-            .iter()
-            .map(|&(r, c)| t[layout.get(r, c)].clone())
-            .collect();
-        let st = groups.entry(key).or_insert_with(|| GroupState {
-            count: 0,
-            distincts: vec![HashSet::new(); q.aggs.len()],
-        });
+    meter.charge_seq_pages(crate::cost::spill_pages(n as u64, 0))?;
+    // One row of work per input tuple, plus one per tuple for every
+    // COUNT(DISTINCT) aggregate maintained — identical to the per-tuple
+    // charges of a tuple-at-a-time pass, paid up front.
+    let n_distinct_aggs = q
+        .aggs
+        .iter()
+        .filter(|a| matches!(a, BoundAgg::CountDistinct(..)))
+        .count() as u64;
+    meter.charge_rows(n as u64)?;
+    meter.charge_rows(n as u64 * n_distinct_aggs)?;
+
+    let mut interner = KeyInterner::new();
+    let mut states: Vec<GroupState> = Vec::new();
+    let mut scratch: Vec<Value> = Vec::with_capacity(q.group_by.len());
+    for i in 0..n {
+        let t = tuples.tuple(i);
+        scratch.clear();
+        scratch.extend(q.group_by.iter().map(|&(r, c)| exec.val(t, r, c).clone()));
+        let gid = interner.intern(&scratch) as usize;
+        if gid == states.len() {
+            states.push(GroupState {
+                count: 0,
+                distincts: vec![HashSet::new(); q.aggs.len()],
+            });
+        }
+        let st = &mut states[gid];
         st.count += 1;
         for (ai, agg) in q.aggs.iter().enumerate() {
             if let BoundAgg::CountDistinct(r, c) = agg {
-                meter.charge_rows(1)?;
-                let v = t[layout.get(*r, *c)].clone();
-                if !v.is_null() {
-                    st.distincts[ai].insert(v);
+                let v = exec.val(t, *r, *c);
+                if !v.is_null() && !st.distincts[ai].contains(v) {
+                    st.distincts[ai].insert(v.clone());
                 }
             }
         }
     }
     // COUNT over an empty input with no GROUP BY still yields one row.
-    if groups.is_empty() && q.group_by.is_empty() {
-        groups.insert(
-            Vec::new(),
-            GroupState {
-                count: 0,
-                distincts: vec![HashSet::new(); q.aggs.len()],
-            },
-        );
+    if states.is_empty() && q.group_by.is_empty() {
+        interner.intern(&[]);
+        states.push(GroupState {
+            count: 0,
+            distincts: vec![HashSet::new(); q.aggs.len()],
+        });
     }
 
-    let mut out = Vec::with_capacity(groups.len());
-    for (key, st) in groups {
-        meter.charge_rows(1)?;
+    // One row of work per output group; groups emit in first-seen order,
+    // which is deterministic (the old executor's hash-map order was not,
+    // though callers may still not rely on unordered output order).
+    meter.charge_rows(states.len() as u64)?;
+    let mut out = Vec::with_capacity(states.len());
+    for (gid, st) in states.iter().enumerate() {
+        let key = interner.key(gid as u64);
         let row: Vec<Value> = q
             .select
             .iter()

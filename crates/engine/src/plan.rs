@@ -113,6 +113,18 @@ pub struct JoinStep {
     pub pairs: Vec<((usize, usize), usize)>,
 }
 
+impl JoinStep {
+    /// Inner-side key columns, aligned with `pairs`.
+    pub fn inner_cols(&self) -> impl Iterator<Item = usize> + Clone + '_ {
+        self.pairs.iter().map(|&(_, ic)| ic)
+    }
+
+    /// Outer-side key columns as `(rel, col)`, aligned with `pairs`.
+    pub fn outer_cols(&self) -> impl Iterator<Item = (usize, usize)> + Clone + '_ {
+        self.pairs.iter().map(|&(oc, _)| oc)
+    }
+}
+
 /// A complete physical plan.
 #[derive(Debug, Clone)]
 pub struct PhysicalPlan {

@@ -9,6 +9,11 @@
 //! runs the closure in a loop sized so one sample lasts roughly
 //! `measurement_time / sample_size`; the report prints the median,
 //! minimum, and maximum per-iteration time across samples.
+//!
+//! Setting `TAB_BENCH_SMOKE` (to anything but `0`) switches every
+//! benchmark to smoke mode — a millisecond of warm-up and a single
+//! sample of a single iteration — so CI can type-check and *run* all
+//! bench code in seconds without producing meaningful timings.
 
 #![warn(missing_docs)]
 
@@ -53,23 +58,33 @@ impl Criterion {
     }
 
     /// Run one benchmark: warm up, sample, and print a one-line report.
+    ///
+    /// Under `TAB_BENCH_SMOKE` the configured times are ignored: one
+    /// millisecond of warm-up, one sample, one iteration per sample.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
                 return self;
             }
         }
+        let smoke = std::env::var_os("TAB_BENCH_SMOKE").is_some_and(|v| v != "0");
+        let (warm_up, samples, per_sample) = if smoke {
+            (Duration::from_millis(1), 1, 0.0)
+        } else {
+            (
+                self.warm_up_time,
+                self.sample_size,
+                self.measurement_time.as_secs_f64() / self.sample_size as f64,
+            )
+        };
         let mut b = Bencher {
-            mode: Mode::WarmUp {
-                until: self.warm_up_time,
-            },
+            mode: Mode::WarmUp { until: warm_up },
             iters_per_sample: 1,
             samples: Vec::new(),
         };
         f(&mut b);
-        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
         b.mode = Mode::Measure {
-            samples: self.sample_size,
+            samples,
             per_sample,
         };
         f(&mut b);

@@ -44,10 +44,12 @@ impl IndexSpec {
         }
     }
 
-    /// Stable display name, e.g. `idx_source(1,4)`.
-    pub fn name(&self) -> String {
-        let cols: Vec<String> = self.columns.iter().map(|c| c.to_string()).collect();
-        format!("idx_{}({})", self.table, cols.join(","))
+    /// Stable display name, e.g. `idx_source(1,4)`, as a borrowed
+    /// display form: nothing is allocated until the caller actually
+    /// formats it (planner/resolver loops format specs per candidate,
+    /// so the old `String`-returning version allocated per call).
+    pub fn name(&self) -> impl fmt::Display + '_ {
+        self
     }
 
     /// Whether this index's key starts with the other's key (so it can
@@ -61,7 +63,14 @@ impl IndexSpec {
 
 impl fmt::Display for IndexSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.name())
+        write!(f, "idx_{}(", self.table)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        f.write_str(")")
     }
 }
 

@@ -91,8 +91,19 @@ impl Table {
     }
 
     /// Fetch a row by id.
+    #[inline]
     pub fn row(&self, id: RowId) -> &Row {
         &self.rows[id as usize]
+    }
+
+    /// Borrow a single cell without materializing the row.
+    ///
+    /// This is the late-materialization executor's primary read path:
+    /// intermediate tuples hold `RowId`s only, and column values are
+    /// fetched through here at predicate/key/projection time.
+    #[inline]
+    pub fn value(&self, id: RowId, col: usize) -> &Value {
+        &self.rows[id as usize][col]
     }
 
     /// Iterate over `(RowId, &Row)` in heap order.

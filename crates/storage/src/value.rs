@@ -117,7 +117,17 @@ impl Ord for Value {
             (Float(a), Float(b)) => norm(*a).total_cmp(&norm(*b)),
             (Int(a), Float(b)) => (*a as f64).total_cmp(&norm(*b)),
             (Float(a), Int(b)) => norm(*a).total_cmp(&(*b as f64)),
-            (Str(a), Str(b)) => a.cmp(b),
+            // Generators share `Arc<str>` payloads heavily (taxonomy
+            // lineages, part names), so equal strings are usually the
+            // *same* allocation: a pointer check skips the byte compare
+            // on the executor's hottest equality path.
+            (Str(a), Str(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.cmp(b)
+                }
+            }
             _ => self.type_rank().cmp(&other.type_rank()),
         }
     }

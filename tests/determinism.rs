@@ -23,13 +23,14 @@ fn tiny(out: &Path, threads: usize) -> ReproConfig {
     }
 }
 
-/// Read every output file, excluding `timings.json`.
+/// Read every output file, excluding `timings.json` and the `BENCH_*`
+/// phase records — both hold wall-clock, which varies run to run.
 fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
     let mut out = BTreeMap::new();
     for entry in std::fs::read_dir(dir).expect("read output dir") {
         let entry = entry.expect("dir entry");
         let name = entry.file_name().to_string_lossy().into_owned();
-        if name == "timings.json" {
+        if name == "timings.json" || name.starts_with("BENCH_") {
             continue;
         }
         out.insert(name, std::fs::read(entry.path()).expect("read output file"));
@@ -79,6 +80,29 @@ fn repro_outputs_identical_at_one_and_four_threads() {
     let t = std::fs::read_to_string(dirs[2].join("timings.json")).expect("timings.json");
     assert!(t.contains("\"threads\": 4"), "unexpected timings: {t}");
     assert!(t.contains("\"family\": \"NREF2J\""));
+
+    // The per-phase performance record exists, carries the documented
+    // schema, and its grid cost units are identical at any thread count
+    // (only wall-clock may differ).
+    let units = |dir: &Path| -> String {
+        let b = std::fs::read_to_string(dir.join("BENCH_repro_small.json"))
+            .expect("BENCH_repro_small.json");
+        assert!(b.contains("\"schema\": \"tab-bench-phases-v1\""), "{b}");
+        assert!(b.contains("\"name\": \"measurement-grid\""), "{b}");
+        b.lines()
+            .filter(|l| l.contains("\"cost_units\""))
+            .map(|l| {
+                l.split("\"cost_units\": ")
+                    .nth(1)
+                    .expect("units")
+                    .to_string()
+            })
+            .collect()
+    };
+    let want_units = units(&dirs[0]);
+    for dir in &dirs[1..] {
+        assert_eq!(units(dir), want_units, "phase cost units differ");
+    }
 
     std::fs::remove_dir_all(&base).ok();
 }
