@@ -6,13 +6,22 @@
 //! the optimizer's what-if interface (`H(q, Ch, Ca)`), under a storage
 //! budget, with **total estimated workload cost** as the objective —
 //! the very objective whose blind spots the paper exposes.
+//!
+//! What-if calls go through the memoized [`crate::whatif::WhatIfService`]
+//! and candidate trials fan out over [`tab_storage::par_map`]. The
+//! selection reduces sequentially in candidate order with a strict `>`
+//! density comparison, so on equal benefit density the lowest candidate
+//! index wins and the recommendation is byte-identical at any thread
+//! count.
+
+use std::time::Instant;
 
 use tab_engine::stats_view::{HypotheticalStats, StatsView};
-use tab_engine::{estimate_hypothetical, estimate_hypothetical_perfect};
 use tab_sqlq::Query;
-use tab_storage::{BuiltConfiguration, Configuration, Database, PAGE_SIZE};
+use tab_storage::{par_map, BuiltConfiguration, Configuration, Database, Parallelism, PAGE_SIZE};
 
 use crate::candidates::Candidate;
+use crate::whatif::WhatIfService;
 
 /// What the greedy search optimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -42,6 +51,13 @@ pub struct GreedyOptions {
     /// Ablation: evaluate hypothetical configurations with full
     /// distribution statistics instead of the uniformity assumption.
     pub perfect_estimates: bool,
+    /// Thread budget for the candidate fan-out. The recommendation is
+    /// identical at any setting; only wall-clock changes.
+    pub par: Parallelism,
+    /// Whether to memoize what-if costs by relevant-structure signature.
+    /// Costs are identical either way; `false` exists for the
+    /// cache-equivalence tests and ablations.
+    pub cache: bool,
 }
 
 impl Default for GreedyOptions {
@@ -51,6 +67,49 @@ impl Default for GreedyOptions {
             min_gain_fraction: 0.002,
             objective: Objective::TotalCost,
             perfect_estimates: false,
+            par: Parallelism::sequential(),
+            cache: true,
+        }
+    }
+}
+
+/// One accepted structure in a greedy search, for diagnostics and the
+/// cache-equivalence tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundStats {
+    /// Index of the picked candidate in the input candidate vector.
+    pub candidate: usize,
+    /// The pick's estimated objective gain.
+    pub gain: f64,
+    /// Objective value after applying the pick.
+    pub objective_after: f64,
+}
+
+/// Instrumentation from one greedy search, reported in
+/// `BENCH_advisor.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Number of candidate structures considered.
+    pub candidates: usize,
+    /// Total what-if cost requests issued.
+    pub whatif_calls: u64,
+    /// Requests that invoked the planner (cache misses).
+    pub planner_calls: u64,
+    /// Requests answered from the cost cache.
+    pub cache_hits: u64,
+    /// Accepted structures, in pick order.
+    pub rounds: Vec<RoundStats>,
+    /// Wall-clock seconds spent in the search.
+    pub wall_seconds: f64,
+}
+
+impl SearchStats {
+    /// Fraction of what-if requests answered from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.whatif_calls == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.whatif_calls as f64
         }
     }
 }
@@ -112,42 +171,58 @@ pub fn greedy_select(
     name: &str,
     opts: GreedyOptions,
 ) -> Configuration {
+    greedy_select_with_stats(db, current, workload, candidates, budget_bytes, name, opts).0
+}
+
+/// [`greedy_select`], also returning the search's [`SearchStats`].
+pub fn greedy_select_with_stats(
+    db: &Database,
+    current: &BuiltConfiguration,
+    workload: &[Query],
+    candidates: Vec<Candidate>,
+    budget_bytes: u64,
+    name: &str,
+    opts: GreedyOptions,
+) -> (Configuration, SearchStats) {
+    let t_start = Instant::now();
     let mut chosen = current.config.clone();
     chosen.name = name.to_string();
 
-    let est = |hyp: &Configuration, q: &Query| -> f64 {
-        let r = if opts.perfect_estimates {
-            estimate_hypothetical_perfect(db, current, hyp, q)
-        } else {
-            estimate_hypothetical(db, current, hyp, q)
-        };
-        r.unwrap_or(f64::INFINITY)
-    };
+    let svc = WhatIfService::new(
+        db,
+        current,
+        workload,
+        &candidates,
+        opts.perfect_estimates,
+        opts.cache,
+    );
+    // Ids (candidate-vector indices) of the picks appended to `chosen`,
+    // in pick order: the cache-signature input.
+    let mut chosen_ids: Vec<u32> = Vec::new();
 
     // Per-query cost under the evolving hypothetical configuration.
-    let mut costs: Vec<f64> = workload.iter().map(|q| est(&chosen, q)).collect();
+    let qidx: Vec<usize> = (0..workload.len()).collect();
+    let mut costs: Vec<f64> = par_map(opts.par, &qidx, |&qi| {
+        svc.estimate(&chosen, &chosen_ids, None, qi)
+    });
     // The stopping threshold is anchored to the *initial* workload cost:
     // a workload dominated by a few queries no structure can improve
     // must not mask genuine gains on the rest.
     let initial_total = objective_value(&costs, opts.objective);
+    let threshold = opts.min_gain_fraction * initial_total.max(1.0);
 
-    // Which queries each candidate can affect.
-    let affected: Vec<Vec<usize>> = candidates
-        .iter()
-        .map(|c| {
-            let tables = c.tables();
-            workload
-                .iter()
-                .enumerate()
-                .filter(|(_, q)| q.from.iter().any(|t| tables.contains(&t.table.as_str())))
-                .map(|(i, _)| i)
-                .collect()
-        })
-        .collect();
-
+    // Sizing a candidate builds a full `HypotheticalStats`; candidates
+    // affecting no query can never be picked, so skip sizing them.
     let sizes: Vec<u64> = candidates
         .iter()
-        .map(|c| candidate_bytes(db, current, c))
+        .enumerate()
+        .map(|(ci, c)| {
+            if svc.affected(ci).is_empty() {
+                0
+            } else {
+                candidate_bytes(db, current, c)
+            }
+        })
         .collect();
 
     let mut remaining = budget_bytes;
@@ -162,78 +237,68 @@ pub fn greedy_select(
         );
     }
 
+    let mut rounds: Vec<RoundStats> = Vec::new();
     for _round in 0..opts.max_structures {
-        let mut best: Option<(usize, f64, Vec<f64>)> = None;
-        for (ci, cand) in candidates.iter().enumerate() {
-            if !active[ci] || sizes[ci] > remaining || affected[ci].is_empty() {
-                continue;
-            }
-            let mut trial = chosen.clone();
-            match cand {
-                Candidate::Index(i) => trial.indexes.push(i.clone()),
-                Candidate::MView(m) => trial.mviews.push(m.clone()),
-            }
+        // Invariant within the round (hoisted out of the candidate loop:
+        // under `Objective::Percentile` it re-sorts the cost vector).
+        let before = objective_value(&costs, opts.objective);
+        let live: Vec<usize> = (0..candidates.len())
+            .filter(|&ci| active[ci] && sizes[ci] <= remaining && !svc.affected(ci).is_empty())
+            .collect();
+        // Fan the trials out; `par_map` returns results in input order,
+        // so the reduction below is independent of thread count.
+        let mut evals: Vec<(f64, Vec<f64>)> = par_map(opts.par, &live, |&ci| {
             let mut trial_costs = costs.clone();
-            let mut new_costs = Vec::with_capacity(affected[ci].len());
-            for &qi in &affected[ci] {
-                let c = est(&trial, &workload[qi]).min(costs[qi]);
+            let mut new_costs = Vec::with_capacity(svc.affected(ci).len());
+            for &qi in svc.affected(ci) {
+                let c = svc
+                    .estimate(&chosen, &chosen_ids, Some(ci as u32), qi)
+                    .min(costs[qi]);
                 trial_costs[qi] = c;
                 new_costs.push(c);
             }
-            let before = objective_value(&costs, opts.objective);
             let after = objective_value(&trial_costs, opts.objective);
-            let gain = (before - after).max(0.0);
+            ((before - after).max(0.0), new_costs)
+        });
+        // Strict `>` in candidate order: equal densities keep the
+        // lowest-index candidate.
+        let mut best: Option<(usize, f64, f64)> = None;
+        for (pos, &ci) in live.iter().enumerate() {
+            let gain = evals[pos].0;
             let density = gain / sizes[ci].max(1) as f64;
-            let best_density = best
-                .as_ref()
-                .map(|(bi, g, _)| g / sizes[*bi].max(1) as f64)
-                .unwrap_or(f64::NEG_INFINITY);
-            if gain > opts.min_gain_fraction * initial_total.max(1.0) && density > best_density {
-                best = Some((ci, gain, new_costs));
+            let best_density = best.map(|(_, _, d)| d).unwrap_or(f64::NEG_INFINITY);
+            if gain > threshold && density > best_density {
+                best = Some((pos, gain, density));
             }
         }
         if debug {
-            match &best {
-                Some((ci, g, _)) => eprintln!(
-                    "[greedy] round pick #{ci} gain {g:.0} size {} MiB",
-                    sizes[*ci] >> 20
+            match best {
+                Some((pos, g, _)) => eprintln!(
+                    "[greedy] round pick #{} gain {g:.0} size {} MiB",
+                    live[pos],
+                    sizes[live[pos]] >> 20
                 ),
                 None => {
-                    // Report the best rejected gain for diagnosis.
+                    // Report the best rejected gain for diagnosis,
+                    // reusing this round's evaluations.
                     let mut top = (usize::MAX, 0.0f64);
-                    for (ci, _) in candidates.iter().enumerate() {
-                        if !active[ci] || affected[ci].is_empty() {
-                            continue;
-                        }
-                        let mut trial = chosen.clone();
-                        match &candidates[ci] {
-                            Candidate::Index(i) => trial.indexes.push(i.clone()),
-                            Candidate::MView(m) => trial.mviews.push(m.clone()),
-                        }
-                        let mut trial_costs = costs.clone();
-                        for &qi in &affected[ci] {
-                            trial_costs[qi] = est(&trial, &workload[qi]).min(costs[qi]);
-                        }
-                        let g = objective_value(&costs, opts.objective)
-                            - objective_value(&trial_costs, opts.objective);
-                        if g > top.1 {
-                            top = (ci, g);
+                    for (pos, &ci) in live.iter().enumerate() {
+                        if evals[pos].0 > top.1 {
+                            top = (ci, evals[pos].0);
                         }
                     }
                     eprintln!(
-                        "[greedy] stop: best rejected gain {:.0} (cand #{}, size-fits {}), threshold {:.0}",
-                        top.1,
-                        top.0,
-                        top.0 != usize::MAX && sizes.get(top.0).map(|s| *s <= remaining).unwrap_or(false),
-                        opts.min_gain_fraction
-                            * objective_value(&costs, opts.objective).max(1.0)
+                        "[greedy] stop: best rejected gain {:.0} (cand #{}), threshold {threshold:.0}",
+                        top.1, top.0,
                     );
                 }
             }
         }
-        let Some((ci, _gain, new_costs)) = best else {
+        let Some((pos, gain, _)) = best else {
             break;
         };
+        let ci = live[pos];
+        let new_costs = std::mem::take(&mut evals[pos].1);
         match &candidates[ci] {
             Candidate::Index(i) => chosen.indexes.push(i.clone()),
             Candidate::MView(m) => {
@@ -242,15 +307,30 @@ pub fn greedy_select(
                 }
             }
         }
-        for (pos, &qi) in affected[ci].iter().enumerate() {
-            costs[qi] = new_costs[pos];
+        for (p, &qi) in svc.affected(ci).iter().enumerate() {
+            costs[qi] = new_costs[p];
         }
         remaining = remaining.saturating_sub(sizes[ci]);
         active[ci] = false;
+        chosen_ids.push(ci as u32);
+        rounds.push(RoundStats {
+            candidate: ci,
+            gain,
+            objective_after: objective_value(&costs, opts.objective),
+        });
     }
 
     chosen.normalize();
-    chosen
+    let w = svc.stats();
+    let stats = SearchStats {
+        candidates: candidates.len(),
+        whatif_calls: w.whatif_calls,
+        planner_calls: w.planner_calls,
+        cache_hits: w.cache_hits,
+        rounds,
+        wall_seconds: t_start.elapsed().as_secs_f64(),
+    };
+    (chosen, stats)
 }
 
 #[cfg(test)]
@@ -328,5 +408,86 @@ mod tests {
         let b = candidate_bytes(&db, &p, &Candidate::Index(IndexSpec::new("t", vec![1])));
         // 20k rows at ~20 bytes/entry: a few hundred KB at most.
         assert!(b > 8 * 1024 && b < 4 * 1024 * 1024, "b={b}");
+    }
+
+    /// Two independent tables: a pick on one table leaves the other
+    /// table's queries' cache signatures unchanged, so re-pricing them
+    /// in the next round must hit the cache.
+    fn db2() -> Database {
+        let mut db = Database::new();
+        for name in ["t", "u"] {
+            let mut t = Table::new(
+                TableSchema::new(
+                    name,
+                    vec![
+                        ColumnDef::new("id", ColType::Int),
+                        ColumnDef::new("a", ColType::Int),
+                        ColumnDef::new("g", ColType::Int),
+                    ],
+                )
+                .primary_key(&["id"]),
+            );
+            for i in 0..20_000i64 {
+                t.insert(vec![Value::Int(i), Value::Int(i % 2000), Value::Int(i % 5)]);
+            }
+            db.add_table(t);
+        }
+        db.collect_stats();
+        db
+    }
+
+    #[test]
+    fn stats_counters_are_consistent_and_cache_hits_occur() {
+        let db = db2();
+        let p = BuiltConfiguration::build(p_configuration(&db, "P"), &db);
+        let w: Vec<_> = (0..5)
+            .flat_map(|i| {
+                ["t", "u"].map(|tbl| {
+                    parse(&format!(
+                        "SELECT {tbl}.g, COUNT(*) FROM {tbl} WHERE {tbl}.a = {i} GROUP BY {tbl}.g"
+                    ))
+                    .unwrap()
+                })
+            })
+            .collect();
+        let cands = generate(&db, &w, CandidateStyle::SingleColumn);
+        let (cfg, stats) = greedy_select_with_stats(
+            &db,
+            &p,
+            &w,
+            cands.clone(),
+            50 * 1024 * 1024,
+            "R",
+            GreedyOptions::default(),
+        );
+        assert_eq!(stats.candidates, cands.len());
+        assert_eq!(stats.planner_calls + stats.cache_hits, stats.whatif_calls);
+        assert!(
+            stats.cache_hits > 0,
+            "re-pricing across rounds should hit the cache: {stats:?}"
+        );
+        assert_eq!(
+            stats.rounds.len(),
+            cfg.indexes.len() - p.config.indexes.len()
+        );
+
+        // Disabling the cache prices every request through the planner
+        // and picks the identical configuration.
+        let (cfg_nc, stats_nc) = greedy_select_with_stats(
+            &db,
+            &p,
+            &w,
+            cands,
+            50 * 1024 * 1024,
+            "R",
+            GreedyOptions {
+                cache: false,
+                ..GreedyOptions::default()
+            },
+        );
+        assert_eq!(cfg, cfg_nc);
+        assert_eq!(stats_nc.cache_hits, 0);
+        assert_eq!(stats_nc.planner_calls, stats_nc.whatif_calls);
+        assert_eq!(stats_nc.whatif_calls, stats.whatif_calls);
     }
 }

@@ -8,6 +8,8 @@
 //!   size(P)` storage budget;
 //! - [`candidates`]: per-workload candidate generation in three styles;
 //! - [`greedy`]: the shared what-if greedy knapsack search;
+//! - [`whatif`]: the memoized, thread-safe what-if evaluation service
+//!   the search prices candidates through;
 //! - [`profiles`]: the three recommender profiles standing in for the
 //!   paper's anonymous commercial Systems A, B, and C.
 
@@ -17,8 +19,13 @@ pub mod candidates;
 pub mod config_builders;
 pub mod greedy;
 pub mod profiles;
+pub mod whatif;
 
 pub use candidates::{generate as generate_candidates, Candidate, CandidateStyle};
 pub use config_builders::{one_column_budget_bytes, one_column_configuration, p_configuration};
-pub use greedy::{candidate_bytes, greedy_select, GreedyOptions, Objective};
+pub use greedy::{
+    candidate_bytes, greedy_select, greedy_select_with_stats, GreedyOptions, Objective, RoundStats,
+    SearchStats,
+};
 pub use profiles::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};
+pub use whatif::{WhatIfService, WhatIfStats};

@@ -20,10 +20,10 @@
 //! subsets of it.
 
 use tab_sqlq::Query;
-use tab_storage::{BuiltConfiguration, Configuration, Database};
+use tab_storage::{BuiltConfiguration, Configuration, Database, Parallelism};
 
 use crate::candidates::{generate, CandidateStyle};
-use crate::greedy::{greedy_select, GreedyOptions};
+use crate::greedy::{greedy_select_with_stats, GreedyOptions, SearchStats};
 
 /// Input to a recommendation request (§2.1's task definition).
 pub struct AdvisorInput<'a> {
@@ -36,6 +36,9 @@ pub struct AdvisorInput<'a> {
     pub workload: &'a [Query],
     /// Storage budget in bytes (the paper uses `size(1C) − size(P)`).
     pub budget_bytes: u64,
+    /// Thread budget for the what-if candidate fan-out. The
+    /// recommendation is identical at any setting.
+    pub par: Parallelism,
 }
 
 /// A configuration recommender.
@@ -45,7 +48,26 @@ pub trait Recommender {
 
     /// Produce a recommendation, or `None` when the tool gives up —
     /// which the paper observed in practice (§4.2).
-    fn recommend(&self, input: &AdvisorInput<'_>) -> Option<Configuration>;
+    fn recommend(&self, input: &AdvisorInput<'_>) -> Option<Configuration> {
+        self.recommend_with_stats(input).0
+    }
+
+    /// [`Recommender::recommend`], also returning the greedy search's
+    /// [`SearchStats`] (all zero when the tool gives up before
+    /// searching).
+    fn recommend_with_stats(
+        &self,
+        input: &AdvisorInput<'_>,
+    ) -> (Option<Configuration>, SearchStats);
+}
+
+/// The shared per-profile search options: the caller's thread budget on
+/// top of the defaults.
+fn search_options(input: &AdvisorInput<'_>) -> GreedyOptions {
+    GreedyOptions {
+        par: input.par,
+        ..GreedyOptions::default()
+    }
 }
 
 /// System A: per-query single-column candidates with a hard capacity
@@ -71,22 +93,26 @@ impl Recommender for SystemA {
         "A"
     }
 
-    fn recommend(&self, input: &AdvisorInput<'_>) -> Option<Configuration> {
+    fn recommend_with_stats(
+        &self,
+        input: &AdvisorInput<'_>,
+    ) -> (Option<Configuration>, SearchStats) {
         let cands = generate(input.db, input.workload, CandidateStyle::SingleColumn);
         if cands.len() * input.workload.len() > self.capacity_limit {
             // The tool's search space exceeds its capacity: no output,
             // exactly as observed for NREF3J at 100 queries.
-            return None;
+            return (None, SearchStats::default());
         }
-        Some(greedy_select(
+        let (cfg, stats) = greedy_select_with_stats(
             input.db,
             input.current,
             input.workload,
             cands,
             input.budget_bytes,
             "R",
-            GreedyOptions::default(),
-        ))
+            search_options(input),
+        );
+        (Some(cfg), stats)
     }
 }
 
@@ -99,17 +125,21 @@ impl Recommender for SystemB {
         "B"
     }
 
-    fn recommend(&self, input: &AdvisorInput<'_>) -> Option<Configuration> {
+    fn recommend_with_stats(
+        &self,
+        input: &AdvisorInput<'_>,
+    ) -> (Option<Configuration>, SearchStats) {
         let cands = generate(input.db, input.workload, CandidateStyle::Covering);
-        Some(greedy_select(
+        let (cfg, stats) = greedy_select_with_stats(
             input.db,
             input.current,
             input.workload,
             cands,
             input.budget_bytes,
             "R",
-            GreedyOptions::default(),
-        ))
+            search_options(input),
+        );
+        (Some(cfg), stats)
     }
 }
 
@@ -123,17 +153,21 @@ impl Recommender for SystemC {
         "C"
     }
 
-    fn recommend(&self, input: &AdvisorInput<'_>) -> Option<Configuration> {
+    fn recommend_with_stats(
+        &self,
+        input: &AdvisorInput<'_>,
+    ) -> (Option<Configuration>, SearchStats) {
         let cands = generate(input.db, input.workload, CandidateStyle::CoveringWithViews);
-        Some(greedy_select(
+        let (cfg, stats) = greedy_select_with_stats(
             input.db,
             input.current,
             input.workload,
             cands,
             input.budget_bytes,
             "R",
-            GreedyOptions::default(),
-        ))
+            search_options(input),
+        );
+        (Some(cfg), stats)
     }
 }
 
@@ -186,6 +220,7 @@ mod tests {
             current: &p,
             workload: &w,
             budget_bytes: 10 * 1024 * 1024,
+            par: Parallelism::sequential(),
         };
         let tiny = SystemA { capacity_limit: 1 };
         assert!(tiny.recommend(&input).is_none());
@@ -204,6 +239,7 @@ mod tests {
             current: &p,
             workload: &w,
             budget_bytes: budget,
+            par: Parallelism::sequential(),
         };
         for r in [&SystemA::default() as &dyn Recommender, &SystemB, &SystemC] {
             let cfg = r.recommend(&input).expect("recommendation");

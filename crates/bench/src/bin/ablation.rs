@@ -14,7 +14,9 @@
 //! cargo run --release -p tab-bench-harness --bin ablation
 //! ```
 
-use tab_advisor::{generate_candidates, greedy_select, CandidateStyle, GreedyOptions, Objective};
+use tab_advisor::{
+    generate_candidates, greedy_select_with_stats, CandidateStyle, GreedyOptions, Objective,
+};
 use tab_core::{
     build_1c, build_p, prepare_workload, run_workload, space_budget, Suite, SuiteParams,
 };
@@ -22,12 +24,22 @@ use tab_families::Family;
 use tab_storage::BuiltConfiguration;
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    // `--threads N` sets the advisor fan-out width (0 = all cores); the
+    // recommendations are identical at any setting.
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or(0usize);
     let params = if small {
         SuiteParams::small()
     } else {
         SuiteParams::default()
-    };
+    }
+    .with_threads(threads);
     let suite = Suite::build(params);
     let db = &suite.nref;
     let p = build_p(db, "NREF");
@@ -51,34 +63,42 @@ fn main() {
         run_1c.timeout_count()
     );
 
+    let base = GreedyOptions {
+        par: params.par,
+        ..GreedyOptions::default()
+    };
     let variants: [(&str, GreedyOptions); 3] = [
-        ("R (baseline)", GreedyOptions::default()),
+        ("R (baseline)", base),
         (
             "R (observe/perfect)",
             GreedyOptions {
                 perfect_estimates: true,
-                ..Default::default()
+                ..base
             },
         ),
         (
             "R (p90 objective)",
             GreedyOptions {
                 objective: Objective::Percentile(0.9),
-                ..Default::default()
+                ..base
             },
         ),
     ];
     for (name, opts) in variants {
-        let cfg = greedy_select(db, &p, &w, cands.clone(), budget, name, opts);
+        let (cfg, stats) = greedy_select_with_stats(db, &p, &w, cands.clone(), budget, name, opts);
         let n_idx = cfg.indexes.len();
         let built = BuiltConfiguration::build(cfg, db);
         let run = run_workload(db, &built, &w, params.timeout_units);
         println!(
-            "{:<22} total_lb(s) {:>9.0}  timeouts {:>3}  indexes {:>2}",
+            "{:<22} total_lb(s) {:>9.0}  timeouts {:>3}  indexes {:>2}               whatif {:>6} (planner {:>6}, {:>3.0}% cached, {:.2}s)",
             name,
             run.total_lower_bound_sim_seconds(),
             run.timeout_count(),
-            n_idx
+            n_idx,
+            stats.whatif_calls,
+            stats.planner_calls,
+            stats.cache_hit_rate() * 100.0,
+            stats.wall_seconds
         );
     }
 }

@@ -12,8 +12,17 @@ use tab_storage::BuiltConfiguration;
 
 fn main() {
     let t0 = Instant::now();
-    let params = SuiteParams::default();
-    let tpch = std::env::args().any(|a| a == "tpch");
+    let args: Vec<String> = std::env::args().collect();
+    // `--threads N` sets the advisor fan-out width (0 = all cores); the
+    // recommendations are identical at any setting.
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or(0usize);
+    let params = SuiteParams::default().with_threads(threads);
+    let tpch = args.iter().any(|a| a == "tpch");
     let suite = Suite::build(params);
     eprintln!("[{:?}] suite built", t0.elapsed());
     if tpch {
@@ -102,8 +111,18 @@ fn main() {
                 current: &p,
                 workload: &w,
                 budget_bytes: budget,
+                par: params.par,
             };
-            match rec.recommend(&input) {
+            let (cfg, stats) = rec.recommend_with_stats(&input);
+            eprintln!(
+                "  {name}: what-if calls {} (planner {}, cache hits {}, {:.0}% hit rate), {:.2}s",
+                stats.whatif_calls,
+                stats.planner_calls,
+                stats.cache_hits,
+                stats.cache_hit_rate() * 100.0,
+                stats.wall_seconds
+            );
+            match cfg {
                 None => eprintln!("  {name}: NO RECOMMENDATION"),
                 Some(cfg) => {
                     eprintln!(
@@ -183,8 +202,18 @@ fn tpch_pilot(suite: &Suite, params: SuiteParams, t0: Instant) {
                 current: &p,
                 workload: &w,
                 budget_bytes: budget,
+                par: params.par,
             };
-            match SystemC.recommend(&input) {
+            let (cfg, stats) = SystemC.recommend_with_stats(&input);
+            eprintln!(
+                "  C: what-if calls {} (planner {}, cache hits {}, {:.0}% hit rate), {:.2}s",
+                stats.whatif_calls,
+                stats.planner_calls,
+                stats.cache_hits,
+                stats.cache_hit_rate() * 100.0,
+                stats.wall_seconds
+            );
+            match cfg {
                 None => eprintln!("  C: NO RECOMMENDATION"),
                 Some(cfg) => {
                     eprintln!(

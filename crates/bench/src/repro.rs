@@ -8,13 +8,13 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use tab_advisor::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};
+use tab_advisor::{AdvisorInput, Recommender, SearchStats, SystemA, SystemB, SystemC};
 use tab_core::report::{cfc_csv_rows, render_cfc_ascii, render_histogram_ascii, write_csv};
 use tab_core::{
-    bench_json, build_1c, build_p, estimate_workload_hypothetical_with, estimate_workload_with,
-    improvement_ratios, insertion_breakeven, prepare_workload_db_with, run_grid, space_budget,
-    table1_row, timings_json, CellTiming, Cfc, Goal, GridCell, LogHistogram, PhaseTiming,
-    RatioHistogram, SuiteParams, WorkloadRun,
+    advisor_bench_json, bench_json, build_1c, build_p, estimate_workload_hypothetical_with,
+    estimate_workload_with, improvement_ratios, insertion_breakeven, prepare_workload_db_with,
+    run_grid, space_budget, table1_row, timings_json, AdvisorBenchRecord, CellTiming, Cfc, Goal,
+    GridCell, LogHistogram, PhaseTiming, RatioHistogram, SuiteParams, WorkloadRun,
 };
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
 use tab_families::Family;
@@ -90,6 +90,9 @@ struct Ctx {
     /// Coarse (phase name, wall seconds) spans for `BENCH_repro_*.json`,
     /// in first-seen order, accumulated across sections.
     phases: Vec<(&'static str, f64)>,
+    /// Per-recommendation what-if search instrumentation for
+    /// `BENCH_advisor.json`.
+    advisor: Vec<AdvisorBenchRecord>,
     t0: Instant,
     /// When the span being attributed to the *next* [`Ctx::mark`] began.
     last_mark: Instant,
@@ -126,6 +129,21 @@ impl Ctx {
         });
     }
 
+    /// Record one recommendation's what-if instrumentation.
+    fn advisor_record(&mut self, system: &str, family: &str, recommended: bool, s: &SearchStats) {
+        self.advisor.push(AdvisorBenchRecord {
+            system: system.to_string(),
+            family: family.to_string(),
+            recommended,
+            candidates: s.candidates,
+            picks: s.rounds.len(),
+            whatif_calls: s.whatif_calls,
+            planner_calls: s.planner_calls,
+            cache_hits: s.cache_hits,
+            wall_seconds: s.wall_seconds,
+        });
+    }
+
     fn figure(&mut self, title: &str, body: &str) {
         self.figures
             .push_str(&format!("\n=== {title} ===\n{body}\n"));
@@ -151,6 +169,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         figures: String::new(),
         timings: Vec::new(),
         phases: Vec::new(),
+        advisor: Vec::new(),
         t0,
         last_mark: t0,
     };
@@ -228,18 +247,22 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         current: &p,
         workload: &w2,
         budget_bytes: budget,
+        par,
     };
     let input3 = AdvisorInput {
         db: nref,
         current: &p,
         workload: &w3,
         budget_bytes: budget,
+        par,
     };
 
     ctx.log("NREF: System A recommending for NREF2J");
-    let a2_cfg = SystemA::default().recommend(&input2);
+    let (a2_cfg, a2_stats) = SystemA::default().recommend_with_stats(&input2);
+    ctx.advisor_record("A", "NREF2J", a2_cfg.is_some(), &a2_stats);
     ctx.log("NREF: System A recommending for NREF3J (expected to fail)");
-    let a3_cfg = SystemA::default().recommend(&input3);
+    let (a3_cfg, a3_stats) = SystemA::default().recommend_with_stats(&input3);
+    ctx.advisor_record("A", "NREF3J", a3_cfg.is_some(), &a3_stats);
     ctx.claim(
         "sec4.2-a-fails-nref3j",
         "System A produces no recommendation for the 100-query NREF3J workload",
@@ -251,12 +274,14 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     );
     // ... but succeeds on smaller NREF3J workloads (the paper tried 25/12/6/3).
     let small3: Vec<Query> = w3.iter().take(25).cloned().collect();
-    let a3_small = SystemA::default().recommend(&AdvisorInput {
+    let (a3_small, a3_small_stats) = SystemA::default().recommend_with_stats(&AdvisorInput {
         db: nref,
         current: &p,
         workload: &small3,
         budget_bytes: budget,
+        par,
     });
+    ctx.advisor_record("A", "NREF3J-25q", a3_small.is_some(), &a3_small_stats);
     ctx.claim(
         "sec4.2-a-small-workloads",
         "System A can produce recommendations for smaller NREF3J workloads",
@@ -268,8 +293,12 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     );
 
     ctx.log("NREF: System B recommending for NREF2J and NREF3J");
-    let b2_cfg = SystemB.recommend(&input2).expect("B always recommends");
-    let b3_cfg = SystemB.recommend(&input3).expect("B always recommends");
+    let (b2_cfg, b2_stats) = SystemB.recommend_with_stats(&input2);
+    ctx.advisor_record("B", "NREF2J", b2_cfg.is_some(), &b2_stats);
+    let b2_cfg = b2_cfg.expect("B always recommends");
+    let (b3_cfg, b3_stats) = SystemB.recommend_with_stats(&input3);
+    ctx.advisor_record("B", "NREF3J", b3_cfg.is_some(), &b3_stats);
+    let b3_cfg = b3_cfg.expect("B always recommends");
 
     let named = |mut c: Configuration, name: &str| {
         c.name = name.to_string();
@@ -770,14 +799,15 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                 "{label}: System C recommending for {}",
                 fam.name()
             ));
-            let rec = SystemC
-                .recommend(&AdvisorInput {
-                    db,
-                    current: &p,
-                    workload: &w,
-                    budget_bytes: budget,
-                })
-                .expect("C always recommends");
+            let (rec, rec_stats) = SystemC.recommend_with_stats(&AdvisorInput {
+                db,
+                current: &p,
+                workload: &w,
+                budget_bytes: budget,
+                par,
+            });
+            ctx.advisor_record("C", fam.name(), rec.is_some(), &rec_stats);
+            let rec = rec.expect("C always recommends");
             let rec_name = format!("C_{}_R", fam.name());
             let built = BuiltConfiguration::build(named(rec, &rec_name), db);
             ctx.mark("recommend");
@@ -1005,6 +1035,12 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     );
     std::fs::write(ctx.out.join(format!("BENCH_repro_{scale}.json")), bench)
         .expect("write bench record");
+
+    // Per-recommendation what-if instrumentation (schema documented on
+    // `advisor_bench_json`). Also a `BENCH_*` file: wall-clock varies,
+    // everything else is deterministic at any thread count.
+    let advisor = advisor_bench_json(par.threads(), &ctx.advisor);
+    std::fs::write(ctx.out.join("BENCH_advisor.json"), advisor).expect("write advisor record");
 
     ctx.log(&format!(
         "done: {}/{} claims hold",

@@ -263,8 +263,18 @@ fn cmd_advise(args: &Args) -> Result<(), String> {
         current: &p,
         workload: &w,
         budget_bytes: budget,
+        par: par_of(args)?,
     };
-    match rec.recommend(&input) {
+    let (cfg, stats) = rec.recommend_with_stats(&input);
+    eprintln!(
+        "what-if calls: {} (planner {}, cache hits {}, {:.0}% hit rate) in {:.2}s",
+        stats.whatif_calls,
+        stats.planner_calls,
+        stats.cache_hits,
+        stats.cache_hit_rate() * 100.0,
+        stats.wall_seconds
+    );
+    match cfg {
         None => println!(
             "System {} produced NO recommendation for {} ({} queries) — \
              candidate space exceeds its capacity",

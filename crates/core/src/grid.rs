@@ -219,6 +219,86 @@ pub fn bench_json(
     s
 }
 
+/// One recommendation's what-if search instrumentation, reported in
+/// `BENCH_advisor.json`.
+#[derive(Debug, Clone)]
+pub struct AdvisorBenchRecord {
+    /// Recommender profile name (`A`, `B`, or `C`).
+    pub system: String,
+    /// The workload/scenario label, e.g. `NREF2J` or `SkTH-uniform`.
+    pub family: String,
+    /// Whether the tool produced a recommendation (System A declines
+    /// over-capacity workloads).
+    pub recommended: bool,
+    /// Candidate structures considered.
+    pub candidates: usize,
+    /// Structures accepted by the greedy search.
+    pub picks: usize,
+    /// Total what-if cost requests issued.
+    pub whatif_calls: u64,
+    /// Requests that invoked the planner (cache misses).
+    pub planner_calls: u64,
+    /// Requests answered from the what-if cost cache.
+    pub cache_hits: u64,
+    /// Wall-clock seconds spent in the search.
+    pub wall_seconds: f64,
+}
+
+/// Render per-recommendation advisor instrumentation as a
+/// `BENCH_advisor.json` document, alongside `BENCH_repro_<scale>.json`.
+///
+/// Schema (`tab-advisor-bench-v1`):
+///
+/// ```json
+/// {
+///   "schema": "tab-advisor-bench-v1",
+///   "threads": 2,                  // advisor fan-out thread budget
+///   "recommendations": [           // in execution order
+///     {"system": "A", "family": "NREF2J", "recommended": true,
+///      "candidates": 40, "picks": 6,
+///      "whatif_calls": 1200, "planner_calls": 300, "cache_hits": 900,
+///      "cache_hit_rate": 0.750, "wall_seconds": 0.412}
+///   ]
+/// }
+/// ```
+///
+/// `wall_seconds` vary run to run, so determinism checks must skip
+/// `BENCH_*` files; every other field is deterministic at any thread
+/// count.
+pub fn advisor_bench_json(threads: usize, records: &[AdvisorBenchRecord]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tab-advisor-bench-v1\",\n");
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str("  \"recommendations\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let hit_rate = if r.whatif_calls == 0 {
+            0.0
+        } else {
+            r.cache_hits as f64 / r.whatif_calls as f64
+        };
+        s.push_str(&format!(
+            "    {{\"system\": \"{}\", \"family\": \"{}\", \"recommended\": {}, \
+             \"candidates\": {}, \"picks\": {}, \"whatif_calls\": {}, \
+             \"planner_calls\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {:.3}, \
+             \"wall_seconds\": {:.3}}}{}\n",
+            json_escape(&r.system),
+            json_escape(&r.family),
+            r.recommended,
+            r.candidates,
+            r.picks,
+            r.whatif_calls,
+            r.planner_calls,
+            r.cache_hits,
+            hit_rate,
+            r.wall_seconds,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +425,44 @@ mod tests {
         assert!(j.contains(
             "\"name\": \"measurement-grid\", \"wall_seconds\": 5.250, \"cost_units\": 1234.500"
         ));
+        assert!(j.contains("},\n"));
+        assert!(!j.contains("},\n  ]"));
+    }
+
+    #[test]
+    fn advisor_bench_json_shape() {
+        let records = vec![
+            AdvisorBenchRecord {
+                system: "A".into(),
+                family: "NREF2J".into(),
+                recommended: true,
+                candidates: 40,
+                picks: 6,
+                whatif_calls: 1200,
+                planner_calls: 300,
+                cache_hits: 900,
+                wall_seconds: 0.4125,
+            },
+            AdvisorBenchRecord {
+                system: "A".into(),
+                family: "NREF3J".into(),
+                recommended: false,
+                candidates: 0,
+                picks: 0,
+                whatif_calls: 0,
+                planner_calls: 0,
+                cache_hits: 0,
+                wall_seconds: 0.0,
+            },
+        ];
+        let j = advisor_bench_json(2, &records);
+        assert!(j.contains("\"schema\": \"tab-advisor-bench-v1\""));
+        assert!(j.contains("\"threads\": 2"));
+        assert!(j.contains("\"system\": \"A\", \"family\": \"NREF2J\", \"recommended\": true"));
+        assert!(j.contains("\"cache_hit_rate\": 0.750"));
+        // Zero what-if calls must not divide by zero.
+        assert!(j.contains("\"recommended\": false"));
+        assert!(j.contains("\"cache_hit_rate\": 0.000"));
         assert!(j.contains("},\n"));
         assert!(!j.contains("},\n  ]"));
     }

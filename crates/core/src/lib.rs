@@ -33,7 +33,10 @@ pub use experiment::{
     Table1Row,
 };
 pub use goal::{improvement_ratio, Goal};
-pub use grid::{bench_json, run_grid, timings_json, CellTiming, GridCell, PhaseTiming};
+pub use grid::{
+    advisor_bench_json, bench_json, run_grid, timings_json, AdvisorBenchRecord, CellTiming,
+    GridCell, PhaseTiming,
+};
 pub use histogram::{LogHistogram, RatioHistogram};
 pub use measure::{
     estimate_workload, estimate_workload_hypothetical, estimate_workload_hypothetical_with,

@@ -35,5 +35,8 @@ pub use dml::{apply_insert, validate_insert, InsertOutcome};
 pub use exec::{execute, Resolver};
 pub use plan::PhysicalPlan;
 pub use planner::plan;
-pub use session::{estimate_hypothetical, estimate_hypothetical_perfect, RunResult, Session};
+pub use session::{
+    estimate_hypothetical, estimate_hypothetical_layered, estimate_hypothetical_perfect, RunResult,
+    Session,
+};
 pub use stats_view::{HypotheticalStats, RealStats, StatsView};

@@ -67,7 +67,7 @@ fn best_for_candidate(
     let n = bound.rels.len();
     let mut best: Option<(f64, RelOp, Vec<JoinStep>, f64)> = None;
     for perm in permutations(n) {
-        if let Some((cost, driver, steps, rows)) = cost_perm(bound, stats, &need, &perm) {
+        if let Some((cost, driver, steps, rows)) = cost_perm(bound, stats, &need, perm) {
             let total = cost + freq_cost;
             if best.as_ref().is_none_or(|(c, ..)| total < *c) {
                 best = Some((total, driver, steps, rows));
@@ -547,8 +547,17 @@ fn freq_eval_cost(sub_table: &str, sub_col: usize, stats: &dyn StatsView) -> f64
     }
 }
 
-/// All permutations of `0..n` in lexicographic order.
-fn permutations(n: usize) -> Vec<Vec<usize>> {
+/// All permutations of `0..n` in lexicographic order, computed once per
+/// relation count and shared: the what-if search re-plans the same query
+/// shapes thousands of times, and `n` never exceeds [`MAX_RELATIONS`].
+fn permutations(n: usize) -> &'static [Vec<usize>] {
+    use std::sync::OnceLock;
+    static TABLES: [OnceLock<Vec<Vec<usize>>>; MAX_RELATIONS + 1] =
+        [const { OnceLock::new() }; MAX_RELATIONS + 1];
+    TABLES[n].get_or_init(|| enumerate_permutations(n))
+}
+
+fn enumerate_permutations(n: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut cur: Vec<usize> = (0..n).collect();
     let mut free: Vec<bool> = vec![true; n];

@@ -7,7 +7,7 @@
 //!   configuration that was never built, produced from the current one.
 
 use tab_sqlq::Query;
-use tab_storage::{BuiltConfiguration, Configuration, Database, Value};
+use tab_storage::{BuiltConfiguration, Configuration, Database, IndexSpec, MViewDef, Value};
 
 use crate::catalog::{bind, BindError};
 use crate::cost::{CostMeter, Outcome};
@@ -116,6 +116,35 @@ pub fn estimate_hypothetical_perfect(
     let bound = bind(q, db)?;
     let stats = HypotheticalStats::with_perfect_distributions(db, current, hyp);
     Ok(plan(&bound, &stats).est_cost)
+}
+
+/// Incremental what-if estimate for an already-bound query: `H(q, base +
+/// extras, current)`. The advisor's hot loop prices hundreds of trial
+/// configurations per round that differ from a shared base by one
+/// structure; this entry point skips both the per-call re-bind (the
+/// caller binds each workload query once) and the per-trial clone of the
+/// base configuration (the extras are layered on via
+/// [`HypotheticalStats::layered`]). Produces bit-identical costs to
+/// [`estimate_hypothetical`] on the materialized `base + extras`
+/// configuration.
+pub fn estimate_hypothetical_layered(
+    db: &Database,
+    current: &BuiltConfiguration,
+    base: &Configuration,
+    extra_indexes: &[IndexSpec],
+    extra_mviews: &[MViewDef],
+    bound: &crate::catalog::BoundQuery,
+    perfect_distributions: bool,
+) -> f64 {
+    let stats = HypotheticalStats::layered(
+        db,
+        current,
+        base,
+        extra_indexes,
+        extra_mviews,
+        perfect_distributions,
+    );
+    plan(bound, &stats).est_cost
 }
 
 /// Sessions are created per worker thread over shared `&Database` /

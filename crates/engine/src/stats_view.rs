@@ -22,7 +22,8 @@
 
 use tab_sqlq::{CmpOp, RangeOp};
 use tab_storage::{
-    BuiltConfiguration, ColumnStats, Configuration, Database, MViewSpec, Value, PAGE_SIZE,
+    BuiltConfiguration, ColumnStats, Configuration, Database, IndexSpec, MViewDef, MViewSpec,
+    Value, PAGE_SIZE,
 };
 
 /// Size and shape of one (real or hypothetical) index, for costing.
@@ -290,10 +291,22 @@ impl StatsView for RealStats<'_> {
 
 /// The `H(q, Ch, Ca)` view: a hypothetical configuration `hyp`, estimated
 /// while the system actually runs `current`.
+///
+/// The hypothetical configuration is a *base* plus optional overlay
+/// slices ([`HypotheticalStats::layered`]): the advisor's greedy search
+/// trials hundreds of configurations per round that differ from a shared
+/// base by exactly one structure, and the overlay lets it present
+/// `base + candidate` without cloning the base configuration per trial.
+/// A plain view ([`HypotheticalStats::new`]) is a layered view with
+/// empty overlays; both present identical statistics for the same
+/// effective structure list (base structures first, overlay appended —
+/// the same order `clone`-and-`push` would produce).
 pub struct HypotheticalStats<'a> {
     db: &'a Database,
     current: &'a BuiltConfiguration,
     hyp: &'a Configuration,
+    extra_indexes: &'a [IndexSpec],
+    extra_mviews: &'a [MViewDef],
     perfect_distributions: bool,
 }
 
@@ -304,7 +317,30 @@ impl<'a> HypotheticalStats<'a> {
             db,
             current,
             hyp,
+            extra_indexes: &[],
+            extra_mviews: &[],
             perfect_distributions: false,
+        }
+    }
+
+    /// Incremental view of `base` with extra trial structures layered on
+    /// top, equivalent to a plain view of `base + extras` but without
+    /// materializing that configuration.
+    pub fn layered(
+        db: &'a Database,
+        current: &'a BuiltConfiguration,
+        base: &'a Configuration,
+        extra_indexes: &'a [IndexSpec],
+        extra_mviews: &'a [MViewDef],
+        perfect_distributions: bool,
+    ) -> Self {
+        HypotheticalStats {
+            db,
+            current,
+            hyp: base,
+            extra_indexes,
+            extra_mviews,
+            perfect_distributions,
         }
     }
 
@@ -321,8 +357,20 @@ impl<'a> HypotheticalStats<'a> {
             db,
             current,
             hyp,
+            extra_indexes: &[],
+            extra_mviews: &[],
             perfect_distributions: true,
         }
+    }
+
+    /// All hypothetical index specs: base first, then the overlay.
+    fn all_indexes(&self) -> impl Iterator<Item = &IndexSpec> {
+        self.hyp.indexes.iter().chain(self.extra_indexes)
+    }
+
+    /// All hypothetical view definitions: base first, then the overlay.
+    fn all_mviews(&self) -> impl Iterator<Item = &MViewDef> {
+        self.hyp.mviews.iter().chain(self.extra_mviews)
     }
 
     /// Estimated rows of a hypothetical view: base cardinalities reduced
@@ -363,9 +411,7 @@ impl<'a> HypotheticalStats<'a> {
     }
 
     fn hyp_view(&self, source: &str) -> Option<&MViewSpec> {
-        self.hyp
-            .mviews
-            .iter()
+        self.all_mviews()
             .map(|d| &d.spec)
             .find(|s| s.name == source)
     }
@@ -491,17 +537,13 @@ impl StatsView for HypotheticalStats<'_> {
 
     fn indexes_on(&self, source: &str) -> Vec<IndexMeta> {
         let rows = self.rel_rows(source);
-        self.hyp
-            .indexes
-            .iter()
+        self.all_indexes()
             .filter(|s| s.table == source)
             .map(|s| {
                 estimate_index_meta(source, &s.columns, self.key_width(source, &s.columns), rows)
             })
             .chain(
-                self.hyp
-                    .mviews
-                    .iter()
+                self.all_mviews()
                     .filter(|d| d.spec.name == source)
                     .flat_map(|d| {
                         d.indexes.iter().map(|cols| {
@@ -513,9 +555,7 @@ impl StatsView for HypotheticalStats<'_> {
     }
 
     fn mviews(&self) -> Vec<MViewMeta> {
-        self.hyp
-            .mviews
-            .iter()
+        self.all_mviews()
             .map(|d| {
                 let rows = self.est_view_rows(&d.spec);
                 MViewMeta {
@@ -643,5 +683,37 @@ mod tests {
     fn clamp_bounds() {
         assert_eq!(clamp_sel(5.0), 1.0);
         assert!(clamp_sel(0.0) > 0.0);
+    }
+
+    #[test]
+    fn layered_view_matches_materialized_configuration() {
+        let db = skewed_db();
+        let p = BuiltConfiguration::build(Configuration::named("p"), &db);
+        let mut base = Configuration::named("base");
+        base.indexes.push(IndexSpec::new("t", vec![0]));
+        let extra_ix = [IndexSpec::new("t", vec![1])];
+        let extra_mv = [MViewDef {
+            spec: MViewSpec::join_of("v", "t", "t", vec![(0, 0)], vec![(0, 1)]),
+            indexes: vec![vec![0]],
+        }];
+
+        let mut merged = base.clone();
+        merged.indexes.push(extra_ix[0].clone());
+        merged.mviews.push(extra_mv[0].clone());
+
+        let layered = HypotheticalStats::layered(&db, &p, &base, &extra_ix, &extra_mv, false);
+        let plain = HypotheticalStats::new(&db, &p, &merged);
+        for source in ["t", "v"] {
+            let a = layered.indexes_on(source);
+            let b = plain.indexes_on(source);
+            assert_eq!(a.len(), b.len(), "{source}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.columns, y.columns);
+                assert_eq!(x.pages, y.pages);
+            }
+            assert_eq!(layered.rel_rows(source), plain.rel_rows(source));
+            assert_eq!(layered.rel_pages(source), plain.rel_pages(source));
+        }
+        assert_eq!(layered.mviews().len(), plain.mviews().len());
     }
 }

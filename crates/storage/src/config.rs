@@ -25,7 +25,7 @@ pub struct MViewDef {
 }
 
 /// A declarative configuration: what to build, not the built artifacts.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Configuration {
     /// Display name, e.g. `A_NREF_P`, `B_NREF2J_R`, `C_SkTH_1C`.
     pub name: String,

@@ -44,16 +44,21 @@ fn main() {
         current: &p,
         workload: &workload,
         budget_bytes: budget,
+        par: params.par,
     };
     for rec in [&SystemA::default() as &dyn Recommender, &SystemB, &SystemC] {
-        match rec.recommend(&input) {
+        let (cfg, stats) = rec.recommend_with_stats(&input);
+        match cfg {
             None => println!("System {}: no recommendation (gave up)", rec.name()),
             Some(cfg) => {
                 println!(
-                    "System {}: {} indexes, {} views",
+                    "System {}: {} indexes, {} views ({} what-if calls, {:.0}% cached, {:.2}s)",
                     rec.name(),
                     cfg.indexes.len(),
-                    cfg.mviews.len()
+                    cfg.mviews.len(),
+                    stats.whatif_calls,
+                    stats.cache_hit_rate() * 100.0,
+                    stats.wall_seconds
                 );
                 let built = BuiltConfiguration::build(cfg, db);
                 let run = run_workload(db, &built, &workload, params.timeout_units);

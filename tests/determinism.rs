@@ -104,5 +104,27 @@ fn repro_outputs_identical_at_one_and_four_threads() {
         assert_eq!(units(dir), want_units, "phase cost units differ");
     }
 
+    // The advisor's what-if instrumentation record exists, and every
+    // field except wall-clock (and the thread count itself) is
+    // identical at any thread count — the cache-hit and planner-call
+    // counters included.
+    let advisor = |dir: &Path| -> String {
+        let b =
+            std::fs::read_to_string(dir.join("BENCH_advisor.json")).expect("BENCH_advisor.json");
+        assert!(b.contains("\"schema\": \"tab-advisor-bench-v1\""), "{b}");
+        assert!(b.contains("\"system\": \"A\""), "{b}");
+        assert!(b.contains("\"system\": \"C\""), "{b}");
+        b.lines()
+            .filter(|l| l.contains("\"system\""))
+            .map(|l| l.split(", \"wall_seconds\"").next().expect("record line"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let want_advisor = advisor(&dirs[0]);
+    assert!(want_advisor.contains("\"cache_hits\": "), "{want_advisor}");
+    for dir in &dirs[1..] {
+        assert_eq!(advisor(dir), want_advisor, "advisor counters differ");
+    }
+
     std::fs::remove_dir_all(&base).ok();
 }

@@ -76,6 +76,7 @@ fn recommended_configuration_stays_within_budget() {
                 current: &p,
                 workload: &w,
                 budget_bytes: budget,
+                par: tab_bench::storage::Parallelism::sequential(),
             })
             .expect("recommendation");
         let built = BuiltConfiguration::build(cfg, db);
