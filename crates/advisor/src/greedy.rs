@@ -18,10 +18,21 @@ use std::time::Instant;
 
 use tab_engine::stats_view::{HypotheticalStats, StatsView};
 use tab_sqlq::Query;
-use tab_storage::{par_map, BuiltConfiguration, Configuration, Database, Parallelism, PAGE_SIZE};
+use tab_storage::{
+    par_map, BuiltConfiguration, Configuration, Database, Parallelism, StderrTraceSink, Trace,
+    TraceEvent, PAGE_SIZE,
+};
 
 use crate::candidates::Candidate;
 use crate::whatif::WhatIfService;
+
+/// Short human-readable label for a candidate, used in trace events.
+fn candidate_desc(c: &Candidate) -> String {
+    match c {
+        Candidate::Index(i) => format!("INDEX {i}"),
+        Candidate::MView(m) => format!("MVIEW {}", m.spec.name),
+    }
+}
 
 /// What the greedy search optimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -184,6 +195,40 @@ pub fn greedy_select_with_stats(
     name: &str,
     opts: GreedyOptions,
 ) -> (Configuration, SearchStats) {
+    greedy_select_traced(
+        db,
+        current,
+        workload,
+        candidates,
+        budget_bytes,
+        name,
+        opts,
+        Trace::disabled(),
+    )
+}
+
+/// [`greedy_select_with_stats`] with a [`Trace`] emitting structured
+/// `advisor_begin` / `advisor_round` / `advisor_stop` / `advisor_end`
+/// events. With tracing disabled, setting `TAB_ADVISOR_DEBUG` routes the
+/// same events to stderr (the structured successor of the old ad-hoc
+/// narration). Tracing never changes the recommendation.
+#[allow(clippy::too_many_arguments)]
+pub fn greedy_select_traced(
+    db: &Database,
+    current: &BuiltConfiguration,
+    workload: &[Query],
+    candidates: Vec<Candidate>,
+    budget_bytes: u64,
+    name: &str,
+    opts: GreedyOptions,
+    trace: Trace<'_>,
+) -> (Configuration, SearchStats) {
+    let stderr_sink = StderrTraceSink;
+    let trace = if !trace.is_enabled() && std::env::var_os("TAB_ADVISOR_DEBUG").is_some() {
+        Trace::to(&stderr_sink)
+    } else {
+        trace
+    };
     let t_start = Instant::now();
     let mut chosen = current.config.clone();
     chosen.name = name.to_string();
@@ -227,17 +272,17 @@ pub fn greedy_select_with_stats(
 
     let mut remaining = budget_bytes;
     let mut active: Vec<bool> = vec![true; candidates.len()];
-    let debug = std::env::var_os("TAB_ADVISOR_DEBUG").is_some();
-    if debug {
-        eprintln!(
-            "[greedy] {} candidates, budget {} MiB, initial total {:.0}",
-            candidates.len(),
-            budget_bytes >> 20,
-            costs.iter().filter(|c| c.is_finite()).sum::<f64>()
-        );
-    }
+    trace.emit(|| {
+        TraceEvent::new("advisor_begin")
+            .str("advisor", name)
+            .int("candidates", candidates.len() as u64)
+            .int("budget_mib", budget_bytes >> 20)
+            .num("initial_total", initial_total)
+            .num("threshold", threshold)
+    });
 
     let mut rounds: Vec<RoundStats> = Vec::new();
+    let mut w_prev = svc.stats();
     for _round in 0..opts.max_structures {
         // Invariant within the round (hoisted out of the candidate loop:
         // under `Objective::Percentile` it re-sorts the cost vector).
@@ -271,30 +316,30 @@ pub fn greedy_select_with_stats(
                 best = Some((pos, gain, density));
             }
         }
-        if debug {
-            match best {
-                Some((pos, g, _)) => eprintln!(
-                    "[greedy] round pick #{} gain {g:.0} size {} MiB",
-                    live[pos],
-                    sizes[live[pos]] >> 20
-                ),
-                None => {
-                    // Report the best rejected gain for diagnosis,
-                    // reusing this round's evaluations.
-                    let mut top = (usize::MAX, 0.0f64);
-                    for (pos, &ci) in live.iter().enumerate() {
-                        if evals[pos].0 > top.1 {
-                            top = (ci, evals[pos].0);
-                        }
+        if best.is_none() {
+            trace.emit(|| {
+                // Report the best rejected gain for diagnosis, reusing
+                // this round's evaluations.
+                let mut top: Option<(usize, f64)> = None;
+                for (pos, &ci) in live.iter().enumerate() {
+                    if top.is_none_or(|(_, g)| evals[pos].0 > g) {
+                        top = Some((ci, evals[pos].0));
                     }
-                    eprintln!(
-                        "[greedy] stop: best rejected gain {:.0} (cand #{}), threshold {threshold:.0}",
-                        top.1, top.0,
-                    );
                 }
-            }
+                let ev = TraceEvent::new("advisor_stop")
+                    .str("advisor", name)
+                    .int("round", rounds.len() as u64)
+                    .num("threshold", threshold);
+                match top {
+                    Some((ci, g)) => ev
+                        .int("best_rejected_candidate", ci as u64)
+                        .str("best_rejected_desc", &candidate_desc(&candidates[ci]))
+                        .num("best_rejected_gain", g),
+                    None => ev.str("reason", "no live candidates"),
+                }
+            });
         }
-        let Some((pos, gain, _)) = best else {
+        let Some((pos, gain, density)) = best else {
             break;
         };
         let ci = live[pos];
@@ -313,15 +358,44 @@ pub fn greedy_select_with_stats(
         remaining = remaining.saturating_sub(sizes[ci]);
         active[ci] = false;
         chosen_ids.push(ci as u32);
+        let objective_after = objective_value(&costs, opts.objective);
         rounds.push(RoundStats {
             candidate: ci,
             gain,
-            objective_after: objective_value(&costs, opts.objective),
+            objective_after,
         });
+        if trace.is_enabled() {
+            let w_now = svc.stats();
+            let delta = w_now - w_prev;
+            w_prev = w_now;
+            trace.emit(|| {
+                TraceEvent::new("advisor_round")
+                    .str("advisor", name)
+                    .int("round", rounds.len() as u64 - 1)
+                    .int("candidate", ci as u64)
+                    .str("desc", &candidate_desc(&candidates[ci]))
+                    .num("gain", gain)
+                    .num("density", density)
+                    .int("size_bytes", sizes[ci])
+                    .num("objective_after", objective_after)
+                    .int("whatif_calls", delta.whatif_calls)
+                    .int("planner_calls", delta.planner_calls)
+                    .int("cache_hits", delta.cache_hits)
+            });
+        }
     }
 
     chosen.normalize();
     let w = svc.stats();
+    trace.emit(|| {
+        TraceEvent::new("advisor_end")
+            .str("advisor", name)
+            .int("rounds", rounds.len() as u64)
+            .num("objective_final", objective_value(&costs, opts.objective))
+            .int("whatif_calls", w.whatif_calls)
+            .int("planner_calls", w.planner_calls)
+            .int("cache_hits", w.cache_hits)
+    });
     let stats = SearchStats {
         candidates: candidates.len(),
         whatif_calls: w.whatif_calls,

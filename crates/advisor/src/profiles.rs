@@ -20,10 +20,10 @@
 //! subsets of it.
 
 use tab_sqlq::Query;
-use tab_storage::{BuiltConfiguration, Configuration, Database, Parallelism};
+use tab_storage::{BuiltConfiguration, Configuration, Database, Parallelism, Trace};
 
 use crate::candidates::{generate, CandidateStyle};
-use crate::greedy::{greedy_select_with_stats, GreedyOptions, SearchStats};
+use crate::greedy::{greedy_select_traced, GreedyOptions, SearchStats};
 
 /// Input to a recommendation request (§2.1's task definition).
 pub struct AdvisorInput<'a> {
@@ -39,6 +39,10 @@ pub struct AdvisorInput<'a> {
     /// Thread budget for the what-if candidate fan-out. The
     /// recommendation is identical at any setting.
     pub par: Parallelism,
+    /// Structured trace receiving advisor round events. Tracing is
+    /// observational only; [`Trace::disabled()`] is the zero-cost
+    /// default.
+    pub trace: Trace<'a>,
 }
 
 /// A configuration recommender.
@@ -103,7 +107,7 @@ impl Recommender for SystemA {
             // exactly as observed for NREF3J at 100 queries.
             return (None, SearchStats::default());
         }
-        let (cfg, stats) = greedy_select_with_stats(
+        let (cfg, stats) = greedy_select_traced(
             input.db,
             input.current,
             input.workload,
@@ -111,6 +115,7 @@ impl Recommender for SystemA {
             input.budget_bytes,
             "R",
             search_options(input),
+            input.trace,
         );
         (Some(cfg), stats)
     }
@@ -130,7 +135,7 @@ impl Recommender for SystemB {
         input: &AdvisorInput<'_>,
     ) -> (Option<Configuration>, SearchStats) {
         let cands = generate(input.db, input.workload, CandidateStyle::Covering);
-        let (cfg, stats) = greedy_select_with_stats(
+        let (cfg, stats) = greedy_select_traced(
             input.db,
             input.current,
             input.workload,
@@ -138,6 +143,7 @@ impl Recommender for SystemB {
             input.budget_bytes,
             "R",
             search_options(input),
+            input.trace,
         );
         (Some(cfg), stats)
     }
@@ -158,7 +164,7 @@ impl Recommender for SystemC {
         input: &AdvisorInput<'_>,
     ) -> (Option<Configuration>, SearchStats) {
         let cands = generate(input.db, input.workload, CandidateStyle::CoveringWithViews);
-        let (cfg, stats) = greedy_select_with_stats(
+        let (cfg, stats) = greedy_select_traced(
             input.db,
             input.current,
             input.workload,
@@ -166,6 +172,7 @@ impl Recommender for SystemC {
             input.budget_bytes,
             "R",
             search_options(input),
+            input.trace,
         );
         (Some(cfg), stats)
     }
@@ -221,6 +228,7 @@ mod tests {
             workload: &w,
             budget_bytes: 10 * 1024 * 1024,
             par: Parallelism::sequential(),
+            trace: Trace::disabled(),
         };
         let tiny = SystemA { capacity_limit: 1 };
         assert!(tiny.recommend(&input).is_none());
@@ -240,6 +248,7 @@ mod tests {
             workload: &w,
             budget_bytes: budget,
             par: Parallelism::sequential(),
+            trace: Trace::disabled(),
         };
         for r in [&SystemA::default() as &dyn Recommender, &SystemB, &SystemC] {
             let cfg = r.recommend(&input).expect("recommendation");

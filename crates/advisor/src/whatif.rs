@@ -62,6 +62,20 @@ pub struct WhatIfStats {
     pub cache_hits: u64,
 }
 
+impl std::ops::Sub for WhatIfStats {
+    type Output = WhatIfStats;
+
+    /// Counter delta between two snapshots (later minus earlier) — how
+    /// the advisor trace attributes what-if work to individual rounds.
+    fn sub(self, earlier: WhatIfStats) -> WhatIfStats {
+        WhatIfStats {
+            whatif_calls: self.whatif_calls - earlier.whatif_calls,
+            planner_calls: self.planner_calls - earlier.planner_calls,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+        }
+    }
+}
+
 /// A memoized what-if evaluator over a fixed workload and candidate set.
 ///
 /// All methods take `&self`; the service is safe to share across the

@@ -5,7 +5,8 @@ use std::time::Instant;
 
 use tab_advisor::{AdvisorInput, Recommender, SystemA, SystemB};
 use tab_core::{
-    build_1c, build_p, prepare_workload, run_workload, space_budget, Suite, SuiteParams,
+    build_1c, build_p, prepare_workload, run_workload, space_budget, FileTraceSink, Suite,
+    SuiteParams, Trace,
 };
 use tab_families::Family;
 use tab_storage::BuiltConfiguration;
@@ -21,12 +22,25 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--threads takes a number"))
         .unwrap_or(0usize);
+    // `--trace FILE` captures advisor round events as tab-trace-v1 JSONL.
+    let sink = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(|path| {
+            FileTraceSink::create(std::path::Path::new(path))
+                .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"))
+        });
+    let trace = sink
+        .as_ref()
+        .map(|s| Trace::to(s))
+        .unwrap_or_else(Trace::disabled);
     let params = SuiteParams::default().with_threads(threads);
     let tpch = args.iter().any(|a| a == "tpch");
     let suite = Suite::build(params);
     eprintln!("[{:?}] suite built", t0.elapsed());
     if tpch {
-        tpch_pilot(&suite, params, t0);
+        tpch_pilot(&suite, params, t0, trace);
         return;
     }
     for t in suite.nref.tables() {
@@ -112,6 +126,7 @@ fn main() {
                 workload: &w,
                 budget_bytes: budget,
                 par: params.par,
+                trace,
             };
             let (cfg, stats) = rec.recommend_with_stats(&input);
             eprintln!(
@@ -152,7 +167,7 @@ fn main() {
     eprintln!("[{:?}] pilot done", t0.elapsed());
 }
 
-fn tpch_pilot(suite: &Suite, params: SuiteParams, t0: Instant) {
+fn tpch_pilot(suite: &Suite, params: SuiteParams, t0: Instant, trace: Trace<'_>) {
     use tab_advisor::SystemC;
     for (db, label, fams) in [
         (&suite.skth, "SkTH", vec![Family::SkTH3Js, Family::SkTH3J]),
@@ -203,6 +218,7 @@ fn tpch_pilot(suite: &Suite, params: SuiteParams, t0: Instant) {
                 workload: &w,
                 budget_bytes: budget,
                 par: params.par,
+                trace,
             };
             let (cfg, stats) = SystemC.recommend_with_stats(&input);
             eprintln!(

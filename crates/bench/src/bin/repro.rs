@@ -15,13 +15,19 @@
 //!   `id,status` baseline instead of demanding all-HOLDS (some paper
 //!   claims diverge by design at reduced scale — see EXPERIMENTS.md)
 //! - `--out DIR`      override the output directory
+//! - `--trace FILE`   write a `tab-trace-v1` JSONL trace of every grid
+//!   query (per-operator estimates vs. actuals) and advisor round;
+//!   observational only — all outputs are byte-identical without it.
+//!   Summarize with `cargo run -p tab-bench-harness --bin trace_summary`.
 
 use std::process::ExitCode;
 
 use tab_bench_harness::repro::{run_all, ReproConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--small] [--threads N] [--check] [--expect FILE] [--out DIR]");
+    eprintln!(
+        "usage: repro [--small] [--threads N] [--check] [--expect FILE] [--out DIR] [--trace FILE]"
+    );
     std::process::exit(2);
 }
 
@@ -31,6 +37,7 @@ fn main() -> ExitCode {
     let mut threads: usize = 0;
     let mut out: Option<String> = None;
     let mut expect: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -42,6 +49,7 @@ fn main() -> ExitCode {
             }
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--expect" => expect = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -54,6 +62,9 @@ fn main() -> ExitCode {
     .with_threads(threads);
     if let Some(dir) = out {
         cfg.out_dir = dir.into();
+    }
+    if let Some(path) = trace {
+        cfg = cfg.with_trace(path.into());
     }
     eprintln!(
         "tab-bench reproduction ({} scale, {} threads) -> {}",

@@ -1,0 +1,29 @@
+//! Aggregate a `tab-trace-v1` JSONL trace (from `repro --trace FILE`)
+//! into per-(family, config) operator cost tables.
+//!
+//! ```sh
+//! cargo run --release -p tab-bench-harness --bin repro -- --small --trace trace.jsonl
+//! cargo run --release -p tab-bench-harness --bin trace_summary -- trace.jsonl
+//! ```
+
+use std::process::ExitCode;
+
+use tab_bench_harness::trace_summary::summarize;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: trace_summary TRACE.jsonl");
+        return ExitCode::from(2);
+    };
+    match std::fs::read_to_string(path) {
+        Ok(input) => {
+            print!("{}", summarize(&input));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -8,3 +8,4 @@
 #![warn(missing_docs)]
 
 pub mod repro;
+pub mod trace_summary;

@@ -13,8 +13,9 @@ use tab_core::report::{cfc_csv_rows, render_cfc_ascii, render_histogram_ascii, w
 use tab_core::{
     advisor_bench_json, bench_json, build_1c, build_p, estimate_workload_hypothetical_with,
     estimate_workload_with, improvement_ratios, insertion_breakeven, prepare_workload_db_with,
-    run_grid, space_budget, table1_row, timings_json, AdvisorBenchRecord, CellTiming, Cfc, Goal,
-    GridCell, LogHistogram, PhaseTiming, RatioHistogram, SuiteParams, WorkloadRun,
+    run_grid_traced, space_budget, table1_row, timings_json, AdvisorBenchRecord, CellTiming, Cfc,
+    FileTraceSink, Goal, GridCell, LogHistogram, PhaseTiming, RatioHistogram, SuiteParams, Trace,
+    WorkloadRun,
 };
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
 use tab_families::Family;
@@ -27,6 +28,11 @@ pub struct ReproConfig {
     pub params: SuiteParams,
     /// Output directory for CSVs and rendered figures.
     pub out_dir: PathBuf,
+    /// Optional `tab-trace-v1` JSONL trace file capturing per-query and
+    /// per-operator events for every grid cell plus advisor rounds.
+    /// Tracing is observational only: every file under `out_dir` is
+    /// byte-identical with or without it (`tests/observability.rs`).
+    pub trace: Option<PathBuf>,
 }
 
 impl ReproConfig {
@@ -35,6 +41,7 @@ impl ReproConfig {
         ReproConfig {
             params: SuiteParams::default(),
             out_dir: PathBuf::from("results"),
+            trace: None,
         }
     }
 
@@ -43,12 +50,19 @@ impl ReproConfig {
         ReproConfig {
             params: SuiteParams::small(),
             out_dir: PathBuf::from("results-small"),
+            trace: None,
         }
     }
 
     /// The same run with an explicit thread count (`0` = all cores).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.params = self.params.with_threads(threads);
+        self
+    }
+
+    /// The same run writing a structured trace to `path`.
+    pub fn with_trace(mut self, path: PathBuf) -> Self {
+        self.trace = Some(path);
         self
     }
 }
@@ -177,6 +191,19 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     let par = cfg.params.par;
     ctx.log(&format!("parallelism: {} threads", par.threads()));
 
+    // Optional structured trace. The sink lives for the whole run; the
+    // `Trace` handle it backs is `Copy` and threads through the grids
+    // and advisor calls below. Disabled (`None`) costs one branch per
+    // emission site.
+    let sink = cfg.trace.as_deref().map(|path| {
+        FileTraceSink::create(path)
+            .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()))
+    });
+    let trace = sink
+        .as_ref()
+        .map(|s| Trace::to(s))
+        .unwrap_or_else(Trace::disabled);
+
     let mut table1: Vec<Vec<String>> = Vec::new();
     let mut table2: Vec<Vec<String>> = Vec::new();
     let mut table3: Vec<Vec<String>> = Vec::new();
@@ -210,6 +237,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     // ================= NREF (Systems A and B) =================
     // Databases are generated one at a time and dropped at section end
     // to bound resident memory.
+    trace.span_begin("NREF");
     ctx.log("NREF: generating database");
     let nref_db = generate_nref(NrefParams {
         proteins: cfg.params.nref_proteins,
@@ -248,6 +276,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         workload: &w2,
         budget_bytes: budget,
         par,
+        trace,
     };
     let input3 = AdvisorInput {
         db: nref,
@@ -255,6 +284,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         workload: &w3,
         budget_bytes: budget,
         par,
+        trace,
     };
 
     ctx.log("NREF: System A recommending for NREF2J");
@@ -280,6 +310,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         workload: &small3,
         budget_bytes: budget,
         par,
+        trace,
     });
     ctx.advisor_record("A", "NREF3J-25q", a3_small.is_some(), &a3_small_stats);
     ctx.claim(
@@ -330,7 +361,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         cells.push(cell("NREF2J", a, &w2));
     }
     let mut grid: std::collections::VecDeque<(WorkloadRun, CellTiming)> =
-        run_grid(&cells, par).into();
+        run_grid_traced(&cells, par, trace).into();
     drop(cells);
     ctx.mark("measurement-grid");
     let mut take = |ctx: &mut Ctx| -> WorkloadRun {
@@ -755,6 +786,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     drop(p);
     drop(nref_db);
     ctx.mark("analysis");
+    trace.span_end("NREF");
 
     // ================= TPC-H (System C) =================
     for (dist, label, families) in [
@@ -765,6 +797,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         ),
         (Distribution::Uniform, "UnTH", vec![Family::UnTH3J]),
     ] {
+        trace.span_begin(label);
         ctx.log(&format!("{label}: generating database"));
         let tpch_db = generate_tpch(TpchParams {
             scale: cfg.params.tpch_scale,
@@ -805,6 +838,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                 workload: &w,
                 budget_bytes: budget,
                 par,
+                trace,
             });
             ctx.advisor_record("C", fam.name(), rec.is_some(), &rec_stats);
             let rec = rec.expect("C always recommends");
@@ -828,7 +862,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                 })
             })
             .collect();
-        let mut grid = run_grid(&cells, par).into_iter();
+        let mut grid = run_grid_traced(&cells, par, trace).into_iter();
         drop(cells);
         ctx.mark("measurement-grid");
 
@@ -942,6 +976,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
             );
         }
         ctx.mark("analysis");
+        trace.span_end(label);
     }
 
     // ================= Tables and summary files =================

@@ -1,0 +1,200 @@
+//! Aggregate a `tab-trace-v1` JSONL trace into per-(family, config)
+//! operator cost tables.
+//!
+//! A traced repro run emits one `operator` event per executed plan
+//! operator and one `query` event per (cell, query) job. This module
+//! folds those into the per-operator evidence tables EXPERIMENTS.md's
+//! divergence post-mortem is built from: for every (family, config,
+//! operator kind), the number of instances, total metered cost units,
+//! and total rows produced.
+//!
+//! The parser is deliberately narrow: it only reads lines produced by
+//! [`tab_core::TraceEvent`], whose rendering never puts a space after
+//! the `"key":` colon, so scalar fields can be extracted with a string
+//! scan instead of a JSON dependency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Extract the raw scalar value of `key` from one flat JSONL event line
+/// (`None` when absent). Handles the string/number/null forms
+/// [`tab_core::TraceEvent`] emits; not a general JSON parser.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(s) = rest.strip_prefix('"') {
+        // String value: trace keys never contain escaped quotes, and
+        // label values escape them as \" — scan for the bare quote.
+        let mut prev = b' ';
+        for (i, b) in s.bytes().enumerate() {
+            if b == b'"' && prev != b'\\' {
+                return Some(&s[..i]);
+            }
+            prev = b;
+        }
+        None
+    } else {
+        Some(rest.split([',', '}']).next().unwrap_or(rest).trim())
+    }
+}
+
+/// The operator kind of a label: its leading alphanumeric run, so
+/// `IndexScan(protein cols=[2])` and `IndexScan(source ...)` aggregate
+/// together as `IndexScan`.
+fn op_kind(label: &str) -> &str {
+    let end = label
+        .find(|c: char| !c.is_ascii_alphanumeric())
+        .unwrap_or(label.len());
+    &label[..end]
+}
+
+#[derive(Default)]
+struct OpAgg {
+    count: u64,
+    units: f64,
+    rows_out: u64,
+    probes: u64,
+}
+
+#[derive(Default)]
+struct CellAgg {
+    queries: u64,
+    timeouts: u64,
+    units: f64,
+}
+
+/// Summarize a full `tab-trace-v1` document: one row per (family,
+/// config, operator kind) with instance counts, metered units, rows, and
+/// probes, followed by per-(family, config) query/timeout totals. Lines
+/// that are not `operator` or `query` events are ignored.
+pub fn summarize(input: &str) -> String {
+    let mut ops: BTreeMap<(String, String, String), OpAgg> = BTreeMap::new();
+    let mut cells: BTreeMap<(String, String), CellAgg> = BTreeMap::new();
+    for line in input.lines() {
+        let (Some(event), Some(family), Some(config)) = (
+            field(line, "event"),
+            field(line, "family"),
+            field(line, "config"),
+        ) else {
+            continue;
+        };
+        match event {
+            "operator" => {
+                let label = field(line, "label").unwrap_or("");
+                let agg = ops
+                    .entry((
+                        family.to_string(),
+                        config.to_string(),
+                        op_kind(label).to_string(),
+                    ))
+                    .or_default();
+                agg.count += 1;
+                // `units`/`rows_out`/`probes` are absent past the point
+                // where a timed-out query stopped executing.
+                if let Some(u) = field(line, "units").and_then(|v| v.parse::<f64>().ok()) {
+                    agg.units += u;
+                }
+                if let Some(r) = field(line, "rows_out").and_then(|v| v.parse::<u64>().ok()) {
+                    agg.rows_out += r;
+                }
+                if let Some(p) = field(line, "probes").and_then(|v| v.parse::<u64>().ok()) {
+                    agg.probes += p;
+                }
+            }
+            "query" => {
+                let agg = cells
+                    .entry((family.to_string(), config.to_string()))
+                    .or_default();
+                agg.queries += 1;
+                if field(line, "outcome") == Some("timeout") {
+                    agg.timeouts += 1;
+                }
+                if let Some(u) = field(line, "units").and_then(|v| v.parse::<f64>().ok()) {
+                    agg.units += u;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<14} {:<14} {:>7} {:>14} {:>12} {:>10}",
+        "family", "config", "operator", "count", "units", "rows_out", "probes"
+    );
+    for ((family, config, op), a) in &ops {
+        let _ = writeln!(
+            out,
+            "{family:<10} {config:<14} {op:<14} {:>7} {:>14.3} {:>12} {:>10}",
+            a.count, a.units, a.rows_out, a.probes
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<10} {:<14} {:>7} {:>8} {:>14}",
+        "family", "config", "queries", "timeouts", "units"
+    );
+    for ((family, config), a) in &cells {
+        let _ = writeln!(
+            out,
+            "{family:<10} {config:<14} {:>7} {:>8} {:>14.3}",
+            a.queries, a.timeouts, a.units
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extracts_strings_numbers_and_null() {
+        let line = r#"{"schema":"tab-trace-v1","event":"operator","family":"NREF2J","label":"SeqScan(\"t\")","units":1.250,"bad":null,"rows_out":7}"#;
+        assert_eq!(field(line, "event"), Some("operator"));
+        assert_eq!(field(line, "family"), Some("NREF2J"));
+        assert_eq!(field(line, "label"), Some(r#"SeqScan(\"t\")"#));
+        assert_eq!(field(line, "units"), Some("1.250"));
+        assert_eq!(field(line, "bad"), Some("null"));
+        assert_eq!(field(line, "rows_out"), Some("7"));
+        assert_eq!(field(line, "missing"), None);
+    }
+
+    #[test]
+    fn summarize_aggregates_by_family_config_and_op_kind() {
+        let trace = concat!(
+            r#"{"schema":"tab-trace-v1","event":"span_begin","span":"NREF"}"#,
+            "\n",
+            r#"{"schema":"tab-trace-v1","event":"operator","family":"F","config":"P","query":0,"op":1,"label":"SeqScan(t)","est_cost":4.0,"est_rows":2.0,"rows_in":0,"rows_out":5,"probes":0,"units":4.250}"#,
+            "\n",
+            r#"{"schema":"tab-trace-v1","event":"operator","family":"F","config":"P","query":1,"op":1,"label":"SeqScan(u)","est_cost":1.0,"est_rows":1.0,"rows_in":0,"rows_out":3,"probes":0,"units":0.750}"#,
+            "\n",
+            r#"{"schema":"tab-trace-v1","event":"operator","family":"F","config":"1C","query":0,"op":1,"label":"IndexScan(t cols=[2])","est_cost":2.0,"est_rows":2.0,"rows_in":0,"rows_out":5,"probes":0,"units":1.500}"#,
+            "\n",
+            r#"{"schema":"tab-trace-v1","event":"query","family":"F","config":"P","query":0,"outcome":"done","units":4.252}"#,
+            "\n",
+            r#"{"schema":"tab-trace-v1","event":"query","family":"F","config":"P","query":1,"outcome":"timeout","units":500.000}"#,
+            "\n",
+            r#"{"schema":"tab-trace-v1","event":"query","family":"F","config":"1C","query":0,"outcome":"done","units":1.502}"#,
+            "\n",
+        );
+        let s = summarize(trace);
+        // The two P SeqScans fold into one row; the 1C IndexScan keeps
+        // its own (family, config, kind) row.
+        assert!(s.contains("SeqScan"), "{s}");
+        let seq_row = s.lines().find(|l| l.contains("SeqScan")).unwrap();
+        assert!(seq_row.contains("2"), "count of 2: {seq_row}");
+        assert!(seq_row.contains("5.000"), "4.25+0.75 units: {seq_row}");
+        assert!(s.contains("IndexScan"), "{s}");
+        // Query totals: P has 2 queries 1 timeout, 1C has 1 query.
+        let p_cell = s
+            .lines()
+            .filter(|l| l.split_whitespace().nth(1) == Some("P"))
+            .last()
+            .unwrap();
+        assert!(p_cell.contains("504.252"), "{p_cell}");
+    }
+}

@@ -31,9 +31,9 @@ tab — benchmarking framework for configuration recommenders
 
 USAGE:
   tab gen     --db SPEC --out DIR [--seed N]
-  tab explain --db SPEC [--config p|1c] \"SQL\"
+  tab explain --db SPEC [--config p|1c] [--timeout-secs T] \"SQL\"
   tab run     --db SPEC [--config p|1c] [--timeout-secs T] \"SQL\"
-  tab advise  --db SPEC --family NAME [--system A|B|C] [--workload N]
+  tab advise  --db SPEC --family NAME [--system A|B|C] [--workload N] [--trace PATH]
   tab bench   --db SPEC --family NAME [--configs p,1c] [--workload N] [--timeout-secs T]
   tab goal    --db SPEC --family NAME --steps \"10:0.1,60:0.5\" [--config p|1c]
 
@@ -187,15 +187,22 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     let built = load_config(args, &db, &label)?;
     let sql = sql_arg(args)?;
     let q = tab_sqlq::parse(&sql).map_err(|e| e.to_string())?;
+    let timeout: Option<f64> = args
+        .get_parsed::<f64>("timeout-secs")?
+        .map(|s| s / tab_engine::SIM_SECONDS_PER_UNIT);
     let session = Session::new(&db, &built);
-    let plan = session.plan_query(&q).map_err(|e| e.to_string())?;
-    println!("plan:     {}", plan.describe());
-    println!(
-        "estimate: {:.1} units ({:.2} simulated seconds)",
-        plan.est_cost,
-        tab_engine::units_to_sim_seconds(plan.est_cost)
+    // Plan with the decision trace, then execute the same query
+    // instrumented so the rendering pairs estimates with actuals.
+    let (plan, expl) = session
+        .plan_query_explained(&q)
+        .map_err(|e| e.to_string())?;
+    let (_, acts) = session
+        .run_instrumented(&q, timeout)
+        .map_err(|e| e.to_string())?;
+    print!(
+        "{}",
+        tab_engine::render_explain(&plan, Some(&acts), Some(&expl))
     );
-    println!("est rows: {:.0}", plan.est_rows);
     Ok(())
 }
 
@@ -258,12 +265,25 @@ fn cmd_advise(args: &Args) -> Result<(), String> {
         "C" => &SystemC,
         other => return Err(format!("unknown system `{other}`")),
     };
+    // `--trace PATH` captures the advisor's round-by-round decisions as
+    // tab-trace-v1 JSONL; the sink must outlive the borrowed Trace.
+    let sink = match args.get("trace") {
+        Some(path) => Some(
+            tab_core::FileTraceSink::create(std::path::Path::new(path))
+                .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?,
+        ),
+        None => None,
+    };
     let input = AdvisorInput {
         db: &db,
         current: &p,
         workload: &w,
         budget_bytes: budget,
         par: par_of(args)?,
+        trace: sink
+            .as_ref()
+            .map(|s| tab_core::Trace::to(s))
+            .unwrap_or_else(tab_core::Trace::disabled),
     };
     let (cfg, stats) = rec.recommend_with_stats(&input);
     eprintln!(

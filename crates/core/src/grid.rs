@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use tab_engine::{Outcome, Session};
 use tab_sqlq::Query;
-use tab_storage::{par_map, BuiltConfiguration, Database, Parallelism};
+use tab_storage::{par_map, BuiltConfiguration, Database, Parallelism, Trace, TraceEvent};
 
 use crate::measure::WorkloadRun;
 
@@ -61,6 +61,21 @@ pub struct CellTiming {
 /// Execute every cell of the grid and return, per cell in input order,
 /// the workload run and its timing.
 pub fn run_grid(cells: &[GridCell<'_>], par: Parallelism) -> Vec<(WorkloadRun, CellTiming)> {
+    run_grid_traced(cells, par, Trace::disabled())
+}
+
+/// [`run_grid`], additionally emitting one `query` event and a set of
+/// per-operator `operator` events per (cell, query) job to `trace`.
+///
+/// Tracing is observational only: the outcomes, timings, and every
+/// downstream benchmark output are byte-identical to an untraced run.
+/// Parallel workers interleave event lines, so every event carries the
+/// `family`/`config`/`query` fields needed to regroup it.
+pub fn run_grid_traced(
+    cells: &[GridCell<'_>],
+    par: Parallelism,
+    trace: Trace<'_>,
+) -> Vec<(WorkloadRun, CellTiming)> {
     // Flatten to (cell, query) so the scheduler balances across cells.
     let jobs: Vec<(usize, usize)> = cells
         .iter()
@@ -71,10 +86,54 @@ pub fn run_grid(cells: &[GridCell<'_>], par: Parallelism) -> Vec<(WorkloadRun, C
         let cell = &cells[c];
         let session = Session::new(cell.db, cell.built);
         let t0 = Instant::now();
-        let outcome = session
-            .run(&cell.workload[q], Some(cell.timeout_units))
-            .expect("grid workloads bind against their databases")
-            .outcome;
+        let outcome = if trace.is_enabled() {
+            let (result, acts) = session
+                .run_instrumented(&cell.workload[q], Some(cell.timeout_units))
+                .expect("grid workloads bind against their databases");
+            let config = cell.built.config.name.as_str();
+            let labels = result.plan.op_labels();
+            for (op, label) in labels.iter().enumerate() {
+                trace.emit(|| {
+                    let mut ev = TraceEvent::new("operator")
+                        .str("family", cell.family)
+                        .str("config", config)
+                        .int("query", q as u64)
+                        .int("op", op as u64)
+                        .str("label", label);
+                    if let Some(est) = result.plan.op_ests.get(op) {
+                        ev = ev.num("est_cost", est.cost).num("est_rows", est.rows);
+                    }
+                    if let Some(act) = acts.get(op) {
+                        ev = ev
+                            .int("rows_in", act.rows_in)
+                            .int("rows_out", act.rows_out)
+                            .int("probes", act.probes)
+                            .num("units", act.units);
+                    }
+                    ev
+                });
+            }
+            trace.emit(|| {
+                let (label, units) = match result.outcome {
+                    Outcome::Done { units, .. } => ("done", units),
+                    // A timeout is charged at the budget — the §4.3
+                    // lower bound the analysis uses.
+                    Outcome::Timeout { budget } => ("timeout", budget),
+                };
+                TraceEvent::new("query")
+                    .str("family", cell.family)
+                    .str("config", config)
+                    .int("query", q as u64)
+                    .str("outcome", label)
+                    .num("units", units)
+            });
+            result.outcome
+        } else {
+            session
+                .run(&cell.workload[q], Some(cell.timeout_units))
+                .expect("grid workloads bind against their databases")
+                .outcome
+        };
         (outcome, t0.elapsed().as_secs_f64())
     });
 
@@ -371,6 +430,41 @@ mod tests {
                 assert!(timing.cost_units > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn traced_grid_matches_untraced_and_emits_query_events() {
+        let (db, qs) = setup();
+        let p = build_p(&db, "NREF");
+        let cells = [GridCell {
+            family: "F1",
+            db: &db,
+            built: &p,
+            workload: &qs,
+            timeout_units: 500.0,
+        }];
+        let plain = run_grid(&cells, Parallelism::sequential());
+        let sink = tab_storage::MemoryTraceSink::new();
+        let traced = run_grid_traced(&cells, Parallelism::sequential(), Trace::to(&sink));
+        for ((a, ta), (b, tb)) in plain.iter().zip(&traced) {
+            assert_eq!(format!("{:?}", a.outcomes), format!("{:?}", b.outcomes));
+            assert_eq!(ta.cost_units, tb.cost_units);
+        }
+        let lines = sink.lines();
+        let queries: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"query\""))
+            .collect();
+        assert_eq!(queries.len(), qs.len());
+        assert!(queries[0].contains("\"family\":\"F1\""));
+        assert!(queries[0].contains("\"outcome\":\"done\""));
+        // Each operator event carries both estimates and actuals.
+        let op = lines
+            .iter()
+            .find(|l| l.contains("\"event\":\"operator\""))
+            .expect("operator events");
+        assert!(op.contains("\"est_cost\":"), "missing estimates: {op}");
+        assert!(op.contains("\"units\":"), "missing actuals: {op}");
     }
 
     #[test]

@@ -15,8 +15,12 @@
 //!   `P`/`1C` configurations, space budgets, workload sampling, and the
 //!   §4.4 insertion break-even analysis;
 //! - [`report`] — CSV output and ASCII figure rendering.
+//!
+//! The crate also re-exports the structured tracing layer
+//! ([`Trace`], [`TraceSink`], and friends from `tab-storage`) so the
+//! harness and CLI have one import surface for observability.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cfc;
 pub mod experiment;
@@ -34,8 +38,8 @@ pub use experiment::{
 };
 pub use goal::{improvement_ratio, Goal};
 pub use grid::{
-    advisor_bench_json, bench_json, run_grid, timings_json, AdvisorBenchRecord, CellTiming,
-    GridCell, PhaseTiming,
+    advisor_bench_json, bench_json, run_grid, run_grid_traced, timings_json, AdvisorBenchRecord,
+    CellTiming, GridCell, PhaseTiming,
 };
 pub use histogram::{LogHistogram, RatioHistogram};
 pub use measure::{
@@ -44,3 +48,6 @@ pub use measure::{
     run_workload_with, UpdateWorkloadRun, WorkloadOp, WorkloadRun,
 };
 pub use tab_storage::Parallelism;
+pub use tab_storage::{
+    FileTraceSink, MemoryTraceSink, StderrTraceSink, Trace, TraceEvent, TraceSink,
+};

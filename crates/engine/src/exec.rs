@@ -222,6 +222,23 @@ impl<'a> Exec<'a> {
     }
 }
 
+/// Measured per-operator actuals, in the operator-slot layout shared
+/// with [`PhysicalPlan::op_ests`]: `[FreqSetup, driver, step…, output]`.
+/// Units are the [`CostMeter`] delta across the operator's execution, so
+/// the slots sum to the run's total cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpActuals {
+    /// Rows entering the operator (outer tuples for joins, rows examined
+    /// for scans; zero for the frequency setup).
+    pub rows_in: u64,
+    /// Rows flowing out of the operator.
+    pub rows_out: u64,
+    /// Hash-bucket lookups or index probes performed (zero for scans).
+    pub probes: u64,
+    /// Cost units charged while this operator ran.
+    pub units: f64,
+}
+
 /// Execute `plan`, returning the result rows in select-list order.
 ///
 /// Row order is unspecified (hash-based operators); callers that compare
@@ -231,10 +248,34 @@ pub fn execute(
     resolver: &Resolver<'_>,
     meter: &mut CostMeter,
 ) -> Result<Vec<Vec<Value>>, TimedOut> {
+    execute_instrumented(plan, resolver, meter, None)
+}
+
+/// Execute `plan` like [`execute`], additionally recording one
+/// [`OpActuals`] per operator slot when `ops` is supplied (layout
+/// `[FreqSetup, driver, step…, output]`, matching
+/// [`PhysicalPlan::op_labels`]). On timeout the vector holds the slots
+/// that completed before the budget ran out. Instrumentation is
+/// observational only: the meter sees identical charges either way.
+pub fn execute_instrumented(
+    plan: &PhysicalPlan,
+    resolver: &Resolver<'_>,
+    meter: &mut CostMeter,
+    mut ops: Option<&mut Vec<OpActuals>>,
+) -> Result<Vec<Vec<Value>>, TimedOut> {
     let q = &plan.query;
 
     // 1. Frequency-filter value sets, evaluated once each.
+    let mut at = meter.units();
     let freq_sets = eval_freq_sets(q, resolver, meter)?;
+    if let Some(v) = ops.as_deref_mut() {
+        v.push(OpActuals {
+            rows_in: 0,
+            rows_out: freq_sets.iter().map(|s| s.len() as u64).sum(),
+            probes: 0,
+            units: meter.units() - at,
+        });
+    }
     let exec = Exec {
         q,
         tables: q.rels.iter().map(|r| resolver.table(&r.source)).collect(),
@@ -242,18 +283,31 @@ pub fn execute(
     };
 
     // 2. Driver.
+    at = meter.units();
     let stride = q.rels.len();
     let mut tuples = Arena::new(stride);
-    for id in scan_rel(&plan.driver, &exec, resolver, meter)? {
+    let (driver_ids, driver_examined) = scan_rel(&plan.driver, &exec, resolver, meter)?;
+    for id in driver_ids {
         tuples.push_single(plan.driver.rel, id);
+    }
+    if let Some(v) = ops.as_deref_mut() {
+        v.push(OpActuals {
+            rows_in: driver_examined,
+            rows_out: tuples.len() as u64,
+            probes: 0,
+            units: meter.units() - at,
+        });
     }
 
     // 3. Join steps.
     for step in &plan.steps {
+        at = meter.units();
+        let rows_in = tuples.len() as u64;
+        let mut probes = 0u64;
         let rel = step.inner.rel;
         match &step.method {
             JoinMethod::Hash => {
-                let inner_ids = scan_rel(&step.inner, &exec, resolver, meter)?;
+                let (inner_ids, _) = scan_rel(&step.inner, &exec, resolver, meter)?;
                 // Grace-style spill when the build side exceeds memory.
                 meter.charge_seq_pages(crate::cost::spill_pages(
                     inner_ids.len() as u64,
@@ -279,6 +333,7 @@ pub fn execute(
                             if v.is_null() {
                                 continue;
                             }
+                            probes += 1;
                             probe_int_key(v).and_then(|k| map.get(&k))
                         }
                         BuildTable::General { interner, buckets } => {
@@ -290,6 +345,7 @@ pub fn execute(
                             if scratch.iter().any(Value::is_null) {
                                 continue;
                             }
+                            probes += 1;
                             interner.lookup(&scratch).map(|id| &buckets[id as usize])
                         }
                     };
@@ -336,6 +392,7 @@ pub fn execute(
                     if scratch.iter().any(Value::is_null) {
                         continue;
                     }
+                    probes += 1;
                     let pr = index.probe(&scratch);
                     meter.charge_random_pages(pr.pages_touched)?;
                     if !covering && !pr.row_ids.is_empty() {
@@ -366,10 +423,29 @@ pub fn execute(
                 tuples = out;
             }
         }
+        if let Some(v) = ops.as_deref_mut() {
+            v.push(OpActuals {
+                rows_in,
+                rows_out: tuples.len() as u64,
+                probes,
+                units: meter.units() - at,
+            });
+        }
     }
 
     // 4. Aggregation / projection.
-    finish(&exec, &tuples, meter)
+    at = meter.units();
+    let rows_in = tuples.len() as u64;
+    let result = finish(&exec, &tuples, meter)?;
+    if let Some(v) = ops {
+        v.push(OpActuals {
+            rows_in,
+            rows_out: result.len() as u64,
+            probes: 0,
+            units: meter.units() - at,
+        });
+    }
+    Ok(result)
 }
 
 /// Build the hash-join build side over the inner relation's filtered row
@@ -487,13 +563,14 @@ fn passes_freqs(row: &[Value], freqs: &[usize], q: &BoundQuery, sets: &[HashSet<
 }
 
 /// Scan one relation per its `RelOp`, returning the ids of the rows
-/// that survive its residual filters. Values are not materialized.
+/// that survive its residual filters plus the number of rows examined
+/// (for instrumentation). Values are not materialized.
 fn scan_rel(
     op: &RelOp,
     exec: &Exec<'_>,
     resolver: &Resolver<'_>,
     meter: &mut CostMeter,
-) -> Result<Vec<RowId>, TimedOut> {
+) -> Result<(Vec<RowId>, u64), TimedOut> {
     let q = exec.q;
     let source = &q.rels[op.rel].source;
     let table = exec.tables[op.rel];
@@ -503,10 +580,12 @@ fn scan_rel(
             && passes_freqs(row, &op.freqs, q, &exec.freq_sets)
     };
     let mut out = Vec::new();
+    let examined;
     match &op.access {
         Access::Seq => {
             meter.charge_seq_pages(table.n_pages())?;
             meter.charge_rows(table.n_rows() as u64)?;
+            examined = table.n_rows() as u64;
             for (id, row) in table.iter() {
                 if keep(row) {
                     out.push(id);
@@ -521,6 +600,7 @@ fn scan_rel(
             let index = resolver.index(source, columns);
             let pr = index.probe(prefix);
             charge_probe(&pr, table, *covering, meter)?;
+            examined = pr.row_ids.len() as u64;
             for &id in &pr.row_ids {
                 if keep(table.row(id)) {
                     out.push(id);
@@ -539,6 +619,7 @@ fn scan_rel(
                 hi.as_ref().map(|(v, s)| (v, *s)),
             );
             charge_probe(&pr, table, *covering, meter)?;
+            examined = pr.row_ids.len() as u64;
             for &id in &pr.row_ids {
                 if keep(table.row(id)) {
                     out.push(id);
@@ -567,6 +648,7 @@ fn scan_rel(
                 let pages: BTreeSet<u64> = matched.iter().map(|&id| table.page_of(id)).collect();
                 meter.charge_random_pages(pages.len() as u64)?;
             }
+            examined = matched.len() as u64;
             for &id in &matched {
                 if keep(table.row(id)) {
                     out.push(id);
@@ -574,7 +656,7 @@ fn scan_rel(
             }
         }
     }
-    Ok(out)
+    Ok((out, examined))
 }
 
 /// Charge an index probe: index pages touched, plus the distinct heap

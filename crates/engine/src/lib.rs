@@ -14,12 +14,13 @@
 //! | `E(q, C)` | [`Session::estimate`] — real statistics |
 //! | `H(q, Ch, Ca)` | [`estimate_hypothetical`] — synthesized statistics |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod catalog;
 pub mod cost;
 pub mod dml;
 pub mod exec;
+pub mod explain;
 pub mod naive;
 pub mod plan;
 pub mod planner;
@@ -32,9 +33,10 @@ pub use cost::{
     ROW_COST, SEQ_PAGE_COST, SIM_SECONDS_PER_UNIT,
 };
 pub use dml::{apply_insert, validate_insert, InsertOutcome};
-pub use exec::{execute, Resolver};
-pub use plan::PhysicalPlan;
-pub use planner::plan;
+pub use exec::{execute, execute_instrumented, OpActuals, Resolver};
+pub use explain::render_explain;
+pub use plan::{OpEstimate, PhysicalPlan};
+pub use planner::{plan, plan_explained, PlanChoice, PlanExplanation};
 pub use session::{
     estimate_hypothetical, estimate_hypothetical_layered, estimate_hypothetical_perfect, RunResult,
     Session,

@@ -125,6 +125,18 @@ impl JoinStep {
     }
 }
 
+/// The planner's estimate for one operator slot of the chosen plan,
+/// aligned with the executor's per-operator actuals
+/// ([`OpActuals`](crate::exec::OpActuals)) so EXPLAIN can render
+/// estimates against measurements slot by slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpEstimate {
+    /// Estimated cost units this operator charges.
+    pub cost: f64,
+    /// Estimated rows flowing out of this operator.
+    pub rows: f64,
+}
+
 /// A complete physical plan.
 #[derive(Debug, Clone)]
 pub struct PhysicalPlan {
@@ -141,53 +153,87 @@ pub struct PhysicalPlan {
     pub est_rows: f64,
     /// Names of materialized views this plan reads.
     pub mviews_used: Vec<String>,
+    /// Per-operator estimates in the operator-slot layout shared with
+    /// the executor: `[setup, driver, step…, output]` — see
+    /// [`PhysicalPlan::op_labels`]. Sums to [`PhysicalPlan::est_cost`].
+    pub op_ests: Vec<OpEstimate>,
+}
+
+/// Human-readable description of one access path against a source.
+pub(crate) fn access_desc(source: &str, access: &Access) -> String {
+    match access {
+        Access::Seq => format!("SeqScan({source})"),
+        Access::Index {
+            columns, covering, ..
+        } => format!(
+            "IndexScan({source} cols={columns:?}{})",
+            if *covering { " covering" } else { "" }
+        ),
+        Access::IndexFreqScan {
+            columns, covering, ..
+        } => format!(
+            "IndexFreqScan({source} cols={columns:?}{})",
+            if *covering { " covering" } else { "" }
+        ),
+        Access::IndexRange {
+            columns, covering, ..
+        } => format!(
+            "IndexRangeScan({source} cols={columns:?}{})",
+            if *covering { " covering" } else { "" }
+        ),
+    }
+}
+
+/// Human-readable description of one join step against a source.
+pub(crate) fn step_desc(source: &str, step: &JoinStep) -> String {
+    match &step.method {
+        JoinMethod::Hash => format!("HashJoin[{}]", access_desc(source, &step.inner.access)),
+        JoinMethod::IndexNl {
+            columns, covering, ..
+        } => format!(
+            "IndexNLJoin({source} cols={columns:?}{})",
+            if *covering { " covering" } else { "" }
+        ),
+    }
 }
 
 impl PhysicalPlan {
+    /// Labels for each operator slot, in the layout shared by
+    /// [`op_ests`](Self::op_ests) and the executor's per-operator
+    /// actuals:
+    ///
+    /// 1. `FreqSetup` — frequency-filter subquery evaluation (zero work
+    ///    when the query has no frequency filters);
+    /// 2. the driver access;
+    /// 3. one slot per join step, in execution order;
+    /// 4. the output operator (`HashAggregate` or `Project`, `+Sort`
+    ///    when an ORDER BY runs).
+    pub fn op_labels(&self) -> Vec<String> {
+        let rel_name = |r: usize| self.query.rels[r].source.as_str();
+        let mut out = Vec::with_capacity(self.steps.len() + 3);
+        out.push("FreqSetup".to_string());
+        out.push(access_desc(rel_name(self.driver.rel), &self.driver.access));
+        for s in &self.steps {
+            out.push(step_desc(rel_name(s.inner.rel), s));
+        }
+        let mut last = if self.query.aggs.is_empty() && self.query.group_by.is_empty() {
+            "Project".to_string()
+        } else {
+            "HashAggregate".to_string()
+        };
+        if !self.query.order_by.is_empty() {
+            last.push_str("+Sort");
+        }
+        out.push(last);
+        out
+    }
+
     /// Short human-readable plan summary, for EXPLAIN-style output.
     pub fn describe(&self) -> String {
-        let mut parts = Vec::new();
-        let rel_name = |r: usize| self.query.rels[r].source.clone();
-        let access = |op: &RelOp| match &op.access {
-            Access::Seq => format!("SeqScan({})", rel_name(op.rel)),
-            Access::Index {
-                columns, covering, ..
-            } => format!(
-                "IndexScan({} cols={:?}{})",
-                rel_name(op.rel),
-                columns,
-                if *covering { " covering" } else { "" }
-            ),
-            Access::IndexFreqScan {
-                columns, covering, ..
-            } => format!(
-                "IndexFreqScan({} cols={:?}{})",
-                rel_name(op.rel),
-                columns,
-                if *covering { " covering" } else { "" }
-            ),
-            Access::IndexRange {
-                columns, covering, ..
-            } => format!(
-                "IndexRangeScan({} cols={:?}{})",
-                rel_name(op.rel),
-                columns,
-                if *covering { " covering" } else { "" }
-            ),
-        };
-        parts.push(access(&self.driver));
+        let rel_name = |r: usize| self.query.rels[r].source.as_str();
+        let mut parts = vec![access_desc(rel_name(self.driver.rel), &self.driver.access)];
         for s in &self.steps {
-            match &s.method {
-                JoinMethod::Hash => parts.push(format!("HashJoin[{}]", access(&s.inner))),
-                JoinMethod::IndexNl {
-                    columns, covering, ..
-                } => parts.push(format!(
-                    "IndexNLJoin({} cols={:?}{})",
-                    rel_name(s.inner.rel),
-                    columns,
-                    if *covering { " covering" } else { "" }
-                )),
-            }
+            parts.push(step_desc(rel_name(s.inner.rel), s));
         }
         parts.join(" -> ")
     }

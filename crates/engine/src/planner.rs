@@ -15,8 +15,37 @@ use tab_storage::Value;
 
 use crate::catalog::{BoundQuery, BoundRel, JoinEdge};
 use crate::cost::{RANDOM_PAGE_COST, ROW_COST, SEQ_PAGE_COST};
-use crate::plan::{Access, JoinMethod, JoinStep, PhysicalPlan, ProbeSource, RelOp};
+use crate::plan::{
+    access_desc, Access, JoinMethod, JoinStep, OpEstimate, PhysicalPlan, ProbeSource, RelOp,
+};
 use crate::stats_view::{IndexMeta, StatsView};
+
+/// One access path or join method the planner priced while choosing a
+/// plan — the planner's decision trace, surfaced by `tab explain`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanChoice {
+    /// Human-readable option, e.g. `IndexScan(protein cols=[3])`.
+    pub description: String,
+    /// The option's estimated cost in cost units.
+    pub cost: f64,
+    /// Whether this option is part of the chosen plan.
+    pub chosen: bool,
+}
+
+/// Why the chosen plan won: every alternative the planner priced, at the
+/// candidate level (materialized-view rewrites) and per operator slot of
+/// the winning join order.
+#[derive(Debug, Clone)]
+pub struct PlanExplanation {
+    /// Query-level candidates: the original query and each view rewrite,
+    /// with the best full-plan cost found for each.
+    pub candidates: Vec<PlanChoice>,
+    /// Access-path/join-method options per pipeline slot of the chosen
+    /// plan (`per_op[0]` is the driver, `per_op[i]` join step `i-1`).
+    /// Options the planner never priced (e.g. an index with no usable
+    /// prefix) do not appear.
+    pub per_op: Vec<Vec<PlanChoice>>,
+}
 
 /// Plan a bound query against a statistics view.
 ///
@@ -41,6 +70,62 @@ pub fn plan(bound: &BoundQuery, stats: &dyn StatsView) -> PhysicalPlan {
     best.expect("at least the original candidate plans")
 }
 
+/// Plan a bound query and record the planner's decision trace: the cost
+/// of each query-level candidate (original vs. each materialized-view
+/// rewrite), and every access path / join method priced for each slot of
+/// the winning plan. Used by `tab explain`; the hot path is [`plan`],
+/// which skips all recording.
+///
+/// # Panics
+/// Panics if the query has more than [`MAX_RELATIONS`] relations.
+pub fn plan_explained(
+    bound: &BoundQuery,
+    stats: &dyn StatsView,
+) -> (PhysicalPlan, PlanExplanation) {
+    assert!(
+        bound.rels.len() <= MAX_RELATIONS,
+        "planner supports at most {MAX_RELATIONS} relations"
+    );
+    let mut candidates = vec![(bound.clone(), Vec::new(), "original query".to_string())];
+    for (rewritten, view) in mv_rewrites(bound, stats) {
+        let desc = format!("rewrite using view `{view}`");
+        candidates.push((rewritten, vec![view], desc));
+    }
+    let mut best: Option<PhysicalPlan> = None;
+    let mut cand_choices = Vec::new();
+    let mut best_idx = 0usize;
+    for (i, (cand, views, desc)) in candidates.into_iter().enumerate() {
+        let p = best_for_candidate(&cand, stats, views);
+        cand_choices.push(PlanChoice {
+            description: desc,
+            cost: p.est_cost,
+            chosen: false,
+        });
+        if best.as_ref().is_none_or(|b| p.est_cost < b.est_cost) {
+            best_idx = i;
+            best = Some(p);
+        }
+    }
+    cand_choices[best_idx].chosen = true;
+    let plan = best.expect("at least the original candidate plans");
+
+    // Re-cost the winning plan's join order with logging on: the search
+    // is deterministic, so the per-slot winners match the plan exactly.
+    let need = plan.query.needed_columns();
+    let mut perm = Vec::with_capacity(plan.steps.len() + 1);
+    perm.push(plan.driver.rel);
+    perm.extend(plan.steps.iter().map(|s| s.inner.rel));
+    let mut per_op = Vec::new();
+    let _ = cost_perm(&plan.query, stats, &need, &perm, Some(&mut per_op));
+    (
+        plan,
+        PlanExplanation {
+            candidates: cand_choices,
+            per_op,
+        },
+    )
+}
+
 /// Maximum relations per query (the families use at most 3).
 pub const MAX_RELATIONS: usize = 6;
 
@@ -51,6 +136,10 @@ struct CostedRelOp {
     /// Rows emitted after all filters and frequency filters.
     out_rows: f64,
 }
+
+/// What costing one relation order yields: total cost, driver, join
+/// steps, output row estimate, and the per-slot estimates.
+type PermPlan = (f64, RelOp, Vec<JoinStep>, f64, Vec<OpEstimate>);
 
 fn best_for_candidate(
     bound: &BoundQuery,
@@ -65,16 +154,17 @@ fn best_for_candidate(
         .sum();
 
     let n = bound.rels.len();
-    let mut best: Option<(f64, RelOp, Vec<JoinStep>, f64)> = None;
+    let mut best: Option<PermPlan> = None;
     for perm in permutations(n) {
-        if let Some((cost, driver, steps, rows)) = cost_perm(bound, stats, &need, perm) {
+        if let Some((cost, driver, steps, rows, ests)) = cost_perm(bound, stats, &need, perm, None)
+        {
             let total = cost + freq_cost;
             if best.as_ref().is_none_or(|(c, ..)| total < *c) {
-                best = Some((total, driver, steps, rows));
+                best = Some((total, driver, steps, rows, ests));
             }
         }
     }
-    let (mut total, driver, steps, mut rows) = best.expect("some permutation");
+    let (mut total, driver, steps, mut rows, pipeline_ests) = best.expect("some permutation");
 
     // Aggregation on top.
     if !bound.aggs.is_empty() || !bound.group_by.is_empty() {
@@ -109,6 +199,21 @@ fn best_for_candidate(
         rows = rows.min(limit as f64);
     }
 
+    // Operator-slot estimates: whatever `total` carries beyond the freq
+    // setup and the join pipeline is attributed to the output operator
+    // (aggregation / sort), matching the executor's actuals layout.
+    let pipeline_cost: f64 = pipeline_ests.iter().map(|e| e.cost).sum();
+    let mut op_ests = Vec::with_capacity(pipeline_ests.len() + 2);
+    op_ests.push(OpEstimate {
+        cost: freq_cost,
+        rows: 0.0,
+    });
+    op_ests.extend(pipeline_ests);
+    op_ests.push(OpEstimate {
+        cost: total - freq_cost - pipeline_cost,
+        rows,
+    });
+
     PhysicalPlan {
         query: bound.clone(),
         driver,
@@ -116,19 +221,33 @@ fn best_for_candidate(
         est_cost: total,
         est_rows: rows,
         mviews_used,
+        op_ests,
     }
 }
 
-/// Cost a fixed relation order. Returns `(cost, driver, steps, out_rows)`.
+/// Cost a fixed relation order. Returns
+/// `(cost, driver, steps, out_rows, per-slot estimates)`. When `logs` is
+/// supplied, every access path and join method priced for each pipeline
+/// slot is appended to it (one inner `Vec` per slot: driver first, then
+/// each join step) — the hot paths pass `None` and pay nothing.
 fn cost_perm(
     bound: &BoundQuery,
     stats: &dyn StatsView,
     need: &[BTreeSet<usize>],
     perm: &[usize],
-) -> Option<(f64, RelOp, Vec<JoinStep>, f64)> {
-    let d = best_rel_op(bound, stats, need, perm[0]);
+    mut logs: Option<&mut Vec<Vec<PlanChoice>>>,
+) -> Option<PermPlan> {
+    let mut dlog = logs.as_deref_mut().map(|_| Vec::new());
+    let d = best_rel_op(bound, stats, need, perm[0], dlog.as_mut());
+    if let (Some(ls), Some(dl)) = (logs.as_deref_mut(), dlog) {
+        ls.push(dl);
+    }
     let mut total = d.cost;
     let mut tuples = d.out_rows;
+    let mut ests = vec![OpEstimate {
+        cost: d.cost,
+        rows: d.out_rows,
+    }];
     let mut steps = Vec::new();
     let mut placed = vec![perm[0]];
 
@@ -138,13 +257,19 @@ fn cost_perm(
         for e in &bound.joins {
             collect_pairs(e, r, &placed, &mut pairs);
         }
-        let (step, cost, out) = best_join_step(bound, stats, need, r, &pairs, tuples)?;
+        let mut slog = logs.as_deref_mut().map(|_| Vec::new());
+        let (step, cost, out) =
+            best_join_step(bound, stats, need, r, &pairs, tuples, slog.as_mut())?;
+        if let (Some(ls), Some(sl)) = (logs.as_deref_mut(), slog) {
+            ls.push(sl);
+        }
         total += cost;
         tuples = out;
+        ests.push(OpEstimate { cost, rows: out });
         steps.push(step);
         placed.push(r);
     }
-    Some((total, d.op, steps, tuples))
+    Some((total, d.op, steps, tuples, ests))
 }
 
 fn collect_pairs(
@@ -165,12 +290,14 @@ fn collect_pairs(
 }
 
 /// Best access path for a single relation (used for drivers and hash-join
-/// inners).
+/// inners). When `log` is supplied, every priced option is appended as a
+/// [`PlanChoice`], with the winner marked `chosen`.
 fn best_rel_op(
     bound: &BoundQuery,
     stats: &dyn StatsView,
     need: &[BTreeSet<usize>],
     rel: usize,
+    mut log: Option<&mut Vec<PlanChoice>>,
 ) -> CostedRelOp {
     let source = &bound.rels[rel].source;
     let rows = stats.rel_rows(source);
@@ -209,6 +336,15 @@ fn best_rel_op(
     let out_rows = rows * sel_all;
 
     // Sequential scan baseline.
+    let seq_cost = pages * SEQ_PAGE_COST + rows * ROW_COST;
+    if let Some(l) = log.as_deref_mut() {
+        l.push(PlanChoice {
+            description: format!("SeqScan({source})"),
+            cost: seq_cost,
+            chosen: false,
+        });
+    }
+    let mut best_log = 0usize;
     let mut best = CostedRelOp {
         op: RelOp {
             rel,
@@ -217,7 +353,7 @@ fn best_rel_op(
             ranges: ranges.clone(),
             freqs: freqs.clone(),
         },
-        cost: pages * SEQ_PAGE_COST + rows * ROW_COST,
+        cost: seq_cost,
         out_rows,
     };
 
@@ -253,7 +389,22 @@ fn best_rel_op(
         let cost = idx.pages * SEQ_PAGE_COST
             + (distinct + qual_rows) * ROW_COST
             + fetch * RANDOM_PAGE_COST;
+        let entry = log.as_deref_mut().map(|l| {
+            l.push(PlanChoice {
+                description: format!(
+                    "IndexFreqScan({source} cols={:?}{})",
+                    idx.columns,
+                    if covering { " covering" } else { "" }
+                ),
+                cost,
+                chosen: false,
+            });
+            l.len() - 1
+        });
         if cost < best.cost {
+            if let Some(e) = entry {
+                best_log = e;
+            }
             best = CostedRelOp {
                 op: RelOp {
                     rel,
@@ -318,7 +469,22 @@ fn best_rel_op(
         };
         let cost =
             (idx.height + leaf) * RANDOM_PAGE_COST + fetch * RANDOM_PAGE_COST + matches * ROW_COST;
+        let entry = log.as_deref_mut().map(|l| {
+            l.push(PlanChoice {
+                description: format!(
+                    "IndexRangeScan({source} cols={:?}{})",
+                    idx.columns,
+                    if covering { " covering" } else { "" }
+                ),
+                cost,
+                chosen: false,
+            });
+            l.len() - 1
+        });
         if cost < best.cost {
+            if let Some(e) = entry {
+                best_log = e;
+            }
             best = CostedRelOp {
                 op: RelOp {
                     rel,
@@ -359,7 +525,22 @@ fn best_rel_op(
         let covering = need[rel].iter().all(|c| idx.columns.contains(c));
         let matches = rows * prefix_sel;
         let cost = probe_cost(&idx, matches, pages, covering);
+        let entry = log.as_deref_mut().map(|l| {
+            l.push(PlanChoice {
+                description: format!(
+                    "IndexScan({source} cols={:?}{})",
+                    idx.columns,
+                    if covering { " covering" } else { "" }
+                ),
+                cost,
+                chosen: false,
+            });
+            l.len() - 1
+        });
         if cost < best.cost {
+            if let Some(e) = entry {
+                best_log = e;
+            }
             let residual: Vec<(usize, Value)> = filters
                 .iter()
                 .filter(|(c, _)| !used.contains(c))
@@ -382,6 +563,9 @@ fn best_rel_op(
             };
         }
     }
+    if let Some(l) = log {
+        l[best_log].chosen = true;
+    }
     best
 }
 
@@ -399,6 +583,8 @@ fn probe_cost(idx: &IndexMeta, matches: f64, heap_pages: f64, covering: bool) ->
 }
 
 /// Choose the cheapest join method bringing `rel` into the pipeline.
+/// When `log` is supplied, every priced option is appended as a
+/// [`PlanChoice`], with the winner marked `chosen`.
 fn best_join_step(
     bound: &BoundQuery,
     stats: &dyn StatsView,
@@ -406,6 +592,7 @@ fn best_join_step(
     rel: usize,
     pairs: &[((usize, usize), usize)],
     outer_rows: f64,
+    mut log: Option<&mut Vec<PlanChoice>>,
 ) -> Option<(JoinStep, f64, f64)> {
     let source = &bound.rels[rel].source;
     let rows = stats.rel_rows(source);
@@ -421,12 +608,20 @@ fn best_join_step(
 
     // Hash join with best inner access, spilling when the build side
     // exceeds working memory.
-    let inner = best_rel_op(bound, stats, need, rel);
+    let inner = best_rel_op(bound, stats, need, rel, None);
     let out = (outer_rows * inner.out_rows * join_sel).max(0.0);
     let spill =
         crate::cost::spill_pages(inner.out_rows as u64, outer_rows as u64) as f64 * SEQ_PAGE_COST;
     let hash_cost =
         inner.cost + inner.out_rows * ROW_COST + outer_rows * ROW_COST + out * ROW_COST + spill;
+    if let Some(l) = log.as_deref_mut() {
+        l.push(PlanChoice {
+            description: format!("HashJoin[{}]", access_desc(source, &inner.op.access)),
+            cost: hash_cost,
+            chosen: false,
+        });
+    }
+    let mut best_log = 0usize;
     let mut best = (
         JoinStep {
             inner: inner.op,
@@ -499,7 +694,22 @@ fn best_join_step(
         let matches_pp = rows * probe_sel;
         let cost = outer_rows * probe_cost(&idx, matches_pp, pages, covering)
             + outer_rows * matches_pp * ROW_COST;
+        let entry = log.as_deref_mut().map(|l| {
+            l.push(PlanChoice {
+                description: format!(
+                    "IndexNLJoin({source} cols={:?}{})",
+                    idx.columns,
+                    if covering { " covering" } else { "" }
+                ),
+                cost,
+                chosen: false,
+            });
+            l.len() - 1
+        });
         if cost < best.1 {
+            if let Some(e) = entry {
+                best_log = e;
+            }
             let residual: Vec<(usize, Value)> = filters
                 .iter()
                 .filter(|(c, _)| !used_const_cols.contains(c))
@@ -526,6 +736,9 @@ fn best_join_step(
                 out,
             );
         }
+    }
+    if let Some(l) = log {
+        l[best_log].chosen = true;
     }
     Some(best)
 }

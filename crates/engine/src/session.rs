@@ -11,9 +11,9 @@ use tab_storage::{BuiltConfiguration, Configuration, Database, IndexSpec, MViewD
 
 use crate::catalog::{bind, BindError};
 use crate::cost::{CostMeter, Outcome};
-use crate::exec::{execute, Resolver};
+use crate::exec::{execute_instrumented, OpActuals, Resolver};
 use crate::plan::PhysicalPlan;
-use crate::planner::plan;
+use crate::planner::{plan, plan_explained, PlanExplanation};
 use crate::stats_view::{HypotheticalStats, RealStats};
 
 /// Result of an actual execution.
@@ -58,13 +58,38 @@ impl<'a> Session<'a> {
 
     /// Execute a query with an optional cost budget (the timeout).
     pub fn run(&self, q: &Query, budget: Option<f64>) -> Result<RunResult, BindError> {
+        self.run_inner(q, budget, None)
+    }
+
+    /// Execute a query like [`Session::run`], additionally returning the
+    /// executor's per-operator actuals (layout
+    /// `[FreqSetup, driver, step…, output]`, matching
+    /// [`PhysicalPlan::op_labels`]). On timeout the vector holds only the
+    /// operators that completed. Costs and results are identical to an
+    /// uninstrumented run.
+    pub fn run_instrumented(
+        &self,
+        q: &Query,
+        budget: Option<f64>,
+    ) -> Result<(RunResult, Vec<OpActuals>), BindError> {
+        let mut ops = Vec::new();
+        let r = self.run_inner(q, budget, Some(&mut ops))?;
+        Ok((r, ops))
+    }
+
+    fn run_inner(
+        &self,
+        q: &Query,
+        budget: Option<f64>,
+        ops: Option<&mut Vec<OpActuals>>,
+    ) -> Result<RunResult, BindError> {
         let p = self.plan_query(q)?;
         let mut meter = match budget {
             Some(b) => CostMeter::with_budget(b),
             None => CostMeter::unbounded(),
         };
         let resolver = Resolver::new(self.db, self.built);
-        match execute(&p, &resolver, &mut meter) {
+        match execute_instrumented(&p, &resolver, &mut meter, ops) {
             Ok(rows) => Ok(RunResult {
                 outcome: Outcome::Done {
                     units: meter.units(),
@@ -81,6 +106,18 @@ impl<'a> Session<'a> {
                 plan: p,
             }),
         }
+    }
+
+    /// Plan a query and record the planner's decision trace (candidate
+    /// rewrites and every access path priced per operator slot of the
+    /// winner). Used by `tab explain`.
+    pub fn plan_query_explained(
+        &self,
+        q: &Query,
+    ) -> Result<(PhysicalPlan, PlanExplanation), BindError> {
+        let bound = bind(q, self.db)?;
+        let stats = RealStats::new(self.db, self.built);
+        Ok(plan_explained(&bound, &stats))
     }
 
     /// The optimizer's cost estimate `E(q, C)` for the current

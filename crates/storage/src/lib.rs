@@ -23,6 +23,7 @@ pub mod par;
 pub mod schema;
 pub mod stats;
 pub mod table;
+pub mod trace;
 pub mod value;
 
 pub use config::{BuildReport, BuiltConfiguration, Configuration, MViewDef};
@@ -34,6 +35,7 @@ pub use par::{par_map, par_run, Job, Parallelism};
 pub use schema::{ColType, ColumnDef, ForeignKey, TableSchema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Row, RowId, Table, PAGE_SIZE};
+pub use trace::{FileTraceSink, MemoryTraceSink, StderrTraceSink, Trace, TraceEvent, TraceSink};
 pub use value::Value;
 
 /// The parallel harness shares these read-only across worker threads; a

@@ -1,0 +1,301 @@
+//! Structured JSONL tracing (`tab-trace-v1`).
+//!
+//! Every layer of the stack — executor, planner, advisor, harness — can
+//! emit structured events through a [`Trace`] handle. The handle is a
+//! `Copy` wrapper around an optional [`TraceSink`] reference, and every
+//! emission site passes a *closure* that builds the event, so a disabled
+//! trace costs one branch per site and never formats anything:
+//!
+//! ```
+//! use tab_storage::trace::{MemoryTraceSink, Trace, TraceEvent};
+//!
+//! let sink = MemoryTraceSink::new();
+//! let trace = Trace::to(&sink);
+//! trace.emit(|| TraceEvent::new("query").str("family", "NREF2J").int("rows", 42));
+//! assert!(sink.lines()[0].contains("\"schema\":\"tab-trace-v1\""));
+//!
+//! // Disabled: the closure is never called.
+//! Trace::disabled().emit(|| unreachable!());
+//! ```
+//!
+//! # Determinism contract
+//!
+//! Traces are **observational only**: no event may feed back into cost
+//! accounting, planning, or any other benchmark output. A run with a
+//! trace attached must produce byte-identical results to one without
+//! (`tests/observability.rs` enforces this for the repro harness).
+//! Events carry no wall-clock timestamps for the same reason — a trace
+//! of a deterministic run is itself deterministic up to line order
+//! (parallel workers interleave lines; every event therefore carries the
+//! identifying fields needed to aggregate it order-independently).
+//!
+//! # Event schema (`tab-trace-v1`)
+//!
+//! One JSON object per line, always with `"schema":"tab-trace-v1"` and
+//! an `"event"` tag. The benchmark emits these event kinds:
+//!
+//! | event | emitted by | key fields |
+//! |-------|------------|-----------|
+//! | `span_begin` / `span_end` | harness sections | `span` |
+//! | `query` | traced grid runs | `family`, `config`, `query`, `outcome`, `units` |
+//! | `operator` | traced grid runs | `family`, `config`, `query`, `op`, `label`, `est_cost`, `units`, `rows_out`, `probes` |
+//! | `advisor_begin` / `advisor_round` / `advisor_stop` / `advisor_end` | greedy search | `candidates`, `gain`, `density`, `cache_hits` |
+//!
+//! This module lives in `tab-storage` (the root of the crate graph) so
+//! the engine and advisor can emit events; `tab-core` re-exports it as
+//! the public surface the harness and CLI use.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A destination for trace lines. Implementations must be cheap to call
+/// and safe to share across the parallel harness's worker threads.
+pub trait TraceSink: Send + Sync {
+    /// Write one complete JSONL event line (no trailing newline).
+    fn emit(&self, line: &str);
+}
+
+/// A zero-cost-when-disabled tracing handle: either a reference to a
+/// shared [`TraceSink`] or nothing. `Copy`, so it threads through call
+/// stacks and `par_map` closures without lifetime gymnastics.
+#[derive(Clone, Copy, Default)]
+pub struct Trace<'a> {
+    sink: Option<&'a dyn TraceSink>,
+}
+
+impl fmt::Debug for Trace<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trace")
+            .field("enabled", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl<'a> Trace<'a> {
+    /// The no-op trace: every emission is a single branch.
+    pub fn disabled() -> Self {
+        Trace { sink: None }
+    }
+
+    /// A trace writing to `sink`.
+    pub fn to(sink: &'a dyn TraceSink) -> Self {
+        Trace { sink: Some(sink) }
+    }
+
+    /// Whether events will actually be written. Use to skip expensive
+    /// *collection* (not just formatting) when tracing is off.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emit the event built by `build`. The closure runs only when the
+    /// trace is enabled, so emission sites pay nothing when disabled.
+    pub fn emit(&self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink {
+            sink.emit(&build().finish());
+        }
+    }
+
+    /// Emit a `span_begin` event for a named harness section.
+    pub fn span_begin(&self, span: &str) {
+        self.emit(|| TraceEvent::new("span_begin").str("span", span));
+    }
+
+    /// Emit a `span_end` event closing a named harness section.
+    pub fn span_end(&self, span: &str) {
+        self.emit(|| TraceEvent::new("span_end").str("span", span));
+    }
+}
+
+/// Builder for one `tab-trace-v1` JSONL event. Fields are appended in
+/// call order; keys are not deduplicated, so emit each key once.
+#[derive(Debug)]
+pub struct TraceEvent {
+    buf: String,
+}
+
+impl TraceEvent {
+    /// Start an event with the given `"event"` tag.
+    pub fn new(event: &str) -> Self {
+        let mut buf = String::with_capacity(128);
+        buf.push_str("{\"schema\":\"tab-trace-v1\",\"event\":\"");
+        buf.push_str(&json_escape(event));
+        buf.push('"');
+        TraceEvent { buf }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.buf.push(',');
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Append a string field.
+    pub fn str(mut self, key: &str, val: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(val));
+        self.buf.push('"');
+        self
+    }
+
+    /// Append an integer field.
+    pub fn int(mut self, key: &str, val: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&val.to_string());
+        self
+    }
+
+    /// Append a numeric field, rendered with three decimals. Non-finite
+    /// values (a what-if cost can be `inf`) render as `null` to keep the
+    /// line valid JSON.
+    pub fn num(mut self, key: &str, val: f64) -> Self {
+        self.key(key);
+        if val.is_finite() {
+            self.buf.push_str(&format!("{val:.3}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Close the object and return the finished line.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A sink appending lines to a file through a buffered writer. Lines
+/// from concurrent workers are serialized by a mutex, so each line lands
+/// intact (order across workers is unspecified).
+pub struct FileTraceSink {
+    w: Mutex<BufWriter<File>>,
+}
+
+impl FileTraceSink {
+    /// Create (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(FileTraceSink {
+            w: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl TraceSink for FileTraceSink {
+    fn emit(&self, line: &str) {
+        let mut w = self.w.lock().expect("trace writer poisoned");
+        // Trace output is best-effort diagnostics: a full disk must not
+        // abort the benchmark run it is observing.
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+/// A sink writing each event line to stderr — the structured replacement
+/// for the old ad-hoc `TAB_ADVISOR_DEBUG` narration.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrTraceSink;
+
+impl TraceSink for StderrTraceSink {
+    fn emit(&self, line: &str) {
+        eprintln!("{line}");
+    }
+}
+
+/// A sink collecting lines in memory, for tests and the CLI.
+#[derive(Debug, Default)]
+pub struct MemoryTraceSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemoryTraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The lines emitted so far, in arrival order.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("trace buffer poisoned").clone()
+    }
+}
+
+impl TraceSink for MemoryTraceSink {
+    fn emit(&self, line: &str) {
+        self.lines
+            .lock()
+            .expect("trace buffer poisoned")
+            .push(line.to_string());
+    }
+}
+
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<Trace<'static>>();
+    _assert_send_sync::<FileTraceSink>();
+    _assert_send_sync::<MemoryTraceSink>();
+    _assert_send_sync::<StderrTraceSink>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_never_builds_the_event() {
+        let trace = Trace::disabled();
+        assert!(!trace.is_enabled());
+        trace.emit(|| panic!("must not be called"));
+    }
+
+    #[test]
+    fn events_are_schema_tagged_flat_json() {
+        let sink = MemoryTraceSink::new();
+        let trace = Trace::to(&sink);
+        trace.emit(|| {
+            TraceEvent::new("operator")
+                .str("label", "SeqScan(\"t\")")
+                .int("rows_out", 7)
+                .num("units", 1.25)
+                .num("bad", f64::INFINITY)
+        });
+        trace.span_begin("grid");
+        trace.span_end("grid");
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"schema\":\"tab-trace-v1\",\"event\":\"operator\",\
+             \"label\":\"SeqScan(\\\"t\\\")\",\"rows_out\":7,\
+             \"units\":1.250,\"bad\":null}"
+        );
+        assert!(lines[1].contains("\"event\":\"span_begin\""));
+        assert!(lines[2].contains("\"span\":\"grid\""));
+    }
+
+    #[test]
+    fn escape_covers_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

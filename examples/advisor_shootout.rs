@@ -45,6 +45,7 @@ fn main() {
         workload: &workload,
         budget_bytes: budget,
         par: params.par,
+        trace: tab_bench::storage::Trace::disabled(),
     };
     for rec in [&SystemA::default() as &dyn Recommender, &SystemB, &SystemC] {
         let (cfg, stats) = rec.recommend_with_stats(&input);

@@ -20,6 +20,7 @@ fn tiny(out: &Path, threads: usize) -> ReproConfig {
         }
         .with_threads(threads),
         out_dir: out.to_path_buf(),
+        trace: None,
     }
 }
 

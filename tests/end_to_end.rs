@@ -77,6 +77,7 @@ fn recommended_configuration_stays_within_budget() {
                 workload: &w,
                 budget_bytes: budget,
                 par: tab_bench::storage::Parallelism::sequential(),
+                trace: tab_bench::storage::Trace::disabled(),
             })
             .expect("recommendation");
         let built = BuiltConfiguration::build(cfg, db);
