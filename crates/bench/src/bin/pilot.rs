@@ -35,12 +35,26 @@ fn main() {
         .as_ref()
         .map(|s| Trace::to(s))
         .unwrap_or_else(Trace::disabled);
+    // The sink stages at `<path>.tmp`; publishing (rename to the final
+    // path) only happens here, after a complete run.
+    let publish = |sink: Option<FileTraceSink>| {
+        if let Some(s) = sink {
+            match s.finish() {
+                Ok(path) => eprintln!("trace published to {}", path.display()),
+                Err(e) => {
+                    eprintln!("trace sink failed: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
     let params = SuiteParams::default().with_threads(threads);
     let tpch = args.iter().any(|a| a == "tpch");
     let suite = Suite::build(params);
     eprintln!("[{:?}] suite built", t0.elapsed());
     if tpch {
         tpch_pilot(&suite, params, t0, trace);
+        publish(sink);
         return;
     }
     for t in suite.nref.tables() {
@@ -164,6 +178,7 @@ fn main() {
             }
         }
     }
+    publish(sink);
     eprintln!("[{:?}] pilot done", t0.elapsed());
 }
 

@@ -19,14 +19,24 @@
 //!   query (per-operator estimates vs. actuals) and advisor round;
 //!   observational only — all outputs are byte-identical without it.
 //!   Summarize with `cargo run -p tab-bench-harness --bin trace_summary`.
+//! - `--faults SPEC`  arm a deterministic fault plan (also read from
+//!   `TAB_FAULTS` when the flag is absent). Arms are comma-separated:
+//!   `enospc:<file>[:N]` fails the Nth write of a named artifact,
+//!   `panic:cell:<family>/<config>` poisons one grid cell,
+//!   `truncate:trace:N` tears the trace after N lines. See DESIGN.md §10.
+//! - `--resume`       replay the grid cells checkpointed by a previous
+//!   interrupted run in the same `--out` directory; outputs are
+//!   byte-identical to an uninterrupted run.
 
 use std::process::ExitCode;
 
 use tab_bench_harness::repro::{run_all, ReproConfig};
+use tab_core::FaultPlan;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--small] [--threads N] [--check] [--expect FILE] [--out DIR] [--trace FILE]"
+        "usage: repro [--small] [--threads N] [--check] [--expect FILE] [--out DIR] \
+         [--trace FILE] [--faults SPEC] [--resume]"
     );
     std::process::exit(2);
 }
@@ -34,15 +44,18 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut small = false;
     let mut check = false;
+    let mut resume = false;
     let mut threads: usize = 0;
     let mut out: Option<String> = None;
     let mut expect: Option<String> = None;
     let mut trace: Option<String> = None;
+    let mut faults: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--small" => small = true,
             "--check" => check = true,
+            "--resume" => resume = true,
             "--threads" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 threads = v.parse().unwrap_or_else(|_| usage());
@@ -50,6 +63,7 @@ fn main() -> ExitCode {
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--expect" => expect = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--faults" => faults = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -66,13 +80,38 @@ fn main() -> ExitCode {
     if let Some(path) = trace {
         cfg = cfg.with_trace(path.into());
     }
+    if resume {
+        cfg = cfg.with_resume();
+    }
+    // Flag wins over the environment, so a plan baked into a CI job can
+    // be overridden per invocation.
+    let spec = faults.or_else(|| std::env::var("TAB_FAULTS").ok().filter(|s| !s.is_empty()));
+    if let Some(spec) = spec {
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => cfg = cfg.with_faults(plan),
+            Err(e) => {
+                eprintln!("--faults: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     eprintln!(
         "tab-bench reproduction ({} scale, {} threads) -> {}",
         if small { "small" } else { "full" },
         cfg.params.par.threads(),
         cfg.out_dir.display()
     );
-    let summary = run_all(&cfg);
+    let summary = match run_all(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("repro failed: {e}");
+            eprintln!(
+                "completed grid cells are checkpointed in {}; rerun with --resume to continue",
+                cfg.out_dir.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
     println!("{}", summary.figures_text);
     println!("claims: {}/{} hold", summary.passed(), summary.claims.len());
     for c in &summary.claims {

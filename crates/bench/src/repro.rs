@@ -5,17 +5,20 @@
 //! See DESIGN.md §4 for the experiment ↔ module ↔ output index.
 
 use std::collections::BTreeMap;
+use std::io;
 use std::path::PathBuf;
 use std::time::Instant;
 
 use tab_advisor::{AdvisorInput, Recommender, SearchStats, SystemA, SystemB, SystemC};
-use tab_core::report::{cfc_csv_rows, render_cfc_ascii, render_histogram_ascii, write_csv};
+use tab_core::report::{
+    cfc_csv_rows, render_cfc_ascii, render_histogram_ascii, write_bytes_with, write_csv_with,
+};
 use tab_core::{
     advisor_bench_json, bench_json, build_1c, build_p, estimate_workload_hypothetical_with,
     estimate_workload_with, improvement_ratios, insertion_breakeven, prepare_workload_db_with,
-    run_grid_traced, space_budget, table1_row, timings_json, AdvisorBenchRecord, CellTiming, Cfc,
-    FileTraceSink, Goal, GridCell, LogHistogram, PhaseTiming, RatioHistogram, SuiteParams, Trace,
-    WorkloadRun,
+    run_grid_checkpointed, space_budget, table1_row, timings_json, AdvisorBenchRecord, CellTiming,
+    Cfc, CheckpointError, CheckpointJournal, FaultPlan, Faults, FileTraceSink, Goal, GridCell,
+    GridError, LogHistogram, PhaseTiming, RatioHistogram, SuiteParams, Trace, WorkloadRun,
 };
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
 use tab_families::Family;
@@ -33,6 +36,14 @@ pub struct ReproConfig {
     /// Tracing is observational only: every file under `out_dir` is
     /// byte-identical with or without it (`tests/observability.rs`).
     pub trace: Option<PathBuf>,
+    /// Optional deterministic fault plan (`--faults` / `TAB_FAULTS`) —
+    /// see [`FaultPlan::parse`] for the spec grammar. `None` costs one
+    /// branch per probe site.
+    pub faults: Option<FaultPlan>,
+    /// Resume an interrupted run: grid cells journaled by a previous
+    /// (crashed or fault-killed) run in the same `out_dir` are replayed
+    /// bit-exactly; only the missing cells execute.
+    pub resume: bool,
 }
 
 impl ReproConfig {
@@ -42,6 +53,8 @@ impl ReproConfig {
             params: SuiteParams::default(),
             out_dir: PathBuf::from("results"),
             trace: None,
+            faults: None,
+            resume: false,
         }
     }
 
@@ -51,6 +64,8 @@ impl ReproConfig {
             params: SuiteParams::small(),
             out_dir: PathBuf::from("results-small"),
             trace: None,
+            faults: None,
+            resume: false,
         }
     }
 
@@ -65,6 +80,100 @@ impl ReproConfig {
         self.trace = Some(path);
         self
     }
+
+    /// The same run with `plan` armed at every fault site.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The same run resuming from the checkpoint journal in `out_dir`.
+    pub fn with_resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+}
+
+/// Why a reproduction run could not produce its full output set. Every
+/// variant names the artifact or subsystem that failed, so an operator
+/// (or CI log reader) knows exactly what is missing and whether
+/// `--resume` will help.
+#[derive(Debug)]
+pub enum ReproError {
+    /// An artifact under `out_dir` could not be written. The underlying
+    /// error names the injected fault site when one fired.
+    Artifact {
+        /// Final path of the artifact that failed to write.
+        path: PathBuf,
+        /// Underlying I/O failure.
+        source: io::Error,
+    },
+    /// One or more grid cells panicked (injected poisoned cell or a
+    /// real bug); completed sibling cells were checkpointed, so
+    /// `--resume` re-executes only the failed ones.
+    Grid {
+        /// Rendered [`GridError`] listing the failed cells.
+        message: String,
+    },
+    /// The checkpoint journal could not be written or read — crash
+    /// consistency is compromised.
+    Journal {
+        /// The journal's path.
+        path: PathBuf,
+        /// Underlying I/O failure.
+        source: io::Error,
+    },
+    /// `--resume` was refused (parameter fingerprint mismatch).
+    Resume {
+        /// What disagreed.
+        message: String,
+    },
+    /// The trace sink swallowed a write failure (injected or real); the
+    /// partial trace is left at `<path>.tmp` and the run fails *after*
+    /// writing its artifacts but *before* discarding the journal.
+    TraceSink {
+        /// Final path the trace would have been published to.
+        path: PathBuf,
+        /// What went wrong, including the line count written so far.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ReproError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReproError::Artifact { path, source } => {
+                write!(f, "cannot write artifact {}: {source}", path.display())
+            }
+            ReproError::Grid { message } => write!(f, "measurement grid failed: {message}"),
+            ReproError::Journal { path, source } => write!(
+                f,
+                "cannot write checkpoint journal {}: {source}",
+                path.display()
+            ),
+            ReproError::Resume { message } => write!(f, "cannot resume: {message}"),
+            ReproError::TraceSink { path, message } => {
+                write!(f, "trace sink {} failed: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReproError {}
+
+/// The journal's parameter fingerprint: everything that shapes the
+/// grid's *outcomes*. Thread count is deliberately excluded — results
+/// are identical at any parallelism, so a run interrupted at 4 threads
+/// may resume at 1 (and `tests/fault_injection.rs` holds us to it).
+fn fingerprint(params: &SuiteParams) -> String {
+    format!(
+        "seed={};nref={};tpch_scale_bits={};workload={};timeout_bits={}",
+        params.seed,
+        params.nref_proteins,
+        params.tpch_scale.to_bits(),
+        params.workload_size,
+        params.timeout_units.to_bits()
+    )
 }
 
 /// One checked qualitative claim from the paper.
@@ -81,6 +190,7 @@ pub struct Claim {
 }
 
 /// Collected results of a full reproduction.
+#[derive(Debug)]
 pub struct ReproSummary {
     /// All checked claims.
     pub claims: Vec<Claim>,
@@ -95,9 +205,12 @@ impl ReproSummary {
     }
 }
 
-struct Ctx {
+struct Ctx<'a> {
     out: PathBuf,
     timeout: f64,
+    /// Fault handle threaded to every artifact write (one branch when
+    /// no plan is armed).
+    faults: Faults<'a>,
     claims: Vec<Claim>,
     figures: String,
     timings: Vec<CellTiming>,
@@ -112,7 +225,21 @@ struct Ctx {
     last_mark: Instant,
 }
 
-impl Ctx {
+impl Ctx<'_> {
+    /// Write one CSV artifact atomically, with the per-file fault probe.
+    fn csv(&self, file: &str, header: &[&str], rows: &[Vec<String>]) -> Result<(), ReproError> {
+        let path = self.out.join(file);
+        write_csv_with(&path, header, rows, self.faults)
+            .map_err(|source| ReproError::Artifact { path, source })
+    }
+
+    /// Write one non-CSV artifact atomically, with the fault probe.
+    fn bytes(&self, file: &str, bytes: &[u8]) -> Result<(), ReproError> {
+        let path = self.out.join(file);
+        write_bytes_with(&path, bytes, self.faults)
+            .map_err(|source| ReproError::Artifact { path, source })
+    }
+
     fn log(&self, msg: &str) {
         eprintln!("[{:8.1?}] {msg}", self.t0.elapsed());
     }
@@ -163,22 +290,76 @@ impl Ctx {
             .push_str(&format!("\n=== {title} ===\n{body}\n"));
     }
 
-    fn write_cfc_figure(&mut self, file: &str, title: &str, curves: &[(&str, &Cfc)], max_x: f64) {
+    fn write_cfc_figure(
+        &mut self,
+        file: &str,
+        title: &str,
+        curves: &[(&str, &Cfc)],
+        max_x: f64,
+    ) -> Result<(), ReproError> {
         let (header, rows) = cfc_csv_rows(curves, 0.1, max_x, 60);
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        write_csv(self.out.join(file), &header_refs, &rows).expect("write figure csv");
+        self.csv(file, &header_refs, &rows)?;
         let ascii = render_cfc_ascii(curves, 0.1, max_x, 64, 16);
         self.figure(title, &ascii);
+        Ok(())
     }
 }
 
+/// Run one checkpointed grid, translating grid failures to
+/// [`ReproError`].
+fn grid_step(
+    cells: &[GridCell<'_>],
+    par: tab_core::Parallelism,
+    trace: Trace<'_>,
+    faults: Faults<'_>,
+    journal: &CheckpointJournal,
+) -> Result<Vec<(WorkloadRun, CellTiming)>, ReproError> {
+    run_grid_checkpointed(cells, par, trace, faults, Some(journal)).map_err(|e| match e {
+        GridError::Poisoned { .. } => ReproError::Grid {
+            message: e.to_string(),
+        },
+        GridError::Journal(source) => ReproError::Journal {
+            path: journal.path().to_path_buf(),
+            source,
+        },
+    })
+}
+
 /// Run the full reproduction.
-pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
-    std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
+///
+/// On success every artifact is in place and the checkpoint journal is
+/// removed. On failure the journal (listing every completed grid cell)
+/// stays in `out_dir`, so a rerun with [`ReproConfig::resume`] replays
+/// the journaled cells bit-exactly and executes only the missing ones.
+pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
+    std::fs::create_dir_all(&cfg.out_dir).map_err(|source| ReproError::Artifact {
+        path: cfg.out_dir.clone(),
+        source,
+    })?;
+    let faults = match &cfg.faults {
+        Some(plan) => Faults::to(plan),
+        None => Faults::disabled(),
+    };
+
+    // The journal is always armed — crash consistency is the default,
+    // not an opt-in. With `resume` it additionally loads the cells a
+    // previous interrupted run completed.
+    let journal_path = cfg.out_dir.join("repro.checkpoint.jsonl");
+    let journal = CheckpointJournal::open(&journal_path, &fingerprint(&cfg.params), cfg.resume)
+        .map_err(|e| match e {
+            CheckpointError::Io(source) => ReproError::Journal {
+                path: journal_path.clone(),
+                source,
+            },
+            CheckpointError::Mismatch { message } => ReproError::Resume { message },
+        })?;
+
     let t0 = Instant::now();
     let mut ctx = Ctx {
         out: cfg.out_dir.clone(),
         timeout: cfg.params.timeout_units,
+        faults,
         claims: Vec::new(),
         figures: String::new(),
         timings: Vec::new(),
@@ -190,15 +371,35 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     let timeout_s = tab_engine::units_to_sim_seconds(cfg.params.timeout_units);
     let par = cfg.params.par;
     ctx.log(&format!("parallelism: {} threads", par.threads()));
+    if let Some(plan) = &cfg.faults {
+        ctx.log(&format!("fault plan armed: {plan}"));
+    }
+    if cfg.resume {
+        ctx.log(&format!(
+            "resume: replaying {} journaled grid cell(s) from {}",
+            journal.cells(),
+            journal_path.display()
+        ));
+    }
 
-    // Optional structured trace. The sink lives for the whole run; the
-    // `Trace` handle it backs is `Copy` and threads through the grids
-    // and advisor calls below. Disabled (`None`) costs one branch per
-    // emission site.
-    let sink = cfg.trace.as_deref().map(|path| {
-        FileTraceSink::create(path)
-            .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()))
-    });
+    // Optional structured trace, staged at `<path>.tmp` and published
+    // by `finish()` only if the whole run (and the sink itself)
+    // succeeds. The sink lives for the whole run; the `Trace` handle it
+    // backs is `Copy` and threads through the grids and advisor calls
+    // below. Disabled (`None`) costs one branch per emission site.
+    let sink = match cfg.trace.as_deref() {
+        Some(path) => Some(
+            match &cfg.faults {
+                Some(plan) => FileTraceSink::create_with_faults(path, plan),
+                None => FileTraceSink::create(path),
+            }
+            .map_err(|e| ReproError::TraceSink {
+                path: path.to_path_buf(),
+                message: e.to_string(),
+            })?,
+        ),
+        None => None,
+    };
     let trace = sink
         .as_ref()
         .map(|s| Trace::to(s))
@@ -361,7 +562,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         cells.push(cell("NREF2J", a, &w2));
     }
     let mut grid: std::collections::VecDeque<(WorkloadRun, CellTiming)> =
-        run_grid_traced(&cells, par, trace).into();
+        grid_step(&cells, par, trace, faults, &journal)?.into();
     drop(cells);
     ctx.mark("measurement-grid");
     let mut take = |ctx: &mut Ctx| -> WorkloadRun {
@@ -430,8 +631,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                     },
                 ]);
             }
-            write_csv(ctx.out.join(file), &["bin", "count", "cumulative"], &rows)
-                .expect("write histogram");
+            ctx.csv(file, &["bin", "count", "cumulative"], &rows)?;
             ctx.figure(title, &render_histogram_ascii(h, 40));
         }
     }
@@ -452,7 +652,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
             "Figure 3: System A on NREF2J",
             &curves,
             max_x,
-        );
+        )?;
         let x = 31.6;
         ctx.claim(
             "fig3-1c-best-at-31s",
@@ -475,7 +675,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         "Figure 4: System A on NREF3J (no R: recommender failed)",
         &[("P", &cfc3_p), ("1C", &cfc3_1c)],
         max_x,
-    );
+    )?;
     {
         // The paper's own arithmetic: "it takes 98 seconds to complete
         // 60% of the queries on 1C, while it takes 4 hours and 45
@@ -508,13 +708,13 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         "Figure 5: System B on NREF2J",
         &[("P", &cfc2_p), ("1C", &cfc2_1c), ("R", &cfc2_b)],
         max_x,
-    );
+    )?;
     ctx.write_cfc_figure(
         "fig06_cfc_B_nref3j.csv",
         "Figure 6: System B on NREF3J",
         &[("P", &cfc3_p), ("1C", &cfc3_1c), ("R", &cfc3_b)],
         max_x,
-    );
+    )?;
     ctx.claim(
         "fig5-B-R-near-P",
         "System B's NREF2J recommendation performs close to P, far from 1C",
@@ -552,12 +752,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
             .iter()
             .map(|(n, c)| vec![n.to_string(), sat(c).to_string()])
             .collect();
-        write_csv(
-            ctx.out.join("goal_example2.csv"),
-            &["config", "satisfied"],
-            &rows,
-        )
-        .expect("write goal");
+        ctx.csv("goal_example2.csv", &["config", "satisfied"], &rows)?;
         ctx.claim(
             "ex2-goal-separates",
             "The Example-2-style goal is satisfied by 1C but not by P (Figure 3 reading)",
@@ -592,12 +787,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
             * 1.2;
         let (header, rows) = cfc_csv_rows(&refs, lo, hi, 60);
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        write_csv(
-            ctx.out.join("fig10_estimates_nref3j.csv"),
-            &header_refs,
-            &rows,
-        )
-        .expect("write fig10");
+        ctx.csv("fig10_estimates_nref3j.csv", &header_refs, &rows)?;
         ctx.figure(
             "Figure 10: estimate curves for NREF3J on System B (estimation units)",
             &render_cfc_ascii(&refs, lo, hi, 64, 16),
@@ -662,12 +852,11 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                 hists[2].1.at_decade(d).to_string(),
             ]);
         }
-        write_csv(
-            ctx.out.join("fig11_improvement_ratios_nref3j.csv"),
+        ctx.csv(
+            "fig11_improvement_ratios_nref3j.csv",
             &["ratio", "AIR", "EIR", "HIR"],
             &rows,
-        )
-        .expect("write fig11");
+        )?;
         let mut fig11 = String::new();
         for d in -3i32..=3 {
             fig11.push_str(&format!(
@@ -713,8 +902,8 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                 .map(|b| format!("{b:.0}"))
                 .unwrap_or_else(|| "none".into()),
         ]];
-        write_csv(
-            ctx.out.join("sec4_4_insertions.csv"),
+        ctx.csv(
+            "sec4_4_insertions.csv",
             &[
                 "per_insert_P_units",
                 "per_insert_R_units",
@@ -724,8 +913,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                 "breakeven_tuples",
             ],
             &rows,
-        )
-        .expect("write insertions");
+        )?;
         ctx.claim(
             "sec4.4-breakeven",
             "1C pays more per insert than R, yielding a finite break-even insert count (paper: ~400k tuples)",
@@ -862,7 +1050,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                 })
             })
             .collect();
-        let mut grid = run_grid_traced(&cells, par, trace).into_iter();
+        let mut grid = grid_step(&cells, par, trace, faults, &journal)?.into_iter();
         drop(cells);
         ctx.mark("measurement-grid");
 
@@ -885,7 +1073,7 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
                 _ => ("fig09_cfc_C_unth3j.csv", "Figure 9: System C on UnTH3J"),
             };
             let (cp, cc, cr) = (run_p.cfc(), run_1c.cfc(), run_r.cfc());
-            ctx.write_cfc_figure(file, title, &[("P", &cp), ("1C", &cc), ("R", &cr)], max_x);
+            ctx.write_cfc_figure(file, title, &[("P", &cp), ("1C", &cc), ("R", &cr)], max_x)?;
 
             let row = table1_row(db, built);
             table1.push(vec![
@@ -980,36 +1168,31 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
     }
 
     // ================= Tables and summary files =================
-    write_csv(
-        ctx.out.join("table1_configurations.csv"),
+    ctx.csv(
+        "table1_configurations.csv",
         &["configuration", "size_mib", "build_sim_minutes"],
         &table1,
-    )
-    .expect("write table1");
-    write_csv(
-        ctx.out.join("table2_nref_indexes.csv"),
+    )?;
+    ctx.csv(
+        "table2_nref_indexes.csv",
         &["configuration", "table", "w1", "w2", "w3", "w4"],
         &table2,
-    )
-    .expect("write table2");
-    write_csv(
-        ctx.out.join("table3_tpch_indexes.csv"),
+    )?;
+    ctx.csv(
+        "table3_tpch_indexes.csv",
         &["configuration", "table", "w1", "w2", "w3", "w4"],
         &table3,
-    )
-    .expect("write table3");
-    write_csv(
-        ctx.out.join("runs_raw.csv"),
+    )?;
+    ctx.csv(
+        "runs_raw.csv",
         &["family", "configuration", "query", "sim_seconds"],
         &runs_csv,
-    )
-    .expect("write runs");
-    write_csv(
-        ctx.out.join("totals_lower_bounds.csv"),
+    )?;
+    ctx.csv(
+        "totals_lower_bounds.csv",
         &["family", "configuration", "total_lb_s", "timeouts"],
         &totals_csv,
-    )
-    .expect("write totals");
+    )?;
 
     let claim_rows: Vec<Vec<String>> = ctx
         .claims
@@ -1023,18 +1206,19 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
             ]
         })
         .collect();
-    write_csv(
-        ctx.out.join("claims.csv"),
+    ctx.csv(
+        "claims.csv",
         &["id", "paper_claim", "status", "evidence"],
         &claim_rows,
-    )
-    .expect("write claims");
-    std::fs::write(ctx.out.join("figures.txt"), &ctx.figures).expect("write figures");
+    )?;
+    let figures = std::mem::take(&mut ctx.figures);
+    ctx.bytes("figures.txt", figures.as_bytes())?;
+    ctx.figures = figures;
 
     // Per-grid-cell timings. Wall-clock varies run to run, so this file
     // is excluded from determinism comparisons (see tests/determinism.rs).
     let timings = timings_json(par.threads(), ctx.t0.elapsed().as_secs_f64(), &ctx.timings);
-    std::fs::write(ctx.out.join("timings.json"), timings).expect("write timings");
+    ctx.bytes("timings.json", timings.as_bytes())?;
 
     // Per-phase performance record (schema documented on `bench_json`).
     // The measurement grid is the only phase running metered queries,
@@ -1068,24 +1252,44 @@ pub fn run_all(cfg: &ReproConfig) -> ReproSummary {
         ctx.t0.elapsed().as_secs_f64(),
         &phases,
     );
-    std::fs::write(ctx.out.join(format!("BENCH_repro_{scale}.json")), bench)
-        .expect("write bench record");
+    ctx.bytes(&format!("BENCH_repro_{scale}.json"), bench.as_bytes())?;
 
     // Per-recommendation what-if instrumentation (schema documented on
     // `advisor_bench_json`). Also a `BENCH_*` file: wall-clock varies,
     // everything else is deterministic at any thread count.
     let advisor = advisor_bench_json(par.threads(), &ctx.advisor);
-    std::fs::write(ctx.out.join("BENCH_advisor.json"), advisor).expect("write advisor record");
+    ctx.bytes("BENCH_advisor.json", advisor.as_bytes())?;
+
+    // Publish the trace before discarding the journal: a sink that
+    // silently swallowed a write failure (injected `enospc:trace` /
+    // `truncate:trace`, or a real full disk) must fail the run while a
+    // `--resume` is still possible. The partial trace stays at
+    // `<path>.tmp`.
+    if let Some(s) = sink {
+        let path = s.finish().map_err(|e| ReproError::TraceSink {
+            path: cfg.trace.clone().unwrap_or_default(),
+            message: e.to_string(),
+        })?;
+        ctx.log(&format!("trace published to {}", path.display()));
+    }
+
+    // Every artifact is on disk; the run is no longer resumable because
+    // there is nothing left to redo. Drop the journal so output
+    // directories of successful runs stay snapshot-clean.
+    journal.finish().map_err(|source| ReproError::Journal {
+        path: journal_path,
+        source,
+    })?;
 
     ctx.log(&format!(
         "done: {}/{} claims hold",
         ctx.claims.iter().filter(|c| c.holds).count(),
         ctx.claims.len()
     ));
-    ReproSummary {
+    Ok(ReproSummary {
         claims: ctx.claims,
         figures_text: ctx.figures,
-    }
+    })
 }
 
 /// Rows of Tables 2/3: per-table counts of 1..4-column indexes in a

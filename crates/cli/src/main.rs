@@ -36,6 +36,8 @@ USAGE:
   tab advise  --db SPEC --family NAME [--system A|B|C] [--workload N] [--trace PATH]
   tab bench   --db SPEC --family NAME [--configs p,1c] [--workload N] [--timeout-secs T]
   tab goal    --db SPEC --family NAME --steps \"10:0.1,60:0.5\" [--config p|1c]
+  tab faults  SPEC                    validate a fault-injection spec
+                                      (see `repro --faults` / DESIGN.md §10)
 
 All commands accept --threads N (worker threads; 0 or absent = all
 cores). Results are identical at any thread count.
@@ -58,6 +60,7 @@ fn main() -> ExitCode {
         "advise" => cmd_advise(&args),
         "bench" => cmd_bench(&args),
         "goal" => cmd_goal(&args),
+        "faults" => cmd_faults(&args),
         "" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -324,6 +327,27 @@ fn cmd_advise(args: &Args) -> Result<(), String> {
                 );
             }
         }
+    }
+    // The sink stages at `<path>.tmp`; publish to the final path now
+    // that the advise run completed.
+    if let Some(s) = sink {
+        s.finish().map_err(|e| format!("trace sink failed: {e}"))?;
+    }
+    Ok(())
+}
+
+/// `tab faults SPEC` — parse a fault plan and print what it would arm,
+/// so specs can be validated before a long repro run.
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    let spec = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .or_else(|| args.get("spec"))
+        .ok_or("faults needs a SPEC argument, e.g. `tab faults enospc:claims.csv`")?;
+    let plan = tab_core::FaultPlan::parse(spec)?;
+    for line in plan.describe() {
+        println!("{line}");
     }
     Ok(())
 }

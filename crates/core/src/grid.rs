@@ -16,12 +16,18 @@
 //! on. [`timings_json`] renders those machine-readably for CI trend
 //! tracking.
 
+use std::collections::BTreeSet;
+use std::io;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use tab_engine::{Outcome, Session};
 use tab_sqlq::Query;
-use tab_storage::{par_map, BuiltConfiguration, Database, Parallelism, Trace, TraceEvent};
+use tab_storage::{
+    par_map_catch, BuiltConfiguration, Database, Faults, JobPanic, Parallelism, Trace, TraceEvent,
+};
 
+use crate::checkpoint::{self, CheckpointJournal};
 use crate::measure::WorkloadRun;
 
 /// One (family, configuration) cell of the experiment grid, borrowed
@@ -71,99 +77,289 @@ pub fn run_grid(cells: &[GridCell<'_>], par: Parallelism) -> Vec<(WorkloadRun, C
 /// downstream benchmark output are byte-identical to an untraced run.
 /// Parallel workers interleave event lines, so every event carries the
 /// `family`/`config`/`query` fields needed to regroup it.
+///
+/// A panic inside any job propagates here (after the remaining jobs
+/// finish), preserving the historical contract; callers that want
+/// per-cell failure isolation use [`run_grid_checkpointed`].
 pub fn run_grid_traced(
     cells: &[GridCell<'_>],
     par: Parallelism,
     trace: Trace<'_>,
 ) -> Vec<(WorkloadRun, CellTiming)> {
-    // Flatten to (cell, query) so the scheduler balances across cells.
+    match run_grid_checkpointed(cells, par, trace, Faults::disabled(), None) {
+        Ok(out) => out,
+        Err(GridError::Poisoned { mut failed, .. }) => {
+            failed.remove(0).panic.resume() // re-raise the original payload
+        }
+        Err(GridError::Journal(e)) => {
+            unreachable!("no journal attached, yet it failed: {e}")
+        }
+    }
+}
+
+/// One grid cell that failed because a job inside it panicked —
+/// whether from an injected `panic:cell:<family>/<config>` fault or a
+/// genuine bug.
+#[derive(Debug)]
+pub struct FailedCell {
+    /// Family name of the failed cell.
+    pub family: String,
+    /// Configuration display name of the failed cell.
+    pub config: String,
+    /// The first captured panic from the cell's jobs.
+    pub panic: JobPanic,
+}
+
+/// Why a checkpointed grid run could not produce a full result set.
+#[derive(Debug)]
+pub enum GridError {
+    /// One or more cells had a panicking job. Every other cell ran to
+    /// completion and — when a journal was attached — was checkpointed,
+    /// so a `--resume` rerun only re-executes the failed cells.
+    Poisoned {
+        /// The failed cells, in grid order.
+        failed: Vec<FailedCell>,
+        /// Cells that completed (executed or replayed) this run.
+        completed: usize,
+    },
+    /// The checkpoint journal itself could not be written; crash
+    /// consistency is compromised even though the grid may have
+    /// finished.
+    Journal(io::Error),
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::Poisoned { failed, completed } => {
+                write!(
+                    f,
+                    "{} grid cell(s) failed ({} completed and checkpointed):",
+                    failed.len(),
+                    completed
+                )?;
+                for cell in failed {
+                    write!(
+                        f,
+                        " {}/{}: {};",
+                        cell.family, cell.config, cell.panic.message
+                    )?;
+                }
+                Ok(())
+            }
+            GridError::Journal(e) => write!(f, "checkpoint journal write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// Per-cell accumulator: jobs land out of order across worker threads,
+/// so each cell collects its outcomes behind a mutex and assembles the
+/// `(WorkloadRun, CellTiming)` pair when its last query completes —
+/// which is the moment the cell is journaled, giving true mid-run crash
+/// consistency rather than journal-at-the-end.
+struct Slab {
+    got: Vec<Option<(Outcome, f64)>>,
+    filled: usize,
+    done: Option<(WorkloadRun, CellTiming)>,
+}
+
+/// The fault-aware, crash-consistent grid executor every other grid
+/// entry point wraps.
+///
+/// Semantics on top of [`run_grid_traced`]:
+///
+/// - **Replay**: cells present in `journal` (matched by
+///   `(family, config)` and query count) are *not* executed; their
+///   journaled outcomes are returned bit-exactly. Replayed cells emit
+///   no trace events — a resumed run's trace covers only the work it
+///   actually performed.
+/// - **Checkpoint**: each cell that completes all its queries is
+///   recorded to `journal` immediately, via write-temp-then-rename.
+/// - **Isolation**: a panicking job (injected via
+///   `panic:cell:<family>/<config>`, or real) fails only its own cell;
+///   sibling cells run to completion and are journaled. The failure
+///   surfaces as [`GridError::Poisoned`].
+///
+/// The per-cell ordering of outcomes, the wall-clock summation order,
+/// and therefore every downstream artifact are identical to the
+/// historical implementation at any thread count.
+pub fn run_grid_checkpointed(
+    cells: &[GridCell<'_>],
+    par: Parallelism,
+    trace: Trace<'_>,
+    faults: Faults<'_>,
+    journal: Option<&CheckpointJournal>,
+) -> Result<Vec<(WorkloadRun, CellTiming)>, GridError> {
+    // Resolve replayed (and degenerate zero-query) cells up front.
+    let mut resolved: Vec<Option<(WorkloadRun, CellTiming)>> = cells
+        .iter()
+        .map(|cell| {
+            let config = cell.built.config.name.as_str();
+            if let Some(j) = journal {
+                if let Some(pair) = j.lookup(cell.family, config, cell.workload.len()) {
+                    return Some(pair);
+                }
+            }
+            if cell.workload.is_empty() {
+                return Some(checkpoint::assemble(cell.family, config, Vec::new(), 0.0));
+            }
+            None
+        })
+        .collect();
+
+    let slabs: Vec<Mutex<Slab>> = cells
+        .iter()
+        .map(|cell| {
+            Mutex::new(Slab {
+                got: vec![None; cell.workload.len()],
+                filled: 0,
+                done: None,
+            })
+        })
+        .collect();
+
+    // Flatten the *missing* cells to (cell, query) jobs so the dynamic
+    // scheduler balances across cells, exactly as before.
     let jobs: Vec<(usize, usize)> = cells
         .iter()
         .enumerate()
+        .filter(|(c, _)| resolved[*c].is_none())
         .flat_map(|(c, cell)| (0..cell.workload.len()).map(move |q| (c, q)))
         .collect();
-    let results: Vec<(Outcome, f64)> = par_map(par, &jobs, |&(c, q)| {
+
+    let results = par_map_catch(par, &jobs, |&(c, q)| {
         let cell = &cells[c];
-        let session = Session::new(cell.db, cell.built);
-        let t0 = Instant::now();
-        let outcome = if trace.is_enabled() {
-            let (result, acts) = session
-                .run_instrumented(&cell.workload[q], Some(cell.timeout_units))
-                .expect("grid workloads bind against their databases");
-            let config = cell.built.config.name.as_str();
-            let labels = result.plan.op_labels();
-            for (op, label) in labels.iter().enumerate() {
-                trace.emit(|| {
-                    let mut ev = TraceEvent::new("operator")
-                        .str("family", cell.family)
-                        .str("config", config)
-                        .int("query", q as u64)
-                        .int("op", op as u64)
-                        .str("label", label);
-                    if let Some(est) = result.plan.op_ests.get(op) {
-                        ev = ev.num("est_cost", est.cost).num("est_rows", est.rows);
-                    }
-                    if let Some(act) = acts.get(op) {
-                        ev = ev
-                            .int("rows_in", act.rows_in)
-                            .int("rows_out", act.rows_out)
-                            .int("probes", act.probes)
-                            .num("units", act.units);
-                    }
-                    ev
+        if faults.is_enabled() {
+            // Identity-matched site: fires for every job of the named
+            // cell at any thread count, so the poisoned cell is
+            // deterministic.
+            faults.panic_if_armed(&format!("cell:{}/{}", cell.family, cell.built.config.name));
+        }
+        let (outcome, wall) = execute_query(cell, q, trace);
+        let mut slab = slabs[c].lock().expect("cell slab poisoned");
+        slab.got[q] = Some((outcome, wall));
+        slab.filled += 1;
+        if slab.filled == cell.workload.len() {
+            // Last query in: assemble in workload order (deterministic
+            // f64 summation) and checkpoint the finished cell.
+            let outcomes: Vec<Outcome> = slab
+                .got
+                .iter()
+                .map(|s| s.as_ref().expect("slab filled").0.clone())
+                .collect();
+            let wall_seconds: f64 = slab
+                .got
+                .iter()
+                .map(|s| s.as_ref().expect("slab filled").1)
+                .sum();
+            let (run, timing) =
+                checkpoint::assemble(cell.family, &cell.built.config.name, outcomes, wall_seconds);
+            if let Some(j) = journal {
+                j.record(cell.family, &run.config, &run, wall_seconds, faults);
+            }
+            slab.done = Some((run, timing));
+        }
+    });
+
+    // Fold job verdicts back to cell verdicts.
+    let mut poisoned: BTreeSet<usize> = BTreeSet::new();
+    let mut failed: Vec<FailedCell> = Vec::new();
+    for (r, &(c, _)) in results.into_iter().zip(&jobs) {
+        if let Err(panic) = r {
+            if poisoned.insert(c) {
+                failed.push(FailedCell {
+                    family: cells[c].family.to_string(),
+                    config: cells[c].built.config.name.clone(),
+                    panic,
                 });
             }
+        }
+    }
+    if !failed.is_empty() {
+        let completed = resolved.iter().filter(|r| r.is_some()).count()
+            + slabs
+                .iter()
+                .filter(|s| s.lock().expect("cell slab poisoned").done.is_some())
+                .count();
+        return Err(GridError::Poisoned { failed, completed });
+    }
+    if let Some(e) = journal.and_then(|j| j.io_error()) {
+        return Err(GridError::Journal(e));
+    }
+
+    let mut out = Vec::with_capacity(cells.len());
+    for (c, slot) in resolved.iter_mut().enumerate() {
+        match slot.take() {
+            Some(pair) => out.push(pair),
+            None => out.push(
+                slabs[c]
+                    .lock()
+                    .expect("cell slab poisoned")
+                    .done
+                    .take()
+                    .expect("no failures, so every executed cell completed"),
+            ),
+        }
+    }
+    Ok(out)
+}
+
+/// Execute one (cell, query) job, optionally tracing it. Extracted from
+/// the original `run_grid_traced` body verbatim.
+fn execute_query(cell: &GridCell<'_>, q: usize, trace: Trace<'_>) -> (Outcome, f64) {
+    let session = Session::new(cell.db, cell.built);
+    let t0 = Instant::now();
+    let outcome = if trace.is_enabled() {
+        let (result, acts) = session
+            .run_instrumented(&cell.workload[q], Some(cell.timeout_units))
+            .expect("grid workloads bind against their databases");
+        let config = cell.built.config.name.as_str();
+        let labels = result.plan.op_labels();
+        for (op, label) in labels.iter().enumerate() {
             trace.emit(|| {
-                let (label, units) = match result.outcome {
-                    Outcome::Done { units, .. } => ("done", units),
-                    // A timeout is charged at the budget — the §4.3
-                    // lower bound the analysis uses.
-                    Outcome::Timeout { budget } => ("timeout", budget),
-                };
-                TraceEvent::new("query")
+                let mut ev = TraceEvent::new("operator")
                     .str("family", cell.family)
                     .str("config", config)
                     .int("query", q as u64)
-                    .str("outcome", label)
-                    .num("units", units)
+                    .int("op", op as u64)
+                    .str("label", label);
+                if let Some(est) = result.plan.op_ests.get(op) {
+                    ev = ev.num("est_cost", est.cost).num("est_rows", est.rows);
+                }
+                if let Some(act) = acts.get(op) {
+                    ev = ev
+                        .int("rows_in", act.rows_in)
+                        .int("rows_out", act.rows_out)
+                        .int("probes", act.probes)
+                        .num("units", act.units);
+                }
+                ev
             });
-            result.outcome
-        } else {
-            session
-                .run(&cell.workload[q], Some(cell.timeout_units))
-                .expect("grid workloads bind against their databases")
-                .outcome
-        };
-        (outcome, t0.elapsed().as_secs_f64())
-    });
-
-    // Jobs were emitted cell-major and par_map preserves input order, so
-    // the results regroup by walking them once.
-    let mut out = Vec::with_capacity(cells.len());
-    let mut it = results.into_iter();
-    for cell in cells {
-        let mut outcomes = Vec::with_capacity(cell.workload.len());
-        let mut wall_seconds = 0.0;
-        for _ in 0..cell.workload.len() {
-            let (outcome, wall) = it.next().expect("one result per job");
-            wall_seconds += wall;
-            outcomes.push(outcome);
         }
-        let run = WorkloadRun {
-            config: cell.built.config.name.clone(),
-            outcomes,
-        };
-        let timing = CellTiming {
-            family: cell.family.to_string(),
-            config: run.config.clone(),
-            queries: run.outcomes.len(),
-            timeouts: run.timeout_count(),
-            wall_seconds,
-            cost_units: run.total_lower_bound_units(),
-        };
-        out.push((run, timing));
-    }
-    out
+        trace.emit(|| {
+            let (label, units) = match result.outcome {
+                Outcome::Done { units, .. } => ("done", units),
+                // A timeout is charged at the budget — the §4.3
+                // lower bound the analysis uses.
+                Outcome::Timeout { budget } => ("timeout", budget),
+            };
+            TraceEvent::new("query")
+                .str("family", cell.family)
+                .str("config", config)
+                .int("query", q as u64)
+                .str("outcome", label)
+                .num("units", units)
+        });
+        result.outcome
+    } else {
+        session
+            .run(&cell.workload[q], Some(cell.timeout_units))
+            .expect("grid workloads bind against their databases")
+            .outcome
+    };
+    (outcome, t0.elapsed().as_secs_f64())
 }
 
 fn json_escape(s: &str) -> String {
@@ -465,6 +661,112 @@ mod tests {
             .expect("operator events");
         assert!(op.contains("\"est_cost\":"), "missing estimates: {op}");
         assert!(op.contains("\"units\":"), "missing actuals: {op}");
+    }
+
+    #[test]
+    fn poisoned_cell_fails_alone_and_resume_completes_bit_exactly() {
+        let (db, qs) = setup();
+        let p = build_p(&db, "NREF");
+        let c1 = build_1c(&db, "NREF");
+        let cells = [
+            GridCell {
+                family: "F1",
+                db: &db,
+                built: &p,
+                workload: &qs,
+                timeout_units: 500.0,
+            },
+            GridCell {
+                family: "F1",
+                db: &db,
+                built: &c1,
+                workload: &qs,
+                timeout_units: 500.0,
+            },
+            GridCell {
+                family: "F2",
+                db: &db,
+                built: &p,
+                workload: &qs[..3],
+                timeout_units: 10.0,
+            },
+        ];
+        let clean = run_grid(&cells, Parallelism::sequential());
+
+        let path = std::env::temp_dir().join(format!("tab_grid_ckpt_{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let plan = tab_storage::FaultPlan::parse("panic:cell:F1/NREF_1C").expect("spec");
+        for threads in [1, 4] {
+            // Crash: the poisoned cell fails, siblings are journaled.
+            let journal = CheckpointJournal::open(&path, "t", false).expect("open journal");
+            let err = run_grid_checkpointed(
+                &cells,
+                Parallelism::new(threads),
+                Trace::disabled(),
+                Faults::to(&plan),
+                Some(&journal),
+            )
+            .expect_err("poisoned cell must fail the grid");
+            match &err {
+                GridError::Poisoned { failed, completed } => {
+                    assert_eq!(failed.len(), 1, "threads={threads}");
+                    assert_eq!(failed[0].family, "F1");
+                    assert_eq!(failed[0].config, "NREF_1C");
+                    assert!(failed[0].panic.message.contains("cell:F1/NREF_1C"));
+                    assert_eq!(*completed, 2, "threads={threads}");
+                }
+                other => panic!("unexpected error: {other}"),
+            }
+            assert_eq!(journal.cells(), 2);
+
+            // Resume: only the poisoned cell re-executes (faults now
+            // disarmed), and the merged result matches a clean run
+            // outcome-for-outcome.
+            let journal = CheckpointJournal::open(&path, "t", true).expect("reopen");
+            assert_eq!(journal.cells(), 2);
+            let resumed = run_grid_checkpointed(
+                &cells,
+                Parallelism::new(threads),
+                Trace::disabled(),
+                Faults::disabled(),
+                Some(&journal),
+            )
+            .expect("resume completes");
+            assert_eq!(resumed.len(), clean.len());
+            for ((run, timing), (want, _)) in resumed.iter().zip(&clean) {
+                assert_eq!(run.config, want.config);
+                assert_eq!(run.outcomes, want.outcomes, "threads={threads}");
+                assert_eq!(timing.cost_units, want.total_lower_bound_units());
+            }
+            journal.finish().expect("journal removed after success");
+            assert!(!path.exists());
+        }
+    }
+
+    #[test]
+    fn checkpointed_with_no_journal_matches_run_grid() {
+        let (db, qs) = setup();
+        let p = build_p(&db, "NREF");
+        let cells = [GridCell {
+            family: "F1",
+            db: &db,
+            built: &p,
+            workload: &qs,
+            timeout_units: 500.0,
+        }];
+        let plain = run_grid(&cells, Parallelism::sequential());
+        let bare = run_grid_checkpointed(
+            &cells,
+            Parallelism::new(2),
+            Trace::disabled(),
+            Faults::disabled(),
+            None,
+        )
+        .expect("clean grid");
+        for ((a, ta), (b, tb)) in bare.iter().zip(&plain) {
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(ta.cost_units, tb.cost_units);
+        }
     }
 
     #[test]

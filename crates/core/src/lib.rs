@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 
 pub mod cfc;
+pub mod checkpoint;
 pub mod experiment;
 pub mod goal;
 pub mod grid;
@@ -31,6 +32,7 @@ pub mod measure;
 pub mod report;
 
 pub use cfc::Cfc;
+pub use checkpoint::{CheckpointError, CheckpointJournal};
 pub use experiment::{
     build_1c, build_p, insertion_breakeven, per_insert_cost, prepare_workload, prepare_workload_db,
     prepare_workload_db_with, space_budget, table1_row, InsertionAnalysis, Suite, SuiteParams,
@@ -38,8 +40,8 @@ pub use experiment::{
 };
 pub use goal::{improvement_ratio, Goal};
 pub use grid::{
-    advisor_bench_json, bench_json, run_grid, run_grid_traced, timings_json, AdvisorBenchRecord,
-    CellTiming, GridCell, PhaseTiming,
+    advisor_bench_json, bench_json, run_grid, run_grid_checkpointed, run_grid_traced, timings_json,
+    AdvisorBenchRecord, CellTiming, FailedCell, GridCell, GridError, PhaseTiming,
 };
 pub use histogram::{LogHistogram, RatioHistogram};
 pub use measure::{
@@ -48,6 +50,7 @@ pub use measure::{
     run_workload_with, UpdateWorkloadRun, WorkloadOp, WorkloadRun,
 };
 pub use tab_storage::Parallelism;
+pub use tab_storage::{atomic_write, FaultPlan, Faults, JobPanic};
 pub use tab_storage::{
     FileTraceSink, MemoryTraceSink, StderrTraceSink, Trace, TraceEvent, TraceSink,
 };

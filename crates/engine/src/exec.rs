@@ -9,7 +9,7 @@
 //!
 //! Intermediate tuples are **not** vectors of values. A tuple is a
 //! fixed-width array of [`RowId`]s — one `u32` slot per relation in the
-//! bound query — stored back to back in a flat [`Arena`]. Joins append
+//! bound query — stored back to back in a flat `Arena`. Joins append
 //! row ids; column values are fetched from base tables (or materialized
 //! views) only at predicate evaluation, join-key extraction, and final
 //! projection/aggregation, through [`Table::value`]. This removes the
@@ -17,7 +17,7 @@
 //! executor's profile.
 //!
 //! Join and group-by keys are interned to dense `u64` ids via a
-//! per-operation value dictionary ([`KeyInterner`]); hash buckets and
+//! per-operation value dictionary (`KeyInterner`); hash buckets and
 //! group states are indexed by id. Single-column integer equi-joins —
 //! every join in the NREF2J/NREF3J/TH3J families — take a
 //! zero-allocation fast path keyed directly on `i64`.
@@ -28,7 +28,7 @@
 //! executor iterates: n pages for a scan, one row per tuple entering an
 //! operator, one row per emitted match. Charges here are batched (one
 //! `charge_rows(n)` per operator input, a pending counter flushed every
-//! [`ROW_CHARGE_BATCH`] emitted matches), which is safe because charges
+//! `ROW_CHARGE_BATCH` emitted matches), which is safe because charges
 //! are non-negative and the budget check is monotone — see the invariant
 //! note on [`CostMeter`].
 

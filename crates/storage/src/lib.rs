@@ -17,6 +17,7 @@
 pub mod config;
 pub mod csv;
 pub mod db;
+pub mod fault;
 pub mod index;
 pub mod mview;
 pub mod par;
@@ -29,9 +30,10 @@ pub mod value;
 pub use config::{BuildReport, BuiltConfiguration, Configuration, MViewDef};
 pub use csv::{export_table, import_table, CsvError};
 pub use db::Database;
+pub use fault::{atomic_write, FaultKind, FaultPlan, Faults, TraceFault};
 pub use index::{BTreeIndex, IndexSpec, Probe};
 pub use mview::{MViewSpec, MaterializedView};
-pub use par::{par_map, par_run, Job, Parallelism};
+pub use par::{par_map, par_map_catch, par_run, par_run_catch, Job, JobPanic, Parallelism};
 pub use schema::{ColType, ColumnDef, ForeignKey, TableSchema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Row, RowId, Table, PAGE_SIZE};

@@ -48,8 +48,11 @@
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use crate::fault::{tmp_path, FaultPlan, TraceFault};
 
 /// A destination for trace lines. Implementations must be cheap to call
 /// and safe to share across the parallel harness's worker threads.
@@ -190,25 +193,109 @@ pub fn json_escape(s: &str) -> String {
 /// A sink appending lines to a file through a buffered writer. Lines
 /// from concurrent workers are serialized by a mutex, so each line lands
 /// intact (order across workers is unspecified).
+///
+/// The sink is crash-consistent: lines stream into the staging file
+/// `<path>.tmp`, and [`FileTraceSink::finish`] renames it to the final
+/// path only once the run completes, so a killed run never leaves a
+/// half-written trace where a reader expects a complete one. Write
+/// failures (real or injected via a [`FaultPlan`] arm at site `trace`)
+/// never abort the run being observed — the sink goes silent and
+/// records the failure for [`FileTraceSink::error`] to report.
 pub struct FileTraceSink {
     w: Mutex<BufWriter<File>>,
+    path: PathBuf,
+    fault: Option<TraceFault>,
+    lines: AtomicU64,
+    error: Mutex<Option<String>>,
 }
 
 impl FileTraceSink {
-    /// Create (truncating) the trace file at `path`.
+    /// Create the sink, truncating any previous staging file. The
+    /// final path is only written by [`FileTraceSink::finish`].
     pub fn create(path: &Path) -> std::io::Result<Self> {
         Ok(FileTraceSink {
-            w: Mutex::new(BufWriter::new(File::create(path)?)),
+            w: Mutex::new(BufWriter::new(File::create(tmp_path(path))?)),
+            path: path.to_path_buf(),
+            fault: None,
+            lines: AtomicU64::new(0),
+            error: Mutex::new(None),
         })
+    }
+
+    /// [`FileTraceSink::create`] with the plan's trace faults armed
+    /// (simulated ENOSPC or a torn tail — see [`FaultPlan::trace_fault`]).
+    pub fn create_with_faults(path: &Path, plan: &FaultPlan) -> std::io::Result<Self> {
+        let mut sink = Self::create(path)?;
+        sink.fault = plan.trace_fault();
+        Ok(sink)
+    }
+
+    /// The first write failure, if the sink has gone silent. A failed
+    /// trace is a missing artifact the harness reports at exit.
+    pub fn error(&self) -> Option<String> {
+        self.error
+            .lock()
+            .expect("trace error slot poisoned")
+            .clone()
+    }
+
+    fn record_error(&self, msg: String) {
+        let mut slot = self.error.lock().expect("trace error slot poisoned");
+        slot.get_or_insert(msg);
+    }
+
+    /// Flush and publish the staged trace at its final path. If the
+    /// sink failed mid-run the partial bytes stay at `<path>.tmp` (the
+    /// final path never holds a torn artifact) and the recorded error
+    /// is returned.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        if let Some(msg) = self.error() {
+            let mut w = self.w.lock().expect("trace writer poisoned");
+            let _ = w.flush();
+            return Err(std::io::Error::other(msg));
+        }
+        {
+            let mut w = self.w.lock().expect("trace writer poisoned");
+            w.flush()?;
+        }
+        std::fs::rename(tmp_path(&self.path), &self.path)?;
+        Ok(self.path)
     }
 }
 
 impl TraceSink for FileTraceSink {
     fn emit(&self, line: &str) {
+        // Trace output is best-effort diagnostics: a full disk (real or
+        // injected) must not abort the benchmark run it is observing.
         let mut w = self.w.lock().expect("trace writer poisoned");
-        // Trace output is best-effort diagnostics: a full disk must not
-        // abort the benchmark run it is observing.
-        let _ = writeln!(w, "{line}");
+        if self.error().is_some() {
+            return; // already failed — stay silent
+        }
+        if let Some(fault) = self.fault {
+            // The line counter lives under the writer lock, so exactly
+            // `after_lines` complete lines precede the failure.
+            let n = self.lines.fetch_add(1, Ordering::Relaxed);
+            if n >= fault.after_lines {
+                if fault.torn && n == fault.after_lines {
+                    // A crash's torn tail: half a line, no newline.
+                    let _ = w.write_all(line.as_bytes()[..line.len() / 2].as_ref());
+                    let _ = w.flush();
+                }
+                self.record_error(format!(
+                    "trace sink failed after {} lines ({})",
+                    fault.after_lines,
+                    if fault.torn {
+                        "injected torn write"
+                    } else {
+                        "injected ENOSPC"
+                    }
+                ));
+                return;
+            }
+        }
+        if let Err(e) = writeln!(w, "{line}") {
+            self.record_error(format!("trace write failed: {e}"));
+        }
     }
 }
 
@@ -297,5 +384,49 @@ mod tests {
     #[test]
     fn escape_covers_controls() {
         assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn file_sink_stages_then_publishes_atomically() {
+        let dir = std::env::temp_dir().join(format!("tab_trace_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.jsonl");
+        let sink = FileTraceSink::create(&path).expect("create");
+        Trace::to(&sink).span_begin("grid");
+        // Mid-run the final path does not exist — only the staging file.
+        assert!(!path.exists(), "final path must not appear mid-run");
+        assert!(tmp_path(&path).exists());
+        let published = sink.finish().expect("finish");
+        assert_eq!(published, path);
+        assert!(path.exists() && !tmp_path(&path).exists());
+        let text = std::fs::read_to_string(&path).expect("read trace");
+        assert!(text.contains("\"event\":\"span_begin\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_trace_faults_tear_then_silence_without_aborting() {
+        let dir = std::env::temp_dir().join(format!("tab_trace_fault_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.jsonl");
+        let plan = FaultPlan::parse("truncate:trace:2").expect("spec");
+        let sink = FileTraceSink::create_with_faults(&path, &plan).expect("create");
+        let trace = Trace::to(&sink);
+        for i in 0..5 {
+            trace.emit(|| TraceEvent::new("query").int("query", i));
+        }
+        let err = sink.error().expect("sink records its failure");
+        assert!(err.contains("after 2 lines"), "{err}");
+        // finish() refuses to publish the torn trace; the partial bytes
+        // stay at the staging path for post-mortem.
+        let fin = sink.finish().expect_err("torn trace must not publish");
+        assert!(fin.to_string().contains("after 2 lines"), "{fin}");
+        assert!(!path.exists(), "torn trace must not reach the final path");
+        let torn = std::fs::read_to_string(tmp_path(&path)).expect("staging bytes");
+        // Exactly two complete lines, then a torn fragment.
+        let complete = torn.lines().filter(|l| l.ends_with('}')).count();
+        assert_eq!(complete, 2, "torn tail: {torn:?}");
+        assert!(!torn.ends_with('\n'), "tail must be torn: {torn:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

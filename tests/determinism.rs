@@ -21,6 +21,8 @@ fn tiny(out: &Path, threads: usize) -> ReproConfig {
         .with_threads(threads),
         out_dir: out.to_path_buf(),
         trace: None,
+        faults: None,
+        resume: false,
     }
 }
 
@@ -44,9 +46,9 @@ fn repro_outputs_identical_at_one_and_four_threads() {
     let base = std::env::temp_dir().join(format!("tab_determinism_{}", std::process::id()));
     let dirs = [base.join("t1"), base.join("t1b"), base.join("t4")];
     let summaries = [
-        run_all(&tiny(&dirs[0], 1)),
-        run_all(&tiny(&dirs[1], 1)),
-        run_all(&tiny(&dirs[2], 4)),
+        run_all(&tiny(&dirs[0], 1)).expect("clean run at 1 thread"),
+        run_all(&tiny(&dirs[1], 1)).expect("clean repeat run"),
+        run_all(&tiny(&dirs[2], 4)).expect("clean run at 4 threads"),
     ];
 
     // Claims agree across repeats and thread counts, verdicts included.

@@ -1,0 +1,239 @@
+//! The crash-consistency contract end to end: a repro run killed by an
+//! injected fault (poisoned grid cell, ENOSPC on an artifact, torn
+//! trace) exits with a typed error instead of panicking, leaves a
+//! `tab-checkpoint-v1` journal behind, and a rerun with `--resume`
+//! produces outputs byte-identical to a never-interrupted run — at any
+//! thread count, including resuming at a different thread count than
+//! the crash happened at.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use tab_bench::eval::SuiteParams;
+use tab_bench::storage::{par_map, par_map_catch, FaultPlan, Parallelism};
+use tab_bench_harness::repro::{run_all, ReproConfig, ReproError};
+
+fn tiny(out: &Path, threads: usize) -> ReproConfig {
+    ReproConfig {
+        params: SuiteParams {
+            nref_proteins: 400,
+            tpch_scale: 0.002,
+            workload_size: 8,
+            timeout_units: 500.0,
+            seed: 7,
+            ..SuiteParams::small()
+        }
+        .with_threads(threads),
+        out_dir: out.to_path_buf(),
+        trace: None,
+        faults: None,
+        resume: false,
+    }
+}
+
+/// Read every output file, excluding `timings.json` and the `BENCH_*`
+/// records — both hold wall-clock, which varies run to run.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("read output dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == "timings.json" || name.starts_with("BENCH_") {
+            continue;
+        }
+        out.insert(name, std::fs::read(entry.path()).expect("read output file"));
+    }
+    out
+}
+
+fn assert_same_outputs(got_dir: &Path, want: &BTreeMap<String, Vec<u8>>, label: &str) {
+    let got = snapshot(got_dir);
+    assert_eq!(
+        got.keys().collect::<Vec<_>>(),
+        want.keys().collect::<Vec<_>>(),
+        "{label}: different output file sets"
+    );
+    for (name, bytes) in want {
+        assert_eq!(
+            &got[name], bytes,
+            "{label}: {name} differs from a clean run"
+        );
+    }
+}
+
+#[test]
+fn poisoned_cell_then_resume_is_byte_identical_across_thread_counts() {
+    let base = std::env::temp_dir().join(format!("tab_fault_poison_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    let clean_dir = base.join("clean");
+    run_all(&tiny(&clean_dir, 1)).expect("clean baseline run");
+    let want = snapshot(&clean_dir);
+    assert!(
+        !clean_dir.join("repro.checkpoint.jsonl").exists(),
+        "a successful run must remove its checkpoint journal"
+    );
+
+    // Crash at a mid-grid cell, then resume — at 1 and at 4 threads.
+    // The resume deliberately uses a different thread count than the
+    // crash (the journal fingerprint excludes parallelism).
+    for (crash_threads, resume_threads) in [(1, 4), (4, 1)] {
+        let dir = base.join(format!("t{crash_threads}"));
+        let plan = FaultPlan::parse("panic:cell:NREF3J/NREF_1C").expect("spec");
+        let mut cfg = tiny(&dir, crash_threads).with_faults(plan);
+        let err = run_all(&cfg).expect_err("poisoned cell must fail the run");
+        match &err {
+            ReproError::Grid { message } => {
+                assert!(message.contains("NREF3J/NREF_1C"), "{message}");
+                assert!(message.contains("cell:NREF3J/NREF_1C"), "{message}");
+            }
+            other => panic!("expected Grid error, got: {other}"),
+        }
+        let journal = dir.join("repro.checkpoint.jsonl");
+        assert!(journal.exists(), "failed run must leave its journal");
+        let text = std::fs::read_to_string(&journal).expect("journal");
+        assert!(
+            text.starts_with("{\"schema\":\"tab-checkpoint-v1\""),
+            "{text}"
+        );
+        assert!(
+            !text.contains("\"family\":\"NREF3J\",\"config\":\"NREF_1C\""),
+            "the poisoned cell must not be journaled:\n{text}"
+        );
+        assert!(
+            text.contains("\"family\":\"NREF3J\",\"config\":\"NREF_P\""),
+            "sibling cells of the poisoned one must be journaled:\n{text}"
+        );
+
+        cfg.faults = None;
+        cfg.resume = true;
+        cfg.params = cfg.params.with_threads(resume_threads);
+        let summary = run_all(&cfg).expect("resume completes the run");
+        assert!(summary.claims.len() > 5, "claims recomputed on resume");
+        assert!(!journal.exists(), "journal removed after successful resume");
+        assert_same_outputs(
+            &dir,
+            &want,
+            &format!("crash@{crash_threads}/resume@{resume_threads}"),
+        );
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn injected_enospc_names_the_artifact_and_resume_recovers() {
+    let base = std::env::temp_dir().join(format!("tab_fault_enospc_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    let clean_dir = base.join("clean");
+    run_all(&tiny(&clean_dir, 2)).expect("clean baseline run");
+    let want = snapshot(&clean_dir);
+
+    let dir = base.join("faulted");
+    let plan = FaultPlan::parse("enospc:claims.csv").expect("spec");
+    let mut cfg = tiny(&dir, 2).with_faults(plan);
+    let err = run_all(&cfg).expect_err("full disk on claims.csv must fail the run");
+    match &err {
+        ReproError::Artifact { path, source } => {
+            assert!(
+                path.ends_with("claims.csv"),
+                "wrong artifact: {}",
+                path.display()
+            );
+            assert!(source.to_string().contains("claims.csv"), "{source}");
+        }
+        other => panic!("expected Artifact error, got: {other}"),
+    }
+    // The atomic write discipline: no claims.csv, complete or torn.
+    assert!(!dir.join("claims.csv").exists());
+    assert!(!dir.join("claims.csv.tmp").exists());
+    // The grid finished before the write failed, so every cell is
+    // journaled and the resume replays all of them.
+    assert!(dir.join("repro.checkpoint.jsonl").exists());
+
+    cfg.faults = None;
+    cfg.resume = true;
+    run_all(&cfg).expect("resume rewrites the missing artifacts");
+    assert_same_outputs(&dir, &want, "enospc-resume");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn torn_trace_fails_after_artifacts_but_before_journal_discard() {
+    let base = std::env::temp_dir().join(format!("tab_fault_trace_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    let dir = base.join("out");
+    let trace_path = base.join("trace.jsonl");
+    let plan = FaultPlan::parse("truncate:trace:5").expect("spec");
+    let mut cfg = tiny(&dir, 2)
+        .with_trace(trace_path.clone())
+        .with_faults(plan);
+    let err = run_all(&cfg).expect_err("torn trace must fail the run");
+    match &err {
+        ReproError::TraceSink { message, .. } => {
+            assert!(message.contains("after 5 lines"), "{message}")
+        }
+        other => panic!("expected TraceSink error, got: {other}"),
+    }
+    // The failure is ordered for recoverability: artifacts are written,
+    // the partial trace stays at .tmp (never the final path), and the
+    // journal survives so the trace can be regenerated via --resume.
+    assert!(dir.join("claims.csv").exists());
+    assert!(!trace_path.exists());
+    let tmp = base.join("trace.jsonl.tmp");
+    assert!(tmp.exists(), "partial trace preserved for inspection");
+    let partial = std::fs::read_to_string(&tmp).expect("partial trace");
+    assert_eq!(partial.lines().count(), 6, "5 whole lines + the torn tail");
+    assert!(!partial.ends_with('\n'), "tail line is torn mid-write");
+    assert!(dir.join("repro.checkpoint.jsonl").exists());
+
+    cfg.faults = None;
+    cfg.resume = true;
+    run_all(&cfg).expect("resume with a healthy sink");
+    // The resumed run replays every journaled cell, so its trace holds
+    // advisor and span events but no re-executed query events; what
+    // matters is that it published atomically to the final path.
+    assert!(trace_path.exists());
+    let trace = std::fs::read_to_string(&trace_path).expect("published trace");
+    assert!(trace
+        .lines()
+        .all(|l| l.starts_with("{\"schema\":\"tab-trace-v1\"")));
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The ISSUE's panic-isolation requirement at the `par_map` layer: one
+/// poisoned job yields an `Err` slot under `par_map_catch` while its
+/// siblings complete, and `par_map` itself re-raises.
+#[test]
+fn par_map_panic_isolation() {
+    let items: Vec<u32> = (0..60).collect();
+    for threads in [1, 4] {
+        let got = par_map_catch(Parallelism::new(threads), &items, |&x| {
+            if x == 17 {
+                panic!("poisoned job {x}");
+            }
+            x + 1
+        });
+        assert_eq!(got.len(), items.len());
+        for (i, r) in got.iter().enumerate() {
+            match r {
+                Ok(v) => assert_eq!(*v, i as u32 + 1, "threads={threads}"),
+                Err(p) => {
+                    assert_eq!(i, 17, "threads={threads}");
+                    assert_eq!(p.message, "poisoned job 17");
+                }
+            }
+        }
+    }
+    let panicked = std::panic::catch_unwind(|| {
+        par_map(Parallelism::new(4), &items, |&x| {
+            assert!(x != 17, "boom");
+            x
+        })
+    });
+    assert!(panicked.is_err(), "par_map re-raises job panics");
+}

@@ -84,6 +84,8 @@ fn tiny(out: &Path) -> ReproConfig {
         .with_threads(2),
         out_dir: out.to_path_buf(),
         trace: None,
+        faults: None,
+        resume: false,
     }
 }
 
@@ -129,8 +131,8 @@ fn traced_repro_outputs_are_byte_identical_to_untraced() {
     let trace_path = base.join("trace.jsonl");
     std::fs::create_dir_all(&base).expect("create temp base");
 
-    run_all(&tiny(&plain_dir));
-    run_all(&tiny(&traced_dir).with_trace(trace_path.clone()));
+    run_all(&tiny(&plain_dir)).expect("untraced run");
+    run_all(&tiny(&traced_dir).with_trace(trace_path.clone())).expect("traced run");
 
     // Every deterministic output file is byte-identical.
     let plain = snapshot(&plain_dir);
