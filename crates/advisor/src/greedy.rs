@@ -69,6 +69,13 @@ pub struct GreedyOptions {
     /// Costs are identical either way; `false` exists for the
     /// cache-equivalence tests and ablations.
     pub cache: bool,
+    /// Stop before a round whose preceding what-if call count has
+    /// reached this budget (the convergence harness's planner-invocation
+    /// ladder). The check runs between rounds on the service's
+    /// deterministic counters, so a budgeted search picks an identical
+    /// prefix of the unbudgeted search at any thread count. `None`
+    /// leaves the search unbudgeted.
+    pub max_whatif_calls: Option<u64>,
 }
 
 impl Default for GreedyOptions {
@@ -80,6 +87,7 @@ impl Default for GreedyOptions {
             perfect_estimates: false,
             par: Parallelism::sequential(),
             cache: true,
+            max_whatif_calls: None,
         }
     }
 }
@@ -94,6 +102,13 @@ pub struct RoundStats {
     pub gain: f64,
     /// Objective value after applying the pick.
     pub objective_after: f64,
+    /// Cumulative what-if requests issued up to and including this
+    /// round — the x-axis of an objective-vs-budget convergence curve.
+    pub whatif_calls: u64,
+    /// Cumulative planner invocations up to and including this round.
+    pub planner_calls: u64,
+    /// Cumulative cache hits up to and including this round.
+    pub cache_hits: u64,
 }
 
 /// Instrumentation from one greedy search, reported in
@@ -110,6 +125,9 @@ pub struct SearchStats {
     pub cache_hits: u64,
     /// Accepted structures, in pick order.
     pub rounds: Vec<RoundStats>,
+    /// Objective value of the starting configuration, anchoring round 0
+    /// of a convergence curve.
+    pub initial_objective: f64,
     /// Wall-clock seconds spent in the search.
     pub wall_seconds: f64,
 }
@@ -284,6 +302,22 @@ pub fn greedy_select_traced(
     let mut rounds: Vec<RoundStats> = Vec::new();
     let mut w_prev = svc.stats();
     for _round in 0..opts.max_structures {
+        // The what-if budget gates *entry* into a round: counters are
+        // deterministic between rounds at any thread count, so a
+        // budgeted search picks a prefix of the unbudgeted one.
+        if let Some(budget) = opts.max_whatif_calls {
+            if svc.stats().whatif_calls >= budget {
+                trace.emit(|| {
+                    TraceEvent::new("advisor_stop")
+                        .str("advisor", name)
+                        .int("round", rounds.len() as u64)
+                        .str("reason", "whatif budget exhausted")
+                        .int("whatif_calls", svc.stats().whatif_calls)
+                        .int("max_whatif_calls", budget)
+                });
+                break;
+            }
+        }
         // Invariant within the round (hoisted out of the candidate loop:
         // under `Objective::Percentile` it re-sorts the cost vector).
         let before = objective_value(&costs, opts.objective);
@@ -359,15 +393,18 @@ pub fn greedy_select_traced(
         active[ci] = false;
         chosen_ids.push(ci as u32);
         let objective_after = objective_value(&costs, opts.objective);
+        let w_now = svc.stats();
+        let delta = w_now - w_prev;
+        w_prev = w_now;
         rounds.push(RoundStats {
             candidate: ci,
             gain,
             objective_after,
+            whatif_calls: w_now.whatif_calls,
+            planner_calls: w_now.planner_calls,
+            cache_hits: w_now.cache_hits,
         });
         if trace.is_enabled() {
-            let w_now = svc.stats();
-            let delta = w_now - w_prev;
-            w_prev = w_now;
             trace.emit(|| {
                 TraceEvent::new("advisor_round")
                     .str("advisor", name)
@@ -402,6 +439,7 @@ pub fn greedy_select_traced(
         planner_calls: w.planner_calls,
         cache_hits: w.cache_hits,
         rounds,
+        initial_objective: initial_total,
         wall_seconds: t_start.elapsed().as_secs_f64(),
     };
     (chosen, stats)
@@ -482,6 +520,75 @@ mod tests {
         let b = candidate_bytes(&db, &p, &Candidate::Index(IndexSpec::new("t", vec![1])));
         // 20k rows at ~20 bytes/entry: a few hundred KB at most.
         assert!(b > 8 * 1024 && b < 4 * 1024 * 1024, "b={b}");
+    }
+
+    #[test]
+    fn whatif_budget_stops_search_on_a_prefix() {
+        let db = db();
+        let p = BuiltConfiguration::build(p_configuration(&db, "P"), &db);
+        let w: Vec<_> = (0..5)
+            .map(|i| {
+                parse(&format!(
+                    "SELECT t.g, COUNT(*) FROM t WHERE t.a = {i} GROUP BY t.g"
+                ))
+                .unwrap()
+            })
+            .collect();
+        let cands = generate(&db, &w, CandidateStyle::SingleColumn);
+        let (_, full) = greedy_select_with_stats(
+            &db,
+            &p,
+            &w,
+            cands.clone(),
+            50 * 1024 * 1024,
+            "R",
+            GreedyOptions::default(),
+        );
+        assert!(!full.rounds.is_empty());
+        assert!(full.initial_objective > 0.0);
+        // Cumulative per-round counters are monotone and end at the
+        // search totals.
+        for pair in full.rounds.windows(2) {
+            assert!(pair[0].whatif_calls <= pair[1].whatif_calls);
+        }
+        assert_eq!(
+            full.rounds.last().unwrap().whatif_calls,
+            full.whatif_calls,
+            "last round's cumulative counter is the total"
+        );
+        // A budget below the initial pricing cost stops before round 1,
+        // and any budgeted run picks a prefix of the unbudgeted rounds.
+        for budget in [1, full.rounds[0].whatif_calls] {
+            let (_, b) = greedy_select_with_stats(
+                &db,
+                &p,
+                &w,
+                cands.clone(),
+                50 * 1024 * 1024,
+                "R",
+                GreedyOptions {
+                    max_whatif_calls: Some(budget),
+                    ..GreedyOptions::default()
+                },
+            );
+            assert!(b.rounds.len() <= full.rounds.len());
+            for (br, fr) in b.rounds.iter().zip(&full.rounds) {
+                assert_eq!(br.candidate, fr.candidate, "budgeted picks a prefix");
+            }
+        }
+        let (_, tiny) = greedy_select_with_stats(
+            &db,
+            &p,
+            &w,
+            cands,
+            50 * 1024 * 1024,
+            "R",
+            GreedyOptions {
+                max_whatif_calls: Some(1),
+                ..GreedyOptions::default()
+            },
+        );
+        assert!(tiny.rounds.is_empty(), "{tiny:?}");
     }
 
     /// Two independent tables: a pick on one table leaves the other

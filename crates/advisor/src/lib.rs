@@ -27,5 +27,5 @@ pub use greedy::{
     candidate_bytes, greedy_select, greedy_select_traced, greedy_select_with_stats, GreedyOptions,
     Objective, RoundStats, SearchStats,
 };
-pub use profiles::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};
+pub use profiles::{AdvisorInput, Recommender, SearchLimits, SystemA, SystemB, SystemC};
 pub use whatif::{WhatIfService, WhatIfStats};

@@ -45,6 +45,21 @@ pub struct AdvisorInput<'a> {
     pub trace: Trace<'a>,
 }
 
+/// Explicit resource limits on one recommendation request — the
+/// convergence harness's knobs. The default is unlimited in both
+/// dimensions (beyond each profile's own stopping rules), which is what
+/// every pre-existing `recommend` call gets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchLimits {
+    /// Cap on accepted structures (greedy rounds); `None` keeps the
+    /// profile's default.
+    pub max_structures: Option<usize>,
+    /// Cap on what-if cost requests, checked between rounds; `None`
+    /// leaves the search unbudgeted. See
+    /// [`GreedyOptions::max_whatif_calls`].
+    pub max_whatif_calls: Option<u64>,
+}
+
 /// A configuration recommender.
 pub trait Recommender {
     /// The profile's display name (`A`, `B`, or `C`).
@@ -62,15 +77,29 @@ pub trait Recommender {
     fn recommend_with_stats(
         &self,
         input: &AdvisorInput<'_>,
+    ) -> (Option<Configuration>, SearchStats) {
+        self.recommend_budgeted(input, SearchLimits::default())
+    }
+
+    /// [`Recommender::recommend_with_stats`] under explicit
+    /// [`SearchLimits`] — how the convergence harness sweeps a what-if
+    /// budget ladder without re-deriving candidates per profile.
+    fn recommend_budgeted(
+        &self,
+        input: &AdvisorInput<'_>,
+        limits: SearchLimits,
     ) -> (Option<Configuration>, SearchStats);
 }
 
-/// The shared per-profile search options: the caller's thread budget on
-/// top of the defaults.
-fn search_options(input: &AdvisorInput<'_>) -> GreedyOptions {
+/// The shared per-profile search options: the caller's thread budget and
+/// explicit limits on top of the defaults.
+fn search_options(input: &AdvisorInput<'_>, limits: SearchLimits) -> GreedyOptions {
+    let base = GreedyOptions::default();
     GreedyOptions {
         par: input.par,
-        ..GreedyOptions::default()
+        max_structures: limits.max_structures.unwrap_or(base.max_structures),
+        max_whatif_calls: limits.max_whatif_calls,
+        ..base
     }
 }
 
@@ -97,9 +126,10 @@ impl Recommender for SystemA {
         "A"
     }
 
-    fn recommend_with_stats(
+    fn recommend_budgeted(
         &self,
         input: &AdvisorInput<'_>,
+        limits: SearchLimits,
     ) -> (Option<Configuration>, SearchStats) {
         let cands = generate(input.db, input.workload, CandidateStyle::SingleColumn);
         if cands.len() * input.workload.len() > self.capacity_limit {
@@ -114,7 +144,7 @@ impl Recommender for SystemA {
             cands,
             input.budget_bytes,
             "R",
-            search_options(input),
+            search_options(input, limits),
             input.trace,
         );
         (Some(cfg), stats)
@@ -130,9 +160,10 @@ impl Recommender for SystemB {
         "B"
     }
 
-    fn recommend_with_stats(
+    fn recommend_budgeted(
         &self,
         input: &AdvisorInput<'_>,
+        limits: SearchLimits,
     ) -> (Option<Configuration>, SearchStats) {
         let cands = generate(input.db, input.workload, CandidateStyle::Covering);
         let (cfg, stats) = greedy_select_traced(
@@ -142,7 +173,7 @@ impl Recommender for SystemB {
             cands,
             input.budget_bytes,
             "R",
-            search_options(input),
+            search_options(input, limits),
             input.trace,
         );
         (Some(cfg), stats)
@@ -159,9 +190,10 @@ impl Recommender for SystemC {
         "C"
     }
 
-    fn recommend_with_stats(
+    fn recommend_budgeted(
         &self,
         input: &AdvisorInput<'_>,
+        limits: SearchLimits,
     ) -> (Option<Configuration>, SearchStats) {
         let cands = generate(input.db, input.workload, CandidateStyle::CoveringWithViews);
         let (cfg, stats) = greedy_select_traced(
@@ -171,7 +203,7 @@ impl Recommender for SystemC {
             cands,
             input.budget_bytes,
             "R",
-            search_options(input),
+            search_options(input, limits),
             input.trace,
         );
         (Some(cfg), stats)

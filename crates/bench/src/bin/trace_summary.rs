@@ -5,10 +5,15 @@
 //! cargo run --release -p tab-bench-harness --bin repro -- --small --trace trace.jsonl
 //! cargo run --release -p tab-bench-harness --bin trace_summary -- trace.jsonl
 //! ```
+//!
+//! Exits 1 when the trace has malformed lines or a torn tail — the
+//! summary is still printed (with a trailing `WARNING:` damage report),
+//! but scripts get a signal that the input was not fully parsed.
 
 use std::process::ExitCode;
 
 use tab_bench_harness::trace_summary::summarize;
+use tab_storage::read_trace;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,7 +24,10 @@ fn main() -> ExitCode {
     match std::fs::read_to_string(path) {
         Ok(input) => {
             print!("{}", summarize(&input));
-            ExitCode::SUCCESS
+            match read_trace(&input).damage_report() {
+                Some(_) => ExitCode::FAILURE,
+                None => ExitCode::SUCCESS,
+            }
         }
         Err(e) => {
             eprintln!("cannot read {path}: {e}");

@@ -7,5 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod converge;
+pub mod replay;
 pub mod repro;
 pub mod trace_summary;

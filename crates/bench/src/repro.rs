@@ -9,7 +9,11 @@ use std::io;
 use std::path::PathBuf;
 use std::time::Instant;
 
+use crate::converge::{run_convergence, ConvergenceSpec};
 use tab_advisor::{AdvisorInput, Recommender, SearchStats, SystemA, SystemB, SystemC};
+use tab_core::convergence::{
+    convergence_csv_rows, convergence_json, render_convergence_table, CSV_HEADER,
+};
 use tab_core::report::{
     cfc_csv_rows, render_cfc_ascii, render_histogram_ascii, write_bytes_with, write_csv_with,
 };
@@ -971,9 +975,35 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
     drop(b2);
     drop(b3);
     drop(c1);
+    ctx.mark("analysis");
+
+    // Convergence harness: profiles A/B/C over the default what-if
+    // budget ladder on NREF2J (the one family every profile can
+    // handle). Each budgeted search picks a prefix of the unbudgeted
+    // one, so the curves — unlike the `BENCH_*` timing records — carry
+    // no wall-clock and byte-compare across runs and thread counts.
+    ctx.log("NREF: convergence harness (profiles A/B/C x what-if ladder on NREF2J)");
+    trace.span_begin("convergence");
+    let convergence = run_convergence(
+        nref,
+        &p,
+        "NREF2J",
+        &w2,
+        budget,
+        par,
+        trace,
+        &ConvergenceSpec::default(),
+    )
+    .expect("default spec names valid profiles");
+    trace.span_end("convergence");
+    ctx.figure(
+        "Convergence: objective vs what-if budget, NREF2J (profiles A/B/C)",
+        &render_convergence_table(&convergence),
+    );
+    ctx.mark("convergence");
+
     drop(p);
     drop(nref_db);
-    ctx.mark("analysis");
     trace.span_end("NREF");
 
     // ================= TPC-H (System C) =================
@@ -1192,6 +1222,22 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
         "totals_lower_bounds.csv",
         &["family", "configuration", "total_lb_s", "timeouts"],
         &totals_csv,
+    )?;
+
+    // Convergence curves (profiles x what-if ladder). Both artifacts
+    // carry no wall-clock: `convergence.csv` participates in the
+    // determinism byte-compare like every other CSV, and
+    // `BENCH_convergence.json` is the one `BENCH_*` file that is
+    // deterministic too (covered by an explicit test, since `BENCH_*`
+    // names are skipped by the generic byte-compare).
+    ctx.csv(
+        "convergence.csv",
+        &CSV_HEADER,
+        &convergence_csv_rows(&convergence),
+    )?;
+    ctx.bytes(
+        "BENCH_convergence.json",
+        convergence_json(&convergence).as_bytes(),
     )?;
 
     let claim_rows: Vec<Vec<String>> = ctx

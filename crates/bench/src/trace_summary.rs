@@ -8,36 +8,16 @@
 //! operator kind), the number of instances, total metered cost units,
 //! and total rows produced.
 //!
-//! The parser is deliberately narrow: it only reads lines produced by
-//! [`tab_core::TraceEvent`], whose rendering never puts a space after
-//! the `"key":` colon, so scalar fields can be extracted with a string
-//! scan instead of a JSON dependency.
+//! Parsing is delegated to `tab-storage`'s typed
+//! [`read_trace`](tab_storage::read_trace) reader — the same layer under
+//! `tab replay` and `tab tracediff` — so malformed lines and torn tails
+//! are *counted and reported* at the end of the summary instead of
+//! silently dropped.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Extract the raw scalar value of `key` from one flat JSONL event line
-/// (`None` when absent). Handles the string/number/null forms
-/// [`tab_core::TraceEvent`] emits; not a general JSON parser.
-fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\":");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    if let Some(s) = rest.strip_prefix('"') {
-        // String value: trace keys never contain escaped quotes, and
-        // label values escape them as \" — scan for the bare quote.
-        let mut prev = b' ';
-        for (i, b) in s.bytes().enumerate() {
-            if b == b'"' && prev != b'\\' {
-                return Some(&s[..i]);
-            }
-            prev = b;
-        }
-        None
-    } else {
-        Some(rest.split([',', '}']).next().unwrap_or(rest).trim())
-    }
-}
+use tab_storage::{read_trace, TraceRecord};
 
 /// The operator kind of a label: its leading alphanumeric run, so
 /// `IndexScan(protein cols=[2])` and `IndexScan(source ...)` aggregate
@@ -66,53 +46,48 @@ struct CellAgg {
 
 /// Summarize a full `tab-trace-v1` document: one row per (family,
 /// config, operator kind) with instance counts, metered units, rows, and
-/// probes, followed by per-(family, config) query/timeout totals. Lines
-/// that are not `operator` or `query` events are ignored.
+/// probes, followed by per-(family, config) query/timeout totals.
+/// Events other than `operator` and `query` are ignored; lines that fail
+/// to parse (and a torn tail) are accounted for in a trailing damage
+/// report rather than silently skipped.
 pub fn summarize(input: &str) -> String {
+    let doc = read_trace(input);
     let mut ops: BTreeMap<(String, String, String), OpAgg> = BTreeMap::new();
     let mut cells: BTreeMap<(String, String), CellAgg> = BTreeMap::new();
-    for line in input.lines() {
-        let (Some(event), Some(family), Some(config)) = (
-            field(line, "event"),
-            field(line, "family"),
-            field(line, "config"),
-        ) else {
-            continue;
-        };
-        match event {
-            "operator" => {
-                let label = field(line, "label").unwrap_or("");
+    for rec in &doc.records {
+        match rec {
+            TraceRecord::Operator {
+                family,
+                config,
+                label,
+                rows_out,
+                probes,
+                units,
+                ..
+            } => {
                 let agg = ops
-                    .entry((
-                        family.to_string(),
-                        config.to_string(),
-                        op_kind(label).to_string(),
-                    ))
+                    .entry((family.clone(), config.clone(), op_kind(label).to_string()))
                     .or_default();
                 agg.count += 1;
                 // `units`/`rows_out`/`probes` are absent past the point
                 // where a timed-out query stopped executing.
-                if let Some(u) = field(line, "units").and_then(|v| v.parse::<f64>().ok()) {
-                    agg.units += u;
-                }
-                if let Some(r) = field(line, "rows_out").and_then(|v| v.parse::<u64>().ok()) {
-                    agg.rows_out += r;
-                }
-                if let Some(p) = field(line, "probes").and_then(|v| v.parse::<u64>().ok()) {
-                    agg.probes += p;
-                }
+                agg.units += units.unwrap_or(0.0);
+                agg.rows_out += rows_out.unwrap_or(0);
+                agg.probes += probes.unwrap_or(0);
             }
-            "query" => {
-                let agg = cells
-                    .entry((family.to_string(), config.to_string()))
-                    .or_default();
+            TraceRecord::Query {
+                family,
+                config,
+                outcome,
+                units,
+                ..
+            } => {
+                let agg = cells.entry((family.clone(), config.clone())).or_default();
                 agg.queries += 1;
-                if field(line, "outcome") == Some("timeout") {
+                if outcome == "timeout" {
                     agg.timeouts += 1;
                 }
-                if let Some(u) = field(line, "units").and_then(|v| v.parse::<f64>().ok()) {
-                    agg.units += u;
-                }
+                agg.units += units.unwrap_or(0.0);
             }
             _ => {}
         }
@@ -144,24 +119,16 @@ pub fn summarize(input: &str) -> String {
             a.queries, a.timeouts, a.units
         );
     }
+    if let Some(report) = doc.damage_report() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "WARNING: {report}");
+    }
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn field_extracts_strings_numbers_and_null() {
-        let line = r#"{"schema":"tab-trace-v1","event":"operator","family":"NREF2J","label":"SeqScan(\"t\")","units":1.250,"bad":null,"rows_out":7}"#;
-        assert_eq!(field(line, "event"), Some("operator"));
-        assert_eq!(field(line, "family"), Some("NREF2J"));
-        assert_eq!(field(line, "label"), Some(r#"SeqScan(\"t\")"#));
-        assert_eq!(field(line, "units"), Some("1.250"));
-        assert_eq!(field(line, "bad"), Some("null"));
-        assert_eq!(field(line, "rows_out"), Some("7"));
-        assert_eq!(field(line, "missing"), None);
-    }
 
     #[test]
     fn summarize_aggregates_by_family_config_and_op_kind() {
@@ -196,5 +163,21 @@ mod tests {
             .last()
             .unwrap();
         assert!(p_cell.contains("504.252"), "{p_cell}");
+        assert!(!s.contains("WARNING"), "clean input: {s}");
+    }
+
+    #[test]
+    fn malformed_and_torn_input_is_reported_not_dropped() {
+        let trace = concat!(
+            r#"{"schema":"tab-trace-v1","event":"query","family":"F","config":"P","query":0,"outcome":"done","units":1.000}"#,
+            "\n",
+            "garbage line\n",
+            r#"{"schema":"tab-trace-v1","event":"query","fam"#, // torn
+        );
+        let s = summarize(trace);
+        assert!(s.contains("WARNING"), "{s}");
+        assert!(s.contains("skipped 1 malformed line(s)"), "{s}");
+        assert!(s.contains("line 2"), "{s}");
+        assert!(s.contains("torn tail"), "{s}");
     }
 }

@@ -18,6 +18,11 @@ use std::process::ExitCode;
 
 use args::Args;
 use tab_advisor::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};
+use tab_bench_harness::converge::{run_convergence, ConvergenceSpec};
+use tab_bench_harness::replay::{diff, render_summary, replay_str, report_json, DiffOptions};
+use tab_core::convergence::{
+    convergence_csv_rows, convergence_json, render_convergence_table, CSV_HEADER,
+};
 use tab_core::report::render_cfc_ascii;
 use tab_core::{run_workload_with, Goal, Parallelism};
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
@@ -38,6 +43,15 @@ USAGE:
   tab goal    --db SPEC --family NAME --steps \"10:0.1,60:0.5\" [--config p|1c]
   tab faults  SPEC                    validate a fault-injection spec
                                       (see `repro --faults` / DESIGN.md §10)
+  tab replay    TRACE.jsonl           reconstruct a traced run (exit 1 on a
+                                      torn trace; never half-replays)
+  tab tracediff GOLDEN FRESH [--tolerance REL] [--report PATH]
+                                      structural diff of two traces; exit 1
+                                      and name every divergence (DESIGN.md §11)
+  tab converge  --db SPEC --family NAME [--profiles A,B,C]
+                [--ladder 50,200,800,unlimited] [--max-structures N]
+                [--workload N] [--out DIR]
+                                      objective-vs-budget convergence curves
 
 All commands accept --threads N (worker threads; 0 or absent = all
 cores). Results are identical at any thread count.
@@ -54,21 +68,24 @@ fn main() -> ExitCode {
         }
     };
     let result = match args.command.as_str() {
-        "gen" => cmd_gen(&args),
-        "explain" => cmd_explain(&args),
-        "run" => cmd_run(&args),
-        "advise" => cmd_advise(&args),
-        "bench" => cmd_bench(&args),
-        "goal" => cmd_goal(&args),
-        "faults" => cmd_faults(&args),
+        "gen" => cmd_gen(&args).map(|()| ExitCode::SUCCESS),
+        "explain" => cmd_explain(&args).map(|()| ExitCode::SUCCESS),
+        "run" => cmd_run(&args).map(|()| ExitCode::SUCCESS),
+        "advise" => cmd_advise(&args).map(|()| ExitCode::SUCCESS),
+        "bench" => cmd_bench(&args).map(|()| ExitCode::SUCCESS),
+        "goal" => cmd_goal(&args).map(|()| ExitCode::SUCCESS),
+        "faults" => cmd_faults(&args).map(|()| ExitCode::SUCCESS),
+        "replay" => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
+        "tracediff" => cmd_tracediff(&args),
+        "converge" => cmd_converge(&args).map(|()| ExitCode::SUCCESS),
         "" | "help" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -382,6 +399,120 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     let refs: Vec<(&str, &tab_core::Cfc)> = curves.iter().map(|(l, c)| (l.as_str(), c)).collect();
     let max_x = tab_engine::units_to_sim_seconds(timeout_units) * 1.1;
     println!("\n{}", render_cfc_ascii(&refs, 0.1, max_x, 64, 16));
+    Ok(())
+}
+
+/// `tab replay TRACE.jsonl` — reconstruct a traced run's per-cell
+/// operator totals and advisor searches. A torn trace (crashed writer
+/// or injected `truncate:trace`) is an error, never a half-replay.
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("replay needs a TRACE.jsonl argument")?;
+    let input = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let r = replay_str(&input).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", render_summary(&r));
+    Ok(())
+}
+
+/// `tab tracediff GOLDEN FRESH` — structural diff of two traces. Exits
+/// 0 when structurally identical, 1 with every divergence named
+/// (family/config/query/op or advisor run/round) otherwise. `--report
+/// PATH` additionally writes the machine-readable `tab-tracediff-v1`
+/// document; `--tolerance REL` sets the relative float tolerance
+/// (plan shapes, row/probe counts, outcomes, and picks stay exact).
+fn cmd_tracediff(args: &Args) -> Result<ExitCode, String> {
+    let [golden, fresh] = args.positional.as_slice() else {
+        return Err("tracediff needs GOLDEN and FRESH trace arguments".into());
+    };
+    let tolerance: f64 = args.get_parsed("tolerance")?.unwrap_or(0.0);
+    let read = |path: &str| {
+        let input =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        replay_str(&input).map_err(|e| format!("{path}: {e}"))
+    };
+    let g = read(golden)?;
+    let f = read(fresh)?;
+    let findings = diff(&g, &f, DiffOptions { tolerance });
+    if let Some(report) = args.get("report") {
+        let doc = report_json(golden, fresh, tolerance, &findings);
+        std::fs::write(report, doc).map_err(|e| format!("cannot write {report}: {e}"))?;
+    }
+    if findings.is_empty() {
+        println!(
+            "traces are structurally identical \
+             ({} cells, {} advisor runs, tolerance {tolerance:e})",
+            g.cells.len(),
+            g.advisor_runs.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for fd in &findings {
+            println!("{fd}");
+        }
+        eprintln!(
+            "{} structural divergence(s) between {golden} and {fresh}",
+            findings.len()
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// `tab converge` — sweep recommender profiles over a what-if budget
+/// ladder and print (optionally write) the convergence curves.
+fn cmd_converge(args: &Args) -> Result<(), String> {
+    let (db, label) = load_db(args)?;
+    let family = family_of(args.require("family")?)?;
+    let p = tab_core::build_p(&db, &label);
+    let budget = tab_core::space_budget(&db, &label);
+    let w = workload_for(args, &db, &p, family)?;
+    let mut spec = ConvergenceSpec::default();
+    if let Some(profiles) = args.get("profiles") {
+        spec.profiles = profiles
+            .split(',')
+            .map(|s| s.trim().to_uppercase())
+            .collect();
+    }
+    if let Some(ladder) = args.get("ladder") {
+        spec.budget_ladder = ladder
+            .split(',')
+            .map(|s| {
+                let s = s.trim();
+                if s.eq_ignore_ascii_case("unlimited") || s.eq_ignore_ascii_case("none") {
+                    Ok(None)
+                } else {
+                    s.parse()
+                        .map(Some)
+                        .map_err(|_| format!("bad ladder rung `{s}`"))
+                }
+            })
+            .collect::<Result<_, String>>()?;
+    }
+    spec.max_structures = args.get_parsed("max-structures")?;
+    let curves = run_convergence(
+        &db,
+        &p,
+        family.name(),
+        &w,
+        budget,
+        par_of(args)?,
+        tab_core::Trace::disabled(),
+        &spec,
+    )?;
+    print!("{}", render_convergence_table(&curves));
+    if let Some(dir) = args.get("out") {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let csv = dir.join("convergence.csv");
+        tab_core::report::write_csv(&csv, &CSV_HEADER, &convergence_csv_rows(&curves))
+            .map_err(|e| format!("cannot write {}: {e}", csv.display()))?;
+        let json = dir.join("BENCH_convergence.json");
+        std::fs::write(&json, convergence_json(&curves))
+            .map_err(|e| format!("cannot write {}: {e}", json.display()))?;
+        println!("\nwrote {} and {}", csv.display(), json.display());
+    }
     Ok(())
 }
 

@@ -1,0 +1,330 @@
+//! Convergence curves for recommender searches
+//! (`convergence.csv` / `BENCH_convergence.json`).
+//!
+//! The paper compares recommenders by their *final* picks; this module
+//! keeps the whole trajectory — objective value vs. accepted round and
+//! vs. cumulative what-if budget — so profiles A/B/C can be compared
+//! the way Baybe's `RecommenderConvergenceAnalysis` compares Bayesian
+//! recommenders: as curves under an explicit evaluation budget, not as
+//! endpoints. A [`ConvergenceCurve`] is built straight from the greedy
+//! search's [`SearchStats`] (whose per-round counters are deterministic
+//! at any thread count), so the rendered artifacts contain **no
+//! wall-clock** and are byte-identical across runs and thread counts —
+//! unlike the `BENCH_*` timing records, these participate in the
+//! determinism byte-compare.
+
+use tab_advisor::SearchStats;
+use tab_storage::trace::json_escape;
+
+/// One accepted round on a convergence curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// One-based round number (round 0 is the curve's
+    /// [`ConvergenceCurve::initial_objective`] anchor).
+    pub round: u64,
+    /// Picked candidate's index in the profile's candidate vector.
+    pub candidate: u64,
+    /// Estimated objective gain of the pick.
+    pub gain: f64,
+    /// Objective value after the pick.
+    pub objective: f64,
+    /// Cumulative what-if requests after this round — the budget axis.
+    pub whatif_calls: u64,
+    /// Cumulative planner invocations after this round.
+    pub planner_calls: u64,
+}
+
+/// One recommender profile's trajectory under one what-if budget rung.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceCurve {
+    /// Profile name (`A`, `B`, or `C`).
+    pub profile: String,
+    /// Workload family the search ran over.
+    pub family: String,
+    /// The what-if budget rung, `None` for unlimited.
+    pub whatif_budget: Option<u64>,
+    /// Whether the profile declined to recommend (§4.2's observed
+    /// give-up) — the curve is then empty.
+    pub gave_up: bool,
+    /// Objective value of the starting configuration (round 0).
+    pub initial_objective: f64,
+    /// Accepted rounds in order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl ConvergenceCurve {
+    /// Build a curve from a completed search's stats.
+    pub fn from_stats(
+        profile: &str,
+        family: &str,
+        whatif_budget: Option<u64>,
+        stats: &SearchStats,
+    ) -> Self {
+        ConvergenceCurve {
+            profile: profile.to_string(),
+            family: family.to_string(),
+            whatif_budget,
+            gave_up: false,
+            initial_objective: stats.initial_objective,
+            points: stats
+                .rounds
+                .iter()
+                .enumerate()
+                .map(|(i, r)| CurvePoint {
+                    round: i as u64 + 1,
+                    candidate: r.candidate as u64,
+                    gain: r.gain,
+                    objective: r.objective_after,
+                    whatif_calls: r.whatif_calls,
+                    planner_calls: r.planner_calls,
+                })
+                .collect(),
+        }
+    }
+
+    /// The curve of a profile that gave up before searching.
+    pub fn gave_up(profile: &str, family: &str, whatif_budget: Option<u64>) -> Self {
+        ConvergenceCurve {
+            profile: profile.to_string(),
+            family: family.to_string(),
+            whatif_budget,
+            gave_up: true,
+            initial_objective: 0.0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Final objective: the last point's, or the initial anchor for an
+    /// empty curve.
+    pub fn final_objective(&self) -> f64 {
+        self.points
+            .last()
+            .map_or(self.initial_objective, |p| p.objective)
+    }
+}
+
+/// The `convergence.csv` header.
+pub const CSV_HEADER: [&str; 9] = [
+    "profile",
+    "family",
+    "whatif_budget",
+    "round",
+    "candidate",
+    "gain",
+    "objective",
+    "whatif_calls",
+    "planner_calls",
+];
+
+/// Render a budget rung for CSV/display: the rung or `unlimited`.
+fn budget_label(b: Option<u64>) -> String {
+    b.map_or_else(|| "unlimited".to_string(), |b| b.to_string())
+}
+
+/// CSV rows for a set of curves, including each curve's round-0 anchor
+/// at the initial objective (a gave-up profile contributes a single row
+/// with empty objective fields, so its absence is visible rather than
+/// silent).
+pub fn convergence_csv_rows(curves: &[ConvergenceCurve]) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for c in curves {
+        if c.gave_up {
+            rows.push(vec![
+                c.profile.clone(),
+                c.family.clone(),
+                budget_label(c.whatif_budget),
+                "gave_up".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
+            continue;
+        }
+        rows.push(vec![
+            c.profile.clone(),
+            c.family.clone(),
+            budget_label(c.whatif_budget),
+            "0".into(),
+            String::new(),
+            format!("{:.3}", 0.0),
+            format!("{:.3}", c.initial_objective),
+            "0".into(),
+            "0".into(),
+        ]);
+        for p in &c.points {
+            rows.push(vec![
+                c.profile.clone(),
+                c.family.clone(),
+                budget_label(c.whatif_budget),
+                p.round.to_string(),
+                p.candidate.to_string(),
+                format!("{:.3}", p.gain),
+                format!("{:.3}", p.objective),
+                p.whatif_calls.to_string(),
+                p.planner_calls.to_string(),
+            ]);
+        }
+    }
+    rows
+}
+
+/// Render curves as the `tab-convergence-v1` JSON document. Contains no
+/// wall-clock, so the document is deterministic — CI byte-compares it
+/// across thread counts.
+pub fn convergence_json(curves: &[ConvergenceCurve]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"tab-convergence-v1\",\n  \"curves\": [\n");
+    for (i, c) in curves.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"profile\": \"{}\", \"family\": \"{}\", \"whatif_budget\": {}, \
+             \"gave_up\": {}, \"initial_objective\": {:.3}, \"final_objective\": {:.3}, \
+             \"rounds\": [",
+            json_escape(&c.profile),
+            json_escape(&c.family),
+            c.whatif_budget
+                .map_or_else(|| "null".to_string(), |b| b.to_string()),
+            c.gave_up,
+            c.initial_objective,
+            c.final_objective(),
+        ));
+        for (j, p) in c.points.iter().enumerate() {
+            s.push_str(&format!(
+                "{}{{\"round\": {}, \"candidate\": {}, \"gain\": {:.3}, \
+                 \"objective\": {:.3}, \"whatif_calls\": {}, \"planner_calls\": {}}}",
+                if j == 0 { "" } else { ", " },
+                p.round,
+                p.candidate,
+                p.gain,
+                p.objective,
+                p.whatif_calls,
+                p.planner_calls,
+            ));
+        }
+        s.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 < curves.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Render curves as a compact fixed-width table for terminals and CI
+/// job summaries: one line per curve with its objective trajectory.
+pub fn render_convergence_table(curves: &[ConvergenceCurve]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:<10} {:>14} {:>7} {:>14} {:>14} {:>12}",
+        "profile", "family", "whatif_budget", "rounds", "initial", "final", "whatif_used"
+    );
+    for c in curves {
+        if c.gave_up {
+            let _ = writeln!(
+                out,
+                "{:<8} {:<10} {:>14} {:>7} {:>14} {:>14} {:>12}",
+                c.profile,
+                c.family,
+                budget_label(c.whatif_budget),
+                "-",
+                "gave up",
+                "-",
+                "-"
+            );
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<8} {:<10} {:>14} {:>7} {:>14.3} {:>14.3} {:>12}",
+            c.profile,
+            c.family,
+            budget_label(c.whatif_budget),
+            c.points.len(),
+            c.initial_objective,
+            c.final_objective(),
+            c.points.last().map_or(0, |p| p.whatif_calls)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tab_advisor::RoundStats;
+
+    fn stats() -> SearchStats {
+        SearchStats {
+            candidates: 5,
+            whatif_calls: 30,
+            planner_calls: 20,
+            cache_hits: 10,
+            rounds: vec![
+                RoundStats {
+                    candidate: 3,
+                    gain: 40.0,
+                    objective_after: 60.0,
+                    whatif_calls: 18,
+                    planner_calls: 12,
+                    cache_hits: 6,
+                },
+                RoundStats {
+                    candidate: 1,
+                    gain: 10.0,
+                    objective_after: 50.0,
+                    whatif_calls: 30,
+                    planner_calls: 20,
+                    cache_hits: 10,
+                },
+            ],
+            initial_objective: 100.0,
+            wall_seconds: 1.25,
+        }
+    }
+
+    #[test]
+    fn curve_tracks_rounds_and_anchors_round_zero() {
+        let c = ConvergenceCurve::from_stats("B", "NREF2J", Some(50), &stats());
+        assert_eq!(c.points.len(), 2);
+        assert_eq!(c.points[0].round, 1);
+        assert_eq!(c.points[1].whatif_calls, 30);
+        assert_eq!(c.initial_objective, 100.0);
+        assert_eq!(c.final_objective(), 50.0);
+
+        let rows = convergence_csv_rows(&[c]);
+        assert_eq!(rows.len(), 3, "round-0 anchor plus two rounds");
+        assert_eq!(rows[0][3], "0");
+        assert_eq!(rows[0][6], "100.000");
+        assert_eq!(rows[2][6], "50.000");
+        assert_eq!(rows[1][2], "50", "budget rung column");
+    }
+
+    #[test]
+    fn gave_up_profiles_stay_visible() {
+        let c = ConvergenceCurve::gave_up("A", "NREF3J", None);
+        assert_eq!(c.final_objective(), 0.0);
+        let rows = convergence_csv_rows(&[c.clone()]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][2], "unlimited");
+        assert_eq!(rows[0][3], "gave_up");
+        let table = render_convergence_table(&[c]);
+        assert!(table.contains("gave up"), "{table}");
+    }
+
+    #[test]
+    fn json_is_schema_tagged_and_wall_clock_free() {
+        let curves = vec![
+            ConvergenceCurve::from_stats("B", "NREF2J", Some(50), &stats()),
+            ConvergenceCurve::gave_up("A", "NREF3J", Some(50)),
+        ];
+        let j = convergence_json(&curves);
+        assert!(j.contains("\"schema\": \"tab-convergence-v1\""), "{j}");
+        assert!(j.contains("\"whatif_budget\": 50"), "{j}");
+        assert!(j.contains("\"gave_up\": true"), "{j}");
+        assert!(j.contains("\"final_objective\": 50.000"), "{j}");
+        assert!(!j.contains("wall"), "must carry no wall-clock: {j}");
+    }
+}

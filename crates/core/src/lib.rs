@@ -24,6 +24,7 @@
 
 pub mod cfc;
 pub mod checkpoint;
+pub mod convergence;
 pub mod experiment;
 pub mod goal;
 pub mod grid;
@@ -33,6 +34,9 @@ pub mod report;
 
 pub use cfc::Cfc;
 pub use checkpoint::{CheckpointError, CheckpointJournal};
+pub use convergence::{
+    convergence_csv_rows, convergence_json, render_convergence_table, ConvergenceCurve, CurvePoint,
+};
 pub use experiment::{
     build_1c, build_p, insertion_breakeven, per_insert_cost, prepare_workload, prepare_workload_db,
     prepare_workload_db_with, space_budget, table1_row, InsertionAnalysis, Suite, SuiteParams,
@@ -51,6 +55,7 @@ pub use measure::{
 };
 pub use tab_storage::Parallelism;
 pub use tab_storage::{atomic_write, FaultPlan, Faults, JobPanic};
+pub use tab_storage::{read_trace, SkippedLine, TraceDoc, TraceRecord};
 pub use tab_storage::{
     FileTraceSink, MemoryTraceSink, StderrTraceSink, Trace, TraceEvent, TraceSink,
 };

@@ -25,6 +25,7 @@ pub mod schema;
 pub mod stats;
 pub mod table;
 pub mod trace;
+pub mod trace_reader;
 pub mod value;
 
 pub use config::{BuildReport, BuiltConfiguration, Configuration, MViewDef};
@@ -38,6 +39,7 @@ pub use schema::{ColType, ColumnDef, ForeignKey, TableSchema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Row, RowId, Table, PAGE_SIZE};
 pub use trace::{FileTraceSink, MemoryTraceSink, StderrTraceSink, Trace, TraceEvent, TraceSink};
+pub use trace_reader::{read_trace, SkippedLine, TraceDoc, TraceRecord};
 pub use value::Value;
 
 /// The parallel harness shares these read-only across worker threads; a

@@ -107,6 +107,20 @@ fn repro_outputs_identical_at_one_and_four_threads() {
         assert_eq!(units(dir), want_units, "phase cost units differ");
     }
 
+    // BENCH_convergence.json is the one BENCH_* record that carries no
+    // wall-clock at all: unlike its siblings it must be *byte*-identical
+    // across repeats and thread counts (it is excluded from the generic
+    // snapshot above only by its BENCH_ name).
+    let conv = std::fs::read(dirs[0].join("BENCH_convergence.json")).expect("convergence record");
+    assert!(
+        String::from_utf8_lossy(&conv).contains("\"schema\": \"tab-convergence-v1\""),
+        "unexpected convergence schema"
+    );
+    for dir in &dirs[1..] {
+        let other = std::fs::read(dir.join("BENCH_convergence.json")).expect("convergence record");
+        assert_eq!(conv, other, "BENCH_convergence.json differs between runs");
+    }
+
     // The advisor's what-if instrumentation record exists, and every
     // field except wall-clock (and the thread count itself) is
     // identical at any thread count — the cache-hit and planner-call
