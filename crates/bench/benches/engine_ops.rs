@@ -5,8 +5,9 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use tab_datagen::{generate_nref, NrefParams};
-use tab_engine::{CostMeter, Resolver, Session};
+use tab_engine::{CostMeter, ExecOpts, Resolver, Session};
 use tab_sqlq::parse;
+use tab_storage::Parallelism;
 use tab_storage::{
     BuiltConfiguration, ColType, ColumnDef, Configuration, Database, IndexSpec, Table, TableSchema,
     Value,
@@ -148,6 +149,41 @@ fn bench_batch_operators(c: &mut Criterion) {
     }
 }
 
+/// The morsel-driven executor (DESIGN.md §12) on its two hot shapes —
+/// a filtered scan and a hash-join probe — at 10^4 and 10^5 rows, each
+/// through three executor variants: `scalar_1t` (row-at-a-time
+/// predicates, sequential), `vector_1t` (columnar Int predicates,
+/// sequential), and `vector_4t` (columnar + 4 morsel workers). Cost
+/// units are identical across variants (the determinism contract);
+/// only wall-clock may differ, which is exactly what this measures.
+fn bench_exec_morsels(c: &mut Criterion) {
+    let scan_q = parse("SELECT COUNT(*) FROM fact f WHERE f.v > 500 AND f.g = 3").unwrap();
+    let join_q = parse("SELECT COUNT(*) FROM fact f, dim d WHERE f.k = d.k AND f.v > 500").unwrap();
+    let variants = [
+        ("scalar_1t", false, Parallelism::sequential()),
+        ("vector_1t", true, Parallelism::sequential()),
+        ("vector_4t", true, Parallelism::new(4)),
+    ];
+    for n in [10_000usize, 100_000] {
+        let db = batch_db(n);
+        let p = BuiltConfiguration::build(Configuration::named("p"), &db);
+        for (label, vectorize, par) in variants {
+            let exec = ExecOpts {
+                par,
+                vectorize,
+                ..ExecOpts::default()
+            };
+            let s = Session::new(&db, &p).with_exec(exec);
+            c.bench_function(&format!("exec_morsels_scan_filter_{n}_{label}"), |b| {
+                b.iter(|| black_box(s.run(&scan_q, None).unwrap().outcome.units()))
+            });
+            c.bench_function(&format!("exec_morsels_join_probe_{n}_{label}"), |b| {
+                b.iter(|| black_box(s.run(&join_q, None).unwrap().outcome.units()))
+            });
+        }
+    }
+}
+
 fn configured() -> Criterion {
     // Keep full-workspace bench runs to minutes, not hours: these are
     // coarse-grained operations (whole queries, whole advisor searches),
@@ -158,5 +194,5 @@ fn configured() -> Criterion {
         .warm_up_time(Duration::from_secs(1))
 }
 
-criterion_group!(name = benches; config = configured(); targets = bench_engine, bench_batch_operators);
+criterion_group!(name = benches; config = configured(); targets = bench_engine, bench_batch_operators, bench_exec_morsels);
 criterion_main!(benches);

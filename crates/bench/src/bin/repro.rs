@@ -10,6 +10,11 @@
 //! - `--small`        small-scale smoke run into `results-small/`
 //! - `--threads N`    worker threads (0 or absent = all cores); results
 //!   are identical at any setting
+//! - `--query-threads N`  intra-query morsel workers (default 1: the
+//!   grid fan-out already saturates cores; 0 = all cores); results are
+//!   identical at any setting
+//! - `--morsel-rows N`    rows per morsel for the parallel executor
+//!   (default 4096); results are identical at any setting
 //! - `--check`        exit non-zero if any shape claim diverges (CI mode)
 //! - `--expect FILE`  with `--check`: compare claim verdicts against an
 //!   `id,status` baseline instead of demanding all-HOLDS (some paper
@@ -35,8 +40,8 @@ use tab_core::FaultPlan;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--small] [--threads N] [--check] [--expect FILE] [--out DIR] \
-         [--trace FILE] [--faults SPEC] [--resume]"
+        "usage: repro [--small] [--threads N] [--query-threads N] [--morsel-rows N] \
+         [--check] [--expect FILE] [--out DIR] [--trace FILE] [--faults SPEC] [--resume]"
     );
     std::process::exit(2);
 }
@@ -46,6 +51,8 @@ fn main() -> ExitCode {
     let mut check = false;
     let mut resume = false;
     let mut threads: usize = 0;
+    let mut query_threads: Option<usize> = None;
+    let mut morsel_rows: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut expect: Option<String> = None;
     let mut trace: Option<String> = None;
@@ -59,6 +66,18 @@ fn main() -> ExitCode {
             "--threads" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 threads = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--query-threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                query_threads = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--morsel-rows" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let n: usize = v.parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                morsel_rows = Some(n);
             }
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--expect" => expect = Some(args.next().unwrap_or_else(|| usage())),
@@ -74,6 +93,12 @@ fn main() -> ExitCode {
         ReproConfig::full()
     }
     .with_threads(threads);
+    if let Some(n) = query_threads {
+        cfg.params = cfg.params.with_query_threads(n);
+    }
+    if let Some(n) = morsel_rows {
+        cfg.params = cfg.params.with_morsel_rows(n);
+    }
     if let Some(dir) = out {
         cfg.out_dir = dir.into();
     }

@@ -12,8 +12,10 @@ use std::time::Instant;
 use crate::converge::{run_convergence, ConvergenceSpec};
 use tab_advisor::{AdvisorInput, Recommender, SearchStats, SystemA, SystemB, SystemC};
 use tab_core::convergence::{
-    convergence_csv_rows, convergence_json, render_convergence_table, CSV_HEADER,
+    convergence_csv_rows, convergence_json, fig12_csv_rows, render_convergence_curve,
+    render_convergence_table, CSV_HEADER, FIG12_HEADER,
 };
+use tab_core::exec_bench::{exec_bench_json, measure_exec};
 use tab_core::report::{
     cfc_csv_rows, render_cfc_ascii, render_histogram_ascii, write_bytes_with, write_csv_with,
 };
@@ -547,12 +549,16 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
 
     ctx.log("NREF: running the NREF2J/NREF3J x P/1C/R grid");
     let timeout = ctx.timeout;
+    let query_par = cfg.params.query_par;
+    let morsel_rows = cfg.params.morsel_rows;
     let cell = move |family: &'static str, built, workload| GridCell {
         family,
         db: nref,
         built,
         workload,
         timeout_units: timeout,
+        query_par,
+        morsel_rows,
     };
     let mut cells = vec![
         cell("NREF2J", &p, w2.as_slice()),
@@ -1002,6 +1008,38 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
     );
     ctx.mark("convergence");
 
+    // Executor micro-bench: wall-clock the morsel-driven executor on a
+    // sample of NREF queries under P (scalar/1t vs vectorized/1t vs
+    // vectorized/Nt). The record carries wall-clock, so it lands in
+    // `BENCH_exec.json` and is excluded from determinism byte-compares;
+    // `measure_exec` itself asserts that every variant produces the
+    // same outcome.
+    ctx.log("NREF: executor bench (morsel parallelism + vectorization)");
+    trace.span_begin("exec-bench");
+    let exec_bench_queries: Vec<(String, Query)> = w2
+        .iter()
+        .take(2)
+        .enumerate()
+        .map(|(i, q)| (format!("NREF2J/q{i}"), q.clone()))
+        .chain(
+            w3.iter()
+                .take(2)
+                .enumerate()
+                .map(|(i, q)| (format!("NREF3J/q{i}"), q.clone())),
+        )
+        .collect();
+    let exec_bench_threads = par.threads().max(cfg.params.query_par.threads());
+    let exec_bench = measure_exec(
+        nref,
+        &p,
+        &exec_bench_queries,
+        exec_bench_threads,
+        cfg.params.morsel_rows,
+        3,
+    );
+    trace.span_end("exec-bench");
+    ctx.mark("exec-bench");
+
     drop(p);
     drop(nref_db);
     trace.span_end("NREF");
@@ -1077,6 +1115,8 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
                     built: b,
                     workload: w,
                     timeout_units: ctx.timeout,
+                    query_par: cfg.params.query_par,
+                    morsel_rows: cfg.params.morsel_rows,
                 })
             })
             .collect();
@@ -1238,6 +1278,29 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
     ctx.bytes(
         "BENCH_convergence.json",
         convergence_json(&convergence).as_bytes(),
+    )?;
+
+    // Figure 12 companion artifacts: the convergence trajectories as a
+    // dedicated CSV (objective scaled to % of initial) and an ASCII
+    // step plot in `figures.txt`. Both derive purely from the what-if
+    // ladder data above, so they byte-compare across runs and thread
+    // counts like `convergence.csv` does.
+    ctx.csv(
+        "fig12_convergence_curve.csv",
+        &FIG12_HEADER,
+        &fig12_csv_rows(&convergence),
+    )?;
+    ctx.figure(
+        "Figure 12: convergence curves, objective vs what-if calls (NREF2J)",
+        &render_convergence_curve(&convergence),
+    );
+
+    // Executor bench record (schema `tab-exec-bench-v1`): wall-clock of
+    // the morsel-driven executor variants measured in the NREF section.
+    // Wall-clock ⇒ `BENCH_` prefix ⇒ excluded from byte-compares.
+    ctx.bytes(
+        "BENCH_exec.json",
+        exec_bench_json(exec_bench_threads, cfg.params.morsel_rows, &exec_bench).as_bytes(),
     )?;
 
     let claim_rows: Vec<Vec<String>> = ctx

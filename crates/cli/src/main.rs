@@ -26,7 +26,7 @@ use tab_core::convergence::{
 use tab_core::report::render_cfc_ascii;
 use tab_core::{run_workload_with, Goal, Parallelism};
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
-use tab_engine::{apply_insert, Session};
+use tab_engine::{apply_insert, ExecOpts, Session};
 use tab_families::{sample_preserving_par, Family};
 use tab_sqlq::{parse_statement, Statement};
 use tab_storage::{BuiltConfiguration, Database};
@@ -53,8 +53,11 @@ USAGE:
                 [--workload N] [--out DIR]
                                       objective-vs-budget convergence curves
 
-All commands accept --threads N (worker threads; 0 or absent = all
-cores). Results are identical at any thread count.
+All commands accept --threads N (worker threads for grid/workload
+fan-out; 0 or absent = all cores). `explain` and `run` additionally
+accept --query-threads N (intra-query morsel workers; default 1,
+0 = all cores) and --morsel-rows N (rows per morsel, default 4096).
+Results are identical at any thread count or morsel size.
 
 DB SPEC: nref[:proteins] | skth[:scale] | unth[:scale]
 FAMILY:  NREF2J | NREF3J | SkTH3J | SkTH3Js | UnTH3J";
@@ -160,6 +163,25 @@ fn par_of(args: &Args) -> Result<Parallelism, String> {
     Ok(Parallelism::new(args.get_parsed("threads")?.unwrap_or(0)))
 }
 
+/// The `--query-threads` / `--morsel-rows` flags as an [`ExecOpts`] for
+/// the morsel-driven executor. Intra-query parallelism defaults to
+/// sequential (`--query-threads 1`); 0 means all cores. Results are
+/// identical at any setting — only wall-clock changes.
+fn exec_opts_of(args: &Args) -> Result<ExecOpts<'static>, String> {
+    let threads: usize = args.get_parsed("query-threads")?.unwrap_or(1);
+    let morsel_rows: usize = args
+        .get_parsed("morsel-rows")?
+        .unwrap_or(tab_engine::DEFAULT_MORSEL_ROWS);
+    if morsel_rows == 0 {
+        return Err("--morsel-rows must be at least 1".into());
+    }
+    Ok(ExecOpts {
+        par: Parallelism::new(threads),
+        morsel_rows,
+        ..ExecOpts::default()
+    })
+}
+
 fn workload_for(
     args: &Args,
     db: &Database,
@@ -210,7 +232,7 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     let timeout: Option<f64> = args
         .get_parsed::<f64>("timeout-secs")?
         .map(|s| s / tab_engine::SIM_SECONDS_PER_UNIT);
-    let session = Session::new(&db, &built);
+    let session = Session::new(&db, &built).with_exec(exec_opts_of(args)?);
     // Plan with the decision trace, then execute the same query
     // instrumented so the rendering pairs estimates with actuals.
     let (plan, expl) = session
@@ -242,7 +264,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             );
         }
         Statement::Query(q) => {
-            let session = Session::new(&db, &built);
+            let session = Session::new(&db, &built).with_exec(exec_opts_of(args)?);
             let r = session.run(&q, timeout).map_err(|e| e.to_string())?;
             match (&r.outcome, &r.rows) {
                 (o, Some(rows)) => {

@@ -251,6 +251,162 @@ pub fn render_convergence_table(curves: &[ConvergenceCurve]) -> String {
     out
 }
 
+/// The `fig12_convergence_curve.csv` header: one row per curve point,
+/// shaped for plotting objective (absolute and as a percentage of the
+/// round-0 anchor) against the cumulative what-if budget spent.
+pub const FIG12_HEADER: [&str; 7] = [
+    "profile",
+    "family",
+    "whatif_budget",
+    "round",
+    "whatif_calls",
+    "objective",
+    "pct_of_initial",
+];
+
+/// Rows for `fig12_convergence_curve.csv`: every curve's round-0 anchor
+/// plus its accepted rounds. Gave-up profiles carry no trajectory and
+/// contribute no rows (their absence stays visible in
+/// `convergence.csv`). Deterministic — the rows contain no wall-clock —
+/// so the artifact participates in the determinism byte-compare.
+pub fn fig12_csv_rows(curves: &[ConvergenceCurve]) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for c in curves.iter().filter(|c| !c.gave_up) {
+        let pct = |objective: f64| {
+            if c.initial_objective == 0.0 {
+                "100.0".to_string()
+            } else {
+                format!("{:.1}", 100.0 * objective / c.initial_objective)
+            }
+        };
+        rows.push(vec![
+            c.profile.clone(),
+            c.family.clone(),
+            budget_label(c.whatif_budget),
+            "0".into(),
+            "0".into(),
+            format!("{:.3}", c.initial_objective),
+            pct(c.initial_objective),
+        ]);
+        for p in &c.points {
+            rows.push(vec![
+                c.profile.clone(),
+                c.family.clone(),
+                budget_label(c.whatif_budget),
+                p.round.to_string(),
+                p.whatif_calls.to_string(),
+                format!("{:.3}", p.objective),
+                pct(p.objective),
+            ]);
+        }
+    }
+    rows
+}
+
+/// Render the convergence curves as an ASCII plot (the figures.txt
+/// companion to `fig12_convergence_curve.csv`): objective as % of the
+/// round-0 anchor (y) against cumulative what-if calls (x), each
+/// profile drawn with its own letter. Deterministic: iteration order is
+/// input order and the plot carries no wall-clock.
+pub fn render_convergence_curve(curves: &[ConvergenceCurve]) -> String {
+    use std::fmt::Write as _;
+    const W: usize = 64;
+    const H: usize = 16;
+    let live: Vec<&ConvergenceCurve> = curves.iter().filter(|c| !c.gave_up).collect();
+    let mut out = String::new();
+    if live.is_empty() {
+        out.push_str("(no convergence trajectories: every profile gave up)\n");
+        return out;
+    }
+    let max_x = live
+        .iter()
+        .flat_map(|c| c.points.last())
+        .map(|p| p.whatif_calls)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    // y axis: percent of the round-0 objective, padded a little below
+    // the best final value so the floor of the plot is meaningful.
+    let min_pct = live
+        .iter()
+        .flat_map(|c| {
+            c.points.iter().map(|p| {
+                if c.initial_objective == 0.0 {
+                    100.0
+                } else {
+                    100.0 * p.objective / c.initial_objective
+                }
+            })
+        })
+        .fold(100.0_f64, f64::min);
+    let floor = (min_pct - 5.0).max(0.0);
+    let span = (100.0 - floor).max(1e-9);
+    let mut grid = vec![vec![' '; W]; H];
+    for c in &live {
+        let letter = c.profile.chars().next().unwrap_or('?');
+        // Walk the curve as a step function: each accepted round holds
+        // its objective until the next round's what-if position.
+        let mut pts: Vec<(u64, f64)> = vec![(0, 100.0)];
+        for p in &c.points {
+            let pct = if c.initial_objective == 0.0 {
+                100.0
+            } else {
+                100.0 * p.objective / c.initial_objective
+            };
+            pts.push((p.whatif_calls, pct));
+        }
+        for win in pts.windows(2) {
+            let (x0, y0) = win[0];
+            let (x1, _) = win[1];
+            let row = plot_row(y0, floor, span, H);
+            for x in x0..=x1 {
+                let col = (x as usize * (W - 1)) / max_x as usize;
+                grid[row][col] = letter;
+            }
+        }
+        if let Some(&(x, y)) = pts.last() {
+            let row = plot_row(y, floor, span, H);
+            let col = (x as usize * (W - 1)) / max_x as usize;
+            for cell in grid[row].iter_mut().skip(col) {
+                *cell = letter;
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "objective (% of initial) vs cumulative what-if calls (0..{max_x})"
+    );
+    for (r, row) in grid.iter().enumerate() {
+        let label = 100.0 - span * r as f64 / (H - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label:>6.1} |{line}");
+    }
+    let _ = writeln!(out, "{:>6} +{}", "", "-".repeat(W));
+    for c in &live {
+        let _ = writeln!(
+            out,
+            "  {} = profile {} on {} (budget {}, final {:.1}%)",
+            c.profile.chars().next().unwrap_or('?'),
+            c.profile,
+            c.family,
+            budget_label(c.whatif_budget),
+            if c.initial_objective == 0.0 {
+                100.0
+            } else {
+                100.0 * c.final_objective() / c.initial_objective
+            }
+        );
+    }
+    out
+}
+
+/// Map a percentage to a plot row (row 0 is 100%, the bottom row is the
+/// padded floor).
+fn plot_row(pct: f64, _floor: f64, span: f64, h: usize) -> usize {
+    let frac = ((100.0 - pct) / span).clamp(0.0, 1.0);
+    ((frac * (h - 1) as f64).round() as usize).min(h - 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +468,34 @@ mod tests {
         assert_eq!(rows[0][3], "gave_up");
         let table = render_convergence_table(&[c]);
         assert!(table.contains("gave up"), "{table}");
+    }
+
+    #[test]
+    fn fig12_rows_anchor_and_scale_to_initial() {
+        let c = ConvergenceCurve::from_stats("B", "NREF2J", Some(50), &stats());
+        let rows = fig12_csv_rows(&[c, ConvergenceCurve::gave_up("A", "NREF2J", Some(50))]);
+        assert_eq!(rows.len(), 3, "anchor + two rounds; gave-up adds none");
+        assert_eq!(rows[0][4], "0");
+        assert_eq!(rows[0][6], "100.0");
+        assert_eq!(rows[2][5], "50.000");
+        assert_eq!(rows[2][6], "50.0");
+        assert!(rows.iter().all(|r| r.len() == FIG12_HEADER.len()));
+    }
+
+    #[test]
+    fn fig12_plot_is_deterministic_and_labelled() {
+        let curves = vec![
+            ConvergenceCurve::from_stats("B", "NREF2J", Some(50), &stats()),
+            ConvergenceCurve::gave_up("A", "NREF2J", Some(50)),
+        ];
+        let a = render_convergence_curve(&curves);
+        let b = render_convergence_curve(&curves);
+        assert_eq!(a, b);
+        assert!(a.contains("profile B on NREF2J"), "{a}");
+        assert!(a.contains("what-if calls"), "{a}");
+        assert!(!a.contains("wall"), "no wall-clock: {a}");
+        let empty = render_convergence_curve(&[ConvergenceCurve::gave_up("A", "F", None)]);
+        assert!(empty.contains("gave up"), "{empty}");
     }
 
     #[test]

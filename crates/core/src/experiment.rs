@@ -34,6 +34,16 @@ pub struct SuiteParams {
     /// Worker threads for the measurement fan-out. Results are
     /// identical at any setting; only wall-clock time changes.
     pub par: Parallelism,
+    /// Intra-query worker threads for morsel-driven execution inside
+    /// each measured query (`tab_engine::ExecOpts::par`). Defaults to
+    /// sequential: the grid fan-out above already saturates the cores,
+    /// so query-level threads are opt-in (`--query-threads`). Results
+    /// are identical at any setting.
+    pub query_par: Parallelism,
+    /// Rows per execution morsel
+    /// ([`tab_engine::DEFAULT_MORSEL_ROWS`] unless sweeping). Results
+    /// are identical at any setting.
+    pub morsel_rows: usize,
 }
 
 impl Default for SuiteParams {
@@ -49,6 +59,8 @@ impl Default for SuiteParams {
             timeout_units: tab_engine::DEFAULT_TIMEOUT_UNITS,
             seed: 2005,
             par: Parallelism::available(),
+            query_par: Parallelism::sequential(),
+            morsel_rows: tab_engine::DEFAULT_MORSEL_ROWS,
         }
     }
 }
@@ -63,6 +75,8 @@ impl SuiteParams {
             timeout_units: tab_engine::DEFAULT_TIMEOUT_UNITS / 10.0,
             seed: 2005,
             par: Parallelism::available(),
+            query_par: Parallelism::sequential(),
+            morsel_rows: tab_engine::DEFAULT_MORSEL_ROWS,
         }
     }
 
@@ -70,6 +84,19 @@ impl SuiteParams {
     /// available cores).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.par = Parallelism::new(threads);
+        self
+    }
+
+    /// The same parameters with an explicit intra-query thread count
+    /// (`0` = all available cores).
+    pub fn with_query_threads(mut self, threads: usize) -> Self {
+        self.query_par = Parallelism::new(threads);
+        self
+    }
+
+    /// The same parameters with an explicit morsel size.
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows;
         self
     }
 }
@@ -315,6 +342,7 @@ mod tests {
             timeout_units: 500.0,
             seed: 7,
             par: Parallelism::sequential(),
+            ..SuiteParams::small()
         })
     }
 

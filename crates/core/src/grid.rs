@@ -21,7 +21,7 @@ use std::io;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use tab_engine::{Outcome, Session};
+use tab_engine::{ExecOpts, Outcome, Session};
 use tab_sqlq::Query;
 use tab_storage::{
     par_map_catch, BuiltConfiguration, Database, Faults, JobPanic, Parallelism, Trace, TraceEvent,
@@ -43,6 +43,13 @@ pub struct GridCell<'a> {
     pub workload: &'a [Query],
     /// Timeout budget in cost units.
     pub timeout_units: f64,
+    /// Intra-query worker threads for morsel-driven execution, *inside*
+    /// each (cell, query) job — distinct from the grid-level `par`
+    /// fan-out across jobs. Outcomes are identical at any setting.
+    pub query_par: Parallelism,
+    /// Rows per execution morsel (see [`tab_engine::exec`];
+    /// [`tab_engine::DEFAULT_MORSEL_ROWS`] unless sweeping).
+    pub morsel_rows: usize,
 }
 
 /// Timing record for one executed grid cell.
@@ -237,7 +244,7 @@ pub fn run_grid_checkpointed(
             // deterministic.
             faults.panic_if_armed(&format!("cell:{}/{}", cell.family, cell.built.config.name));
         }
-        let (outcome, wall) = execute_query(cell, q, trace);
+        let (outcome, wall) = execute_query(cell, q, trace, faults);
         let mut slab = slabs[c].lock().expect("cell slab poisoned");
         slab.got[q] = Some((outcome, wall));
         slab.filled += 1;
@@ -307,9 +314,30 @@ pub fn run_grid_checkpointed(
 }
 
 /// Execute one (cell, query) job, optionally tracing it. Extracted from
-/// the original `run_grid_traced` body verbatim.
-fn execute_query(cell: &GridCell<'_>, q: usize, trace: Trace<'_>) -> (Outcome, f64) {
-    let session = Session::new(cell.db, cell.built);
+/// the original `run_grid_traced` body verbatim, plus the morsel-driven
+/// [`ExecOpts`] and the `panic:morsel:<family>/<config>` fault site
+/// armed inside the executor's morsel workers.
+fn execute_query(
+    cell: &GridCell<'_>,
+    q: usize,
+    trace: Trace<'_>,
+    faults: Faults<'_>,
+) -> (Outcome, f64) {
+    // The site string only exists when injection is on; the disabled
+    // path must not pay a per-morsel format.
+    let site = if faults.is_enabled() {
+        Some(format!("morsel:{}/{}", cell.family, cell.built.config.name))
+    } else {
+        None
+    };
+    let exec = ExecOpts {
+        par: cell.query_par,
+        morsel_rows: cell.morsel_rows,
+        faults,
+        fault_site: site.as_deref(),
+        ..ExecOpts::default()
+    };
+    let session = Session::new(cell.db, cell.built).with_exec(exec);
     let t0 = Instant::now();
     let outcome = if trace.is_enabled() {
         let (result, acts) = session
@@ -560,6 +588,7 @@ mod tests {
     use crate::experiment::{build_1c, build_p};
     use crate::measure::run_workload;
     use tab_datagen::{generate_nref, NrefParams};
+    use tab_engine::DEFAULT_MORSEL_ROWS;
     use tab_sqlq::parse;
 
     fn setup() -> (Database, Vec<Query>) {
@@ -591,6 +620,8 @@ mod tests {
                 built: &p,
                 workload: &qs,
                 timeout_units: 500.0,
+                query_par: Parallelism::new(2),
+                morsel_rows: 64,
             },
             GridCell {
                 family: "F1",
@@ -598,6 +629,8 @@ mod tests {
                 built: &c1,
                 workload: &qs,
                 timeout_units: 500.0,
+                query_par: Parallelism::new(2),
+                morsel_rows: 64,
             },
             GridCell {
                 family: "F2",
@@ -605,6 +638,8 @@ mod tests {
                 built: &p,
                 workload: &qs[..3],
                 timeout_units: 10.0,
+                query_par: Parallelism::new(2),
+                morsel_rows: 64,
             },
         ];
         let serial: Vec<WorkloadRun> = cells
@@ -638,6 +673,8 @@ mod tests {
             built: &p,
             workload: &qs,
             timeout_units: 500.0,
+            query_par: Parallelism::sequential(),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         }];
         let plain = run_grid(&cells, Parallelism::sequential());
         let sink = tab_storage::MemoryTraceSink::new();
@@ -675,6 +712,8 @@ mod tests {
                 built: &p,
                 workload: &qs,
                 timeout_units: 500.0,
+                query_par: Parallelism::new(2),
+                morsel_rows: 64,
             },
             GridCell {
                 family: "F1",
@@ -682,6 +721,8 @@ mod tests {
                 built: &c1,
                 workload: &qs,
                 timeout_units: 500.0,
+                query_par: Parallelism::new(2),
+                morsel_rows: 64,
             },
             GridCell {
                 family: "F2",
@@ -689,6 +730,8 @@ mod tests {
                 built: &p,
                 workload: &qs[..3],
                 timeout_units: 10.0,
+                query_par: Parallelism::new(2),
+                morsel_rows: 64,
             },
         ];
         let clean = run_grid(&cells, Parallelism::sequential());
@@ -753,6 +796,8 @@ mod tests {
             built: &p,
             workload: &qs,
             timeout_units: 500.0,
+            query_par: Parallelism::sequential(),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         }];
         let plain = run_grid(&cells, Parallelism::sequential());
         let bare = run_grid_checkpointed(

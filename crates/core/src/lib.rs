@@ -25,6 +25,7 @@
 pub mod cfc;
 pub mod checkpoint;
 pub mod convergence;
+pub mod exec_bench;
 pub mod experiment;
 pub mod goal;
 pub mod grid;
@@ -35,8 +36,10 @@ pub mod report;
 pub use cfc::Cfc;
 pub use checkpoint::{CheckpointError, CheckpointJournal};
 pub use convergence::{
-    convergence_csv_rows, convergence_json, render_convergence_table, ConvergenceCurve, CurvePoint,
+    convergence_csv_rows, convergence_json, fig12_csv_rows, render_convergence_curve,
+    render_convergence_table, ConvergenceCurve, CurvePoint, FIG12_HEADER,
 };
+pub use exec_bench::{exec_bench_json, measure_exec, ExecBenchEntry, OpBench};
 pub use experiment::{
     build_1c, build_p, insertion_breakeven, per_insert_cost, prepare_workload, prepare_workload_db,
     prepare_workload_db_with, space_budget, table1_row, InsertionAnalysis, Suite, SuiteParams,

@@ -22,24 +22,58 @@
 //! every join in the NREF2J/NREF3J/TH3J families — take a
 //! zero-allocation fast path keyed directly on `i64`.
 //!
+//! # Morsel-driven intra-query parallelism
+//!
+//! Every bulk loop — scan filtering, hash build, hash probe, index
+//! nested-loop probing, grouping, projection — runs over fixed-size
+//! **morsels** (contiguous row-id ranges of [`ExecOpts::morsel_rows`]
+//! rows) dispatched on the deterministic `par_map` pool from
+//! `tab-storage`. Workers produce per-morsel outputs and per-morsel
+//! [`LocalCounters`]; the coordinator concatenates outputs **in morsel
+//! index order** and reduces counters into the meter in that same
+//! order. Because the meter derives units from counter totals and its
+//! budget check is monotone (see [`CostMeter`]), results, cost totals,
+//! and the Done/Timeout verdict are byte-identical at any thread count
+//! and morsel size — including the sequential in-place path that
+//! `par_map` takes at one thread.
+//!
+//! Budgeted executions keep their early abort through a shared
+//! [`AbortGate`]: workers publish performed charges to atomic counters
+//! and stop dispatching work once the published total provably exceeds
+//! the budget. Only performed charges are ever published, so the gate
+//! can trip **only if** the true total would also trip — the final
+//! verdict (from the ordered reduction) is unaffected.
+//!
+//! Predicate evaluation over a morsel takes a columnar fast path when
+//! every constant in the relation's filters and ranges is an `Int`: the
+//! referenced columns are gathered into flat `i64` buffers plus a
+//! validity mask and the predicates are evaluated branch-reduced over
+//! the buffers. A morsel containing any non-`Int`, non-NULL cell in a
+//! predicate column falls back to the scalar row-at-a-time path, whose
+//! semantics the vectorized path reproduces exactly (`Int`/`Int`
+//! comparisons are exact in both).
+//!
 //! # Cost accounting is execution-strategy independent
 //!
 //! The meter's totals are *what* the plan touches, not *how* the
 //! executor iterates: n pages for a scan, one row per tuple entering an
 //! operator, one row per emitted match. Charges here are batched (one
-//! `charge_rows(n)` per operator input, a pending counter flushed every
-//! `ROW_CHARGE_BATCH` emitted matches), which is safe because charges
-//! are non-negative and the budget check is monotone — see the invariant
-//! note on [`CostMeter`].
+//! `charge_rows(n)` per operator input, per-morsel counters reduced in
+//! morsel order), which is safe because charges are non-negative and
+//! the budget check is monotone — see the invariant note on
+//! [`CostMeter`].
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use tab_sqlq::{CmpOp, RangeOp};
-use tab_storage::{BTreeIndex, BuiltConfiguration, Database, RowId, Table, Value};
+use tab_storage::{
+    par_map, BTreeIndex, BuiltConfiguration, Database, Faults, Parallelism, RowId, Table, Value,
+};
 
 use crate::catalog::{BoundAgg, BoundItem, BoundQuery, FreqFilter};
-use crate::cost::{CostMeter, TimedOut};
+use crate::cost::{CostMeter, TimedOut, BUDGET_ROW_CAP, RANDOM_PAGE_COST, ROW_COST, SEQ_PAGE_COST};
 use crate::plan::{Access, JoinMethod, PhysicalPlan, ProbeSource, RelOp};
 
 /// Resolves plan references to physical structures.
@@ -86,6 +120,171 @@ const ROW_CHARGE_BATCH: u64 = 4096;
 /// `i64` equality.
 const INT_EXACT_ABS: u64 = 1 << 53;
 
+/// Default rows per execution morsel. Large enough that per-morsel
+/// bookkeeping is noise, small enough that the dynamic scheduler can
+/// balance skewed operators across workers.
+pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
+/// Execution knobs for morsel-driven intra-query parallelism.
+///
+/// The defaults — sequential, [`DEFAULT_MORSEL_ROWS`], vectorization on
+/// — reproduce the historical executor byte for byte; so does **every
+/// other** setting, because cost totals derive from per-morsel counters
+/// reduced in morsel index order (see the module docs). The knobs only
+/// change wall-clock.
+#[derive(Clone, Copy)]
+pub struct ExecOpts<'a> {
+    /// Worker threads for intra-query morsel dispatch. Distinct from
+    /// the grid-level fan-out across (family, config, query) jobs: this
+    /// parallelism lives *inside* one query execution.
+    pub par: Parallelism,
+    /// Rows per morsel (clamped to at least 1).
+    pub morsel_rows: usize,
+    /// Columnar `Int` fast path for predicate evaluation. Off forces
+    /// the scalar row-at-a-time path everywhere; results and costs are
+    /// identical either way (the microbenches flip this to measure the
+    /// vectorized speedup).
+    pub vectorize: bool,
+    /// Fault-injection hook: when `fault_site` is armed in `faults`,
+    /// every morsel worker panics at morsel start — the
+    /// `panic:morsel:<family>/<config>` site of DESIGN.md §10.
+    pub faults: Faults<'a>,
+    /// The site string morsel workers check, e.g. `morsel:NREF3J/NREF_1C`.
+    pub fault_site: Option<&'a str>,
+}
+
+impl Default for ExecOpts<'_> {
+    fn default() -> Self {
+        ExecOpts {
+            par: Parallelism::sequential(),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            vectorize: true,
+            faults: Faults::disabled(),
+            fault_site: None,
+        }
+    }
+}
+
+/// Split `n` items into contiguous `(start, end)` morsel ranges.
+fn morsel_ranges(n: usize, morsel_rows: usize) -> Vec<(usize, usize)> {
+    let m = morsel_rows.max(1);
+    (0..n).step_by(m).map(|s| (s, (s + m).min(n))).collect()
+}
+
+/// Minimum items in a parallel region before worker threads are used;
+/// below it the scoped-thread spawn cost of [`par_map`] outweighs the
+/// work and the region runs on the coordinator. Purely a wall-clock
+/// heuristic — morsel boundaries, charge order, and results are
+/// computed identically either way, so the gate needs no determinism
+/// caveat (and `panic:morsel:*` faults still fire: the sequential
+/// fallback runs the same morsel closures in place).
+const PAR_MIN_ITEMS: usize = 2 * DEFAULT_MORSEL_ROWS;
+
+/// The parallelism a region of `items` work items should run at.
+fn region_par(opts: &ExecOpts<'_>, items: usize) -> Parallelism {
+    if items < PAR_MIN_ITEMS {
+        Parallelism::sequential()
+    } else {
+        opts.par
+    }
+}
+
+/// Fire the armed `panic:morsel:*` fault, if any. Called at the start
+/// of every morsel job so a poisoned worker is deterministic at any
+/// thread count and morsel size.
+#[inline]
+fn morsel_prologue(opts: &ExecOpts<'_>) {
+    if let Some(site) = opts.fault_site {
+        opts.faults.panic_if_armed(site);
+    }
+}
+
+/// One morsel's charge deltas, reduced into the [`CostMeter`] in morsel
+/// index order by [`reduce_locals`]. Keeping raw counters (not units)
+/// means the reduction reproduces the sequential executor's counter
+/// totals exactly.
+#[derive(Debug, Clone, Copy, Default)]
+struct LocalCounters {
+    seq_pages: u64,
+    random_pages: u64,
+    rows: u64,
+}
+
+/// Charge per-morsel counters into the meter **in morsel index order**.
+/// The first morsel whose cumulative total exceeds the budget returns
+/// the timeout, exactly as the sequential executor's interleaved
+/// charges would (the check is monotone, so grouping does not change
+/// the verdict).
+fn reduce_locals<'l>(
+    meter: &mut CostMeter,
+    locals: impl Iterator<Item = &'l LocalCounters>,
+) -> Result<(), TimedOut> {
+    for l in locals {
+        meter.charge_seq_pages(l.seq_pages)?;
+        meter.charge_random_pages(l.random_pages)?;
+        meter.charge_rows(l.rows)?;
+    }
+    Ok(())
+}
+
+/// Shared early-abort gate for budgeted parallel operators.
+///
+/// Workers publish *performed* charges to atomic counters; once the
+/// published total provably exceeds the budget (or the row cap), the
+/// gate trips and workers stop taking new work. Because only performed
+/// charges are published, the published total is always a lower bound
+/// on the true total — the gate can trip only for executions the
+/// sequential path would also time out, and when it never trips the
+/// ordered reduction sees the complete counters. The gate therefore
+/// affects wall-clock only, never the verdict or the totals.
+struct AbortGate {
+    budget: Option<f64>,
+    base_units: f64,
+    base_rows: u64,
+    seq_pages: AtomicU64,
+    random_pages: AtomicU64,
+    rows: AtomicU64,
+    tripped: AtomicBool,
+}
+
+impl AbortGate {
+    fn of(meter: &CostMeter) -> Self {
+        AbortGate {
+            budget: meter.budget(),
+            base_units: meter.units(),
+            base_rows: meter.rows(),
+            seq_pages: AtomicU64::new(0),
+            random_pages: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether workers should stop taking new work.
+    #[inline]
+    fn tripped(&self) -> bool {
+        self.budget.is_some() && self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Publish a worker's performed charge delta and re-check.
+    fn publish(&self, delta: LocalCounters) {
+        let Some(budget) = self.budget else { return };
+        let seq = self.seq_pages.fetch_add(delta.seq_pages, Ordering::Relaxed) + delta.seq_pages;
+        let random = self
+            .random_pages
+            .fetch_add(delta.random_pages, Ordering::Relaxed)
+            + delta.random_pages;
+        let rows = self.rows.fetch_add(delta.rows, Ordering::Relaxed) + delta.rows;
+        let units = self.base_units
+            + seq as f64 * SEQ_PAGE_COST
+            + random as f64 * RANDOM_PAGE_COST
+            + rows as f64 * ROW_COST;
+        if units > budget || self.base_rows + rows > BUDGET_ROW_CAP {
+            self.tripped.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Flat arena of late-materialized tuples: `stride` row-id slots per
 /// tuple, slot `r` holding the row id of bound relation `r` (slots of
 /// not-yet-joined relations are zero and never read).
@@ -125,6 +324,12 @@ impl Arena {
         let start = self.ids.len();
         self.ids.extend_from_slice(outer);
         self.ids[start + slot] = id;
+    }
+
+    /// Append another arena's tuples wholesale (morsel concatenation).
+    fn append(&mut self, mut chunk: Arena) {
+        debug_assert_eq!(self.stride, chunk.stride);
+        self.ids.append(&mut chunk.ids);
     }
 }
 
@@ -226,6 +431,10 @@ impl<'a> Exec<'a> {
 /// with [`PhysicalPlan::op_ests`]: `[FreqSetup, driver, step…, output]`.
 /// Units are the [`CostMeter`] delta across the operator's execution, so
 /// the slots sum to the run's total cost.
+///
+/// Under morsel-driven execution every field aggregates its per-morsel
+/// parts order-independently (`u64` sums; units from counter totals),
+/// so actuals are identical at any thread count and morsel size.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OpActuals {
     /// Rows entering the operator (outer tuples for joins, rows examined
@@ -237,18 +446,35 @@ pub struct OpActuals {
     pub probes: u64,
     /// Cost units charged while this operator ran.
     pub units: f64,
+    /// Morsel jobs dispatched while this operator ran (scan-filter,
+    /// build, and probe morsels summed; zero for the frequency setup).
+    /// A pure function of data size and [`ExecOpts::morsel_rows`] —
+    /// never of the thread count.
+    pub morsels: u64,
 }
 
 /// Execute `plan`, returning the result rows in select-list order.
 ///
-/// Row order is unspecified (hash-based operators); callers that compare
-/// results should sort.
+/// Row order is deterministic for a fixed plan (morsel outputs are
+/// concatenated in morsel index order) but unspecified to callers;
+/// callers that compare results should sort.
 pub fn execute(
     plan: &PhysicalPlan,
     resolver: &Resolver<'_>,
     meter: &mut CostMeter,
 ) -> Result<Vec<Vec<Value>>, TimedOut> {
-    execute_instrumented(plan, resolver, meter, None)
+    execute_instrumented_with(plan, resolver, meter, None, &ExecOpts::default())
+}
+
+/// [`execute`] with explicit [`ExecOpts`] (intra-query parallelism,
+/// morsel size, vectorization, fault injection).
+pub fn execute_with(
+    plan: &PhysicalPlan,
+    resolver: &Resolver<'_>,
+    meter: &mut CostMeter,
+    opts: &ExecOpts<'_>,
+) -> Result<Vec<Vec<Value>>, TimedOut> {
+    execute_instrumented_with(plan, resolver, meter, None, opts)
 }
 
 /// Execute `plan` like [`execute`], additionally recording one
@@ -261,7 +487,18 @@ pub fn execute_instrumented(
     plan: &PhysicalPlan,
     resolver: &Resolver<'_>,
     meter: &mut CostMeter,
+    ops: Option<&mut Vec<OpActuals>>,
+) -> Result<Vec<Vec<Value>>, TimedOut> {
+    execute_instrumented_with(plan, resolver, meter, ops, &ExecOpts::default())
+}
+
+/// [`execute_instrumented`] with explicit [`ExecOpts`].
+pub fn execute_instrumented_with(
+    plan: &PhysicalPlan,
+    resolver: &Resolver<'_>,
+    meter: &mut CostMeter,
     mut ops: Option<&mut Vec<OpActuals>>,
+    opts: &ExecOpts<'_>,
 ) -> Result<Vec<Vec<Value>>, TimedOut> {
     let q = &plan.query;
 
@@ -274,6 +511,7 @@ pub fn execute_instrumented(
             rows_out: freq_sets.iter().map(|s| s.len() as u64).sum(),
             probes: 0,
             units: meter.units() - at,
+            morsels: 0,
         });
     }
     let exec = Exec {
@@ -286,7 +524,8 @@ pub fn execute_instrumented(
     at = meter.units();
     let stride = q.rels.len();
     let mut tuples = Arena::new(stride);
-    let (driver_ids, driver_examined) = scan_rel(&plan.driver, &exec, resolver, meter)?;
+    let (driver_ids, driver_examined, driver_morsels) =
+        scan_rel(&plan.driver, &exec, resolver, meter, opts)?;
     for id in driver_ids {
         tuples.push_single(plan.driver.rel, id);
     }
@@ -296,6 +535,7 @@ pub fn execute_instrumented(
             rows_out: tuples.len() as u64,
             probes: 0,
             units: meter.units() - at,
+            morsels: driver_morsels,
         });
     }
 
@@ -304,10 +544,13 @@ pub fn execute_instrumented(
         at = meter.units();
         let rows_in = tuples.len() as u64;
         let mut probes = 0u64;
+        let mut morsels = 0u64;
         let rel = step.inner.rel;
         match &step.method {
             JoinMethod::Hash => {
-                let (inner_ids, _) = scan_rel(&step.inner, &exec, resolver, meter)?;
+                let (inner_ids, _, scan_morsels) =
+                    scan_rel(&step.inner, &exec, resolver, meter, opts)?;
+                morsels += scan_morsels;
                 // Grace-style spill when the build side exceeds memory.
                 meter.charge_seq_pages(crate::cost::spill_pages(
                     inner_ids.len() as u64,
@@ -317,50 +560,81 @@ pub fn execute_instrumented(
                 // tuple, charged up front.
                 meter.charge_rows(inner_ids.len() as u64)?;
                 let inner_table = exec.tables[rel];
-                let ht = build_hash_table(&inner_ids, inner_table, step.inner_cols());
+                let (ht, build_morsels) =
+                    build_hash_table(&inner_ids, inner_table, step.inner_cols(), opts);
+                morsels += build_morsels;
                 // Probe with the outer arena; one row of work per outer
-                // tuple up front, one per emitted match (batched).
+                // tuple up front, one per emitted match (per-morsel
+                // counters reduced in morsel order).
                 meter.charge_rows(tuples.len() as u64)?;
-                let mut out = Arena::new(stride);
-                let mut pending = 0u64;
-                let mut scratch: Vec<Value> = Vec::with_capacity(step.pairs.len());
-                for i in 0..tuples.len() {
-                    let t = tuples.tuple(i);
-                    let bucket = match &ht {
-                        BuildTable::Int(map) => {
-                            let ((orel, ocol), _) = step.pairs[0];
-                            let v = exec.val(t, orel, ocol);
-                            if v.is_null() {
-                                continue;
+                let ranges = morsel_ranges(tuples.len(), opts.morsel_rows);
+                morsels += ranges.len() as u64;
+                let gate = AbortGate::of(meter);
+                let region = region_par(opts, tuples.len());
+                let outs: Vec<(LocalCounters, u64, Arena)> = par_map(region, &ranges, |&(s, e)| {
+                    morsel_prologue(opts);
+                    let mut local = LocalCounters::default();
+                    let mut published = 0u64;
+                    let mut m_probes = 0u64;
+                    let mut out = Arena::new(stride);
+                    if gate.tripped() {
+                        return (local, m_probes, out);
+                    }
+                    let mut scratch: Vec<Value> = Vec::with_capacity(step.pairs.len());
+                    'tuples: for i in s..e {
+                        let t = tuples.tuple(i);
+                        let bucket = match &ht {
+                            BuildTable::Int(map) => {
+                                let ((orel, ocol), _) = step.pairs[0];
+                                let v = exec.val(t, orel, ocol);
+                                if v.is_null() {
+                                    continue;
+                                }
+                                m_probes += 1;
+                                probe_int_key(v).and_then(|k| map.get(&k))
                             }
-                            probes += 1;
-                            probe_int_key(v).and_then(|k| map.get(&k))
-                        }
-                        BuildTable::General { interner, buckets } => {
-                            scratch.clear();
-                            scratch.extend(
-                                step.outer_cols()
-                                    .map(|(orel, ocol)| exec.val(t, orel, ocol).clone()),
-                            );
-                            if scratch.iter().any(Value::is_null) {
-                                continue;
+                            BuildTable::General { interner, buckets } => {
+                                scratch.clear();
+                                scratch.extend(
+                                    step.outer_cols()
+                                        .map(|(orel, ocol)| exec.val(t, orel, ocol).clone()),
+                                );
+                                if scratch.iter().any(Value::is_null) {
+                                    continue;
+                                }
+                                m_probes += 1;
+                                interner.lookup(&scratch).map(|id| &buckets[id as usize])
                             }
-                            probes += 1;
-                            interner.lookup(&scratch).map(|id| &buckets[id as usize])
-                        }
-                    };
-                    if let Some(ids) = bucket {
-                        for &id in ids {
-                            out.push_joined(t, rel, id);
-                            pending += 1;
-                            if pending >= ROW_CHARGE_BATCH {
-                                meter.charge_rows(pending)?;
-                                pending = 0;
+                        };
+                        if let Some(ids) = bucket {
+                            for &id in ids {
+                                out.push_joined(t, rel, id);
+                                local.rows += 1;
+                                if local.rows - published >= ROW_CHARGE_BATCH {
+                                    gate.publish(LocalCounters {
+                                        rows: local.rows - published,
+                                        ..LocalCounters::default()
+                                    });
+                                    published = local.rows;
+                                    if gate.tripped() {
+                                        break 'tuples;
+                                    }
+                                }
                             }
                         }
                     }
+                    gate.publish(LocalCounters {
+                        rows: local.rows - published,
+                        ..LocalCounters::default()
+                    });
+                    (local, m_probes, out)
+                });
+                reduce_locals(meter, outs.iter().map(|(l, _, _)| l))?;
+                let mut out = Arena::new(stride);
+                for (_, m_probes, chunk) in outs {
+                    probes += m_probes;
+                    out.append(chunk);
                 }
-                meter.charge_rows(pending)?;
                 tuples = out;
             }
             JoinMethod::IndexNl {
@@ -380,45 +654,74 @@ pub fn execute_instrumented(
                     .collect();
                 // One row of work per outer tuple, charged up front.
                 meter.charge_rows(tuples.len() as u64)?;
+                let ranges = morsel_ranges(tuples.len(), opts.morsel_rows);
+                morsels += ranges.len() as u64;
+                let gate = AbortGate::of(meter);
+                let region = region_par(opts, tuples.len());
+                let outs: Vec<(LocalCounters, u64, Arena)> = par_map(region, &ranges, |&(s, e)| {
+                    morsel_prologue(opts);
+                    let mut local = LocalCounters::default();
+                    let mut m_probes = 0u64;
+                    let mut out = Arena::new(stride);
+                    if gate.tripped() {
+                        return (local, m_probes, out);
+                    }
+                    let mut scratch: Vec<Value> = Vec::with_capacity(probe.len());
+                    for i in s..e {
+                        let t = tuples.tuple(i);
+                        scratch.clear();
+                        scratch.extend(probe.iter().map(|p| match p {
+                            ProbeSource::Outer(orel, ocol) => exec.val(t, *orel, *ocol).clone(),
+                            ProbeSource::Const(v) => v.clone(),
+                        }));
+                        if scratch.iter().any(Value::is_null) {
+                            continue;
+                        }
+                        m_probes += 1;
+                        let pr = index.probe(&scratch);
+                        let mut delta = LocalCounters {
+                            random_pages: pr.pages_touched,
+                            rows: pr.row_ids.len() as u64,
+                            ..LocalCounters::default()
+                        };
+                        if !covering && !pr.row_ids.is_empty() {
+                            let pages: BTreeSet<u64> =
+                                pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
+                            delta.random_pages += pages.len() as u64;
+                        }
+                        local.seq_pages += delta.seq_pages;
+                        local.random_pages += delta.random_pages;
+                        local.rows += delta.rows;
+                        gate.publish(delta);
+                        for &id in &pr.row_ids {
+                            let row = table.row(id);
+                            if !passes_filters(row, &step.inner.filters)
+                                || !passes_ranges(row, &step.inner.ranges)
+                                || !passes_freqs(row, &step.inner.freqs, q, &exec.freq_sets)
+                            {
+                                continue;
+                            }
+                            // Residual join checks.
+                            let ok = residual_pairs.iter().all(|&((orel, ocol), icol)| {
+                                let ov = exec.val(t, orel, ocol);
+                                !ov.is_null() && *ov == row[icol]
+                            });
+                            if !ok {
+                                continue;
+                            }
+                            out.push_joined(t, rel, id);
+                        }
+                        if gate.tripped() {
+                            break;
+                        }
+                    }
+                    (local, m_probes, out)
+                });
+                reduce_locals(meter, outs.iter().map(|(l, _, _)| l))?;
                 let mut out = Arena::new(stride);
-                let mut scratch: Vec<Value> = Vec::with_capacity(probe.len());
-                for i in 0..tuples.len() {
-                    let t = tuples.tuple(i);
-                    scratch.clear();
-                    scratch.extend(probe.iter().map(|p| match p {
-                        ProbeSource::Outer(orel, ocol) => exec.val(t, *orel, *ocol).clone(),
-                        ProbeSource::Const(v) => v.clone(),
-                    }));
-                    if scratch.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    probes += 1;
-                    let pr = index.probe(&scratch);
-                    meter.charge_random_pages(pr.pages_touched)?;
-                    if !covering && !pr.row_ids.is_empty() {
-                        let pages: BTreeSet<u64> =
-                            pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
-                        meter.charge_random_pages(pages.len() as u64)?;
-                    }
-                    meter.charge_rows(pr.row_ids.len() as u64)?;
-                    for &id in &pr.row_ids {
-                        let row = table.row(id);
-                        if !passes_filters(row, &step.inner.filters)
-                            || !passes_ranges(row, &step.inner.ranges)
-                            || !passes_freqs(row, &step.inner.freqs, q, &exec.freq_sets)
-                        {
-                            continue;
-                        }
-                        // Residual join checks.
-                        let ok = residual_pairs.iter().all(|&((orel, ocol), icol)| {
-                            let ov = exec.val(t, orel, ocol);
-                            !ov.is_null() && *ov == row[icol]
-                        });
-                        if !ok {
-                            continue;
-                        }
-                        out.push_joined(t, rel, id);
-                    }
+                for (_, m_probes, chunk) in outs {
+                    probes += m_probes;
+                    out.append(chunk);
                 }
                 tuples = out;
             }
@@ -429,6 +732,7 @@ pub fn execute_instrumented(
                 rows_out: tuples.len() as u64,
                 probes,
                 units: meter.units() - at,
+                morsels,
             });
         }
     }
@@ -436,13 +740,14 @@ pub fn execute_instrumented(
     // 4. Aggregation / projection.
     at = meter.units();
     let rows_in = tuples.len() as u64;
-    let result = finish(&exec, &tuples, meter)?;
+    let (result, finish_morsels) = finish(&exec, &tuples, meter, opts)?;
     if let Some(v) = ops {
         v.push(OpActuals {
             rows_in,
             rows_out: result.len() as u64,
             probes: 0,
             units: meter.units() - at,
+            morsels: finish_morsels,
         });
     }
     Ok(result)
@@ -452,27 +757,76 @@ pub fn execute_instrumented(
 /// ids, picking the integer fast path when every non-null build key
 /// admits it (a deterministic pre-scan decides, so the path — and any
 /// future cost attached to it — cannot depend on hash iteration order).
+///
+/// The integer path builds per-morsel maps merged in morsel index
+/// order, so every bucket's row-id list is in global input order —
+/// identical to a sequential build. The general (interned) path stays
+/// sequential: intern ids are assigned in first-seen order, and
+/// splitting that across workers would require the same ordered merge
+/// the group-by performs for no measured win on the benchmark families
+/// (their joins all take the integer path). Returns the table plus the
+/// number of morsel jobs dispatched.
 fn build_hash_table<'c>(
     inner_ids: &[RowId],
     inner_table: &Table,
     mut inner_cols: impl Iterator<Item = usize> + Clone + 'c,
-) -> BuildTable {
+    opts: &ExecOpts<'_>,
+) -> (BuildTable, u64) {
     let cols: Vec<usize> = inner_cols.by_ref().collect();
     if cols.len() == 1 {
         let c = cols[0];
-        let all_int = inner_ids
-            .iter()
-            .map(|&id| inner_table.value(id, c))
-            .all(|v| v.is_null() || build_int_key(v).is_some());
+        let ranges = morsel_ranges(inner_ids.len(), opts.morsel_rows);
+        let n_morsels = ranges.len() as u64;
+        let region = region_par(opts, inner_ids.len());
+        let all_int = par_map(region, &ranges, |&(s, e)| {
+            morsel_prologue(opts);
+            inner_ids[s..e].iter().all(|&id| {
+                let v = inner_table.value(id, c);
+                v.is_null() || build_int_key(v).is_some()
+            })
+        })
+        .into_iter()
+        .all(|b| b);
         if all_int {
-            let mut map: HashMap<i64, Vec<RowId>> = HashMap::new();
-            for &id in inner_ids {
-                if let Some(k) = build_int_key(inner_table.value(id, c)) {
-                    map.entry(k).or_default().push(id);
+            let maps: Vec<HashMap<i64, Vec<RowId>>> = par_map(region, &ranges, |&(s, e)| {
+                morsel_prologue(opts);
+                let mut map: HashMap<i64, Vec<RowId>> = HashMap::new();
+                for &id in &inner_ids[s..e] {
+                    if let Some(k) = build_int_key(inner_table.value(id, c)) {
+                        map.entry(k).or_default().push(id);
+                    }
+                }
+                map
+            });
+            // Merge in morsel order: each bucket's ids end up in global
+            // input order (hash iteration order inside one morsel's map
+            // only decides which *bucket* is appended first, which is
+            // unobservable).
+            let mut maps = maps.into_iter();
+            let mut merged = maps.next().unwrap_or_default();
+            for m in maps {
+                for (k, mut v) in m {
+                    merged.entry(k).or_default().append(&mut v);
                 }
             }
-            return BuildTable::Int(map);
+            return (BuildTable::Int(merged), 2 * n_morsels);
         }
+        let mut interner = KeyInterner::new();
+        let mut buckets: Vec<Vec<RowId>> = Vec::new();
+        let mut scratch: Vec<Value> = Vec::with_capacity(cols.len());
+        for &id in inner_ids {
+            scratch.clear();
+            scratch.extend(cols.iter().map(|&c| inner_table.value(id, c).clone()));
+            if scratch.iter().any(Value::is_null) {
+                continue;
+            }
+            let key_id = interner.intern(&scratch) as usize;
+            if key_id == buckets.len() {
+                buckets.push(Vec::new());
+            }
+            buckets[key_id].push(id);
+        }
+        return (BuildTable::General { interner, buckets }, n_morsels);
     }
     let mut interner = KeyInterner::new();
     let mut buckets: Vec<Vec<RowId>> = Vec::new();
@@ -489,7 +843,7 @@ fn build_hash_table<'c>(
         }
         buckets[key_id].push(id);
     }
-    BuildTable::General { interner, buckets }
+    (BuildTable::General { interner, buckets }, 0)
 }
 
 /// Evaluate the distinct-value sets for the query's frequency filters.
@@ -562,35 +916,206 @@ fn passes_freqs(row: &[Value], freqs: &[usize], q: &BoundQuery, sets: &[HashSet<
     })
 }
 
+/// The source of row ids a scan filters: a dense heap prefix (`Seq`
+/// scans — ids are `0..n`) or an explicit id list (index probe
+/// results). Both morselize the same way: a morsel is a contiguous
+/// index range into the source.
+enum IdSpan<'s> {
+    Dense(usize),
+    List(&'s [RowId]),
+}
+
+impl IdSpan<'_> {
+    fn len(&self) -> usize {
+        match self {
+            IdSpan::Dense(n) => *n,
+            IdSpan::List(ids) => ids.len(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> RowId {
+        match self {
+            IdSpan::Dense(_) => i as RowId,
+            IdSpan::List(ids) => ids[i],
+        }
+    }
+}
+
+/// The vectorizable part of a relation's residual predicates: every
+/// filter and range constant is an `Int`. `Int`/`Int` comparison is
+/// exact `i64` comparison under [`Value`]'s ordering, so evaluating
+/// over gathered `i64` buffers reproduces the scalar semantics bit for
+/// bit; a morsel whose predicate columns hold anything but `Int`/NULL
+/// cells bails out to the scalar path wholesale.
+struct VecPredicates {
+    filters: Vec<(usize, i64)>,
+    ranges: Vec<(usize, RangeOp, i64)>,
+}
+
+/// Admission check for the columnar path, decided once per scan.
+fn vec_predicates(op: &RelOp, vectorize: bool) -> Option<VecPredicates> {
+    if !vectorize || (op.filters.is_empty() && op.ranges.is_empty()) {
+        return None;
+    }
+    let mut filters = Vec::with_capacity(op.filters.len());
+    for (c, v) in &op.filters {
+        match v {
+            Value::Int(k) => filters.push((*c, *k)),
+            _ => return None,
+        }
+    }
+    let mut ranges = Vec::with_capacity(op.ranges.len());
+    for (c, r, v) in &op.ranges {
+        match v {
+            Value::Int(k) => ranges.push((*c, *r, *k)),
+            _ => return None,
+        }
+    }
+    Some(VecPredicates { filters, ranges })
+}
+
+/// Scratch buffer for one morsel's columnar evaluation: the survivor
+/// mask, reused across the predicate columns evaluated for that morsel.
+#[derive(Default)]
+struct VecScratch {
+    mask: Vec<bool>,
+}
+
+/// Evaluate `vp` columnar over one morsel, appending surviving ids to
+/// `out`. Each predicate column is swept as one tight `i64` loop over
+/// the morsel, ANDing into the survivor mask; rows already dead skip
+/// the cell read entirely, so later columns cost only the survivors
+/// (the columnar analogue of the scalar path's short-circuit). Returns
+/// `false` — with nothing appended — when a live predicate cell holds a
+/// non-`Int`, non-NULL value, in which case the caller runs the scalar
+/// path over the same morsel.
+#[allow(clippy::too_many_arguments)]
+fn filter_morsel_vectorized(
+    vp: &VecPredicates,
+    op: &RelOp,
+    exec: &Exec<'_>,
+    table: &Table,
+    ids: &IdSpan<'_>,
+    start: usize,
+    end: usize,
+    scratch: &mut VecScratch,
+    out: &mut Vec<RowId>,
+) -> bool {
+    let n = end - start;
+    scratch.mask.clear();
+    scratch.mask.resize(n, true);
+    let mask = &mut scratch.mask;
+    // One column sweep per predicate: `cmp` sees only `Int` cells.
+    macro_rules! sweep {
+        ($c:expr, $cmp:expr) => {
+            for j in 0..n {
+                if mask[j] {
+                    match table.value(ids.get(start + j), $c) {
+                        Value::Int(v) => mask[j] = $cmp(*v),
+                        Value::Null => mask[j] = false,
+                        _ => return false,
+                    }
+                }
+            }
+        };
+    }
+    for &(c, k) in &vp.filters {
+        sweep!(c, |v: i64| v == k);
+    }
+    for &(c, r, k) in &vp.ranges {
+        match r {
+            RangeOp::Lt => sweep!(c, |v: i64| v < k),
+            RangeOp::Le => sweep!(c, |v: i64| v <= k),
+            RangeOp::Gt => sweep!(c, |v: i64| v > k),
+            RangeOp::Ge => sweep!(c, |v: i64| v >= k),
+        }
+    }
+    // Frequency filters stay scalar (HashSet membership), applied only
+    // to rows that survived the vectorized predicates.
+    for (j, live) in mask.iter().enumerate() {
+        if *live {
+            let id = ids.get(start + j);
+            if op.freqs.is_empty()
+                || passes_freqs(table.row(id), &op.freqs, exec.q, &exec.freq_sets)
+            {
+                out.push(id);
+            }
+        }
+    }
+    true
+}
+
+/// Filter a scan's candidate rows through the relation's residual
+/// predicates, morsel-parallel. Output order equals input order (morsel
+/// chunks concatenated in morsel index order), so the result is
+/// identical to a sequential pass at any thread count and morsel size.
+/// Charges nothing — scan costs are charged up front by the caller from
+/// page/row counts that do not depend on the iteration strategy.
+/// Returns the surviving ids plus the number of morsel jobs dispatched.
+fn filter_rows(
+    op: &RelOp,
+    exec: &Exec<'_>,
+    table: &Table,
+    ids: IdSpan<'_>,
+    opts: &ExecOpts<'_>,
+) -> (Vec<RowId>, u64) {
+    let q = exec.q;
+    let vp = vec_predicates(op, opts.vectorize);
+    let ranges = morsel_ranges(ids.len(), opts.morsel_rows);
+    let n_morsels = ranges.len() as u64;
+    let chunks: Vec<Vec<RowId>> = par_map(region_par(opts, ids.len()), &ranges, |&(s, e)| {
+        morsel_prologue(opts);
+        let mut out = Vec::new();
+        let vectorized = match &vp {
+            Some(vp) => {
+                let mut scratch = VecScratch::default();
+                filter_morsel_vectorized(vp, op, exec, table, &ids, s, e, &mut scratch, &mut out)
+            }
+            None => false,
+        };
+        if !vectorized {
+            for i in s..e {
+                let id = ids.get(i);
+                let row = table.row(id);
+                if passes_filters(row, &op.filters)
+                    && passes_ranges(row, &op.ranges)
+                    && passes_freqs(row, &op.freqs, q, &exec.freq_sets)
+                {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    });
+    let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+    for c in chunks {
+        out.extend(c);
+    }
+    (out, n_morsels)
+}
+
 /// Scan one relation per its `RelOp`, returning the ids of the rows
 /// that survive its residual filters plus the number of rows examined
-/// (for instrumentation). Values are not materialized.
+/// (for instrumentation) and morsel jobs dispatched. Values are not
+/// materialized.
 fn scan_rel(
     op: &RelOp,
     exec: &Exec<'_>,
     resolver: &Resolver<'_>,
     meter: &mut CostMeter,
-) -> Result<(Vec<RowId>, u64), TimedOut> {
+    opts: &ExecOpts<'_>,
+) -> Result<(Vec<RowId>, u64, u64), TimedOut> {
     let q = exec.q;
     let source = &q.rels[op.rel].source;
     let table = exec.tables[op.rel];
-    let keep = |row: &[Value]| {
-        passes_filters(row, &op.filters)
-            && passes_ranges(row, &op.ranges)
-            && passes_freqs(row, &op.freqs, q, &exec.freq_sets)
-    };
-    let mut out = Vec::new();
-    let examined;
     match &op.access {
         Access::Seq => {
             meter.charge_seq_pages(table.n_pages())?;
             meter.charge_rows(table.n_rows() as u64)?;
-            examined = table.n_rows() as u64;
-            for (id, row) in table.iter() {
-                if keep(row) {
-                    out.push(id);
-                }
-            }
+            let examined = table.n_rows() as u64;
+            let (out, morsels) = filter_rows(op, exec, table, IdSpan::Dense(table.n_rows()), opts);
+            Ok((out, examined, morsels))
         }
         Access::Index {
             columns,
@@ -600,12 +1125,9 @@ fn scan_rel(
             let index = resolver.index(source, columns);
             let pr = index.probe(prefix);
             charge_probe(&pr, table, *covering, meter)?;
-            examined = pr.row_ids.len() as u64;
-            for &id in &pr.row_ids {
-                if keep(table.row(id)) {
-                    out.push(id);
-                }
-            }
+            let examined = pr.row_ids.len() as u64;
+            let (out, morsels) = filter_rows(op, exec, table, IdSpan::List(&pr.row_ids), opts);
+            Ok((out, examined, morsels))
         }
         Access::IndexRange {
             columns,
@@ -619,12 +1141,9 @@ fn scan_rel(
                 hi.as_ref().map(|(v, s)| (v, *s)),
             );
             charge_probe(&pr, table, *covering, meter)?;
-            examined = pr.row_ids.len() as u64;
-            for &id in &pr.row_ids {
-                if keep(table.row(id)) {
-                    out.push(id);
-                }
-            }
+            let examined = pr.row_ids.len() as u64;
+            let (out, morsels) = filter_rows(op, exec, table, IdSpan::List(&pr.row_ids), opts);
+            Ok((out, examined, morsels))
         }
         Access::IndexFreqScan {
             columns,
@@ -648,15 +1167,11 @@ fn scan_rel(
                 let pages: BTreeSet<u64> = matched.iter().map(|&id| table.page_of(id)).collect();
                 meter.charge_random_pages(pages.len() as u64)?;
             }
-            examined = matched.len() as u64;
-            for &id in &matched {
-                if keep(table.row(id)) {
-                    out.push(id);
-                }
-            }
+            let examined = matched.len() as u64;
+            let (out, morsels) = filter_rows(op, exec, table, IdSpan::List(&matched), opts);
+            Ok((out, examined, morsels))
         }
     }
-    Ok((out, examined))
 }
 
 /// Charge an index probe: index pages touched, plus the distinct heap
@@ -675,37 +1190,61 @@ fn charge_probe(
     meter.charge_rows(pr.row_ids.len() as u64)
 }
 
-/// Group, aggregate, and project in select-list order.
+/// Per-group aggregation state.
+struct GroupState {
+    count: u64,
+    distincts: Vec<HashSet<Value>>,
+}
+
+/// Group, aggregate, and project in select-list order. Returns the
+/// result rows plus the number of morsel jobs dispatched.
+///
+/// Grouping runs morsel-parallel: each morsel builds a local interner
+/// plus local group states, and the coordinator merges the locals **in
+/// morsel index order**, interning each local group's key into the
+/// global dictionary as it appears. A key's global first sight is its
+/// first in-morsel occurrence in the earliest morsel containing it —
+/// i.e. exactly its first occurrence in the input — so the merged
+/// group order (and therefore the emitted row order) reproduces the
+/// sequential first-seen order at any thread count and morsel size.
 fn finish(
     exec: &Exec<'_>,
     tuples: &Arena,
     meter: &mut CostMeter,
-) -> Result<Vec<Vec<Value>>, TimedOut> {
+    opts: &ExecOpts<'_>,
+) -> Result<(Vec<Vec<Value>>, u64), TimedOut> {
     let q = exec.q;
     let n = tuples.len();
+    let ranges = morsel_ranges(n, opts.morsel_rows);
+    let n_morsels = ranges.len() as u64;
     if q.aggs.is_empty() && q.group_by.is_empty() {
-        // Plain projection.
+        // Plain projection, morsel-parallel: chunks concatenate in
+        // morsel order, reproducing the sequential row order.
         meter.charge_rows(n as u64)?;
+        let chunks: Vec<Vec<Vec<Value>>> = par_map(region_par(opts, n), &ranges, |&(s, e)| {
+            morsel_prologue(opts);
+            let mut chunk = Vec::with_capacity(e - s);
+            for i in s..e {
+                let t = tuples.tuple(i);
+                chunk.push(
+                    q.select
+                        .iter()
+                        .map(|s| match s {
+                            BoundItem::Column(r, c) => exec.val(t, *r, *c).clone(),
+                            BoundItem::Agg(_) => unreachable!("no aggs"),
+                        })
+                        .collect(),
+                );
+            }
+            chunk
+        });
         let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            let t = tuples.tuple(i);
-            out.push(
-                q.select
-                    .iter()
-                    .map(|s| match s {
-                        BoundItem::Column(r, c) => exec.val(t, *r, *c).clone(),
-                        BoundItem::Agg(_) => unreachable!("no aggs"),
-                    })
-                    .collect(),
-            );
+        for c in chunks {
+            out.extend(c);
         }
-        return order_and_limit(q, out, meter);
+        return Ok((order_and_limit(q, out, meter)?, n_morsels));
     }
 
-    struct GroupState {
-        count: u64,
-        distincts: Vec<HashSet<Value>>,
-    }
     // Hash aggregation spills when its input exceeds working memory.
     meter.charge_seq_pages(crate::cost::spill_pages(n as u64, 0))?;
     // One row of work per input tuple, plus one per tuple for every
@@ -719,27 +1258,55 @@ fn finish(
     meter.charge_rows(n as u64)?;
     meter.charge_rows(n as u64 * n_distinct_aggs)?;
 
+    // Per-morsel local aggregation.
+    let locals: Vec<(KeyInterner, Vec<GroupState>)> =
+        par_map(region_par(opts, n), &ranges, |&(s, e)| {
+            morsel_prologue(opts);
+            let mut interner = KeyInterner::new();
+            let mut states: Vec<GroupState> = Vec::new();
+            let mut scratch: Vec<Value> = Vec::with_capacity(q.group_by.len());
+            for i in s..e {
+                let t = tuples.tuple(i);
+                scratch.clear();
+                scratch.extend(q.group_by.iter().map(|&(r, c)| exec.val(t, r, c).clone()));
+                let gid = interner.intern(&scratch) as usize;
+                if gid == states.len() {
+                    states.push(GroupState {
+                        count: 0,
+                        distincts: vec![HashSet::new(); q.aggs.len()],
+                    });
+                }
+                let st = &mut states[gid];
+                st.count += 1;
+                for (ai, agg) in q.aggs.iter().enumerate() {
+                    if let BoundAgg::CountDistinct(r, c) = agg {
+                        let v = exec.val(t, *r, *c);
+                        if !v.is_null() && !st.distincts[ai].contains(v) {
+                            st.distincts[ai].insert(v.clone());
+                        }
+                    }
+                }
+            }
+            (interner, states)
+        });
+
+    // Ordered merge: global ids assigned in input first-seen order.
     let mut interner = KeyInterner::new();
     let mut states: Vec<GroupState> = Vec::new();
-    let mut scratch: Vec<Value> = Vec::with_capacity(q.group_by.len());
-    for i in 0..n {
-        let t = tuples.tuple(i);
-        scratch.clear();
-        scratch.extend(q.group_by.iter().map(|&(r, c)| exec.val(t, r, c).clone()));
-        let gid = interner.intern(&scratch) as usize;
-        if gid == states.len() {
-            states.push(GroupState {
-                count: 0,
-                distincts: vec![HashSet::new(); q.aggs.len()],
-            });
-        }
-        let st = &mut states[gid];
-        st.count += 1;
-        for (ai, agg) in q.aggs.iter().enumerate() {
-            if let BoundAgg::CountDistinct(r, c) = agg {
-                let v = exec.val(t, *r, *c);
-                if !v.is_null() && !st.distincts[ai].contains(v) {
-                    st.distincts[ai].insert(v.clone());
+    for (local_interner, local_states) in locals {
+        for (lid, st) in local_states.into_iter().enumerate() {
+            let gid = interner.intern(local_interner.key(lid as u64)) as usize;
+            if gid == states.len() {
+                states.push(st);
+                continue;
+            }
+            let g = &mut states[gid];
+            g.count += st.count;
+            for (ai, set) in st.distincts.into_iter().enumerate() {
+                if g.distincts[ai].is_empty() {
+                    g.distincts[ai] = set;
+                } else {
+                    g.distincts[ai].extend(set);
                 }
             }
         }
@@ -780,7 +1347,7 @@ fn finish(
             .collect();
         out.push(row);
     }
-    order_and_limit(q, out, meter)
+    Ok((order_and_limit(q, out, meter)?, n_morsels))
 }
 
 /// Apply the bound query's ORDER BY (ties broken by the full row, so

@@ -33,7 +33,10 @@ pub use cost::{
     ROW_COST, SEQ_PAGE_COST, SIM_SECONDS_PER_UNIT,
 };
 pub use dml::{apply_insert, validate_insert, InsertOutcome};
-pub use exec::{execute, execute_instrumented, OpActuals, Resolver};
+pub use exec::{
+    execute, execute_instrumented, execute_instrumented_with, execute_with, ExecOpts, OpActuals,
+    Resolver, DEFAULT_MORSEL_ROWS,
+};
 pub use explain::render_explain;
 pub use plan::{OpEstimate, PhysicalPlan};
 pub use planner::{plan, plan_explained, PlanChoice, PlanExplanation};

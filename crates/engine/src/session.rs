@@ -11,7 +11,7 @@ use tab_storage::{BuiltConfiguration, Configuration, Database, IndexSpec, MViewD
 
 use crate::catalog::{bind, BindError};
 use crate::cost::{CostMeter, Outcome};
-use crate::exec::{execute_instrumented, OpActuals, Resolver};
+use crate::exec::{execute_instrumented_with, ExecOpts, OpActuals, Resolver};
 use crate::plan::PhysicalPlan;
 use crate::planner::{plan, plan_explained, PlanExplanation};
 use crate::stats_view::{HypotheticalStats, RealStats};
@@ -31,12 +31,27 @@ pub struct RunResult {
 pub struct Session<'a> {
     db: &'a Database,
     built: &'a BuiltConfiguration,
+    exec: ExecOpts<'a>,
 }
 
 impl<'a> Session<'a> {
     /// Open a session. `db.collect_stats()` must have been called.
+    /// Queries execute with the default [`ExecOpts`] (sequential,
+    /// vectorized); see [`Session::with_exec`].
     pub fn new(db: &'a Database, built: &'a BuiltConfiguration) -> Self {
-        Session { db, built }
+        Session {
+            db,
+            built,
+            exec: ExecOpts::default(),
+        }
+    }
+
+    /// Replace the execution options (intra-query threads, morsel size,
+    /// vectorization, fault injection). Any setting produces identical
+    /// results, costs, and outcomes — see the `exec` module docs.
+    pub fn with_exec(mut self, exec: ExecOpts<'a>) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The underlying database.
@@ -89,7 +104,7 @@ impl<'a> Session<'a> {
             None => CostMeter::unbounded(),
         };
         let resolver = Resolver::new(self.db, self.built);
-        match execute_instrumented(&p, &resolver, &mut meter, ops) {
+        match execute_instrumented_with(&p, &resolver, &mut meter, ops, &self.exec) {
             Ok(rows) => Ok(RunResult {
                 outcome: Outcome::Done {
                     units: meter.units(),

@@ -39,6 +39,7 @@
 //! |------|----------|
 //! | `<file>.csv`, `timings.json`, … | the harness's artifact writes (`write_csv`, bench records) |
 //! | `cell:<family>/<config>` | each query job of that grid cell |
+//! | `morsel:<family>/<config>` | every morsel prologue of the cell's queries — a panic inside an intra-query worker, caught and journaled like a `cell:` poison |
 //! | `checkpoint` | the crash-consistency journal's writes |
 //! | `trace` | every trace-sink line (`enospc:trace` silences the sink) |
 //!

@@ -26,6 +26,15 @@ fn tiny(out: &Path, threads: usize) -> ReproConfig {
     }
 }
 
+/// Like [`tiny`], but with intra-query morsel parallelism dialed up:
+/// 4 query threads and a 64-row morsel size. Every artifact must still
+/// byte-compare against the sequential baseline.
+fn tiny_morsel(out: &Path, threads: usize) -> ReproConfig {
+    let mut cfg = tiny(out, threads);
+    cfg.params = cfg.params.with_query_threads(4).with_morsel_rows(64);
+    cfg
+}
+
 /// Read every output file, excluding `timings.json` and the `BENCH_*`
 /// phase records — both hold wall-clock, which varies run to run.
 fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
@@ -44,11 +53,17 @@ fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
 #[test]
 fn repro_outputs_identical_at_one_and_four_threads() {
     let base = std::env::temp_dir().join(format!("tab_determinism_{}", std::process::id()));
-    let dirs = [base.join("t1"), base.join("t1b"), base.join("t4")];
+    let dirs = [
+        base.join("t1"),
+        base.join("t1b"),
+        base.join("t4"),
+        base.join("t4q4"),
+    ];
     let summaries = [
         run_all(&tiny(&dirs[0], 1)).expect("clean run at 1 thread"),
         run_all(&tiny(&dirs[1], 1)).expect("clean repeat run"),
         run_all(&tiny(&dirs[2], 4)).expect("clean run at 4 threads"),
+        run_all(&tiny_morsel(&dirs[3], 4)).expect("clean run with 4 query threads"),
     ];
 
     // Claims agree across repeats and thread counts, verdicts included.
@@ -120,6 +135,14 @@ fn repro_outputs_identical_at_one_and_four_threads() {
         let other = std::fs::read(dir.join("BENCH_convergence.json")).expect("convergence record");
         assert_eq!(conv, other, "BENCH_convergence.json differs between runs");
     }
+
+    // The executor bench record exists and is schema-tagged. It carries
+    // wall-clock, so only its presence and deterministic header fields
+    // are checked here (the snapshot above skips it by BENCH_ prefix).
+    let exec = std::fs::read_to_string(dirs[3].join("BENCH_exec.json")).expect("BENCH_exec.json");
+    assert!(exec.contains("\"schema\": \"tab-exec-bench-v1\""), "{exec}");
+    assert!(exec.contains("\"query_threads\": 4"), "{exec}");
+    assert!(exec.contains("\"morsel_rows\": 64"), "{exec}");
 
     // The advisor's what-if instrumentation record exists, and every
     // field except wall-clock (and the thread count itself) is

@@ -13,9 +13,9 @@
 
 use tab_bench::advisor::{one_column_configuration, p_configuration};
 use tab_bench::datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
-use tab_bench::engine::{bind, naive, Session};
+use tab_bench::engine::{bind, naive, ExecOpts, Session};
 use tab_bench::families::Family;
-use tab_bench::storage::{BuiltConfiguration, Database, Table};
+use tab_bench::storage::{BuiltConfiguration, Database, Parallelism, Table};
 
 /// Cap every table at `cap` rows (heap-prefix truncation) so the
 /// brute-force cartesian product stays tractable.
@@ -84,6 +84,47 @@ fn check_family(family: Family, db: &Database) {
                 "{} query {qi} under {cname}: cost-unit total not reproducible",
                 family.name()
             );
+            // Morsel-driven executor: every (query-threads, morsel-rows)
+            // pairing — and the scalar predicate path — must reproduce
+            // the same rows and bit-identical cost units as the default
+            // sequential run above.
+            for (threads, morsel_rows, vectorize) in [
+                (1, 64, true),
+                (2, 64, true),
+                (2, 4096, true),
+                (8, 64, true),
+                (8, 4096, true),
+                (2, 64, false),
+            ] {
+                let exec = ExecOpts {
+                    par: Parallelism::new(threads),
+                    morsel_rows,
+                    vectorize,
+                    ..ExecOpts::default()
+                };
+                let rp = Session::new(db, built)
+                    .with_exec(exec)
+                    .run(q, None)
+                    .expect("morsel variant executes");
+                let mut got = rp.rows.clone().expect("unbounded run returns rows");
+                if q.order_by.is_empty() {
+                    got.sort();
+                }
+                assert_eq!(
+                    expect,
+                    got,
+                    "{} query {qi} under {cname} diverges at {threads} query-threads, \
+                     morsel {morsel_rows}, vectorize={vectorize}:\n{q}",
+                    family.name()
+                );
+                assert_eq!(
+                    rp.outcome.units(),
+                    Some(units),
+                    "{} query {qi} under {cname}: cost units drift at {threads} \
+                     query-threads, morsel {morsel_rows}, vectorize={vectorize}",
+                    family.name()
+                );
+            }
         }
     }
 }

@@ -205,6 +205,59 @@ fn torn_trace_fails_after_artifacts_but_before_journal_discard() {
     std::fs::remove_dir_all(&base).ok();
 }
 
+/// A panic inside an intra-query morsel worker (the `morsel:` fault
+/// site) unwinds through the executor's `par_map`, is caught by the
+/// grid's `par_map_catch` like a `cell:` poison, and `--resume` — at
+/// default executor settings — recovers byte-identically to a clean
+/// run. This is the crash-consistency contract extended below the
+/// query boundary.
+#[test]
+fn poisoned_morsel_worker_then_resume_is_byte_identical() {
+    let base = std::env::temp_dir().join(format!("tab_fault_morsel_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    let clean_dir = base.join("clean");
+    run_all(&tiny(&clean_dir, 1)).expect("clean baseline run");
+    let want = snapshot(&clean_dir);
+
+    // Crash inside a morsel worker while the executor runs 2 query
+    // threads over 64-row morsels.
+    let dir = base.join("crash");
+    let plan = FaultPlan::parse("panic:morsel:NREF3J/NREF_1C").expect("spec");
+    let mut cfg = tiny(&dir, 2).with_faults(plan);
+    cfg.params = cfg.params.with_query_threads(2).with_morsel_rows(64);
+    let err = run_all(&cfg).expect_err("poisoned morsel must fail the run");
+    match &err {
+        ReproError::Grid { message } => {
+            assert!(message.contains("morsel:NREF3J/NREF_1C"), "{message}");
+        }
+        other => panic!("expected Grid error, got: {other}"),
+    }
+    let journal = dir.join("repro.checkpoint.jsonl");
+    assert!(journal.exists(), "failed run must leave its journal");
+    let text = std::fs::read_to_string(&journal).expect("journal");
+    assert!(
+        !text.contains("\"family\":\"NREF3J\",\"config\":\"NREF_1C\""),
+        "the poisoned cell must not be journaled:\n{text}"
+    );
+    assert!(
+        text.contains("\"family\":\"NREF3J\",\"config\":\"NREF_P\""),
+        "sibling cells of the poisoned one must be journaled:\n{text}"
+    );
+
+    // Resume at default executor settings (sequential, 4096-row
+    // morsels): the journal fingerprint excludes intra-query
+    // parallelism exactly like it excludes the grid thread count.
+    cfg.faults = None;
+    cfg.resume = true;
+    cfg.params = tiny(&dir, 1).params;
+    run_all(&cfg).expect("resume completes the run");
+    assert!(!journal.exists(), "journal removed after successful resume");
+    assert_same_outputs(&dir, &want, "morsel-crash-resume");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
 /// The ISSUE's panic-isolation requirement at the `par_map` layer: one
 /// poisoned job yields an `Err` slot under `par_map_catch` while its
 /// siblings complete, and `par_map` itself re-raises.

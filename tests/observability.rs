@@ -11,9 +11,10 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use tab_bench::datagen::{generate_nref, NrefParams};
-use tab_bench::engine::{render_explain, Session};
+use tab_bench::engine::{render_explain, ExecOpts, Session};
 use tab_bench::eval::{build_1c, build_p, SuiteParams};
 use tab_bench::families::Family;
+use tab_bench::storage::Parallelism;
 use tab_bench_harness::repro::{run_all, ReproConfig};
 use tab_bench_harness::trace_summary::summarize;
 
@@ -69,6 +70,42 @@ fn explain_shows_index_scan_under_1c_but_not_p() {
             .any(|l| l.trim_start().starts_with('>') && l.contains("IndexScan(")),
         "1C should mark an index access path as chosen:\n{r1}"
     );
+}
+
+/// Golden explain under morsel parallelism: the rendered explain —
+/// per-operator actuals included — is character-identical whether the
+/// executor ran sequentially or with 4 query threads over 64-row
+/// morsels. Per-morsel actuals must aggregate to exactly the
+/// sequential counters, and the rendering must not leak the thread
+/// count.
+#[test]
+fn explain_is_identical_at_one_and_four_query_threads() {
+    let db = generate_nref(NrefParams {
+        proteins: 400,
+        seed: 7,
+    });
+    let c1 = build_1c(&db, "NREF");
+    let queries = Family::Nref3J.enumerate(&db);
+    let sample: Vec<_> = queries.iter().step_by(queries.len() / 4).take(4).collect();
+    assert!(!sample.is_empty());
+    for q in sample {
+        let mut renders = Vec::new();
+        for threads in [1, 4] {
+            let exec = ExecOpts {
+                par: Parallelism::new(threads),
+                morsel_rows: 64,
+                ..ExecOpts::default()
+            };
+            let s = Session::new(&db, &c1).with_exec(exec);
+            let (plan, expl) = s.plan_query_explained(q).expect("plan");
+            let (_, acts) = s.run_instrumented(q, Some(2_000.0)).expect("run");
+            renders.push(render_explain(&plan, Some(&acts), Some(&expl)));
+        }
+        assert_eq!(
+            renders[0], renders[1],
+            "explain differs between 1 and 4 query threads for:\n{q}"
+        );
+    }
 }
 
 fn tiny(out: &Path) -> ReproConfig {

@@ -36,6 +36,8 @@ fn traced_grid_text(threads: usize) -> String {
             built: &p,
             workload: &w,
             timeout_units: TIMEOUT,
+            query_par: Parallelism::new(2),
+            morsel_rows: 64,
         },
         GridCell {
             family: "NREF2J",
@@ -43,6 +45,8 @@ fn traced_grid_text(threads: usize) -> String {
             built: &c1,
             workload: &w,
             timeout_units: TIMEOUT,
+            query_par: Parallelism::new(2),
+            morsel_rows: 64,
         },
     ];
     run_grid_traced(&cells, Parallelism::new(threads), Trace::to(&sink));
