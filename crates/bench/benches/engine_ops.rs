@@ -184,6 +184,59 @@ fn bench_exec_morsels(c: &mut Criterion) {
     }
 }
 
+/// The buffer pool's hot paths (DESIGN.md §13), isolated from the
+/// executor: the hit-path fetch (hash lookup + referenced bit), the
+/// clock sweep under eviction pressure (working set 4x capacity, so
+/// nearly every fetch walks the hand past referenced frames), and a
+/// repeated sequential scan at 50% / 100% / 200% of capacity — the
+/// 200% case is clock's sequential-flooding worst case, where every
+/// revisit misses again.
+fn bench_buffer_pool(c: &mut Criterion) {
+    use tab_storage::{table_rel_id, BufferPool, Faults, Fetched, PageHint, PageKey, Trace};
+    let rel = table_rel_id("bench");
+    let key = |page: u64| PageKey { rel, page };
+    let fresh =
+        |pages: usize| BufferPool::new(pages, None, Faults::disabled(), Trace::disabled(), None);
+
+    c.bench_function("buffer_pool_hit_fetch", |b| {
+        let mut pool = fresh(1024);
+        for p in 0..1024u64 {
+            pool.fetch(key(p), PageHint::Seq, false);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(pool.fetch(key(i), PageHint::Random, false))
+        })
+    });
+
+    c.bench_function("buffer_pool_clock_sweep_pressure", |b| {
+        let mut pool = fresh(256);
+        let mut i = 0u64;
+        b.iter(|| {
+            // Prime-strided walk over 4x the capacity: no temporal
+            // locality the clock hand can exploit.
+            i = (i + 7919) % 1024;
+            black_box(pool.fetch(key(i), PageHint::Random, false))
+        })
+    });
+
+    for (label, scan_pages) in [("50pct", 512u64), ("100pct", 1024), ("200pct", 2048)] {
+        c.bench_function(&format!("buffer_pool_seq_scan_{label}"), |b| {
+            let mut pool = fresh(1024);
+            b.iter(|| {
+                let mut misses = 0u64;
+                for p in 0..scan_pages {
+                    if !matches!(pool.fetch(key(p), PageHint::Seq, false), Fetched::Hit) {
+                        misses += 1;
+                    }
+                }
+                black_box(misses)
+            })
+        });
+    }
+}
+
 fn configured() -> Criterion {
     // Keep full-workspace bench runs to minutes, not hours: these are
     // coarse-grained operations (whole queries, whole advisor searches),
@@ -194,5 +247,5 @@ fn configured() -> Criterion {
         .warm_up_time(Duration::from_secs(1))
 }
 
-criterion_group!(name = benches; config = configured(); targets = bench_engine, bench_batch_operators, bench_exec_morsels);
+criterion_group!(name = benches; config = configured(); targets = bench_engine, bench_batch_operators, bench_exec_morsels, bench_buffer_pool);
 criterion_main!(benches);

@@ -32,15 +32,27 @@
 //! - `--resume`       replay the grid cells checkpointed by a previous
 //!   interrupted run in the same `--out` directory; outputs are
 //!   byte-identical to an uninterrupted run.
+//! - `--buffer-pages N`  run every grid query through an N-frame buffer
+//!   pool with clock eviction and spill-to-disk (0 = off, the default).
+//!   Eviction is a pure function of the logical access stream, so all
+//!   outputs stay byte-identical at any thread count and `BENCH_io.json`
+//!   reports the per-cell hit/miss/eviction traffic.
+//! - `--charge observed|metered`  how the cost meter prices pool
+//!   traffic. `observed` (default): hits free, misses charged as
+//!   seq/random page reads — totals depend on `--buffer-pages`.
+//!   `metered`: legacy model-based charges — totals byte-identical to a
+//!   pool-less run at any capacity, while the pool still reports traffic.
 
 use std::process::ExitCode;
 
 use tab_bench_harness::repro::{run_all, ReproConfig};
 use tab_core::FaultPlan;
+use tab_engine::ChargePolicy;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--small] [--threads N] [--query-threads N] [--morsel-rows N] \
+         [--buffer-pages N] [--charge observed|metered] \
          [--check] [--expect FILE] [--out DIR] [--trace FILE] [--faults SPEC] [--resume]"
     );
     std::process::exit(2);
@@ -53,6 +65,8 @@ fn main() -> ExitCode {
     let mut threads: usize = 0;
     let mut query_threads: Option<usize> = None;
     let mut morsel_rows: Option<usize> = None;
+    let mut buffer_pages: Option<usize> = None;
+    let mut charge: Option<ChargePolicy> = None;
     let mut out: Option<String> = None;
     let mut expect: Option<String> = None;
     let mut trace: Option<String> = None;
@@ -79,6 +93,17 @@ fn main() -> ExitCode {
                 }
                 morsel_rows = Some(n);
             }
+            "--buffer-pages" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                buffer_pages = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--charge" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                charge = Some(ChargePolicy::parse(&v).unwrap_or_else(|e| {
+                    eprintln!("--charge: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--expect" => expect = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
@@ -98,6 +123,12 @@ fn main() -> ExitCode {
     }
     if let Some(n) = morsel_rows {
         cfg.params = cfg.params.with_morsel_rows(n);
+    }
+    if let Some(n) = buffer_pages {
+        cfg.params = cfg.params.with_buffer_pages(n);
+    }
+    if let Some(c) = charge {
+        cfg.params = cfg.params.with_charge(c);
     }
     if let Some(dir) = out {
         cfg.out_dir = dir.into();

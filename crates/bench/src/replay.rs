@@ -306,7 +306,10 @@ pub fn replay(doc: &TraceDoc) -> Result<Replay, ReplayError> {
                 }
                 None => r.stray_advisor_events += 1,
             },
-            TraceRecord::Other { .. } => {}
+            // Page events are per-access detail under a keyed stream the
+            // cell totals already summarize; replay tolerates them and
+            // diffs stay at operator granularity.
+            TraceRecord::Page { .. } | TraceRecord::Other { .. } => {}
         }
     }
     if let Some(run) = open.take() {

@@ -21,15 +21,16 @@ use tab_core::report::{
 };
 use tab_core::{
     advisor_bench_json, bench_json, build_1c, build_p, estimate_workload_hypothetical_with,
-    estimate_workload_with, improvement_ratios, insertion_breakeven, prepare_workload_db_with,
-    run_grid_checkpointed, space_budget, table1_row, timings_json, AdvisorBenchRecord, CellTiming,
-    Cfc, CheckpointError, CheckpointJournal, FaultPlan, Faults, FileTraceSink, Goal, GridCell,
-    GridError, LogHistogram, PhaseTiming, RatioHistogram, SuiteParams, Trace, WorkloadRun,
+    estimate_workload_with, improvement_ratios, insertion_breakeven, io_bench_json,
+    prepare_workload_db_with, run_grid_checkpointed, space_budget, table1_row, timings_json,
+    AdvisorBenchRecord, CellTiming, Cfc, CheckpointError, CheckpointJournal, FaultPlan, Faults,
+    FileTraceSink, Goal, GridCell, GridError, IoBenchCell, LogHistogram, PhaseTiming,
+    RatioHistogram, SuiteParams, Trace, WorkloadRun,
 };
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
 use tab_families::Family;
 use tab_sqlq::Query;
-use tab_storage::{BuiltConfiguration, Configuration};
+use tab_storage::{BuiltConfiguration, Configuration, Database, Pager};
 
 /// Configuration of a reproduction run.
 pub struct ReproConfig {
@@ -172,14 +173,49 @@ impl std::error::Error for ReproError {}
 /// are identical at any parallelism, so a run interrupted at 4 threads
 /// may resume at 1 (and `tests/fault_injection.rs` holds us to it).
 fn fingerprint(params: &SuiteParams) -> String {
-    format!(
+    let mut fp = format!(
         "seed={};nref={};tpch_scale_bits={};workload={};timeout_bits={}",
         params.seed,
         params.nref_proteins,
         params.tpch_scale.to_bits(),
         params.workload_size,
         params.timeout_units.to_bits()
-    )
+    );
+    // The buffer pool changes charged units (Observed mode) and the
+    // journalled I/O counters, so pooled runs get their own journal
+    // lineage. Pool-less runs keep the historical fingerprint so old
+    // journals stay resumable.
+    if params.buffer_pages > 0 {
+        fp.push_str(&format!(
+            ";pool={};charge={}",
+            params.buffer_pages,
+            params.charge.name()
+        ));
+    }
+    fp
+}
+
+/// Stand up the spill-to-disk pager for one database, materialising
+/// every base-table heap so evicted clean pages can be re-read. Only
+/// built when the pool is on; `None` keeps the zero-cost legacy path.
+fn build_pager(label: &str, db: &Database, pages: usize) -> Result<Option<Pager>, ReproError> {
+    if pages == 0 {
+        return Ok(None);
+    }
+    let mut pager = Pager::new(label).map_err(|source| ReproError::Artifact {
+        path: std::env::temp_dir(),
+        source,
+    })?;
+    for name in db.table_names().collect::<Vec<_>>() {
+        let table = db.table(name).expect("listed table exists");
+        pager
+            .materialize_table(name, table)
+            .map_err(|source| ReproError::Artifact {
+                path: pager.dir().join(name),
+                source,
+            })?;
+    }
+    Ok(Some(pager))
 }
 
 /// One checked qualitative claim from the paper.
@@ -226,6 +262,9 @@ struct Ctx<'a> {
     /// Per-recommendation what-if search instrumentation for
     /// `BENCH_advisor.json`.
     advisor: Vec<AdvisorBenchRecord>,
+    /// Per-cell buffer-pool traffic for `BENCH_io.json`, in grid
+    /// completion order (deterministic: cells finish in issue order).
+    io_cells: Vec<IoBenchCell>,
     t0: Instant,
     /// When the span being attributed to the *next* [`Ctx::mark`] began.
     last_mark: Instant,
@@ -371,6 +410,7 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
         timings: Vec::new(),
         phases: Vec::new(),
         advisor: Vec::new(),
+        io_cells: Vec::new(),
         t0,
         last_mark: t0,
     };
@@ -551,6 +591,10 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
     let timeout = ctx.timeout;
     let query_par = cfg.params.query_par;
     let morsel_rows = cfg.params.morsel_rows;
+    let buffer_pages = cfg.params.buffer_pages;
+    let charge = cfg.params.charge;
+    let nref_pager = build_pager("nref", nref, buffer_pages)?;
+    let pager = nref_pager.as_ref();
     let cell = move |family: &'static str, built, workload| GridCell {
         family,
         db: nref,
@@ -559,6 +603,9 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
         timeout_units: timeout,
         query_par,
         morsel_rows,
+        buffer_pages,
+        charge,
+        pager,
     };
     let mut cells = vec![
         cell("NREF2J", &p, w2.as_slice()),
@@ -577,6 +624,11 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
     ctx.mark("measurement-grid");
     let mut take = |ctx: &mut Ctx| -> WorkloadRun {
         let (run, timing) = grid.pop_front().expect("one result per grid cell");
+        ctx.io_cells.push(IoBenchCell {
+            family: timing.family.clone(),
+            config: run.config.clone(),
+            io: run.io,
+        });
         ctx.timings.push(timing);
         run
     };
@@ -1041,6 +1093,7 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
     ctx.mark("exec-bench");
 
     drop(p);
+    drop(nref_pager);
     drop(nref_db);
     trace.span_end("NREF");
 
@@ -1066,6 +1119,7 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
         let p = build_p(db, label);
         let c1 = build_1c(db, label);
         let budget = space_budget(db, label);
+        let tpch_pager = build_pager(label, db, cfg.params.buffer_pages)?;
         ctx.mark("prepare");
         let mut family_runs: BTreeMap<&'static str, (WorkloadRun, WorkloadRun, WorkloadRun)> =
             BTreeMap::new();
@@ -1117,6 +1171,9 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
                     timeout_units: ctx.timeout,
                     query_par: cfg.params.query_par,
                     morsel_rows: cfg.params.morsel_rows,
+                    buffer_pages: cfg.params.buffer_pages,
+                    charge: cfg.params.charge,
+                    pager: tpch_pager.as_ref(),
                 })
             })
             .collect();
@@ -1127,6 +1184,11 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
         for (fam, _w, built) in &preps {
             let mut next = || {
                 let (run, timing) = grid.next().expect("one result per grid cell");
+                ctx.io_cells.push(IoBenchCell {
+                    family: timing.family.clone(),
+                    config: run.config.clone(),
+                    io: run.io,
+                });
                 ctx.timings.push(timing);
                 run
             };
@@ -1368,6 +1430,15 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
     // everything else is deterministic at any thread count.
     let advisor = advisor_bench_json(par.threads(), &ctx.advisor);
     ctx.bytes("BENCH_advisor.json", advisor.as_bytes())?;
+
+    // Buffer-pool traffic per grid cell (schema `tab-io-bench-v1`,
+    // documented on `io_bench_json`). Unlike most `BENCH_*` artifacts
+    // this one is wall-clock-free: eviction is a pure function of the
+    // logical access stream, so the file byte-compares across thread
+    // counts (`tests/determinism.rs` holds us to it, like
+    // `BENCH_convergence.json`).
+    let io_bench = io_bench_json(cfg.params.buffer_pages, cfg.params.charge, &ctx.io_cells);
+    ctx.bytes("BENCH_io.json", io_bench.as_bytes())?;
 
     // Publish the trace before discarding the journal: a sink that
     // silently swallowed a write failure (injected `enospc:trace` /

@@ -159,8 +159,7 @@ mod tests {
         // Query totals: P has 2 queries 1 timeout, 1C has 1 query.
         let p_cell = s
             .lines()
-            .filter(|l| l.split_whitespace().nth(1) == Some("P"))
-            .last()
+            .rfind(|l| l.split_whitespace().nth(1) == Some("P"))
             .unwrap();
         assert!(p_cell.contains("504.252"), "{p_cell}");
         assert!(!s.contains("WARNING"), "clean input: {s}");

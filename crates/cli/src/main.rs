@@ -26,10 +26,10 @@ use tab_core::convergence::{
 use tab_core::report::render_cfc_ascii;
 use tab_core::{run_workload_with, Goal, Parallelism};
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
-use tab_engine::{apply_insert, ExecOpts, Session};
+use tab_engine::{apply_insert, ChargePolicy, ExecOpts, PoolOpts, Session};
 use tab_families::{sample_preserving_par, Family};
 use tab_sqlq::{parse_statement, Statement};
-use tab_storage::{BuiltConfiguration, Database};
+use tab_storage::{BuiltConfiguration, Database, Pager};
 
 const USAGE: &str = "\
 tab — benchmarking framework for configuration recommenders
@@ -56,8 +56,13 @@ USAGE:
 All commands accept --threads N (worker threads for grid/workload
 fan-out; 0 or absent = all cores). `explain` and `run` additionally
 accept --query-threads N (intra-query morsel workers; default 1,
-0 = all cores) and --morsel-rows N (rows per morsel, default 4096).
-Results are identical at any thread count or morsel size.
+0 = all cores), --morsel-rows N (rows per morsel, default 4096),
+--buffer-pages N (run through an N-frame buffer pool with clock
+eviction and spill-to-disk; 0 = off, the default) and
+--charge observed|metered (how the meter prices pool traffic:
+`observed` charges misses only, `metered` keeps the legacy model-based
+charges so totals match a pool-less run). Results are identical at any
+thread count or morsel size.
 
 DB SPEC: nref[:proteins] | skth[:scale] | unth[:scale]
 FAMILY:  NREF2J | NREF3J | SkTH3J | SkTH3Js | UnTH3J";
@@ -182,6 +187,38 @@ fn exec_opts_of(args: &Args) -> Result<ExecOpts<'static>, String> {
     })
 }
 
+/// The `--buffer-pages` flag: when nonzero, a spill pager with every
+/// base-table heap materialised, ready to back a [`PoolOpts`].
+fn pager_of(args: &Args, db: &Database) -> Result<Option<Pager>, String> {
+    let pages: usize = args.get_parsed("buffer-pages")?.unwrap_or(0);
+    if pages == 0 {
+        return Ok(None);
+    }
+    let mut pager = Pager::new("cli").map_err(|e| format!("cannot create spill pager: {e}"))?;
+    let names: Vec<String> = db.table_names().map(String::from).collect();
+    for name in &names {
+        pager
+            .materialize_table(name, db.table(name).expect("listed table exists"))
+            .map_err(|e| format!("cannot materialise table `{name}`: {e}"))?;
+    }
+    Ok(Some(pager))
+}
+
+/// The `--buffer-pages`/`--charge` flags as a [`PoolOpts`] borrowing the
+/// pager built by [`pager_of`] (which must outlive the session).
+fn pool_of<'a>(args: &Args, pager: Option<&'a Pager>) -> Result<Option<PoolOpts<'a>>, String> {
+    let pages: usize = args.get_parsed("buffer-pages")?.unwrap_or(0);
+    if pages == 0 {
+        return Ok(None);
+    }
+    let mut pool = PoolOpts::new(pages);
+    if let Some(s) = args.get("charge") {
+        pool.policy = ChargePolicy::parse(s)?;
+    }
+    pool.pager = pager;
+    Ok(Some(pool))
+}
+
 fn workload_for(
     args: &Args,
     db: &Database,
@@ -232,19 +269,38 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     let timeout: Option<f64> = args
         .get_parsed::<f64>("timeout-secs")?
         .map(|s| s / tab_engine::SIM_SECONDS_PER_UNIT);
-    let session = Session::new(&db, &built).with_exec(exec_opts_of(args)?);
+    let pager = pager_of(args, &db)?;
+    let exec = ExecOpts {
+        pool: pool_of(args, pager.as_ref())?,
+        ..exec_opts_of(args)?
+    };
+    let session = Session::new(&db, &built).with_exec(exec);
     // Plan with the decision trace, then execute the same query
-    // instrumented so the rendering pairs estimates with actuals.
+    // instrumented so the rendering pairs estimates with actuals
+    // (under `--buffer-pages` the actuals gain a per-operator `pages`
+    // hit/miss column).
     let (plan, expl) = session
         .plan_query_explained(&q)
         .map_err(|e| e.to_string())?;
-    let (_, acts) = session
+    let (r, acts) = session
         .run_instrumented(&q, timeout)
         .map_err(|e| e.to_string())?;
     print!(
         "{}",
         tab_engine::render_explain(&plan, Some(&acts), Some(&expl))
     );
+    if !r.io.is_zero() {
+        println!(
+            "buffer pool: {} hits, {} misses ({} seq, {} random), {} evictions, \
+             {:.1}% hit rate",
+            r.io.hits,
+            r.io.misses(),
+            r.io.misses_seq,
+            r.io.misses_random,
+            r.io.evictions,
+            r.io.hit_rate() * 100.0
+        );
+    }
     Ok(())
 }
 
@@ -264,7 +320,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             );
         }
         Statement::Query(q) => {
-            let session = Session::new(&db, &built).with_exec(exec_opts_of(args)?);
+            let pager = pager_of(args, &db)?;
+            let exec = ExecOpts {
+                pool: pool_of(args, pager.as_ref())?,
+                ..exec_opts_of(args)?
+            };
+            let session = Session::new(&db, &built).with_exec(exec);
             let r = session.run(&q, timeout).map_err(|e| e.to_string())?;
             match (&r.outcome, &r.rows) {
                 (o, Some(rows)) => {
@@ -286,6 +347,18 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                     "TIMEOUT after {:.0} simulated seconds",
                     r.outcome.sim_seconds_lower_bound()
                 ),
+            }
+            if !r.io.is_zero() {
+                println!(
+                    "-- buffer pool: {} hits, {} misses ({} seq, {} random), \
+                     {} evictions, {:.1}% hit rate",
+                    r.io.hits,
+                    r.io.misses(),
+                    r.io.misses_seq,
+                    r.io.misses_random,
+                    r.io.evictions,
+                    r.io.hit_rate() * 100.0
+                );
             }
         }
     }

@@ -52,7 +52,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use tab_engine::Outcome;
-use tab_storage::{atomic_write, Faults};
+use tab_storage::{atomic_write, Faults, PoolStats};
 
 use crate::grid::CellTiming;
 use crate::measure::WorkloadRun;
@@ -94,6 +94,7 @@ struct JournaledCell {
     queries: usize,
     wall_seconds: f64,
     outcomes: Vec<Outcome>,
+    io: PoolStats,
 }
 
 struct JournalState {
@@ -210,6 +211,7 @@ impl CheckpointJournal {
             config,
             cell.outcomes.clone(),
             cell.wall_seconds,
+            cell.io,
         ))
     }
 
@@ -235,14 +237,31 @@ impl CheckpointJournal {
                 Outcome::Timeout { budget } => format!("t:{}", budget.to_bits()),
             })
             .collect();
+        // Pool traffic rides along only when a pool ran: pool-less
+        // journals stay byte-identical to earlier versions, and older
+        // journals (no `io` field) replay with zeroed stats.
+        let io_field = if run.io.is_zero() {
+            String::new()
+        } else {
+            format!(
+                ",\"io\":\"{},{},{},{},{},{}\"",
+                run.io.hits,
+                run.io.misses_seq,
+                run.io.misses_random,
+                run.io.evictions,
+                run.io.spill_bytes_written,
+                run.io.spill_bytes_read
+            )
+        };
         let line = format!(
             "{{\"schema\":\"tab-checkpoint-v1\",\"kind\":\"cell\",\"family\":\"{}\",\
-             \"config\":\"{}\",\"queries\":{},\"wall_bits\":{},\"outcomes\":\"{}\"}}",
+             \"config\":\"{}\",\"queries\":{},\"wall_bits\":{},\"outcomes\":\"{}\"{}}}",
             esc(family),
             esc(config),
             run.outcomes.len(),
             wall_seconds.to_bits(),
-            outcomes.join(",")
+            outcomes.join(","),
+            io_field
         );
         let mut state = self.state.lock().expect("journal poisoned");
         state.lines.push(line);
@@ -252,6 +271,7 @@ impl CheckpointJournal {
                 queries: run.outcomes.len(),
                 wall_seconds,
                 outcomes: run.outcomes.clone(),
+                io: run.io,
             },
         );
         let doc = state.lines.join("\n") + "\n";
@@ -286,10 +306,12 @@ pub(crate) fn assemble(
     config: &str,
     outcomes: Vec<Outcome>,
     wall_seconds: f64,
+    io: PoolStats,
 ) -> (WorkloadRun, CellTiming) {
     let run = WorkloadRun {
         config: config.to_string(),
         outcomes,
+        io,
     };
     let timing = CellTiming {
         family: family.to_string(),
@@ -373,12 +395,34 @@ fn parse_cell(line: &str) -> Option<((String, String), JournaledCell)> {
     if outcomes.len() != queries {
         return None; // torn mid-entry
     }
+    // Optional pool-traffic field; absent in pool-less runs and in
+    // journals written before the buffer pool existed.
+    let io = match field_str(line, "io") {
+        None => PoolStats::default(),
+        Some(enc) => {
+            let parts: Vec<u64> = enc
+                .split(',')
+                .map(|p| p.parse().ok())
+                .collect::<Option<_>>()?;
+            let [hits, misses_seq, misses_random, evictions, written, read]: [u64; 6] =
+                parts.try_into().ok()?;
+            PoolStats {
+                hits,
+                misses_seq,
+                misses_random,
+                evictions,
+                spill_bytes_written: written,
+                spill_bytes_read: read,
+            }
+        }
+    };
     Some((
         (family, config),
         JournaledCell {
             queries,
             wall_seconds,
             outcomes,
+            io,
         },
     ))
 }
@@ -406,7 +450,44 @@ mod tests {
                     rows: 0,
                 },
             ],
+            io: PoolStats::default(),
         }
+    }
+
+    #[test]
+    fn pool_traffic_round_trips_and_zero_io_omits_the_field() {
+        let path = tmp("io");
+        let mut run = sample_run();
+        run.io = PoolStats {
+            hits: 10,
+            misses_seq: 2,
+            misses_random: 3,
+            evictions: 1,
+            spill_bytes_written: 8192,
+            spill_bytes_read: 0,
+        };
+        {
+            let j = CheckpointJournal::open(&path, "fp", false).expect("open");
+            j.record("F", "POOL", &run, 0.5, Faults::disabled());
+            j.record("F", "PLAIN", &sample_run(), 0.5, Faults::disabled());
+        }
+        let text = std::fs::read_to_string(&path).expect("read");
+        let pool_line = text.lines().find(|l| l.contains("\"POOL\"")).expect("line");
+        assert!(
+            pool_line.contains("\"io\":\"10,2,3,1,8192,0\""),
+            "{pool_line}"
+        );
+        let plain_line = text
+            .lines()
+            .find(|l| l.contains("\"PLAIN\""))
+            .expect("line");
+        assert!(!plain_line.contains("\"io\""), "{plain_line}");
+        let j = CheckpointJournal::open(&path, "fp", true).expect("reopen");
+        let (got, _) = j.lookup("F", "POOL", 3).expect("replay");
+        assert_eq!(got.io, run.io);
+        let (got, _) = j.lookup("F", "PLAIN", 3).expect("replay");
+        assert!(got.io.is_zero());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

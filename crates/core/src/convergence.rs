@@ -462,7 +462,7 @@ mod tests {
     fn gave_up_profiles_stay_visible() {
         let c = ConvergenceCurve::gave_up("A", "NREF3J", None);
         assert_eq!(c.final_objective(), 0.0);
-        let rows = convergence_csv_rows(&[c.clone()]);
+        let rows = convergence_csv_rows(std::slice::from_ref(&c));
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][2], "unlimited");
         assert_eq!(rows[0][3], "gave_up");

@@ -9,7 +9,7 @@
 
 use tab_advisor::{one_column_budget_bytes, one_column_configuration, p_configuration};
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
-use tab_engine::{RANDOM_PAGE_COST, SEQ_PAGE_COST};
+use tab_engine::{ChargePolicy, RANDOM_PAGE_COST, SEQ_PAGE_COST};
 use tab_families::{sample_preserving_par, Family};
 use tab_sqlq::Query;
 use tab_storage::{par_run, BuiltConfiguration, Database, Parallelism};
@@ -44,6 +44,14 @@ pub struct SuiteParams {
     /// ([`tab_engine::DEFAULT_MORSEL_ROWS`] unless sweeping). Results
     /// are identical at any setting.
     pub morsel_rows: usize,
+    /// Buffer-pool capacity in 8 KiB frames for each measured query
+    /// (`--buffer-pages`; `0` = no pool, the legacy purely-modeled
+    /// charge path).
+    pub buffer_pages: usize,
+    /// How the meter charges pool traffic (`--charge`); ignored when
+    /// `buffer_pages == 0`. [`ChargePolicy::Metered`] keeps every cost
+    /// total byte-identical to the pool-less path.
+    pub charge: ChargePolicy,
 }
 
 impl Default for SuiteParams {
@@ -61,6 +69,8 @@ impl Default for SuiteParams {
             par: Parallelism::available(),
             query_par: Parallelism::sequential(),
             morsel_rows: tab_engine::DEFAULT_MORSEL_ROWS,
+            buffer_pages: 0,
+            charge: ChargePolicy::Observed,
         }
     }
 }
@@ -77,6 +87,8 @@ impl SuiteParams {
             par: Parallelism::available(),
             query_par: Parallelism::sequential(),
             morsel_rows: tab_engine::DEFAULT_MORSEL_ROWS,
+            buffer_pages: 0,
+            charge: ChargePolicy::Observed,
         }
     }
 
@@ -97,6 +109,19 @@ impl SuiteParams {
     /// The same parameters with an explicit morsel size.
     pub fn with_morsel_rows(mut self, rows: usize) -> Self {
         self.morsel_rows = rows;
+        self
+    }
+
+    /// The same parameters with a buffer pool of `pages` 8 KiB frames
+    /// per measured query (`0` disables the pool).
+    pub fn with_buffer_pages(mut self, pages: usize) -> Self {
+        self.buffer_pages = pages;
+        self
+    }
+
+    /// The same parameters with an explicit pool charge policy.
+    pub fn with_charge(mut self, charge: ChargePolicy) -> Self {
+        self.charge = charge;
         self
     }
 }
@@ -414,6 +439,7 @@ mod tests {
                 units: 60_000.0,
                 rows: 1,
             }],
+            io: tab_storage::PoolStats::default(),
         };
         let run_1c = WorkloadRun {
             config: "1C".into(),
@@ -421,6 +447,7 @@ mod tests {
                 units: 10_000.0,
                 rows: 1,
             }],
+            io: tab_storage::PoolStats::default(),
         };
         let a = insertion_breakeven(&p, &p, &c1, &run_r, &run_1c, "neighboring_seq");
         assert!(a.per_insert_1c > a.per_insert_r);

@@ -21,10 +21,11 @@ use std::io;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use tab_engine::{ExecOpts, Outcome, Session};
+use tab_engine::{ChargePolicy, ExecOpts, Outcome, PoolOpts, Session};
 use tab_sqlq::Query;
 use tab_storage::{
-    par_map_catch, BuiltConfiguration, Database, Faults, JobPanic, Parallelism, Trace, TraceEvent,
+    par_map_catch, BuiltConfiguration, Database, Faults, JobPanic, Pager, Parallelism, PoolStats,
+    Trace, TraceEvent,
 };
 
 use crate::checkpoint::{self, CheckpointJournal};
@@ -50,6 +51,19 @@ pub struct GridCell<'a> {
     /// Rows per execution morsel (see [`tab_engine::exec`];
     /// [`tab_engine::DEFAULT_MORSEL_ROWS`] unless sweeping).
     pub morsel_rows: usize,
+    /// Buffer-pool capacity in 8 KiB frames for each query of the cell
+    /// (`0` = no pool, the legacy purely-modeled charge path). Each
+    /// query gets a fresh pool, so eviction state never leaks between
+    /// queries and outcomes stay order-independent.
+    pub buffer_pages: usize,
+    /// How the meter charges pool traffic; ignored when
+    /// `buffer_pages == 0`. [`ChargePolicy::Metered`] keeps every cost
+    /// total byte-identical to the pool-less path.
+    pub charge: ChargePolicy,
+    /// Spill-to-disk pager backing the pool's frames (optional; without
+    /// one, evicted dirty pages are re-materialized from the in-memory
+    /// heap on re-fetch and only the byte counters move).
+    pub pager: Option<&'a Pager>,
 }
 
 /// Timing record for one executed grid cell.
@@ -167,7 +181,7 @@ impl std::error::Error for GridError {}
 /// which is the moment the cell is journaled, giving true mid-run crash
 /// consistency rather than journal-at-the-end.
 struct Slab {
-    got: Vec<Option<(Outcome, f64)>>,
+    got: Vec<Option<(Outcome, f64, PoolStats)>>,
     filled: usize,
     done: Option<(WorkloadRun, CellTiming)>,
 }
@@ -210,7 +224,13 @@ pub fn run_grid_checkpointed(
                 }
             }
             if cell.workload.is_empty() {
-                return Some(checkpoint::assemble(cell.family, config, Vec::new(), 0.0));
+                return Some(checkpoint::assemble(
+                    cell.family,
+                    config,
+                    Vec::new(),
+                    0.0,
+                    PoolStats::default(),
+                ));
             }
             None
         })
@@ -244,9 +264,9 @@ pub fn run_grid_checkpointed(
             // deterministic.
             faults.panic_if_armed(&format!("cell:{}/{}", cell.family, cell.built.config.name));
         }
-        let (outcome, wall) = execute_query(cell, q, trace, faults);
+        let (outcome, wall, io) = execute_query(cell, q, trace, faults);
         let mut slab = slabs[c].lock().expect("cell slab poisoned");
-        slab.got[q] = Some((outcome, wall));
+        slab.got[q] = Some((outcome, wall, io));
         slab.filled += 1;
         if slab.filled == cell.workload.len() {
             // Last query in: assemble in workload order (deterministic
@@ -261,8 +281,17 @@ pub fn run_grid_checkpointed(
                 .iter()
                 .map(|s| s.as_ref().expect("slab filled").1)
                 .sum();
-            let (run, timing) =
-                checkpoint::assemble(cell.family, &cell.built.config.name, outcomes, wall_seconds);
+            let mut cell_io = PoolStats::default();
+            for s in &slab.got {
+                cell_io.merge(&s.as_ref().expect("slab filled").2);
+            }
+            let (run, timing) = checkpoint::assemble(
+                cell.family,
+                &cell.built.config.name,
+                outcomes,
+                wall_seconds,
+                cell_io,
+            );
             if let Some(j) = journal {
                 j.record(cell.family, &run.config, &run, wall_seconds, faults);
             }
@@ -322,24 +351,38 @@ fn execute_query(
     q: usize,
     trace: Trace<'_>,
     faults: Faults<'_>,
-) -> (Outcome, f64) {
-    // The site string only exists when injection is on; the disabled
+) -> (Outcome, f64, PoolStats) {
+    // The site strings only exist when injection is on; the disabled
     // path must not pay a per-morsel format.
     let site = if faults.is_enabled() {
         Some(format!("morsel:{}/{}", cell.family, cell.built.config.name))
     } else {
         None
     };
+    let evict_site = if faults.is_enabled() && cell.buffer_pages > 0 {
+        Some(format!("evict:{}/{}", cell.family, cell.built.config.name))
+    } else {
+        None
+    };
+    let pool = (cell.buffer_pages > 0).then(|| {
+        let mut p = PoolOpts::new(cell.buffer_pages);
+        p.policy = cell.charge;
+        p.pager = cell.pager;
+        p.trace = trace;
+        p.evict_site = evict_site.as_deref();
+        p
+    });
     let exec = ExecOpts {
         par: cell.query_par,
         morsel_rows: cell.morsel_rows,
         faults,
         fault_site: site.as_deref(),
+        pool,
         ..ExecOpts::default()
     };
     let session = Session::new(cell.db, cell.built).with_exec(exec);
     let t0 = Instant::now();
-    let outcome = if trace.is_enabled() {
+    let (outcome, io) = if trace.is_enabled() {
         let (result, acts) = session
             .run_instrumented(&cell.workload[q], Some(cell.timeout_units))
             .expect("grid workloads bind against their databases");
@@ -362,6 +405,13 @@ fn execute_query(
                         .int("rows_out", act.rows_out)
                         .int("probes", act.probes)
                         .num("units", act.units);
+                    // Pool-mode only: absent fields keep pool-less
+                    // traces byte-identical to earlier versions.
+                    if act.page_hits + act.page_misses > 0 {
+                        ev = ev
+                            .int("page_hits", act.page_hits)
+                            .int("page_misses", act.page_misses);
+                    }
                 }
                 ev
             });
@@ -380,14 +430,14 @@ fn execute_query(
                 .str("outcome", label)
                 .num("units", units)
         });
-        result.outcome
+        (result.outcome, result.io)
     } else {
-        session
+        let r = session
             .run(&cell.workload[q], Some(cell.timeout_units))
-            .expect("grid workloads bind against their databases")
-            .outcome
+            .expect("grid workloads bind against their databases");
+        (r.outcome, r.io)
     };
-    (outcome, t0.elapsed().as_secs_f64())
+    (outcome, t0.elapsed().as_secs_f64(), io)
 }
 
 fn json_escape(s: &str) -> String {
@@ -582,6 +632,72 @@ pub fn advisor_bench_json(threads: usize, records: &[AdvisorBenchRecord]) -> Str
     s
 }
 
+/// One (family, configuration) cell's pool traffic, reported in
+/// `BENCH_io.json`.
+#[derive(Debug, Clone)]
+pub struct IoBenchCell {
+    /// Family name, e.g. `NREF2J`.
+    pub family: String,
+    /// Configuration display name, e.g. `NREF_P`.
+    pub config: String,
+    /// Pool traffic summed over the cell's completed queries.
+    pub io: PoolStats,
+}
+
+/// Render per-cell buffer-pool traffic as a `BENCH_io.json` document.
+///
+/// Schema (`tab-io-bench-v1`):
+///
+/// ```json
+/// {
+///   "schema": "tab-io-bench-v1",
+///   "mode": "pool",            // "pool" when buffer_pages > 0, else "compat"
+///   "buffer_pages": 64,        // pool capacity in 8 KiB frames (0 = off)
+///   "charge": "metered",       // ChargePolicy the run used
+///   "cells": [
+///     {"family": "NREF2J", "config": "NREF_P", "hits": 812, "misses_seq": 90,
+///      "misses_random": 14, "evictions": 40, "spill_bytes_written": 327680,
+///      "spill_bytes_read": 81920, "hit_rate": 0.886}
+///   ]
+/// }
+/// ```
+///
+/// Unlike its `BENCH_*` siblings this document contains **no
+/// wall-clock**: every field is a pure function of the logical access
+/// stream, so determinism checks byte-compare it across thread counts
+/// (like `BENCH_convergence.json`) rather than skipping it.
+pub fn io_bench_json(buffer_pages: usize, charge: ChargePolicy, cells: &[IoBenchCell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tab-io-bench-v1\",\n");
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if buffer_pages > 0 { "pool" } else { "compat" }
+    ));
+    s.push_str(&format!("  \"buffer_pages\": {buffer_pages},\n"));
+    s.push_str(&format!("  \"charge\": \"{}\",\n", charge.name()));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"family\": \"{}\", \"config\": \"{}\", \"hits\": {}, \"misses_seq\": {}, \
+             \"misses_random\": {}, \"evictions\": {}, \"spill_bytes_written\": {}, \
+             \"spill_bytes_read\": {}, \"hit_rate\": {:.3}}}{}\n",
+            json_escape(&c.family),
+            json_escape(&c.config),
+            c.io.hits,
+            c.io.misses_seq,
+            c.io.misses_random,
+            c.io.evictions,
+            c.io.spill_bytes_written,
+            c.io.spill_bytes_read,
+            c.io.hit_rate(),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,6 +738,9 @@ mod tests {
                 timeout_units: 500.0,
                 query_par: Parallelism::new(2),
                 morsel_rows: 64,
+                buffer_pages: 0,
+                charge: ChargePolicy::Observed,
+                pager: None,
             },
             GridCell {
                 family: "F1",
@@ -631,6 +750,9 @@ mod tests {
                 timeout_units: 500.0,
                 query_par: Parallelism::new(2),
                 morsel_rows: 64,
+                buffer_pages: 0,
+                charge: ChargePolicy::Observed,
+                pager: None,
             },
             GridCell {
                 family: "F2",
@@ -640,6 +762,9 @@ mod tests {
                 timeout_units: 10.0,
                 query_par: Parallelism::new(2),
                 morsel_rows: 64,
+                buffer_pages: 0,
+                charge: ChargePolicy::Observed,
+                pager: None,
             },
         ];
         let serial: Vec<WorkloadRun> = cells
@@ -675,6 +800,9 @@ mod tests {
             timeout_units: 500.0,
             query_par: Parallelism::sequential(),
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            buffer_pages: 0,
+            charge: ChargePolicy::Observed,
+            pager: None,
         }];
         let plain = run_grid(&cells, Parallelism::sequential());
         let sink = tab_storage::MemoryTraceSink::new();
@@ -714,6 +842,9 @@ mod tests {
                 timeout_units: 500.0,
                 query_par: Parallelism::new(2),
                 morsel_rows: 64,
+                buffer_pages: 0,
+                charge: ChargePolicy::Observed,
+                pager: None,
             },
             GridCell {
                 family: "F1",
@@ -723,6 +854,9 @@ mod tests {
                 timeout_units: 500.0,
                 query_par: Parallelism::new(2),
                 morsel_rows: 64,
+                buffer_pages: 0,
+                charge: ChargePolicy::Observed,
+                pager: None,
             },
             GridCell {
                 family: "F2",
@@ -732,6 +866,9 @@ mod tests {
                 timeout_units: 10.0,
                 query_par: Parallelism::new(2),
                 morsel_rows: 64,
+                buffer_pages: 0,
+                charge: ChargePolicy::Observed,
+                pager: None,
             },
         ];
         let clean = run_grid(&cells, Parallelism::sequential());
@@ -798,6 +935,9 @@ mod tests {
             timeout_units: 500.0,
             query_par: Parallelism::sequential(),
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            buffer_pages: 0,
+            charge: ChargePolicy::Observed,
+            pager: None,
         }];
         let plain = run_grid(&cells, Parallelism::sequential());
         let bare = run_grid_checkpointed(

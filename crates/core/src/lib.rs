@@ -47,8 +47,9 @@ pub use experiment::{
 };
 pub use goal::{improvement_ratio, Goal};
 pub use grid::{
-    advisor_bench_json, bench_json, run_grid, run_grid_checkpointed, run_grid_traced, timings_json,
-    AdvisorBenchRecord, CellTiming, FailedCell, GridCell, GridError, PhaseTiming,
+    advisor_bench_json, bench_json, io_bench_json, run_grid, run_grid_checkpointed,
+    run_grid_traced, timings_json, AdvisorBenchRecord, CellTiming, FailedCell, GridCell, GridError,
+    IoBenchCell, PhaseTiming,
 };
 pub use histogram::{LogHistogram, RatioHistogram};
 pub use measure::{

@@ -3,7 +3,7 @@
 
 use tab_engine::{apply_insert, estimate_hypothetical, Outcome, Session};
 use tab_sqlq::{Insert, Query};
-use tab_storage::{par_map, BuiltConfiguration, Configuration, Database, Parallelism};
+use tab_storage::{par_map, BuiltConfiguration, Configuration, Database, Parallelism, PoolStats};
 
 use crate::cfc::Cfc;
 
@@ -14,6 +14,10 @@ pub struct WorkloadRun {
     pub config: String,
     /// Per-query outcomes in workload order.
     pub outcomes: Vec<Outcome>,
+    /// Buffer-pool traffic summed over the workload's completed queries
+    /// in workload order. All-zero when the run executed without a pool
+    /// (the legacy purely-modeled charge path).
+    pub io: PoolStats,
 }
 
 impl WorkloadRun {
@@ -85,15 +89,24 @@ pub fn run_workload_with(
     par: Parallelism,
 ) -> WorkloadRun {
     let session = Session::new(db, built);
-    let outcomes = par_map(par, workload, |q| {
-        session
+    let results = par_map(par, workload, |q| {
+        let r = session
             .run(q, Some(timeout_units))
-            .expect("workload queries bind against their database")
-            .outcome
+            .expect("workload queries bind against their database");
+        (r.outcome, r.io)
     });
+    let mut io = PoolStats::default();
+    let outcomes = results
+        .into_iter()
+        .map(|(o, i)| {
+            io.merge(&i);
+            o
+        })
+        .collect();
     WorkloadRun {
         config: built.config.name.clone(),
         outcomes,
+        io,
     }
 }
 
@@ -243,6 +256,7 @@ mod tests {
                     None => Outcome::Timeout { budget: 100.0 },
                 })
                 .collect(),
+            io: PoolStats::default(),
         }
     }
 

@@ -64,12 +64,63 @@ pub const SPILL_PARTITIONS: u64 = 8;
 /// re-reads both inputs once per pass, and a build side far larger than
 /// memory needs multiple passes.
 pub fn spill_pages(build_rows: u64, probe_rows: u64) -> u64 {
-    if build_rows <= HASH_SPILL_ROWS {
+    spill_pages_with(build_rows, probe_rows, HASH_SPILL_ROWS)
+}
+
+/// [`spill_pages`] with an explicit in-memory threshold. A run with a
+/// real buffer pool in [`ChargePolicy::Observed`] mode spills when the
+/// build side outgrows the *pool* (`buffer_pages * SPILL_ROWS_PER_PAGE`
+/// rows, if smaller than [`HASH_SPILL_ROWS`]); the metered/compat paths
+/// always use [`HASH_SPILL_ROWS`] so golden totals never move.
+pub fn spill_pages_with(build_rows: u64, probe_rows: u64, threshold_rows: u64) -> u64 {
+    let threshold = threshold_rows.max(1);
+    if build_rows <= threshold {
         return 0;
     }
-    let ratio = (build_rows / HASH_SPILL_ROWS).max(1) as f64;
+    let ratio = (build_rows / threshold).max(1) as f64;
     let passes = ratio.log(SPILL_PARTITIONS as f64).ceil().max(1.0) as u64;
     passes * 2 * (build_rows + probe_rows) / SPILL_ROWS_PER_PAGE
+}
+
+/// How a buffer-pool run charges page costs.
+///
+/// Irrelevant when no pool is configured (`--buffer-pages 0`): the
+/// executor then charges the modeled page counts directly, as it always
+/// has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChargePolicy {
+    /// Charge *observed* pool I/O: hits are free, a sequential-readahead
+    /// miss costs [`SEQ_PAGE_COST`], a random miss [`RANDOM_PAGE_COST`].
+    /// On a cold pool larger than the working set this reproduces the
+    /// modeled totals exactly (every modeled page misses once).
+    #[default]
+    Observed,
+    /// Run the pool for real (frames, evictions, spill I/O, stats) but
+    /// charge exactly the modeled page counts, so claims and cost-unit
+    /// totals are byte-identical to a poolless run. Used by the golden
+    /// grids and the memory-capped CI smoke job.
+    Metered,
+}
+
+impl ChargePolicy {
+    /// Parse a CLI value (`observed` | `metered`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "observed" => Ok(ChargePolicy::Observed),
+            "metered" => Ok(ChargePolicy::Metered),
+            other => Err(format!(
+                "unknown charge policy `{other}` (observed|metered)"
+            )),
+        }
+    }
+
+    /// The CLI/JSON name of this policy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChargePolicy::Observed => "observed",
+            ChargePolicy::Metered => "metered",
+        }
+    }
 }
 
 /// Convert cost units to simulated seconds.
@@ -292,5 +343,31 @@ mod tests {
     #[test]
     fn default_timeout_is_thirty_minutes() {
         assert!((units_to_sim_seconds(DEFAULT_TIMEOUT_UNITS) - 1800.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spill_pages_with_default_threshold_matches_legacy() {
+        for (b, p) in [(0, 0), (50_000, 10), (50_001, 0), (5_000_000, 123_456)] {
+            assert_eq!(spill_pages(b, p), spill_pages_with(b, p, HASH_SPILL_ROWS));
+        }
+    }
+
+    #[test]
+    fn tighter_threshold_spills_earlier_and_harder() {
+        // 10k rows fit under the default threshold but not a 512-row pool.
+        assert_eq!(spill_pages(10_000, 10_000), 0);
+        let tight = spill_pages_with(10_000, 10_000, 512);
+        assert!(tight > 0);
+        // More passes at the tighter threshold, same per-pass volume.
+        assert!(tight >= 2 * (10_000 + 10_000) / SPILL_ROWS_PER_PAGE);
+    }
+
+    #[test]
+    fn charge_policy_parses_round_trip() {
+        assert_eq!(ChargePolicy::parse("observed"), Ok(ChargePolicy::Observed));
+        assert_eq!(ChargePolicy::parse("metered"), Ok(ChargePolicy::Metered));
+        assert!(ChargePolicy::parse("bogus").is_err());
+        assert_eq!(ChargePolicy::default().name(), "observed");
+        assert_eq!(ChargePolicy::Metered.name(), "metered");
     }
 }

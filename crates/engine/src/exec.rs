@@ -69,11 +69,16 @@ use std::sync::Arc;
 
 use tab_sqlq::{CmpOp, RangeOp};
 use tab_storage::{
-    par_map, BTreeIndex, BuiltConfiguration, Database, Faults, Parallelism, RowId, Table, Value,
+    index_rel_id, par_map, table_rel_id, temp_rel_id, BTreeIndex, BufferPool, BuiltConfiguration,
+    Database, Faults, Fetched, PageHint, PageKey, Pager, Parallelism, PoolStats, RowId, Table,
+    Trace, Value,
 };
 
 use crate::catalog::{BoundAgg, BoundItem, BoundQuery, FreqFilter};
-use crate::cost::{CostMeter, TimedOut, BUDGET_ROW_CAP, RANDOM_PAGE_COST, ROW_COST, SEQ_PAGE_COST};
+use crate::cost::{
+    ChargePolicy, CostMeter, TimedOut, BUDGET_ROW_CAP, HASH_SPILL_ROWS, RANDOM_PAGE_COST, ROW_COST,
+    SEQ_PAGE_COST, SPILL_ROWS_PER_PAGE,
+};
 use crate::plan::{Access, JoinMethod, PhysicalPlan, ProbeSource, RelOp};
 
 /// Resolves plan references to physical structures.
@@ -151,6 +156,10 @@ pub struct ExecOpts<'a> {
     pub faults: Faults<'a>,
     /// The site string morsel workers check, e.g. `morsel:NREF3J/NREF_1C`.
     pub fault_site: Option<&'a str>,
+    /// Buffer-pool configuration; `None` (the default) charges modeled
+    /// page counts directly with no pool, exactly as before the pool
+    /// existed.
+    pub pool: Option<PoolOpts<'a>>,
 }
 
 impl Default for ExecOpts<'_> {
@@ -161,8 +170,163 @@ impl Default for ExecOpts<'_> {
             vectorize: true,
             faults: Faults::disabled(),
             fault_site: None,
+            pool: None,
         }
     }
+}
+
+/// Buffer-pool knobs for one query execution.
+///
+/// A fresh [`BufferPool`] of `pages` frames is created per execution and
+/// driven **only by the coordinator** — morsel workers collect page-key
+/// access lists that the coordinator replays in morsel index order — so
+/// hits, misses, and evictions are a pure function of the logical access
+/// stream and every output stays byte-identical at any thread count.
+#[derive(Clone, Copy)]
+pub struct PoolOpts<'a> {
+    /// Pool capacity in 8 KiB frames; `0` disables the pool entirely.
+    pub pages: usize,
+    /// Whether the meter charges observed pool misses or the modeled
+    /// page counts (see [`ChargePolicy`]).
+    pub policy: ChargePolicy,
+    /// Backing pager for real heap reads and spill writes; `None` runs
+    /// the pool over zero-filled frames (identical accounting).
+    pub pager: Option<&'a Pager>,
+    /// Fault site checked at every eviction, e.g. `evict:NREF3J/NREF_1C`
+    /// (the `panic:evict:*` site of DESIGN.md §10).
+    pub evict_site: Option<&'a str>,
+    /// Trace receiving `page` events (hit/miss/evict).
+    pub trace: Trace<'a>,
+}
+
+impl<'a> PoolOpts<'a> {
+    /// A pool of `pages` frames with default policy and no pager,
+    /// tracing, or fault site.
+    pub fn new(pages: usize) -> Self {
+        PoolOpts {
+            pages,
+            policy: ChargePolicy::default(),
+            pager: None,
+            evict_site: None,
+            trace: Trace::disabled(),
+        }
+    }
+}
+
+/// Live pool state for one execution: the pool itself, the charge
+/// policy, and a bump allocator for spill-stream page numbers (each
+/// spilling operator writes a fresh page range of the shared `spill`
+/// temp relation).
+struct PoolState<'a> {
+    pool: BufferPool<'a>,
+    policy: ChargePolicy,
+    spill_next_page: u64,
+}
+
+impl<'a> PoolState<'a> {
+    fn of(opts: &ExecOpts<'a>) -> Option<Self> {
+        let p = opts.pool.filter(|p| p.pages > 0)?;
+        Some(PoolState {
+            pool: BufferPool::new(p.pages, p.pager, opts.faults, p.trace, p.evict_site),
+            policy: p.policy,
+            spill_next_page: 0,
+        })
+    }
+}
+
+/// Pool counters so far (zero when no pool is active).
+fn pool_stats_now(ps: &Option<PoolState<'_>>) -> PoolStats {
+    ps.as_ref()
+        .map_or_else(PoolStats::default, |s| s.pool.stats())
+}
+
+/// Charge a sequential sweep of `n` pages `start..start + n` of `rel`.
+/// Without a pool this is the historical `charge_seq_pages(n)`; with one,
+/// the pages stream through the pool and [`ChargePolicy::Observed`]
+/// charges only the misses (on a cold pool every page misses once, so
+/// the observed cost of a cold scan equals the modeled cost exactly).
+fn pool_charge_seq(
+    ps: &mut Option<PoolState<'_>>,
+    meter: &mut CostMeter,
+    rel: u64,
+    start: u64,
+    n: u64,
+    dirty: bool,
+) -> Result<(), TimedOut> {
+    match ps {
+        None => meter.charge_seq_pages(n),
+        Some(st) => {
+            let mut misses = 0u64;
+            for page in start..start + n {
+                if st.pool.fetch(PageKey { rel, page }, PageHint::Seq, dirty) != Fetched::Hit {
+                    misses += 1;
+                }
+            }
+            match st.policy {
+                ChargePolicy::Metered => meter.charge_seq_pages(n),
+                ChargePolicy::Observed => meter.charge_seq_pages(misses),
+            }
+        }
+    }
+}
+
+/// Charge `n` random page accesses. `keys` materializes the page
+/// identities and is only invoked when a pool is active; it must yield
+/// exactly the `n` pages the modeled count stands for.
+fn pool_charge_random(
+    ps: &mut Option<PoolState<'_>>,
+    meter: &mut CostMeter,
+    n: u64,
+    keys: impl FnOnce() -> Vec<PageKey>,
+) -> Result<(), TimedOut> {
+    match ps {
+        None => meter.charge_random_pages(n),
+        Some(st) => {
+            let mut misses = 0u64;
+            for k in keys() {
+                if st.pool.fetch(k, PageHint::Random, false) != Fetched::Hit {
+                    misses += 1;
+                }
+            }
+            match st.policy {
+                ChargePolicy::Metered => meter.charge_random_pages(n),
+                ChargePolicy::Observed => meter.charge_random_pages(misses),
+            }
+        }
+    }
+}
+
+/// The build-side row threshold above which a hash operator spills. In
+/// [`ChargePolicy::Observed`] mode a pool smaller than the modeled
+/// workspace spills earlier — the build side genuinely does not fit —
+/// while the metered/compat paths keep the historical constant so golden
+/// totals never move.
+fn spill_threshold(ps: &Option<PoolState<'_>>) -> u64 {
+    match ps {
+        Some(st) if st.policy == ChargePolicy::Observed => {
+            HASH_SPILL_ROWS.min(st.pool.capacity() as u64 * SPILL_ROWS_PER_PAGE)
+        }
+        _ => HASH_SPILL_ROWS,
+    }
+}
+
+/// Charge a spilling operator's partition passes: `n` sequential pages,
+/// streamed through the pool as *dirty* writes of a fresh page range of
+/// the shared `spill` temp relation (dirty frames evicted under pressure
+/// are written to the pager's spill file for real).
+fn pool_charge_spill(
+    ps: &mut Option<PoolState<'_>>,
+    meter: &mut CostMeter,
+    build_rows: u64,
+    probe_rows: u64,
+) -> Result<(), TimedOut> {
+    let n = crate::cost::spill_pages_with(build_rows, probe_rows, spill_threshold(ps));
+    let Some(st) = ps.as_mut() else {
+        return meter.charge_seq_pages(n);
+    };
+    let start = st.spill_next_page;
+    st.spill_next_page += n;
+    pool_charge_seq(ps, meter, temp_rel_id("spill"), start, n, true)
 }
 
 /// Split `n` items into contiguous `(start, end)` morsel ranges.
@@ -451,6 +615,11 @@ pub struct OpActuals {
     /// A pure function of data size and [`ExecOpts::morsel_rows`] —
     /// never of the thread count.
     pub morsels: u64,
+    /// Buffer-pool hits while this operator ran (zero when no pool is
+    /// configured).
+    pub page_hits: u64,
+    /// Buffer-pool misses (sequential + random) while this operator ran.
+    pub page_misses: u64,
 }
 
 /// Execute `plan`, returning the result rows in select-list order.
@@ -497,21 +666,44 @@ pub fn execute_instrumented_with(
     plan: &PhysicalPlan,
     resolver: &Resolver<'_>,
     meter: &mut CostMeter,
-    mut ops: Option<&mut Vec<OpActuals>>,
+    ops: Option<&mut Vec<OpActuals>>,
     opts: &ExecOpts<'_>,
 ) -> Result<Vec<Vec<Value>>, TimedOut> {
+    execute_instrumented_pooled(plan, resolver, meter, ops, opts, None)
+}
+
+/// [`execute_instrumented_with`] additionally reporting buffer-pool
+/// counters into `io_out` when [`ExecOpts::pool`] configures a pool.
+/// With no pool the counters stay zero and execution is byte-identical
+/// to the historical path. On timeout `io_out` is left untouched —
+/// partial pool counters are *not* reported, because how far a morsel
+/// region progressed past the budget is thread-timing dependent while
+/// the verdict itself is not.
+pub fn execute_instrumented_pooled(
+    plan: &PhysicalPlan,
+    resolver: &Resolver<'_>,
+    meter: &mut CostMeter,
+    mut ops: Option<&mut Vec<OpActuals>>,
+    opts: &ExecOpts<'_>,
+    io_out: Option<&mut PoolStats>,
+) -> Result<Vec<Vec<Value>>, TimedOut> {
     let q = &plan.query;
+    let mut ps = PoolState::of(opts);
 
     // 1. Frequency-filter value sets, evaluated once each.
     let mut at = meter.units();
-    let freq_sets = eval_freq_sets(q, resolver, meter)?;
+    let mut io_at = pool_stats_now(&ps);
+    let freq_sets = eval_freq_sets(q, resolver, meter, &mut ps)?;
     if let Some(v) = ops.as_deref_mut() {
+        let io = pool_stats_now(&ps);
         v.push(OpActuals {
             rows_in: 0,
             rows_out: freq_sets.iter().map(|s| s.len() as u64).sum(),
             probes: 0,
             units: meter.units() - at,
             morsels: 0,
+            page_hits: io.hits - io_at.hits,
+            page_misses: io.misses() - io_at.misses(),
         });
     }
     let exec = Exec {
@@ -522,26 +714,31 @@ pub fn execute_instrumented_with(
 
     // 2. Driver.
     at = meter.units();
+    io_at = pool_stats_now(&ps);
     let stride = q.rels.len();
     let mut tuples = Arena::new(stride);
     let (driver_ids, driver_examined, driver_morsels) =
-        scan_rel(&plan.driver, &exec, resolver, meter, opts)?;
+        scan_rel(&plan.driver, &exec, resolver, meter, opts, &mut ps)?;
     for id in driver_ids {
         tuples.push_single(plan.driver.rel, id);
     }
     if let Some(v) = ops.as_deref_mut() {
+        let io = pool_stats_now(&ps);
         v.push(OpActuals {
             rows_in: driver_examined,
             rows_out: tuples.len() as u64,
             probes: 0,
             units: meter.units() - at,
             morsels: driver_morsels,
+            page_hits: io.hits - io_at.hits,
+            page_misses: io.misses() - io_at.misses(),
         });
     }
 
     // 3. Join steps.
     for step in &plan.steps {
         at = meter.units();
+        io_at = pool_stats_now(&ps);
         let rows_in = tuples.len() as u64;
         let mut probes = 0u64;
         let mut morsels = 0u64;
@@ -549,13 +746,10 @@ pub fn execute_instrumented_with(
         match &step.method {
             JoinMethod::Hash => {
                 let (inner_ids, _, scan_morsels) =
-                    scan_rel(&step.inner, &exec, resolver, meter, opts)?;
+                    scan_rel(&step.inner, &exec, resolver, meter, opts, &mut ps)?;
                 morsels += scan_morsels;
                 // Grace-style spill when the build side exceeds memory.
-                meter.charge_seq_pages(crate::cost::spill_pages(
-                    inner_ids.len() as u64,
-                    tuples.len() as u64,
-                ))?;
+                pool_charge_spill(&mut ps, meter, inner_ids.len() as u64, tuples.len() as u64)?;
                 // Build on inner join cols; one row of work per inner
                 // tuple, charged up front.
                 meter.charge_rows(inner_ids.len() as u64)?;
@@ -652,19 +846,34 @@ pub fn execute_instrumented_with(
                     .filter(|(_, ic)| !probed.contains(ic))
                     .cloned()
                     .collect();
+                // Pool bookkeeping. Workers never touch the pool: they
+                // collect the page keys each probe touches, and the
+                // coordinator replays the lists in morsel index order
+                // below. In Observed mode workers publish rows-only
+                // deltas to the gate — a lower bound on the observed
+                // charge, so the gate can still trip only for
+                // executions the authoritative reduction also times
+                // out. Metered mode keeps the historical full deltas.
+                let pool_on = ps.is_some();
+                let observed = matches!(&ps, Some(st) if st.policy == ChargePolicy::Observed);
+                let index_rel = index_rel_id(&index.spec().to_string());
+                let table_rel = table_rel_id(&q.rels[rel].source);
+                let height = index.height();
                 // One row of work per outer tuple, charged up front.
                 meter.charge_rows(tuples.len() as u64)?;
                 let ranges = morsel_ranges(tuples.len(), opts.morsel_rows);
                 morsels += ranges.len() as u64;
                 let gate = AbortGate::of(meter);
                 let region = region_par(opts, tuples.len());
-                let outs: Vec<(LocalCounters, u64, Arena)> = par_map(region, &ranges, |&(s, e)| {
+                type NlOut = (LocalCounters, u64, Arena, Vec<PageKey>);
+                let outs: Vec<NlOut> = par_map(region, &ranges, |&(s, e)| {
                     morsel_prologue(opts);
                     let mut local = LocalCounters::default();
                     let mut m_probes = 0u64;
                     let mut out = Arena::new(stride);
+                    let mut keys: Vec<PageKey> = Vec::new();
                     if gate.tripped() {
-                        return (local, m_probes, out);
+                        return (local, m_probes, out, keys);
                     }
                     let mut scratch: Vec<Value> = Vec::with_capacity(probe.len());
                     for i in s..e {
@@ -684,15 +893,42 @@ pub fn execute_instrumented_with(
                             rows: pr.row_ids.len() as u64,
                             ..LocalCounters::default()
                         };
+                        if pool_on {
+                            for p in index.descent_pages(pr.first_leaf) {
+                                keys.push(PageKey {
+                                    rel: index_rel,
+                                    page: p,
+                                });
+                            }
+                            for p in pr.first_leaf..pr.first_leaf + (pr.pages_touched - height) {
+                                keys.push(PageKey {
+                                    rel: index_rel,
+                                    page: p,
+                                });
+                            }
+                        }
                         if !covering && !pr.row_ids.is_empty() {
                             let pages: BTreeSet<u64> =
                                 pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
                             delta.random_pages += pages.len() as u64;
+                            if pool_on {
+                                keys.extend(pages.iter().map(|&p| PageKey {
+                                    rel: table_rel,
+                                    page: p,
+                                }));
+                            }
                         }
-                        local.seq_pages += delta.seq_pages;
-                        local.random_pages += delta.random_pages;
                         local.rows += delta.rows;
-                        gate.publish(delta);
+                        if observed {
+                            gate.publish(LocalCounters {
+                                rows: delta.rows,
+                                ..LocalCounters::default()
+                            });
+                        } else {
+                            local.seq_pages += delta.seq_pages;
+                            local.random_pages += delta.random_pages;
+                            gate.publish(delta);
+                        }
                         for &id in &pr.row_ids {
                             let row = table.row(id);
                             if !passes_filters(row, &step.inner.filters)
@@ -715,11 +951,30 @@ pub fn execute_instrumented_with(
                             break;
                         }
                     }
-                    (local, m_probes, out)
+                    (local, m_probes, out, keys)
                 });
-                reduce_locals(meter, outs.iter().map(|(l, _, _)| l))?;
+                reduce_locals(meter, outs.iter().map(|(l, _, _, _)| l))?;
+                // Replay collected page accesses in morsel index order —
+                // the pool's access stream is identical at any thread
+                // count. Observed mode then charges the misses (the
+                // charge order relative to the row reduction above does
+                // not matter: the meter's totals are order-independent
+                // and its budget check is monotone).
+                if let Some(st) = ps.as_mut() {
+                    let mut misses = 0u64;
+                    for (_, _, _, keys) in &outs {
+                        for &k in keys {
+                            if st.pool.fetch(k, PageHint::Random, false) != Fetched::Hit {
+                                misses += 1;
+                            }
+                        }
+                    }
+                    if st.policy == ChargePolicy::Observed {
+                        meter.charge_random_pages(misses)?;
+                    }
+                }
                 let mut out = Arena::new(stride);
-                for (_, m_probes, chunk) in outs {
+                for (_, m_probes, chunk, _) in outs {
                     probes += m_probes;
                     out.append(chunk);
                 }
@@ -727,28 +982,38 @@ pub fn execute_instrumented_with(
             }
         }
         if let Some(v) = ops.as_deref_mut() {
+            let io = pool_stats_now(&ps);
             v.push(OpActuals {
                 rows_in,
                 rows_out: tuples.len() as u64,
                 probes,
                 units: meter.units() - at,
                 morsels,
+                page_hits: io.hits - io_at.hits,
+                page_misses: io.misses() - io_at.misses(),
             });
         }
     }
 
     // 4. Aggregation / projection.
     at = meter.units();
+    io_at = pool_stats_now(&ps);
     let rows_in = tuples.len() as u64;
-    let (result, finish_morsels) = finish(&exec, &tuples, meter, opts)?;
+    let (result, finish_morsels) = finish(&exec, &tuples, meter, opts, &mut ps)?;
     if let Some(v) = ops {
+        let io = pool_stats_now(&ps);
         v.push(OpActuals {
             rows_in,
             rows_out: result.len() as u64,
             probes: 0,
             units: meter.units() - at,
             morsels: finish_morsels,
+            page_hits: io.hits - io_at.hits,
+            page_misses: io.misses() - io_at.misses(),
         });
+    }
+    if let (Some(st), Some(io_out)) = (&ps, io_out) {
+        *io_out = st.pool.stats();
     }
     Ok(result)
 }
@@ -851,6 +1116,7 @@ fn eval_freq_sets(
     q: &BoundQuery,
     resolver: &Resolver<'_>,
     meter: &mut CostMeter,
+    ps: &mut Option<PoolState<'_>>,
 ) -> Result<Vec<HashSet<Value>>, TimedOut> {
     let mut sets = Vec::with_capacity(q.freqs.len());
     for f in &q.freqs {
@@ -865,14 +1131,16 @@ fn eval_freq_sets(
             Some(idx) => {
                 // Group sizes read off the leaf level: one operation per
                 // distinct key (id-list lengths are stored), not per row.
-                meter.charge_seq_pages(idx.n_pages())?;
+                let rel = index_rel_id(&idx.spec().to_string());
+                pool_charge_seq(ps, meter, rel, 0, idx.n_pages(), false)?;
                 meter.charge_rows(idx.n_distinct_keys() as u64)?;
                 for (key, ids) in idx.scan() {
                     *counts.entry(key[0].clone()).or_insert(0) += ids.len() as u64;
                 }
             }
             None => {
-                meter.charge_seq_pages(table.n_pages())?;
+                let rel = table_rel_id(&f.sub_table);
+                pool_charge_seq(ps, meter, rel, 0, table.n_pages(), false)?;
                 meter.charge_rows(table.n_rows() as u64)?;
                 for (_, row) in table.iter() {
                     let v = &row[f.sub_col];
@@ -1105,13 +1373,14 @@ fn scan_rel(
     resolver: &Resolver<'_>,
     meter: &mut CostMeter,
     opts: &ExecOpts<'_>,
+    ps: &mut Option<PoolState<'_>>,
 ) -> Result<(Vec<RowId>, u64, u64), TimedOut> {
     let q = exec.q;
     let source = &q.rels[op.rel].source;
     let table = exec.tables[op.rel];
     match &op.access {
         Access::Seq => {
-            meter.charge_seq_pages(table.n_pages())?;
+            pool_charge_seq(ps, meter, table_rel_id(source), 0, table.n_pages(), false)?;
             meter.charge_rows(table.n_rows() as u64)?;
             let examined = table.n_rows() as u64;
             let (out, morsels) = filter_rows(op, exec, table, IdSpan::Dense(table.n_rows()), opts);
@@ -1124,7 +1393,7 @@ fn scan_rel(
         } => {
             let index = resolver.index(source, columns);
             let pr = index.probe(prefix);
-            charge_probe(&pr, table, *covering, meter)?;
+            charge_probe(&pr, table, *covering, meter, ps, index, source)?;
             let examined = pr.row_ids.len() as u64;
             let (out, morsels) = filter_rows(op, exec, table, IdSpan::List(&pr.row_ids), opts);
             Ok((out, examined, morsels))
@@ -1140,7 +1409,7 @@ fn scan_rel(
                 lo.as_ref().map(|(v, s)| (v, *s)),
                 hi.as_ref().map(|(v, s)| (v, *s)),
             );
-            charge_probe(&pr, table, *covering, meter)?;
+            charge_probe(&pr, table, *covering, meter, ps, index, source)?;
             let examined = pr.row_ids.len() as u64;
             let (out, morsels) = filter_rows(op, exec, table, IdSpan::List(&pr.row_ids), opts);
             Ok((out, examined, morsels))
@@ -1154,7 +1423,8 @@ fn scan_rel(
             let set = &exec.freq_sets[*freq];
             // One pass over the leaf level; only qualifying keys' rows
             // are examined and (if not covering) fetched.
-            meter.charge_seq_pages(index.n_pages())?;
+            let index_rel = index_rel_id(&index.spec().to_string());
+            pool_charge_seq(ps, meter, index_rel, 0, index.n_pages(), false)?;
             meter.charge_rows(index.n_distinct_keys() as u64)?;
             let mut matched: Vec<RowId> = Vec::new();
             for (key, ids) in index.scan() {
@@ -1165,7 +1435,16 @@ fn scan_rel(
             meter.charge_rows(matched.len() as u64)?;
             if !covering && !matched.is_empty() {
                 let pages: BTreeSet<u64> = matched.iter().map(|&id| table.page_of(id)).collect();
-                meter.charge_random_pages(pages.len() as u64)?;
+                let table_rel = table_rel_id(source);
+                pool_charge_random(ps, meter, pages.len() as u64, || {
+                    pages
+                        .iter()
+                        .map(|&p| PageKey {
+                            rel: table_rel,
+                            page: p,
+                        })
+                        .collect()
+                })?;
             }
             let examined = matched.len() as u64;
             let (out, morsels) = filter_rows(op, exec, table, IdSpan::List(&matched), opts);
@@ -1174,18 +1453,60 @@ fn scan_rel(
     }
 }
 
-/// Charge an index probe: index pages touched, plus the distinct heap
-/// pages fetched when the index does not cover the relation.
+/// Charge an index probe: index pages touched (tree descent + leaf
+/// span), plus the distinct heap pages fetched when the index does not
+/// cover the relation. With a pool active the same pages stream through
+/// it under their stable identities ([`index_rel_id`] descent/leaf
+/// pages, [`table_rel_id`] heap pages) — the key count always equals
+/// the modeled `pages_touched + heap_pages` charge.
 fn charge_probe(
     pr: &tab_storage::Probe,
     table: &Table,
     covering: bool,
     meter: &mut CostMeter,
+    ps: &mut Option<PoolState<'_>>,
+    index: &BTreeIndex,
+    source: &str,
 ) -> Result<(), TimedOut> {
-    meter.charge_random_pages(pr.pages_touched)?;
+    if ps.is_none() {
+        meter.charge_random_pages(pr.pages_touched)?;
+        if !covering && !pr.row_ids.is_empty() {
+            let pages: BTreeSet<u64> = pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
+            meter.charge_random_pages(pages.len() as u64)?;
+        }
+        return meter.charge_rows(pr.row_ids.len() as u64);
+    }
+    let index_rel = index_rel_id(&index.spec().to_string());
+    pool_charge_random(ps, meter, pr.pages_touched, || {
+        let mut keys: Vec<PageKey> = index
+            .descent_pages(pr.first_leaf)
+            .into_iter()
+            .map(|p| PageKey {
+                rel: index_rel,
+                page: p,
+            })
+            .collect();
+        let leaf_pages = pr.pages_touched - index.height();
+        keys.extend(
+            (pr.first_leaf..pr.first_leaf + leaf_pages).map(|p| PageKey {
+                rel: index_rel,
+                page: p,
+            }),
+        );
+        keys
+    })?;
     if !covering && !pr.row_ids.is_empty() {
         let pages: BTreeSet<u64> = pr.row_ids.iter().map(|&id| table.page_of(id)).collect();
-        meter.charge_random_pages(pages.len() as u64)?;
+        let table_rel = table_rel_id(source);
+        pool_charge_random(ps, meter, pages.len() as u64, || {
+            pages
+                .iter()
+                .map(|&p| PageKey {
+                    rel: table_rel,
+                    page: p,
+                })
+                .collect()
+        })?;
     }
     meter.charge_rows(pr.row_ids.len() as u64)
 }
@@ -1212,6 +1533,7 @@ fn finish(
     tuples: &Arena,
     meter: &mut CostMeter,
     opts: &ExecOpts<'_>,
+    ps: &mut Option<PoolState<'_>>,
 ) -> Result<(Vec<Vec<Value>>, u64), TimedOut> {
     let q = exec.q;
     let n = tuples.len();
@@ -1242,11 +1564,11 @@ fn finish(
         for c in chunks {
             out.extend(c);
         }
-        return Ok((order_and_limit(q, out, meter)?, n_morsels));
+        return Ok((order_and_limit(q, out, meter, ps)?, n_morsels));
     }
 
     // Hash aggregation spills when its input exceeds working memory.
-    meter.charge_seq_pages(crate::cost::spill_pages(n as u64, 0))?;
+    pool_charge_spill(ps, meter, n as u64, 0)?;
     // One row of work per input tuple, plus one per tuple for every
     // COUNT(DISTINCT) aggregate maintained — identical to the per-tuple
     // charges of a tuple-at-a-time pass, paid up front.
@@ -1347,7 +1669,7 @@ fn finish(
             .collect();
         out.push(row);
     }
-    Ok((order_and_limit(q, out, meter)?, n_morsels))
+    Ok((order_and_limit(q, out, meter, ps)?, n_morsels))
 }
 
 /// Apply the bound query's ORDER BY (ties broken by the full row, so
@@ -1356,13 +1678,14 @@ fn order_and_limit(
     q: &BoundQuery,
     mut rows: Vec<Vec<Value>>,
     meter: &mut CostMeter,
+    ps: &mut Option<PoolState<'_>>,
 ) -> Result<Vec<Vec<Value>>, TimedOut> {
     if !q.order_by.is_empty() {
         // n log n comparisons' worth of row work, plus sort spill.
         let n = rows.len() as u64;
         let log = (n.max(2) as f64).log2().ceil() as u64;
         meter.charge_rows(n.saturating_mul(log))?;
-        meter.charge_seq_pages(crate::cost::spill_pages(n, 0))?;
+        pool_charge_spill(ps, meter, n, 0)?;
         rows.sort_by(|a, b| {
             for &(pos, desc) in &q.order_by {
                 let ord = a[pos].cmp(&b[pos]);

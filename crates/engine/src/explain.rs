@@ -69,10 +69,15 @@ pub fn render_explain(
     out
 }
 
-/// The estimates-vs-actuals table, one line per operator slot.
+/// The estimates-vs-actuals table, one line per operator slot. When the
+/// run went through a buffer pool (some operator saw page traffic) a
+/// trailing `pages` column reports per-operator hits/misses; without a
+/// pool the column is omitted entirely so the table is byte-identical
+/// to pool-less builds.
 fn operator_table(plan: &PhysicalPlan, actuals: Option<&[OpActuals]>) -> String {
     let labels = plan.op_labels();
-    let header = [
+    let pooled = actuals.is_some_and(|a| a.iter().any(|x| x.page_hits + x.page_misses > 0));
+    let mut header = vec![
         "operator".to_string(),
         "est.rows".to_string(),
         "act.rows".to_string(),
@@ -80,6 +85,9 @@ fn operator_table(plan: &PhysicalPlan, actuals: Option<&[OpActuals]>) -> String 
         "act.cost".to_string(),
         "probes".to_string(),
     ];
+    if pooled {
+        header.push("pages".to_string());
+    }
     let dash = || "-".to_string();
     // The output slot's estimate is a residual and can round to IEEE
     // negative zero; never print `-0.000`.
@@ -95,7 +103,7 @@ fn operator_table(plan: &PhysicalPlan, actuals: Option<&[OpActuals]>) -> String 
     for (i, label) in labels.iter().enumerate() {
         let est = plan.op_ests.get(i);
         let act = actuals.and_then(|a| a.get(i));
-        rows.push([
+        let mut row = vec![
             label.clone(),
             est.map_or_else(dash, |e| format!("{:.0}", e.rows)),
             act.map_or_else(dash, |a| a.rows_out.to_string()),
@@ -108,9 +116,19 @@ fn operator_table(plan: &PhysicalPlan, actuals: Option<&[OpActuals]>) -> String 
                     dash()
                 }
             }),
-        ]);
+        ];
+        if pooled {
+            row.push(act.map_or_else(dash, |a| {
+                if a.page_hits + a.page_misses > 0 {
+                    format!("{}h/{}m", a.page_hits, a.page_misses)
+                } else {
+                    dash()
+                }
+            }));
+        }
+        rows.push(row);
     }
-    rows.push([
+    let mut total = vec![
         "total".to_string(),
         dash(),
         dash(),
@@ -119,9 +137,18 @@ fn operator_table(plan: &PhysicalPlan, actuals: Option<&[OpActuals]>) -> String 
             format!("{:.3}", a.iter().map(|x| x.units).sum::<f64>())
         }),
         dash(),
-    ]);
+    ];
+    if pooled {
+        total.push(actuals.map_or_else(dash, |a| {
+            let h: u64 = a.iter().map(|x| x.page_hits).sum();
+            let m: u64 = a.iter().map(|x| x.page_misses).sum();
+            format!("{h}h/{m}m")
+        }));
+    }
+    rows.push(total);
 
-    let mut widths = [0usize; 6];
+    let ncols = rows[0].len();
+    let mut widths = vec![0usize; ncols];
     for row in &rows {
         for (w, cell) in widths.iter_mut().zip(row.iter()) {
             *w = (*w).max(cell.len());

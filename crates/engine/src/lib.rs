@@ -29,13 +29,13 @@ pub mod stats_view;
 
 pub use catalog::{bind, BindError, BoundQuery};
 pub use cost::{
-    units_to_sim_seconds, CostMeter, Outcome, TimedOut, DEFAULT_TIMEOUT_UNITS, RANDOM_PAGE_COST,
-    ROW_COST, SEQ_PAGE_COST, SIM_SECONDS_PER_UNIT,
+    units_to_sim_seconds, ChargePolicy, CostMeter, Outcome, TimedOut, DEFAULT_TIMEOUT_UNITS,
+    RANDOM_PAGE_COST, ROW_COST, SEQ_PAGE_COST, SIM_SECONDS_PER_UNIT,
 };
 pub use dml::{apply_insert, validate_insert, InsertOutcome};
 pub use exec::{
-    execute, execute_instrumented, execute_instrumented_with, execute_with, ExecOpts, OpActuals,
-    Resolver, DEFAULT_MORSEL_ROWS,
+    execute, execute_instrumented, execute_instrumented_pooled, execute_instrumented_with,
+    execute_with, ExecOpts, OpActuals, PoolOpts, Resolver, DEFAULT_MORSEL_ROWS,
 };
 pub use explain::render_explain;
 pub use plan::{OpEstimate, PhysicalPlan};

@@ -7,11 +7,13 @@
 //!   configuration that was never built, produced from the current one.
 
 use tab_sqlq::Query;
-use tab_storage::{BuiltConfiguration, Configuration, Database, IndexSpec, MViewDef, Value};
+use tab_storage::{
+    BuiltConfiguration, Configuration, Database, IndexSpec, MViewDef, PoolStats, Value,
+};
 
 use crate::catalog::{bind, BindError};
 use crate::cost::{CostMeter, Outcome};
-use crate::exec::{execute_instrumented_with, ExecOpts, OpActuals, Resolver};
+use crate::exec::{execute_instrumented_pooled, ExecOpts, OpActuals, Resolver};
 use crate::plan::PhysicalPlan;
 use crate::planner::{plan, plan_explained, PlanExplanation};
 use crate::stats_view::{HypotheticalStats, RealStats};
@@ -25,6 +27,11 @@ pub struct RunResult {
     pub rows: Option<Vec<Vec<Value>>>,
     /// The plan that was executed.
     pub plan: PhysicalPlan,
+    /// Buffer-pool traffic for this query. All-zero when the session
+    /// runs without a pool ([`ExecOpts::pool`] unset) and on timeout —
+    /// a timed-out query's partial traffic is discarded so outputs
+    /// never depend on *where* the budget trip happened.
+    pub io: PoolStats,
 }
 
 /// A query session over one database in one built configuration.
@@ -104,7 +111,9 @@ impl<'a> Session<'a> {
             None => CostMeter::unbounded(),
         };
         let resolver = Resolver::new(self.db, self.built);
-        match execute_instrumented_with(&p, &resolver, &mut meter, ops, &self.exec) {
+        let mut io = PoolStats::default();
+        match execute_instrumented_pooled(&p, &resolver, &mut meter, ops, &self.exec, Some(&mut io))
+        {
             Ok(rows) => Ok(RunResult {
                 outcome: Outcome::Done {
                     units: meter.units(),
@@ -112,6 +121,7 @@ impl<'a> Session<'a> {
                 },
                 rows: Some(rows),
                 plan: p,
+                io,
             }),
             Err(_) => Ok(RunResult {
                 outcome: Outcome::Timeout {
@@ -119,6 +129,8 @@ impl<'a> Session<'a> {
                 },
                 rows: None,
                 plan: p,
+                // Deliberately zeroed: `io` is only written on success.
+                io: PoolStats::default(),
             }),
         }
     }
@@ -442,6 +454,125 @@ mod tests {
         assert_eq!(rows.len(), 3);
         let gs: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
         assert_eq!(gs, vec![6, 5, 4], "descending top-3 of g in 0..7");
+    }
+
+    #[test]
+    fn metered_pool_preserves_units_rows_and_reports_io() {
+        // Metered charge policy: the pool runs (frames, eviction, stats)
+        // but the meter charges the legacy modeled amounts, so units and
+        // rows are byte-identical to a pool-less session even under
+        // heavy eviction pressure (16-frame pool, 50k-row tables).
+        let db = db();
+        let ix = built(
+            &db,
+            vec![
+                IndexSpec::new("fact", vec![1]),
+                IndexSpec::new("dim", vec![0]),
+            ],
+        );
+        let queries = [
+            "SELECT f.g, COUNT(*) FROM fact f GROUP BY f.g",
+            "SELECT f.g, COUNT(*) FROM fact f WHERE f.k = 42 GROUP BY f.g",
+            "SELECT f.g, COUNT(*) FROM fact f, dim d WHERE f.k = d.k AND f.k = 3 GROUP BY f.g",
+        ];
+        for sql in queries {
+            let q = parse(sql).unwrap();
+            let plain = Session::new(&db, &ix).run(&q, None).unwrap();
+            let mut pool = crate::exec::PoolOpts::new(16);
+            pool.policy = crate::cost::ChargePolicy::Metered;
+            let exec = ExecOpts {
+                pool: Some(pool),
+                ..ExecOpts::default()
+            };
+            let pooled = Session::new(&db, &ix)
+                .with_exec(exec)
+                .run(&q, None)
+                .unwrap();
+            assert_eq!(plain.outcome.units(), pooled.outcome.units(), "{sql}");
+            assert_eq!(plain.rows, pooled.rows, "{sql}");
+            assert!(plain.io.is_zero(), "no pool -> zero io: {sql}");
+            assert!(pooled.io.misses() > 0, "cold pool must miss: {sql}");
+        }
+    }
+
+    #[test]
+    fn observed_pool_cold_seq_scan_matches_compat_units() {
+        // A cold sequential scan misses once per page under the Observed
+        // policy, which is exactly the modeled seq-page charge — so a
+        // query with no page reuse costs the same with and without the
+        // pool (pool large enough that the spill threshold also agrees).
+        let db = db();
+        let p = built(&db, vec![]);
+        let q = parse("SELECT f.g, COUNT(*) FROM fact f GROUP BY f.g").unwrap();
+        let plain = Session::new(&db, &p).run(&q, None).unwrap();
+        let exec = ExecOpts {
+            pool: Some(crate::exec::PoolOpts::new(1024)),
+            ..ExecOpts::default()
+        };
+        let pooled = Session::new(&db, &p).with_exec(exec).run(&q, None).unwrap();
+        assert_eq!(plain.outcome.units(), pooled.outcome.units());
+        assert_eq!(plain.rows, pooled.rows);
+        assert_eq!(pooled.io.hits, 0, "single cold scan has no reuse");
+        assert!(pooled.io.misses_seq > 0);
+    }
+
+    #[test]
+    fn timed_out_pooled_run_reports_zero_io() {
+        let db = db();
+        let p = built(&db, vec![]);
+        let exec = ExecOpts {
+            pool: Some(crate::exec::PoolOpts::new(16)),
+            ..ExecOpts::default()
+        };
+        let s = Session::new(&db, &p).with_exec(exec);
+        let q = parse("SELECT f.g, COUNT(*) FROM fact f GROUP BY f.g").unwrap();
+        let r = s.run(&q, Some(0.5)).unwrap();
+        assert!(r.outcome.is_timeout());
+        assert!(r.io.is_zero(), "partial traffic must be discarded");
+    }
+
+    #[test]
+    fn pooled_results_identical_across_pool_sizes_and_threads() {
+        // The eviction decision is a pure function of the access stream,
+        // so rows and units agree between a thrashing pool and a pool
+        // that holds the working set, at 1 and at 8 threads.
+        let db = db();
+        let ix = built(
+            &db,
+            vec![
+                IndexSpec::new("fact", vec![1]),
+                IndexSpec::new("dim", vec![0]),
+            ],
+        );
+        let q = parse(
+            "SELECT f.g, COUNT(*) FROM fact f, dim d \
+             WHERE f.k = d.k AND f.k = 3 GROUP BY f.g",
+        )
+        .unwrap();
+        type UnitsAndRows = (Option<f64>, Option<Vec<Vec<Value>>>);
+        let mut seen: Option<UnitsAndRows> = None;
+        for pages in [16usize, 4096] {
+            for threads in [1usize, 8] {
+                let mut pool = crate::exec::PoolOpts::new(pages);
+                pool.policy = crate::cost::ChargePolicy::Metered;
+                let exec = ExecOpts {
+                    pool: Some(pool),
+                    par: tab_storage::Parallelism::new(threads),
+                    ..ExecOpts::default()
+                };
+                let r = Session::new(&db, &ix)
+                    .with_exec(exec)
+                    .run(&q, None)
+                    .unwrap();
+                let got = (r.outcome.units(), r.rows);
+                match &seen {
+                    None => seen = Some(got),
+                    Some(first) => {
+                        assert_eq!(*first, got, "pages={pages} threads={threads} diverged")
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -42,6 +42,8 @@
 //! | `morsel:<family>/<config>` | every morsel prologue of the cell's queries — a panic inside an intra-query worker, caught and journaled like a `cell:` poison |
 //! | `checkpoint` | the crash-consistency journal's writes |
 //! | `trace` | every trace-sink line (`enospc:trace` silences the sink) |
+//! | `spill` | every dirty-page eviction's spill write (pool mode; `enospc:spill:N` fills the disk at the N-th spilled page) |
+//! | `evict:<family>/<config>` | every buffer-pool eviction inside that cell's queries — a panic here crashes a run that has already spilled pages |
 //!
 //! Examples: `panic:cell:NREF3J/NREF_1C` poisons one grid cell;
 //! `enospc:claims.csv` fails the claims table write;

@@ -84,6 +84,11 @@ pub struct Probe {
     pub row_ids: Vec<RowId>,
     /// Index pages touched (tree descent + leaf scan).
     pub pages_touched: u64,
+    /// Leaf page number (0-based within the index's leaf level) where
+    /// the probe's scan started; `0` for an empty probe. Gives the
+    /// buffer pool a stable identity for the `leaf_pages` span
+    /// `first_leaf..first_leaf + (pages_touched - height)`.
+    pub first_leaf: u64,
 }
 
 /// An in-memory B+tree index with a page-cost model.
@@ -91,6 +96,13 @@ pub struct Probe {
 pub struct BTreeIndex {
     spec: IndexSpec,
     map: BTreeMap<Key, Vec<RowId>>,
+    /// Cumulative entry count before each distinct key (in key order),
+    /// giving every key a stable leaf-page position for the buffer
+    /// pool's page identities. Computed at build time; maintenance
+    /// inserts do not rebuild it (an inserted key inherits the position
+    /// of its nearest predecessor — approximate page identity, exact
+    /// page *counts*).
+    leaf_starts: BTreeMap<Key, u64>,
     n_entries: u64,
     entry_width: u32,
     clustering: f64,
@@ -135,9 +147,16 @@ impl BTreeIndex {
         } else {
             (page_switches as f64 / n_entries as f64).clamp(0.0, 1.0)
         };
+        let mut leaf_starts = BTreeMap::new();
+        let mut cum = 0u64;
+        for (k, ids) in &map {
+            leaf_starts.insert(k.clone(), cum);
+            cum += ids.len() as u64;
+        }
         let idx = BTreeIndex {
             spec,
             map,
+            leaf_starts,
             n_entries,
             entry_width,
             clustering,
@@ -194,9 +213,13 @@ impl BTreeIndex {
         let lo: Key = prefix.to_vec();
         let mut row_ids = Vec::new();
         let mut entries = 0u64;
+        let mut first_leaf = 0u64;
         for (k, ids) in self.map.range((Bound::Included(lo), Bound::Unbounded)) {
             if k[..prefix.len()] != prefix[..] {
                 break;
+            }
+            if entries == 0 {
+                first_leaf = self.leaf_of(k);
             }
             entries += ids.len() as u64;
             row_ids.extend_from_slice(ids);
@@ -205,7 +228,39 @@ impl BTreeIndex {
         Probe {
             row_ids,
             pages_touched: self.height() + leaf_pages,
+            first_leaf,
         }
+    }
+
+    /// Leaf page holding the first entry of `key` (its nearest
+    /// predecessor's position if the key postdates the build).
+    fn leaf_of(&self, key: &Key) -> u64 {
+        let cum = self
+            .leaf_starts
+            .range::<Key, _>((Bound::Unbounded, Bound::Included(key)))
+            .next_back()
+            .map_or(0, |(_, &c)| c);
+        (cum / self.entries_per_page()).min(self.n_pages() - 1)
+    }
+
+    /// Index page numbers (within this index's relation) of the tree
+    /// descent to `first_leaf`: one internal page per level, root last.
+    /// Pages `0..n_pages()` are the leaf level; internal levels are
+    /// numbered above it, so the root is the relation's hottest page and
+    /// stays resident under any reasonable pool size.
+    pub fn descent_pages(&self, first_leaf: u64) -> Vec<u64> {
+        let fanout = self.entries_per_page().max(2);
+        let mut pages = Vec::with_capacity(self.height() as usize);
+        let mut base = self.n_pages();
+        let mut width = self.n_pages();
+        let mut pos = first_leaf.min(width - 1);
+        for _ in 0..self.height() {
+            width = width.div_ceil(fanout).max(1);
+            pos /= fanout;
+            pages.push(base + pos);
+            base += width;
+        }
+        pages
     }
 
     /// Iterate all `(key, row_ids)` groups in key order (full index scan).
@@ -223,6 +278,7 @@ impl BTreeIndex {
     ) -> Probe {
         let mut row_ids = Vec::new();
         let mut entries = 0u64;
+        let mut first_leaf = 0u64;
         let start: Bound<Key> = match lo {
             // `[v]` sorts before `[v, ...]`, so Included(vec![v]) starts
             // exactly at the first key whose head is v.
@@ -241,6 +297,9 @@ impl BTreeIndex {
                     break;
                 }
             }
+            if entries == 0 {
+                first_leaf = self.leaf_of(k);
+            }
             entries += ids.len() as u64;
             row_ids.extend_from_slice(ids);
         }
@@ -248,6 +307,7 @@ impl BTreeIndex {
         Probe {
             row_ids,
             pages_touched: self.height() + leaf_pages,
+            first_leaf,
         }
     }
 
@@ -359,6 +419,36 @@ mod tests {
     #[should_panic(expected = "1..=4")]
     fn too_many_columns_rejected() {
         IndexSpec::new("t", vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn first_leaf_tracks_key_order() {
+        let t = table_with(100_000);
+        let (idx, _) = BTreeIndex::build(IndexSpec::new("t", vec![1]), &t);
+        assert!(idx.n_pages() > 1, "need a multi-leaf index");
+        let lo = idx.probe(&[Value::Int(0)]);
+        let hi = idx.probe(&[Value::Int(99_999)]);
+        assert_eq!(lo.first_leaf, 0);
+        assert_eq!(hi.first_leaf, idx.n_pages() - 1);
+        assert!(idx.probe(&[Value::Int(50_000)]).first_leaf > 0);
+    }
+
+    #[test]
+    fn descent_pages_live_above_the_leaf_level() {
+        let t = table_with(100_000);
+        let (idx, _) = BTreeIndex::build(IndexSpec::new("t", vec![1]), &t);
+        let n_leaves = idx.n_pages();
+        let d_lo = idx.descent_pages(0);
+        let d_hi = idx.descent_pages(n_leaves - 1);
+        // One page per level; every descent ends at the same root page.
+        assert_eq!(d_lo.len() as u64, idx.height());
+        assert_eq!(d_hi.len() as u64, idx.height());
+        assert_eq!(d_lo.last(), d_hi.last(), "shared root");
+        for p in d_lo.iter().chain(&d_hi) {
+            assert!(*p >= n_leaves, "internal pages sit above the leaves");
+        }
+        // Determinism: the same leaf always descends through the same pages.
+        assert_eq!(idx.descent_pages(7), idx.descent_pages(7));
     }
 
     #[test]

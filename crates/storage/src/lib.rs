@@ -20,7 +20,9 @@ pub mod db;
 pub mod fault;
 pub mod index;
 pub mod mview;
+pub mod pager;
 pub mod par;
+pub mod pool;
 pub mod schema;
 pub mod stats;
 pub mod table;
@@ -34,7 +36,11 @@ pub use db::Database;
 pub use fault::{atomic_write, FaultKind, FaultPlan, Faults, TraceFault};
 pub use index::{BTreeIndex, IndexSpec, Probe};
 pub use mview::{MViewSpec, MaterializedView};
+pub use pager::Pager;
 pub use par::{par_map, par_map_catch, par_run, par_run_catch, Job, JobPanic, Parallelism};
+pub use pool::{
+    index_rel_id, table_rel_id, temp_rel_id, BufferPool, Fetched, PageHint, PageKey, PoolStats,
+};
 pub use schema::{ColType, ColumnDef, ForeignKey, TableSchema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Row, RowId, Table, PAGE_SIZE};
@@ -52,4 +58,6 @@ const _: () = {
     _assert_send_sync::<Table>();
     _assert_send_sync::<BTreeIndex>();
     _assert_send_sync::<MaterializedView>();
+    _assert_send_sync::<Pager>();
+    _assert_send_sync::<pool::PoolStats>();
 };

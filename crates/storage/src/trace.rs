@@ -39,6 +39,7 @@
 //! | `span_begin` / `span_end` | harness sections | `span` |
 //! | `query` | traced grid runs | `family`, `config`, `query`, `outcome`, `units` |
 //! | `operator` | traced grid runs | `family`, `config`, `query`, `op`, `label`, `est_cost`, `units`, `rows_out`, `probes` |
+//! | `page` | buffer pool (pool mode only) | `action` (`hit`/`miss`/`evict`), `rel`, `page`, `frame`, `seq` |
 //! | `advisor_begin` / `advisor_round` / `advisor_stop` / `advisor_end` | greedy search | `candidates`, `gain`, `density`, `cache_hits` |
 //!
 //! This module lives in `tab-storage` (the root of the crate graph) so

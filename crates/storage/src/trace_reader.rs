@@ -216,6 +216,22 @@ pub enum TraceRecord {
         /// Total cache hits.
         cache_hits: u64,
     },
+    /// `page` — one buffer-pool access (hit, miss, or eviction),
+    /// emitted only when a query runs with a `--buffer-pages` pool.
+    Page {
+        /// `"hit"`, `"miss"`, or `"evict"`.
+        action: String,
+        /// FNV-1a relation id (see [`crate::pool::table_rel_id`]).
+        rel: u64,
+        /// Zero-based page number within the relation.
+        page: u64,
+        /// Frame slot the page occupies (or, for `evict`, vacates).
+        frame: u64,
+        /// Position in the query's logical access sequence — the value
+        /// that makes eviction auditable: replaying the `seq`-ordered
+        /// stream through a fresh pool reproduces every hit and evict.
+        seq: u64,
+    },
     /// Any schema-valid line whose event tag this reader does not model.
     Other {
         /// The unrecognized event tag.
@@ -355,6 +371,13 @@ pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
             whatif_calls: field_u64(line, "whatif_calls").unwrap_or(0),
             planner_calls: field_u64(line, "planner_calls").unwrap_or(0),
             cache_hits: field_u64(line, "cache_hits").unwrap_or(0),
+        },
+        "page" => TraceRecord::Page {
+            action: req!(field_string, "action"),
+            rel: req!(field_u64, "rel"),
+            page: req!(field_u64, "page"),
+            frame: req!(field_u64, "frame"),
+            seq: req!(field_u64, "seq"),
         },
         other => TraceRecord::Other {
             event: other.to_string(),

@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
+use tab_bench::engine::ChargePolicy;
 use tab_bench::eval::SuiteParams;
 use tab_bench_harness::repro::{run_all, ReproConfig};
 
@@ -94,6 +95,12 @@ fn repro_outputs_identical_at_one_and_four_threads() {
         }
     }
 
+    // Pool-less runs report compat-mode io: BENCH_io.json exists, is
+    // schema-tagged, and says the pool was off.
+    let io = std::fs::read_to_string(dirs[0].join("BENCH_io.json")).expect("BENCH_io.json");
+    assert!(io.contains("\"schema\": \"tab-io-bench-v1\""), "{io}");
+    assert!(io.contains("\"mode\": \"compat\""), "{io}");
+
     // timings.json exists and records the thread count.
     let t = std::fs::read_to_string(dirs[2].join("timings.json")).expect("timings.json");
     assert!(t.contains("\"threads\": 4"), "unexpected timings: {t}");
@@ -165,6 +172,96 @@ fn repro_outputs_identical_at_one_and_four_threads() {
     for dir in &dirs[1..] {
         assert_eq!(advisor(dir), want_advisor, "advisor counters differ");
     }
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Like [`tiny`], but with every grid query routed through a
+/// `pages`-frame buffer pool in Metered charge mode. Metered keeps the
+/// meter's totals byte-identical to the pool-less legacy model, so the
+/// whole artifact set must byte-compare against a pool-less baseline —
+/// at any capacity and any thread count — while the pool still runs
+/// frames, clock eviction, and spill underneath.
+fn tiny_pooled(out: &Path, threads: usize, pages: usize) -> ReproConfig {
+    let mut cfg = tiny(out, threads);
+    cfg.params = cfg
+        .params
+        .with_buffer_pages(pages)
+        .with_charge(ChargePolicy::Metered);
+    cfg
+}
+
+#[test]
+fn pooled_repro_outputs_identical_across_capacities_and_threads() {
+    let base = std::env::temp_dir().join(format!("tab_pool_determinism_{}", std::process::id()));
+    let plain = base.join("plain");
+    let p64t1 = base.join("p64t1");
+    let p64t8 = base.join("p64t8");
+    let p4096t4 = base.join("p4096t4");
+    run_all(&tiny(&plain, 1)).expect("pool-less baseline");
+    run_all(&tiny_pooled(&p64t1, 1, 64)).expect("64-frame pool at 1 thread");
+    run_all(&tiny_pooled(&p64t8, 8, 64)).expect("64-frame pool at 8 threads");
+    run_all(&tiny_pooled(&p4096t4, 4, 4096)).expect("4096-frame pool at 4 threads");
+
+    // Every CSV, figure, and claim is byte-identical to the pool-less
+    // baseline: eviction is a pure function of the logical access
+    // stream and Metered charging never moves a unit.
+    let want = snapshot(&plain);
+    for dir in [&p64t1, &p64t8, &p4096t4] {
+        let got = snapshot(dir);
+        assert_eq!(
+            got.keys().collect::<Vec<_>>(),
+            want.keys().collect::<Vec<_>>()
+        );
+        for (name, bytes) in &want {
+            assert_eq!(
+                &got[name],
+                bytes,
+                "{name} differs from the pool-less baseline in {}",
+                dir.display()
+            );
+        }
+    }
+
+    // BENCH_io.json is wall-clock-free, so at a fixed capacity it must
+    // *byte*-compare across thread counts — the whole point of keeping
+    // eviction off the thread schedule.
+    let io64 = std::fs::read(p64t1.join("BENCH_io.json")).expect("BENCH_io.json");
+    let io64_t8 = std::fs::read(p64t8.join("BENCH_io.json")).expect("BENCH_io.json");
+    assert_eq!(io64, io64_t8, "BENCH_io.json differs across thread counts");
+
+    // The 64-frame capacity sits below the tiny database's working set:
+    // the run must report real evictions and an imperfect hit rate.
+    let io64 = String::from_utf8(io64).expect("utf8");
+    assert!(io64.contains("\"schema\": \"tab-io-bench-v1\""), "{io64}");
+    assert!(io64.contains("\"mode\": \"pool\""), "{io64}");
+    assert!(io64.contains("\"buffer_pages\": 64"), "{io64}");
+    assert!(io64.contains("\"charge\": \"metered\""), "{io64}");
+    let field_total = |doc: &str, key: &str| -> u64 {
+        doc.lines()
+            .filter_map(|l| {
+                let (_, rest) = l.split_once(&format!("\"{key}\": "))?;
+                rest.split([',', '}']).next()?.trim().parse::<u64>().ok()
+            })
+            .sum()
+    };
+    assert!(
+        field_total(&io64, "evictions") > 0,
+        "64-frame pool reports no evictions: {io64}"
+    );
+    let hits = field_total(&io64, "hits");
+    let misses = field_total(&io64, "misses_seq") + field_total(&io64, "misses_random");
+    assert!(misses > 0, "64-frame pool reports no misses: {io64}");
+    assert!(
+        (hits as f64) / ((hits + misses) as f64) < 1.0,
+        "64-frame pool reports a perfect hit rate: {io64}"
+    );
+
+    // A capacity larger than the working set still byte-compares on the
+    // grid artifacts (checked above) but shows different traffic.
+    let io4096 = std::fs::read_to_string(p4096t4.join("BENCH_io.json")).expect("BENCH_io.json");
+    assert!(io4096.contains("\"buffer_pages\": 4096"), "{io4096}");
+    assert_ne!(io64, io4096, "traffic should differ across capacities");
 
     std::fs::remove_dir_all(&base).ok();
 }

@@ -13,7 +13,7 @@
 
 use tab_bench::advisor::{one_column_configuration, p_configuration};
 use tab_bench::datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
-use tab_bench::engine::{bind, naive, ExecOpts, Session};
+use tab_bench::engine::{bind, naive, ChargePolicy, ExecOpts, PoolOpts, Session};
 use tab_bench::families::Family;
 use tab_bench::storage::{BuiltConfiguration, Database, Parallelism, Table};
 
@@ -122,6 +122,42 @@ fn check_family(family: Family, db: &Database) {
                     Some(units),
                     "{} query {qi} under {cname}: cost units drift at {threads} \
                      query-threads, morsel {morsel_rows}, vectorize={vectorize}",
+                    family.name()
+                );
+            }
+            // Tiny buffer pool at the 8-frame floor in Metered charge
+            // mode: the clock hand evicts on nearly every fetch, and
+            // neither the rows nor the bit-identical unit total may
+            // move — eviction is bookkeeping, never semantics.
+            for threads in [1, 4] {
+                let mut pool = PoolOpts::new(8);
+                pool.policy = ChargePolicy::Metered;
+                let exec = ExecOpts {
+                    par: Parallelism::new(threads),
+                    morsel_rows: 64,
+                    pool: Some(pool),
+                    ..ExecOpts::default()
+                };
+                let rp = Session::new(db, built)
+                    .with_exec(exec)
+                    .run(q, None)
+                    .expect("tiny-pool variant executes");
+                let mut got = rp.rows.clone().expect("unbounded run returns rows");
+                if q.order_by.is_empty() {
+                    got.sort();
+                }
+                assert_eq!(
+                    expect,
+                    got,
+                    "{} query {qi} under {cname} diverges with an 8-frame pool \
+                     at {threads} query-threads:\n{q}",
+                    family.name()
+                );
+                assert_eq!(
+                    rp.outcome.units(),
+                    Some(units),
+                    "{} query {qi} under {cname}: metered units drift with an \
+                     8-frame pool at {threads} query-threads",
                     family.name()
                 );
             }

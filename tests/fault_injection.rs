@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
+use tab_bench::engine::ChargePolicy;
 use tab_bench::eval::SuiteParams;
 use tab_bench::storage::{par_map, par_map_catch, FaultPlan, Parallelism};
 use tab_bench_harness::repro::{run_all, ReproConfig, ReproError};
@@ -254,6 +255,148 @@ fn poisoned_morsel_worker_then_resume_is_byte_identical() {
     run_all(&cfg).expect("resume completes the run");
     assert!(!journal.exists(), "journal removed after successful resume");
     assert_same_outputs(&dir, &want, "morsel-crash-resume");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Like [`tiny`], but with an 8-frame buffer pool in Observed charge
+/// mode — small enough that hash builds overflow the pool's spill
+/// threshold and dirty pages get written through the pager, exercising
+/// the `spill` and `evict:` fault sites on real traffic.
+fn tiny_pooled(out: &Path, threads: usize) -> ReproConfig {
+    let mut cfg = tiny(out, threads);
+    cfg.params = cfg
+        .params
+        .with_buffer_pages(8)
+        .with_charge(ChargePolicy::Observed);
+    cfg
+}
+
+/// Summed value of a numeric field across every cell line of a
+/// `BENCH_io.json` document.
+fn io_field_total(doc: &str, key: &str) -> u64 {
+    doc.lines()
+        .filter_map(|l| {
+            let (_, rest) = l.split_once(&format!("\"{key}\": "))?;
+            rest.split([',', '}']).next()?.trim().parse::<u64>().ok()
+        })
+        .sum()
+}
+
+/// The `enospc:spill` fault site: a full disk at a dirty-page spill
+/// write crashes the run mid-grid; the journal survives (with the
+/// per-cell pool traffic in its `io` fields) and `--resume` recovers
+/// byte-identically — including the wall-clock-free `BENCH_io.json`,
+/// whose totals for replayed cells come straight from the journal.
+#[test]
+fn injected_spill_enospc_then_resume_is_byte_identical() {
+    let base = std::env::temp_dir().join(format!("tab_fault_spill_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    let clean_dir = base.join("clean");
+    run_all(&tiny_pooled(&clean_dir, 1)).expect("clean pooled baseline run");
+    let want = snapshot(&clean_dir);
+    let want_io = std::fs::read(clean_dir.join("BENCH_io.json")).expect("BENCH_io.json");
+    let io_text = String::from_utf8(want_io.clone()).expect("utf8");
+    // The premise of this test: the 8-frame run actually spilled.
+    assert!(
+        io_field_total(&io_text, "spill_bytes_written") > 0,
+        "8-frame pooled run did not spill — the spill site never fires:\n{io_text}"
+    );
+    assert!(io_field_total(&io_text, "evictions") > 0, "{io_text}");
+
+    let dir = base.join("crash");
+    let plan = FaultPlan::parse("enospc:spill:2").expect("spec");
+    let mut cfg = tiny_pooled(&dir, 1).with_faults(plan);
+    let err = run_all(&cfg).expect_err("full disk at a spill write must fail the run");
+    match &err {
+        ReproError::Grid { message } => {
+            assert!(message.contains("spill"), "{message}");
+        }
+        other => panic!("expected Grid error, got: {other}"),
+    }
+    // The journal materializes on the first completed cell; if the
+    // second spill write already lands in the first cell, the crash
+    // leaves nothing behind and `--resume` degrades to a plain run —
+    // both are valid crash points, and both must recover.
+    let journal = dir.join("repro.checkpoint.jsonl");
+    if journal.exists() {
+        let text = std::fs::read_to_string(&journal).expect("journal");
+        assert!(
+            text.contains("\"io\":\""),
+            "pooled journal cells must carry their pool traffic:\n{text}"
+        );
+    }
+
+    cfg.faults = None;
+    cfg.resume = true;
+    // Resume at a different thread count than the crash: pool traffic
+    // is a pure function of the logical access stream, so the journal
+    // fingerprint may keep excluding parallelism.
+    cfg.params = cfg.params.with_threads(4);
+    run_all(&cfg).expect("resume completes the run");
+    assert!(!journal.exists(), "journal removed after successful resume");
+    assert_same_outputs(&dir, &want, "spill-enospc-resume");
+    let got_io = std::fs::read(dir.join("BENCH_io.json")).expect("BENCH_io.json");
+    assert_eq!(
+        got_io, want_io,
+        "BENCH_io.json after resume differs from a clean run"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The `panic:evict:<family>/<config>` fault site: a crash at a buffer
+/// pool eviction inside one cell — after other cells have already
+/// spilled pages — is caught like a `cell:` poison, journaled around,
+/// and recovered byte-identically by `--resume`.
+#[test]
+fn poisoned_eviction_then_resume_is_byte_identical() {
+    let base = std::env::temp_dir().join(format!("tab_fault_evict_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    let clean_dir = base.join("clean");
+    run_all(&tiny_pooled(&clean_dir, 1)).expect("clean pooled baseline run");
+    let want = snapshot(&clean_dir);
+    let want_io = std::fs::read(clean_dir.join("BENCH_io.json")).expect("BENCH_io.json");
+
+    let dir = base.join("crash");
+    let plan = FaultPlan::parse("panic:evict:NREF3J/NREF_1C").expect("spec");
+    let mut cfg = tiny_pooled(&dir, 4).with_faults(plan);
+    let err = run_all(&cfg).expect_err("poisoned eviction must fail the run");
+    match &err {
+        ReproError::Grid { message } => {
+            assert!(message.contains("evict:NREF3J/NREF_1C"), "{message}");
+        }
+        other => panic!("expected Grid error, got: {other}"),
+    }
+    let journal = dir.join("repro.checkpoint.jsonl");
+    assert!(journal.exists(), "failed run must leave its journal");
+    let text = std::fs::read_to_string(&journal).expect("journal");
+    assert!(
+        !text.contains("\"family\":\"NREF3J\",\"config\":\"NREF_1C\""),
+        "the poisoned cell must not be journaled:\n{text}"
+    );
+    assert!(
+        text.contains("\"family\":\"NREF2J\",\"config\":\"NREF_P\""),
+        "cells that completed before the poison must be journaled:\n{text}"
+    );
+    assert!(
+        text.contains("\"io\":\""),
+        "pooled journal cells must carry their pool traffic:\n{text}"
+    );
+
+    cfg.faults = None;
+    cfg.resume = true;
+    cfg.params = cfg.params.with_threads(1);
+    run_all(&cfg).expect("resume completes the run");
+    assert!(!journal.exists(), "journal removed after successful resume");
+    assert_same_outputs(&dir, &want, "evict-poison-resume");
+    let got_io = std::fs::read(dir.join("BENCH_io.json")).expect("BENCH_io.json");
+    assert_eq!(
+        got_io, want_io,
+        "BENCH_io.json after resume differs from a clean run"
+    );
 
     std::fs::remove_dir_all(&base).ok();
 }

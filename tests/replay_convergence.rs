@@ -9,7 +9,7 @@
 //!    refused by replay, never silently half-replayed.
 
 use tab_bench::datagen::{generate_nref, NrefParams};
-use tab_bench::engine::Session;
+use tab_bench::engine::{ChargePolicy, Session};
 use tab_bench::eval::{build_1c, build_p, run_grid_traced, GridCell};
 use tab_bench::families::Family;
 use tab_bench::storage::{FaultPlan, FileTraceSink, MemoryTraceSink, Parallelism, Trace};
@@ -38,6 +38,9 @@ fn traced_grid_text(threads: usize) -> String {
             timeout_units: TIMEOUT,
             query_par: Parallelism::new(2),
             morsel_rows: 64,
+            buffer_pages: 0,
+            charge: ChargePolicy::Observed,
+            pager: None,
         },
         GridCell {
             family: "NREF2J",
@@ -47,6 +50,9 @@ fn traced_grid_text(threads: usize) -> String {
             timeout_units: TIMEOUT,
             query_par: Parallelism::new(2),
             morsel_rows: 64,
+            buffer_pages: 0,
+            charge: ChargePolicy::Observed,
+            pager: None,
         },
     ];
     run_grid_traced(&cells, Parallelism::new(threads), Trace::to(&sink));
