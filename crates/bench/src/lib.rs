@@ -10,4 +10,5 @@
 pub mod converge;
 pub mod replay;
 pub mod repro;
+pub mod serve_bench;
 pub mod trace_summary;

@@ -16,20 +16,26 @@ mod args;
 
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use args::Args;
 use tab_advisor::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};
 use tab_bench_harness::converge::{run_convergence, ConvergenceSpec};
 use tab_bench_harness::replay::{diff, render_summary, replay_str, report_json, DiffOptions};
+use tab_bench_harness::serve_bench::{run_serve_bench, LoadMode, ServeBenchOptions};
 use tab_core::convergence::{
     convergence_csv_rows, convergence_json, render_convergence_table, CSV_HEADER,
 };
 use tab_core::report::render_cfc_ascii;
 use tab_core::{run_workload_with, Goal, Parallelism};
 use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
-use tab_engine::{apply_insert, ChargePolicy, ExecOpts, PoolOpts, Session};
+use tab_engine::{
+    apply_insert, ChargePolicy, EngineState, ExecOpts, PoolOpts, Session, SharedEngine,
+};
 use tab_families::{sample_preserving_par, Family};
+use tab_server::{Client, ServeOptions, Server};
 use tab_sqlq::{parse_statement, Statement};
-use tab_storage::{BuiltConfiguration, Database, Pager};
+use tab_storage::{atomic_write, BuiltConfiguration, Database, Pager};
 
 const USAGE: &str = "\
 tab — benchmarking framework for configuration recommenders
@@ -52,6 +58,20 @@ USAGE:
                 [--ladder 50,200,800,unlimited] [--max-structures N]
                 [--workload N] [--out DIR]
                                       objective-vs-budget convergence curves
+  tab serve     --db SPEC [--addr HOST:PORT] [--timeout-secs T]
+                                      serve configs p and 1c over tab-wire-v1
+                                      (thread per connection; stop with the
+                                      SHUTDOWN verb)
+  tab client    --addr HOST:PORT \"REQUEST LINE\"
+                                      send one wire request, print the response
+  tab bench serve --db SPEC --family NAME [--clients N] [--requests N]
+                [--workload N] [--mode closed|open] [--interarrival-ms MS]
+                [--out DIR]
+                                      serving throughput benchmark: boots a
+                                      server, drives N clients, verifies every
+                                      wire result against a direct session,
+                                      writes BENCH_serve.json +
+                                      serve_requests.csv
 
 All commands accept --threads N (worker threads for grid/workload
 fan-out; 0 or absent = all cores). `explain` and `run` additionally
@@ -86,6 +106,8 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
         "tracediff" => cmd_tracediff(&args),
         "converge" => cmd_converge(&args).map(|()| ExitCode::SUCCESS),
+        "serve" => cmd_serve(&args).map(|()| ExitCode::SUCCESS),
+        "client" => cmd_client(&args).map(|()| ExitCode::SUCCESS),
         "" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -146,14 +168,7 @@ fn load_config(args: &Args, db: &Database, label: &str) -> Result<BuiltConfigura
 }
 
 fn family_of(name: &str) -> Result<Family, String> {
-    match name.to_uppercase().as_str() {
-        "NREF2J" => Ok(Family::Nref2J),
-        "NREF3J" => Ok(Family::Nref3J),
-        "SKTH3J" => Ok(Family::SkTH3J),
-        "SKTH3JS" => Ok(Family::SkTH3Js),
-        "UNTH3J" => Ok(Family::UnTH3J),
-        other => Err(format!("unknown family `{other}`")),
-    }
+    Family::parse(name).ok_or_else(|| format!("unknown family `{name}`"))
 }
 
 fn sql_arg(args: &Args) -> Result<String, String> {
@@ -465,6 +480,11 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_bench(args: &Args) -> Result<(), String> {
+    // `tab bench serve` is the serving throughput benchmark; everything
+    // else is the classic per-configuration workload bench.
+    if args.positional.first().map(String::as_str) == Some("serve") {
+        return cmd_bench_serve(args);
+    }
     let (db, label) = load_db(args)?;
     let family = family_of(args.require("family")?)?;
     let p = tab_core::build_p(&db, &label);
@@ -494,6 +514,102 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     let refs: Vec<(&str, &tab_core::Cfc)> = curves.iter().map(|(l, c)| (l.as_str(), c)).collect();
     let max_x = tab_engine::units_to_sim_seconds(timeout_units) * 1.1;
     println!("\n{}", render_cfc_ascii(&refs, 0.1, max_x, 64, 16));
+    Ok(())
+}
+
+/// `tab serve` — boot the concurrent serving front end over the `p`
+/// and `1c` configurations and block until a wire `SHUTDOWN` arrives.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let (db, label) = load_db(args)?;
+    let p = tab_core::build_p(&db, &label);
+    let c1 = tab_core::build_1c(&db, &label);
+    let timeout_units = args
+        .get_parsed::<f64>("timeout-secs")?
+        .map(|s| s / tab_engine::SIM_SECONDS_PER_UNIT)
+        .unwrap_or(tab_engine::DEFAULT_TIMEOUT_UNITS);
+    let engine = Arc::new(SharedEngine::new(
+        EngineState::new(db)
+            .with_config("p", p)
+            .with_config("1c", c1),
+    ));
+    let opts = ServeOptions {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        label: label.clone(),
+        timeout_units,
+        par: par_of(args)?,
+        ..ServeOptions::default()
+    };
+    let mut server =
+        Server::start(engine, opts).map_err(|e| format!("cannot start server: {e}"))?;
+    println!("serving {label} (configs p, 1c) on {}", server.addr());
+    println!("stop with: tab client --addr {} SHUTDOWN", server.addr());
+    server.wait();
+    println!("server stopped");
+    Ok(())
+}
+
+/// `tab client` — send one `tab-wire-v1` request line, print the JSON
+/// response line, exit nonzero on an `"ok":false` envelope.
+fn cmd_client(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    if args.positional.is_empty() {
+        return Err("client needs a request line, e.g. `tab client PING`".into());
+    }
+    let line = args.positional.join(" ");
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let response = client.request(&line)?;
+    println!("{}", response.line());
+    if response.is_ok() {
+        Ok(())
+    } else {
+        Err(response
+            .error()
+            .unwrap_or_else(|| "request failed".to_string()))
+    }
+}
+
+/// `tab bench serve` — the serving throughput benchmark (DESIGN.md
+/// §14): boots an in-process server, drives it with the configured
+/// load, verifies every wire result against a direct session, and
+/// writes `BENCH_serve.json` + `serve_requests.csv`.
+fn cmd_bench_serve(args: &Args) -> Result<(), String> {
+    let (db, label) = load_db(args)?;
+    let family = family_of(args.require("family")?)?;
+    let mode = match args.get("mode").unwrap_or("closed") {
+        "closed" => LoadMode::Closed,
+        "open" => LoadMode::Open {
+            interarrival: std::time::Duration::from_millis(
+                args.get_parsed("interarrival-ms")?.unwrap_or(5),
+            ),
+        },
+        other => return Err(format!("unknown mode `{other}` (use closed or open)")),
+    };
+    let defaults = ServeBenchOptions::default();
+    let opts = ServeBenchOptions {
+        clients: args.get_parsed("clients")?.unwrap_or(defaults.clients),
+        requests: args.get_parsed("requests")?.unwrap_or(defaults.requests),
+        workload: args.get_parsed("workload")?.unwrap_or(defaults.workload),
+        mode,
+        timeout_units: args
+            .get_parsed::<f64>("timeout-secs")?
+            .map(|s| s / tab_engine::SIM_SECONDS_PER_UNIT)
+            .unwrap_or(tab_engine::DEFAULT_TIMEOUT_UNITS),
+        par: par_of(args)?,
+    };
+    let report = run_serve_bench(&db, &label, family, &opts)?;
+    let out = std::path::Path::new(args.get("out").unwrap_or("."));
+    let json_path = out.join("BENCH_serve.json");
+    let csv_path = out.join("serve_requests.csv");
+    atomic_write(&json_path, report.json().as_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    atomic_write(&csv_path, report.requests_csv().as_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", csv_path.display()))?;
+    print!("{}", report.render_table());
+    println!(
+        "all {} wire results match the direct session baseline exactly",
+        report.baseline_matches
+    );
+    println!("wrote {} and {}", json_path.display(), csv_path.display());
     Ok(())
 }
 

@@ -25,6 +25,7 @@ pub mod naive;
 pub mod plan;
 pub mod planner;
 pub mod session;
+pub mod shared;
 pub mod stats_view;
 
 pub use catalog::{bind, BindError, BoundQuery};
@@ -44,4 +45,5 @@ pub use session::{
     estimate_hypothetical, estimate_hypothetical_layered, estimate_hypothetical_perfect, RunResult,
     Session,
 };
+pub use shared::{EngineSnapshot, EngineState, SharedEngine, SharedInsert};
 pub use stats_view::{HypotheticalStats, RealStats, StatsView};

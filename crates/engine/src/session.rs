@@ -35,6 +35,15 @@ pub struct RunResult {
 }
 
 /// A query session over one database in one built configuration.
+///
+/// Sessions are cheap borrows, opened per query (or per request): the
+/// parallel grid opens one per worker over shared `&Database`, and the
+/// serving front end opens one per wire request over an
+/// [`crate::EngineSnapshot`], which pins an immutable generation so
+/// concurrent writers never perturb an in-flight scan. A session never
+/// mutates what it borrows — writes go through [`crate::apply_insert`]
+/// (single-owner) or [`crate::SharedEngine::insert`] (concurrent,
+/// copy-on-write).
 pub struct Session<'a> {
     db: &'a Database,
     built: &'a BuiltConfiguration,
@@ -211,7 +220,8 @@ pub fn estimate_hypothetical_layered(
     plan(bound, &stats).est_cost
 }
 
-/// Sessions are created per worker thread over shared `&Database` /
+/// Sessions are created per worker thread (grid fan-out) and per wire
+/// request (serving front end) over shared `&Database` /
 /// `&BuiltConfiguration`; this compile-time audit keeps them that way.
 const fn _assert_send_sync<T: Send + Sync>() {}
 const _: () = _assert_send_sync::<Session<'static>>();

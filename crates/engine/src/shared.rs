@@ -1,0 +1,335 @@
+//! The concurrent multi-session engine: snapshot reads, latched writes.
+//!
+//! [`Session`] is a borrow over one database and one built
+//! configuration — deliberately cheap, created per request. What it
+//! borrows *from* in a concurrent setting is this module:
+//! [`SharedEngine`] owns an [`EngineState`] (the database plus every
+//! built configuration served under a name) published through a
+//! [`GenerationCell`], so
+//!
+//! - any number of reader threads take an [`EngineSnapshot`] without
+//!   blocking and open plain [`Session`]s against it — a snapshot pins
+//!   one generation end to end, so a scan never observes a half-applied
+//!   write, and two queries on the same snapshot see identical data;
+//! - writes ([`SharedEngine::insert`]) serialize on the cell's writer
+//!   latch, clone the current generation, apply the mutation to the
+//!   heap *and* to every built configuration, and publish the copy
+//!   atomically — heaps and indexes can never diverge within a
+//!   generation.
+//!
+//! Costs stay deterministic per request: a query's plan, cost units,
+//! and verdict are a pure function of the generation it ran against,
+//! so concurrent serving reproduces single-session results exactly
+//! (the serving smoke test and `tab bench serve` both enforce this).
+//! What *is* interleaving-dependent is only which generation a given
+//! request observes when writers are active — see DESIGN.md §14.
+
+use std::collections::BTreeMap;
+
+use tab_sqlq::Insert;
+use tab_storage::{BuiltConfiguration, Database, GenerationCell, RowId, Snapshot};
+
+use crate::catalog::BindError;
+use crate::cost::RANDOM_PAGE_COST;
+use crate::dml::validate_insert;
+use crate::session::Session;
+
+/// One immutable generation of the engine: a database plus the built
+/// configurations served under their lookup names (e.g. `"p"`, `"1c"`).
+#[derive(Debug, Clone)]
+pub struct EngineState {
+    /// The database (statistics collected).
+    pub db: Database,
+    /// Built configurations by serving name, in deterministic order.
+    pub configs: BTreeMap<String, BuiltConfiguration>,
+}
+
+impl EngineState {
+    /// A state over `db` with no configurations yet.
+    pub fn new(db: Database) -> Self {
+        EngineState {
+            db,
+            configs: BTreeMap::new(),
+        }
+    }
+
+    /// Add a built configuration under a serving name (builder-style).
+    pub fn with_config(mut self, name: impl Into<String>, built: BuiltConfiguration) -> Self {
+        self.configs.insert(name.into(), built);
+        self
+    }
+}
+
+/// A pinned generation of the engine. Opens [`Session`]s whose borrows
+/// are tied to this snapshot, so everything a request does sees one
+/// consistent (database, configurations) pair.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    snap: Snapshot<EngineState>,
+}
+
+impl EngineSnapshot {
+    /// The pinned generation number.
+    pub fn seq(&self) -> u64 {
+        self.snap.seq()
+    }
+
+    /// The pinned state.
+    pub fn state(&self) -> &EngineState {
+        self.snap.get()
+    }
+
+    /// Serving names of the available configurations.
+    pub fn config_names(&self) -> impl Iterator<Item = &str> {
+        self.state().configs.keys().map(String::as_str)
+    }
+
+    /// Open a session over this snapshot's database and the named
+    /// configuration (`None` if no configuration is served under
+    /// `config`).
+    pub fn session(&self, config: &str) -> Option<Session<'_>> {
+        let state = self.state();
+        state
+            .configs
+            .get(config)
+            .map(|built| Session::new(&state.db, built))
+    }
+}
+
+/// Outcome of a write published through [`SharedEngine::insert`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedInsert {
+    /// The generation the write created (snapshots taken after the
+    /// call see at least this generation).
+    pub generation: u64,
+    /// The new row's heap id.
+    pub row_id: RowId,
+    /// Maintenance cost in cost units, charged for the configuration
+    /// named in the request (heap write + its index descents + its
+    /// view deltas) — the same quantity [`crate::apply_insert`]
+    /// reports for a single-session insert.
+    pub units: f64,
+}
+
+/// The concurrent engine: an [`EngineState`] behind an epoch-published
+/// [`GenerationCell`]. Shared across serving threads as
+/// `Arc<SharedEngine>`; see the module docs for the isolation contract.
+#[derive(Debug)]
+pub struct SharedEngine {
+    cell: GenerationCell<EngineState>,
+}
+
+impl SharedEngine {
+    /// A shared engine serving `state` as generation 0.
+    pub fn new(state: EngineState) -> Self {
+        SharedEngine {
+            cell: GenerationCell::new(state),
+        }
+    }
+
+    /// The newest published generation number.
+    pub fn generation(&self) -> u64 {
+        self.cell.seq()
+    }
+
+    /// Pin the newest generation for reading. Never blocks.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            snap: self.cell.snapshot(),
+        }
+    }
+
+    /// Apply one insertion and publish the result as a new generation.
+    ///
+    /// Copy-on-write under the writer latch: the current generation is
+    /// cloned, the row is appended to the copy's heap, **every** built
+    /// configuration of the copy is maintained (indexes descended,
+    /// dependent views marked stale), and the copy is published with
+    /// one atomic store. Readers keep their pinned snapshots; snapshots
+    /// taken after this call returns see the new row everywhere.
+    ///
+    /// `charge_config` names the configuration whose maintenance cost
+    /// is reported (it must be served); statistics are *not* refreshed,
+    /// matching the benchmark protocol.
+    pub fn insert(&self, insert: &Insert, charge_config: &str) -> Result<SharedInsert, BindError> {
+        let (generation, (row_id, units)) = self.cell.update(|state| {
+            validate_insert(insert, &state.db)?;
+            if !state.configs.contains_key(charge_config) {
+                return Err(BindError {
+                    message: format!("unknown configuration `{charge_config}`"),
+                });
+            }
+            let mut next = state.clone();
+            let table = next
+                .db
+                .table_mut(&insert.table)
+                .expect("validated table exists");
+            let row_id = table.insert(insert.values.clone());
+            let mut charged = 0.0;
+            for (name, built) in next.configs.iter_mut() {
+                let pages = built.apply_insert(&insert.table, &insert.values, row_id);
+                if name == charge_config {
+                    charged = pages as f64 * RANDOM_PAGE_COST;
+                }
+            }
+            Ok((next, (row_id, charged)))
+        })?;
+        Ok(SharedInsert {
+            generation,
+            row_id,
+            units,
+        })
+    }
+}
+
+/// Serving threads share one engine and pin snapshots concurrently;
+/// this compile-time audit keeps the whole stack that way.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<SharedEngine>();
+    _assert_send_sync::<EngineSnapshot>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tab_sqlq::{parse, parse_statement, Statement};
+    use tab_storage::{ColType, ColumnDef, Configuration, IndexSpec, Table, TableSchema, Value};
+
+    fn state() -> EngineState {
+        let mut db = Database::new();
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ColType::Int),
+                ColumnDef::new("g", ColType::Int),
+            ],
+        ));
+        for i in 0..1_000i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 5)]);
+        }
+        db.add_table(t);
+        db.collect_stats();
+        let p = BuiltConfiguration::build(Configuration::named("p"), &db);
+        let mut cfg = Configuration::named("ix");
+        cfg.indexes.push(IndexSpec::new("t", vec![0]));
+        let ix = BuiltConfiguration::build(cfg, &db);
+        EngineState::new(db)
+            .with_config("p", p)
+            .with_config("ix", ix)
+    }
+
+    fn insert_of(sql: &str) -> Insert {
+        match parse_statement(sql).unwrap() {
+            Statement::Insert(i) => i,
+            other => panic!("expected insert: {other:?}"),
+        }
+    }
+
+    fn count(snap: &EngineSnapshot, config: &str) -> i64 {
+        let q = parse("SELECT COUNT(*) FROM t").unwrap();
+        let rows = snap
+            .session(config)
+            .expect("config served")
+            .run(&q, None)
+            .unwrap()
+            .rows
+            .unwrap();
+        rows[0][0].as_int().unwrap()
+    }
+
+    #[test]
+    fn snapshots_pin_their_generation_across_writes() {
+        let engine = SharedEngine::new(state());
+        let before = engine.snapshot();
+        assert_eq!(before.seq(), 0);
+        let out = engine
+            .insert(&insert_of("INSERT INTO t VALUES (1000, 0)"), "ix")
+            .unwrap();
+        assert_eq!(out.generation, 1);
+        assert!(out.units > 0.0, "index maintenance is charged");
+        // The pinned snapshot still sees 1000 rows; a fresh one sees
+        // the insert in *both* configurations.
+        assert_eq!(count(&before, "p"), 1_000);
+        let after = engine.snapshot();
+        assert_eq!(after.seq(), 1);
+        assert_eq!(count(&after, "p"), 1_001);
+        assert_eq!(count(&after, "ix"), 1_001);
+    }
+
+    #[test]
+    fn same_snapshot_answers_identically_twice() {
+        let engine = SharedEngine::new(state());
+        let snap = engine.snapshot();
+        let q = parse("SELECT t.g, COUNT(*) FROM t GROUP BY t.g").unwrap();
+        let s = snap.session("p").unwrap();
+        let r1 = s.run(&q, None).unwrap();
+        engine
+            .insert(&insert_of("INSERT INTO t VALUES (1000, 0)"), "p")
+            .unwrap();
+        let r2 = snap.session("p").unwrap().run(&q, None).unwrap();
+        assert_eq!(r1.rows, r2.rows, "a snapshot is immutable");
+        assert_eq!(r1.outcome.units(), r2.outcome.units());
+    }
+
+    #[test]
+    fn failed_insert_publishes_nothing() {
+        let engine = SharedEngine::new(state());
+        let err = engine
+            .insert(&insert_of("INSERT INTO nope VALUES (1)"), "p")
+            .unwrap_err();
+        assert!(err.message.contains("nope"));
+        let err = engine
+            .insert(&insert_of("INSERT INTO t VALUES (1, 2)"), "ghost")
+            .unwrap_err();
+        assert!(err.message.contains("ghost"));
+        assert_eq!(engine.generation(), 0);
+    }
+
+    #[test]
+    fn unknown_config_yields_no_session() {
+        let engine = SharedEngine::new(state());
+        let snap = engine.snapshot();
+        assert!(snap.session("ghost").is_none());
+        let names: Vec<&str> = snap.config_names().collect();
+        assert_eq!(names, vec!["ix", "p"]);
+    }
+
+    #[test]
+    fn inserted_row_is_reachable_through_maintained_index() {
+        // A table big enough that a selective probe beats the scan, so
+        // the query below only finds the row if the index was really
+        // maintained by the copy-on-write insert.
+        let mut db = Database::new();
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ColType::Int),
+                ColumnDef::new("g", ColType::Int),
+            ],
+        ));
+        for i in 0..50_000i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 7)]);
+        }
+        db.add_table(t);
+        db.collect_stats();
+        let mut cfg = Configuration::named("ix");
+        cfg.indexes.push(IndexSpec::new("t", vec![0]));
+        let ix = BuiltConfiguration::build(cfg, &db);
+        let engine = SharedEngine::new(EngineState::new(db).with_config("ix", ix));
+        engine
+            .insert(&insert_of("INSERT INTO t VALUES (90000, 3)"), "ix")
+            .unwrap();
+        let snap = engine.snapshot();
+        let q = parse("SELECT t.g, COUNT(*) FROM t WHERE t.a = 90000 GROUP BY t.g").unwrap();
+        let s = snap.session("ix").unwrap();
+        let plan = s.plan_query(&q).unwrap();
+        assert!(
+            plan.describe().contains("Index"),
+            "probe should use the maintained index: {}",
+            plan.describe()
+        );
+        let rows = s.run(&q, None).unwrap().rows.unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(3), Value::Int(1)]]);
+    }
+}

@@ -30,6 +30,19 @@ impl Family {
         }
     }
 
+    /// Parse a family from its paper name, case-insensitively (the
+    /// shared lookup under `tab --family` and the wire `ADVISE` verb).
+    pub fn parse(name: &str) -> Option<Family> {
+        match name.to_uppercase().as_str() {
+            "NREF2J" => Some(Family::Nref2J),
+            "NREF3J" => Some(Family::Nref3J),
+            "SKTH3J" => Some(Family::SkTH3J),
+            "SKTH3JS" => Some(Family::SkTH3Js),
+            "UNTH3J" => Some(Family::UnTH3J),
+            _ => None,
+        }
+    }
+
     /// Which database label the family runs on (`NREF`, `SkTH`, `UnTH`).
     pub fn database_label(&self) -> &'static str {
         match self {

@@ -1,0 +1,74 @@
+//! A blocking `tab-wire-v1` client: one request line out, one response
+//! line back. The load generator and `tab client` are both built on
+//! this; it is intentionally tiny (a `TcpStream` and a line buffer).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::Response;
+
+/// A connected client. Requests are strictly serial per client —
+/// concurrency in the benchmark comes from running many clients.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a serving front end.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Send one raw request line and return the raw response line
+    /// (trailing newline stripped). An empty read means the server
+    /// closed the connection.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    /// Send one request line and parse the response envelope.
+    pub fn request(&mut self, line: &str) -> Result<Response, String> {
+        let raw = self.request_line(line).map_err(|e| e.to_string())?;
+        Response::parse(&raw)
+    }
+
+    /// `QUERY <config> <sql>`.
+    pub fn query(&mut self, config: &str, sql: &str) -> Result<Response, String> {
+        self.request(&format!("QUERY {config} {sql}"))
+    }
+
+    /// `EXPLAIN <config> <sql>`.
+    pub fn explain(&mut self, config: &str, sql: &str) -> Result<Response, String> {
+        self.request(&format!("EXPLAIN {config} {sql}"))
+    }
+
+    /// `PING`.
+    pub fn ping(&mut self) -> Result<Response, String> {
+        self.request("PING")
+    }
+
+    /// `QUIT` — the server acknowledges, then closes this connection.
+    pub fn quit(mut self) -> Result<Response, String> {
+        self.request("QUIT")
+    }
+
+    /// `SHUTDOWN` — the server acknowledges, then stops entirely.
+    pub fn shutdown(mut self) -> Result<Response, String> {
+        self.request("SHUTDOWN")
+    }
+}

@@ -1,0 +1,327 @@
+//! The `tab-wire-v1` protocol: request lines in, JSON response lines out.
+//!
+//! The wire format is deliberately minimal so any line-oriented client
+//! can speak it. A request is one text line — a verb followed by
+//! whitespace-separated operands, with the SQL tail taken verbatim:
+//!
+//! ```text
+//! PING
+//! QUERY <config> <sql>          query or INSERT statement
+//! EXPLAIN <config> <sql>        plan + estimate, nothing executed
+//! ADVISE <family> <system> [n]  run a recommender over a sampled workload
+//! QUIT                          close this connection
+//! SHUTDOWN                      stop the whole server gracefully
+//! ```
+//!
+//! A response is exactly one JSON line opening with
+//! [`RESPONSE_PREFIX`], rendered with **no space after the `:` of each
+//! key** — the same discipline as `tab-trace-v1` — so responses parse
+//! with the dependency-free string scanner
+//! [`tab_storage::trace_reader::field`] instead of a JSON library.
+//! Requests never crash the connection: the server wraps dispatch in a
+//! panic guard and answers `{"ok":false,"error":...}` envelopes.
+//!
+//! Cost units cross the wire through Rust's shortest-roundtrip `{}`
+//! float formatting, so a client parsing `units` back gets the
+//! bit-identical `f64` the engine produced — the serving benchmark's
+//! exact-equality checks against direct [`tab_engine::Session`] runs
+//! depend on this.
+
+use tab_storage::trace::json_escape;
+use tab_storage::trace_reader::{field, unescape};
+
+/// The schema tag every response line opens with, byte-for-byte.
+pub const RESPONSE_PREFIX: &str = "{\"schema\":\"tab-wire-v1\"";
+
+/// One parsed request line. See the module docs for the line grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `PING` — liveness probe; answers with the current generation and
+    /// the served configuration names.
+    Ping,
+    /// `QUERY <config> <sql>` — execute a statement against the named
+    /// configuration. A `SELECT` runs on a pinned snapshot; an `INSERT`
+    /// goes through the latched write path and publishes a generation.
+    Query {
+        /// Serving name of the configuration to run under.
+        config: String,
+        /// The SQL text, verbatim to end of line.
+        sql: String,
+    },
+    /// `EXPLAIN <config> <sql>` — plan the query and report the chosen
+    /// plan shape and its cost estimate without executing it.
+    Explain {
+        /// Serving name of the configuration to plan under.
+        config: String,
+        /// The SQL text, verbatim to end of line.
+        sql: String,
+    },
+    /// `ADVISE <family> <system> [n]` — sample an `n`-query workload
+    /// (default 50) from the family on the current snapshot and run the
+    /// named recommender profile over it.
+    Advise {
+        /// Workload family name (e.g. `NREF2J`).
+        family: String,
+        /// Recommender profile: `A`, `B`, or `C`.
+        system: String,
+        /// Workload sample size.
+        workload: usize,
+    },
+    /// `QUIT` — close this connection after an acknowledgement.
+    Quit,
+    /// `SHUTDOWN` — acknowledge, then stop the whole server: no new
+    /// connections, existing connections close after their in-flight
+    /// request.
+    Shutdown,
+}
+
+/// Split the next whitespace-delimited token off `s`, returning the
+/// token and the rest (leading whitespace trimmed from both).
+fn next_token(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim_start()),
+        None => (s, ""),
+    }
+}
+
+/// Parse one request line. Verbs are case-insensitive; the SQL tail is
+/// preserved verbatim. Errors name what is missing — they become
+/// `{"ok":false}` envelopes, never closed connections.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let (verb, rest) = next_token(line);
+    match verb.to_ascii_uppercase().as_str() {
+        "PING" => Ok(Request::Ping),
+        "QUIT" => Ok(Request::Quit),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "QUERY" | "EXPLAIN" => {
+            let (config, sql) = next_token(rest);
+            if config.is_empty() {
+                return Err(format!("{verb} needs a configuration name"));
+            }
+            if sql.is_empty() {
+                return Err(format!("{verb} needs SQL text"));
+            }
+            let config = config.to_string();
+            let sql = sql.to_string();
+            if verb.eq_ignore_ascii_case("QUERY") {
+                Ok(Request::Query { config, sql })
+            } else {
+                Ok(Request::Explain { config, sql })
+            }
+        }
+        "ADVISE" => {
+            let (family, rest) = next_token(rest);
+            let (system, rest) = next_token(rest);
+            if family.is_empty() || system.is_empty() {
+                return Err("ADVISE needs a family and a system".into());
+            }
+            let (n, rest) = next_token(rest);
+            if !rest.is_empty() {
+                return Err(format!("trailing operands after ADVISE: `{rest}`"));
+            }
+            let workload = if n.is_empty() {
+                50
+            } else {
+                n.parse().map_err(|_| format!("bad workload size `{n}`"))?
+            };
+            Ok(Request::Advise {
+                family: family.to_string(),
+                system: system.to_string(),
+                workload,
+            })
+        }
+        "" => Err("empty request".into()),
+        other => Err(format!(
+            "unknown verb `{other}` (try PING, QUERY, EXPLAIN, ADVISE, QUIT, SHUTDOWN)"
+        )),
+    }
+}
+
+/// Incrementally renders one response line in the `tab-wire-v1` shape.
+/// Field order is insertion order; the builder exists so every call
+/// site keeps the no-space-after-colon discipline the line scanner
+/// relies on.
+#[derive(Debug)]
+pub struct ResponseBuilder {
+    line: String,
+}
+
+impl ResponseBuilder {
+    /// Start an `"ok":true` response for `verb`.
+    pub fn ok(verb: &str) -> Self {
+        let mut line = String::with_capacity(128);
+        line.push_str(RESPONSE_PREFIX);
+        line.push_str(",\"ok\":true,\"verb\":\"");
+        line.push_str(verb);
+        line.push('"');
+        ResponseBuilder { line }
+    }
+
+    /// Build a complete `"ok":false` error envelope.
+    pub fn error(message: &str) -> String {
+        format!(
+            "{RESPONSE_PREFIX},\"ok\":false,\"error\":\"{}\"}}",
+            json_escape(message)
+        )
+    }
+
+    /// Append a string field (JSON-escaped).
+    pub fn str_field(mut self, key: &str, value: &str) -> Self {
+        self.line
+            .push_str(&format!(",\"{key}\":\"{}\"", json_escape(value)));
+        self
+    }
+
+    /// Append an integer field.
+    pub fn int_field(mut self, key: &str, value: u64) -> Self {
+        self.line.push_str(&format!(",\"{key}\":{value}"));
+        self
+    }
+
+    /// Append a float field via shortest-roundtrip `{}` formatting, so
+    /// the receiver can parse back the bit-identical value.
+    pub fn num_field(mut self, key: &str, value: f64) -> Self {
+        self.line.push_str(&format!(",\"{key}\":{value}"));
+        self
+    }
+
+    /// Close the JSON object and return the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.line.push('}');
+        self.line
+    }
+}
+
+/// A received response line with typed field access. Thin by design:
+/// it keeps the raw line and scans it per field with
+/// [`tab_storage::trace_reader::field`], so the client needs no JSON
+/// dependency and unknown fields from a newer server are ignored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    line: String,
+}
+
+impl Response {
+    /// Accept a received line as a `tab-wire-v1` response, rejecting
+    /// anything that does not open with [`RESPONSE_PREFIX`].
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if !line.starts_with(RESPONSE_PREFIX) {
+            return Err(format!("not a tab-wire-v1 response: `{line}`"));
+        }
+        Ok(Response {
+            line: line.to_string(),
+        })
+    }
+
+    /// The raw response line.
+    pub fn line(&self) -> &str {
+        &self.line
+    }
+
+    /// Whether the request succeeded.
+    pub fn is_ok(&self) -> bool {
+        field(&self.line, "ok") == Some("true")
+    }
+
+    /// The error message of an `"ok":false` envelope.
+    pub fn error(&self) -> Option<String> {
+        self.str_field("error")
+    }
+
+    /// A string field, unescaped; `None` if absent.
+    pub fn str_field(&self, key: &str) -> Option<String> {
+        field(&self.line, key).map(unescape)
+    }
+
+    /// A float field; `None` if absent or non-numeric.
+    pub fn num_field(&self, key: &str) -> Option<f64> {
+        field(&self.line, key)?.parse().ok()
+    }
+
+    /// An integer field; `None` if absent or non-integral.
+    pub fn int_field(&self, key: &str) -> Option<u64> {
+        field(&self.line, key)?.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_parse_case_insensitively_with_verbatim_sql() {
+        assert_eq!(parse_request("ping"), Ok(Request::Ping));
+        assert_eq!(
+            parse_request("query p SELECT COUNT(*) FROM t"),
+            Ok(Request::Query {
+                config: "p".into(),
+                sql: "SELECT COUNT(*) FROM t".into()
+            })
+        );
+        assert_eq!(
+            parse_request("EXPLAIN  ix  SELECT a,  b FROM t"),
+            Ok(Request::Explain {
+                config: "ix".into(),
+                sql: "SELECT a,  b FROM t".into()
+            })
+        );
+        assert_eq!(
+            parse_request("ADVISE NREF2J B 20"),
+            Ok(Request::Advise {
+                family: "NREF2J".into(),
+                system: "B".into(),
+                workload: 20
+            })
+        );
+        assert_eq!(
+            parse_request("ADVISE NREF2J C"),
+            Ok(Request::Advise {
+                family: "NREF2J".into(),
+                system: "C".into(),
+                workload: 50
+            })
+        );
+    }
+
+    #[test]
+    fn bad_requests_name_the_problem() {
+        assert!(parse_request("").unwrap_err().contains("empty"));
+        assert!(parse_request("FROB x").unwrap_err().contains("FROB"));
+        assert!(parse_request("QUERY p").unwrap_err().contains("SQL"));
+        assert!(parse_request("ADVISE NREF2J")
+            .unwrap_err()
+            .contains("system"));
+        assert!(parse_request("ADVISE NREF2J B twelve")
+            .unwrap_err()
+            .contains("twelve"));
+    }
+
+    #[test]
+    fn builder_and_response_round_trip() {
+        let line = ResponseBuilder::ok("query")
+            .int_field("generation", 3)
+            .str_field("verdict", "done")
+            .num_field("units", 0.1 + 0.2)
+            .str_field("plan", "SeqScan(\"t\")")
+            .finish();
+        let r = Response::parse(&line).unwrap();
+        assert!(r.is_ok());
+        assert_eq!(r.str_field("verb").as_deref(), Some("query"));
+        assert_eq!(r.int_field("generation"), Some(3));
+        // Bit-identical float round-trip through the wire.
+        assert_eq!(r.num_field("units"), Some(0.1 + 0.2));
+        assert_eq!(r.str_field("plan").as_deref(), Some("SeqScan(\"t\")"));
+        assert_eq!(r.error(), None);
+    }
+
+    #[test]
+    fn error_envelope_parses() {
+        let line = ResponseBuilder::error("no such table `x`");
+        let r = Response::parse(&line).unwrap();
+        assert!(!r.is_ok());
+        assert_eq!(r.error().as_deref(), Some("no such table `x`"));
+        assert!(Response::parse("hello").is_err());
+    }
+}

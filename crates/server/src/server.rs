@@ -1,0 +1,495 @@
+//! The serving front end: thread-per-connection over a [`SharedEngine`].
+//!
+//! [`Server::start`] binds a TCP listener and returns a [`ServerHandle`]
+//! immediately; an accept thread hands each connection to its own
+//! worker thread. Every request pins a fresh [`EngineSnapshot`], so a
+//! request sees one whole generation end to end no matter what writers
+//! do meanwhile, and per-request results are exactly those of a direct
+//! [`tab_engine::Session`] over the same generation (the serving smoke
+//! test and `tab bench serve` both verify this equality).
+//!
+//! Robustness contract:
+//!
+//! - a malformed or panicking request answers an `{"ok":false}`
+//!   envelope and the connection lives on;
+//! - a connection idle past [`ServeOptions::idle_timeout`] is closed;
+//! - `SHUTDOWN` (or [`ServerHandle::shutdown`]) stops the accept loop,
+//!   lets every in-flight request finish, then joins all workers — no
+//!   request is ever answered half-written.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tab_advisor::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};
+use tab_engine::{EngineSnapshot, SharedEngine, DEFAULT_TIMEOUT_UNITS};
+use tab_families::{sample_preserving_par, Family};
+use tab_sqlq::{parse_statement, Statement};
+use tab_storage::Parallelism;
+
+use crate::proto::{parse_request, Request, ResponseBuilder};
+
+/// How the server runs: bind address, database label (for advisor
+/// budgets), per-request budget, and per-connection idle limit.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Address to bind (`127.0.0.1:0` picks a free port — the default,
+    /// and what every test uses).
+    pub addr: String,
+    /// Database label (e.g. `NREF`) used to derive the advisor's space
+    /// budget on `ADVISE`.
+    pub label: String,
+    /// Per-query execution budget in cost units.
+    pub timeout_units: f64,
+    /// Close a connection that stays idle this long.
+    pub idle_timeout: Duration,
+    /// Thread budget for `ADVISE` what-if fan-out (recommendations are
+    /// identical at any setting).
+    pub par: Parallelism,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            label: "NREF".into(),
+            timeout_units: DEFAULT_TIMEOUT_UNITS,
+            idle_timeout: Duration::from_secs(30),
+            par: Parallelism::new(0),
+        }
+    }
+}
+
+/// Granularity at which blocked reads wake up to poll the shutdown
+/// flag and the idle deadline.
+const POLL_TICK: Duration = Duration::from_millis(20);
+
+/// A running server. Dropping the handle shuts the server down.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `opts.addr` and start serving `engine`. Returns as soon as
+    /// the listener is bound; use [`Server::addr`] to learn the chosen
+    /// port when binding port 0.
+    pub fn start(engine: Arc<SharedEngine>, opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, engine, opts, stop))
+        };
+        Ok(Server {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the real port when `addr` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a shutdown has been requested (by this handle or by a
+    /// `SHUTDOWN` request over the wire).
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Block until the server stops — i.e. until someone sends
+    /// `SHUTDOWN` or another thread calls [`Server::shutdown`]. All
+    /// connection workers are joined before this returns.
+    pub fn wait(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Request a graceful stop and block until every in-flight request
+    /// has been answered and all threads are joined.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.wait();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accept until the stop flag rises, then join every worker.
+fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<SharedEngine>,
+    opts: ServeOptions,
+    stop: Arc<AtomicBool>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = Arc::clone(&engine);
+                let opts = opts.clone();
+                let stop = Arc::clone(&stop);
+                workers.push(std::thread::spawn(move || {
+                    // A torn-down connection (peer vanished mid-write)
+                    // is that connection's problem, not the server's.
+                    let _ = serve_connection(stream, &engine, &opts, &stop);
+                }));
+                // Opportunistically reap finished workers so a
+                // long-lived server does not accumulate handles.
+                workers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_TICK),
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
+/// Reads lines off one connection and answers them until QUIT,
+/// SHUTDOWN, EOF, idle timeout, or server stop.
+fn serve_connection(
+    stream: TcpStream,
+    engine: &SharedEngine,
+    opts: &ServeOptions,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    let mut reader = LineReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let mut last_activity = Instant::now();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        if last_activity.elapsed() > opts.idle_timeout {
+            let bye = ResponseBuilder::error("idle timeout, closing connection");
+            let _ = writeln!(out, "{bye}");
+            return Ok(());
+        }
+        let line = match reader.poll_line()? {
+            Poll::Closed => return Ok(()),
+            Poll::Pending => continue,
+            Poll::Line(line) => line,
+        };
+        last_activity = Instant::now();
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, control) = handle_line(engine, opts, &line);
+        writeln!(out, "{response}")?;
+        out.flush()?;
+        match control {
+            Control::Continue => {}
+            Control::CloseConnection => return Ok(()),
+            Control::ShutdownServer => {
+                stop.store(true, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// What the connection loop does after answering a request.
+enum Control {
+    Continue,
+    CloseConnection,
+    ShutdownServer,
+}
+
+/// One request line to one response line. Panics inside dispatch
+/// become error envelopes: a bad request must never take down the
+/// connection, let alone the server.
+fn handle_line(engine: &SharedEngine, opts: &ServeOptions, line: &str) -> (String, Control) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return (ResponseBuilder::error(&e), Control::Continue),
+    };
+    let control = match request {
+        Request::Quit => Control::CloseConnection,
+        Request::Shutdown => Control::ShutdownServer,
+        _ => Control::Continue,
+    };
+    let response = catch_unwind(AssertUnwindSafe(|| dispatch(engine, opts, &request)))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("request panicked");
+            ResponseBuilder::error(&format!("internal error: {msg}"))
+        });
+    (response, control)
+}
+
+/// Execute one parsed request against a freshly pinned snapshot.
+fn dispatch(engine: &SharedEngine, opts: &ServeOptions, request: &Request) -> String {
+    match request {
+        Request::Ping => {
+            let snap = engine.snapshot();
+            let configs: Vec<&str> = snap.config_names().collect();
+            ResponseBuilder::ok("ping")
+                .int_field("generation", snap.seq())
+                .str_field("configs", &configs.join(","))
+                .finish()
+        }
+        Request::Quit => ResponseBuilder::ok("bye").finish(),
+        Request::Shutdown => ResponseBuilder::ok("shutdown").finish(),
+        Request::Query { config, sql } => run_query(engine, opts, config, sql),
+        Request::Explain { config, sql } => explain_query(engine, config, sql),
+        Request::Advise {
+            family,
+            system,
+            workload,
+        } => advise(engine, opts, family, system, *workload),
+    }
+}
+
+/// Open a per-request session over `snap`, or an error envelope naming
+/// the configurations that *are* served.
+fn session_or_error<'a>(
+    snap: &'a EngineSnapshot,
+    config: &str,
+) -> Result<tab_engine::Session<'a>, String> {
+    snap.session(config).ok_or_else(|| {
+        let served: Vec<&str> = snap.config_names().collect();
+        ResponseBuilder::error(&format!(
+            "no configuration `{config}` (served: {})",
+            served.join(", ")
+        ))
+    })
+}
+
+/// `QUERY`: a SELECT runs on the pinned snapshot; an INSERT goes
+/// through the latched copy-on-write path and reports the generation
+/// it published.
+fn run_query(engine: &SharedEngine, opts: &ServeOptions, config: &str, sql: &str) -> String {
+    let stmt = match parse_statement(sql) {
+        Ok(s) => s,
+        Err(e) => return ResponseBuilder::error(&e.to_string()),
+    };
+    match stmt {
+        Statement::Insert(ins) => match engine.insert(&ins, config) {
+            Ok(out) => ResponseBuilder::ok("insert")
+                .int_field("generation", out.generation)
+                .str_field("verdict", "inserted")
+                .int_field("row_id", u64::from(out.row_id))
+                .num_field("units", out.units)
+                .finish(),
+            Err(e) => ResponseBuilder::error(&e.message),
+        },
+        Statement::Query(q) => {
+            let snap = engine.snapshot();
+            let session = match session_or_error(&snap, config) {
+                Ok(s) => s,
+                Err(envelope) => return envelope,
+            };
+            match session.run(&q, Some(opts.timeout_units)) {
+                Ok(r) => {
+                    let b = ResponseBuilder::ok("query")
+                        .int_field("generation", snap.seq())
+                        .str_field("plan", &r.plan.describe());
+                    match r.outcome {
+                        tab_engine::Outcome::Done { units, rows } => b
+                            .str_field("verdict", "done")
+                            .num_field("units", units)
+                            .int_field("rows", rows)
+                            .finish(),
+                        tab_engine::Outcome::Timeout { budget } => b
+                            .str_field("verdict", "timeout")
+                            .num_field("budget_units", budget)
+                            .finish(),
+                    }
+                }
+                Err(e) => ResponseBuilder::error(&e.message),
+            }
+        }
+    }
+}
+
+/// `EXPLAIN`: plan shape plus optimizer estimate, nothing executed.
+fn explain_query(engine: &SharedEngine, config: &str, sql: &str) -> String {
+    let q = match tab_sqlq::parse(sql) {
+        Ok(q) => q,
+        Err(e) => return ResponseBuilder::error(&e.to_string()),
+    };
+    let snap = engine.snapshot();
+    let session = match session_or_error(&snap, config) {
+        Ok(s) => s,
+        Err(envelope) => return envelope,
+    };
+    let plan = match session.plan_query(&q) {
+        Ok(p) => p,
+        Err(e) => return ResponseBuilder::error(&e.message),
+    };
+    let estimate = match session.estimate(&q) {
+        Ok(u) => u,
+        Err(e) => return ResponseBuilder::error(&e.message),
+    };
+    ResponseBuilder::ok("explain")
+        .int_field("generation", snap.seq())
+        .str_field("plan", &plan.describe())
+        .num_field("estimate_units", estimate)
+        .finish()
+}
+
+/// `ADVISE`: sample a workload from the family on the pinned snapshot
+/// and run a recommender profile. The response carries counts and the
+/// DDL, not wall-clock, so it is deterministic for a fixed generation.
+fn advise(
+    engine: &SharedEngine,
+    opts: &ServeOptions,
+    family: &str,
+    system: &str,
+    workload: usize,
+) -> String {
+    let Some(family) = Family::parse(family) else {
+        return ResponseBuilder::error(&format!("unknown family `{family}`"));
+    };
+    let a = SystemA {
+        capacity_limit: 4_000,
+    };
+    let rec: &dyn Recommender = match system.to_ascii_uppercase().as_str() {
+        "A" => &a,
+        "B" => &SystemB,
+        "C" => &SystemC,
+        other => return ResponseBuilder::error(&format!("unknown system `{other}`")),
+    };
+    let snap = engine.snapshot();
+    let state = snap.state();
+    let all = family.enumerate_with(&state.db, opts.par);
+    if all.is_empty() {
+        return ResponseBuilder::error(&format!(
+            "family {} is empty on this database",
+            family.name()
+        ));
+    }
+    // Sample with estimates from the paper's P baseline so the served
+    // configuration set does not perturb workload selection.
+    let p = tab_core::build_p(&state.db, &opts.label);
+    let estimator = tab_engine::Session::new(&state.db, &p);
+    let w = sample_preserving_par(
+        &all,
+        |q| estimator.estimate(q).unwrap_or(f64::INFINITY),
+        workload,
+        2005,
+        opts.par,
+    );
+    let input = AdvisorInput {
+        db: &state.db,
+        current: &p,
+        workload: &w,
+        budget_bytes: tab_core::space_budget(&state.db, &opts.label),
+        par: opts.par,
+        trace: tab_core::Trace::disabled(),
+    };
+    let (cfg, stats) = rec.recommend_with_stats(&input);
+    let b = ResponseBuilder::ok("advise")
+        .int_field("generation", snap.seq())
+        .str_field("family", family.name())
+        .str_field("system", rec.name())
+        .int_field("workload", w.len() as u64)
+        .int_field("whatif_calls", stats.whatif_calls);
+    match cfg {
+        None => b.str_field("verdict", "no_recommendation").finish(),
+        Some(cfg) => {
+            let mut ddl: Vec<String> = cfg
+                .indexes
+                .iter()
+                .filter(|i| !p.config.indexes.contains(i))
+                .map(|i| format!("CREATE INDEX {i}"))
+                .collect();
+            ddl.extend(cfg.mviews.iter().map(|m| {
+                format!(
+                    "CREATE MATERIALIZED VIEW {} OVER {}",
+                    m.spec.name,
+                    m.spec.base.join(" JOIN ")
+                )
+            }));
+            b.str_field("verdict", "recommended")
+                .int_field("indexes", cfg.indexes.len() as u64)
+                .int_field("mviews", cfg.mviews.len() as u64)
+                .str_field("ddl", &ddl.join("; "))
+                .finish()
+        }
+    }
+}
+
+/// Result of one non-blocking line poll.
+enum Poll {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// No complete line yet; the read timed out.
+    Pending,
+    /// Peer closed the connection.
+    Closed,
+}
+
+/// A line reader safe under read timeouts. `BufRead::read_line` may
+/// drop buffered bytes when a read times out mid-line; this reader
+/// keeps partial lines in its own buffer across timeouts, so a slow
+/// client typing a long request is never corrupted.
+struct LineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+    chunk: [u8; 4096],
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> Self {
+        LineReader {
+            stream,
+            pending: Vec::new(),
+            chunk: [0; 4096],
+        }
+    }
+
+    /// Pop a buffered complete line if one exists.
+    fn take_line(&mut self) -> Option<String> {
+        let nl = self.pending.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.pending.drain(..=nl).collect();
+        line.pop();
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// Read more bytes (bounded by the stream's read timeout) and
+    /// return a line if one completed.
+    fn poll_line(&mut self) -> std::io::Result<Poll> {
+        if let Some(line) = self.take_line() {
+            return Ok(Poll::Line(line));
+        }
+        match self.stream.read(&mut self.chunk) {
+            Ok(0) => Ok(Poll::Closed),
+            Ok(n) => {
+                self.pending.extend_from_slice(&self.chunk[..n]);
+                Ok(match self.take_line() {
+                    Some(line) => Poll::Line(line),
+                    None => Poll::Pending,
+                })
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                Ok(Poll::Pending)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}

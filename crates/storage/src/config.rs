@@ -88,7 +88,13 @@ impl BuildReport {
 }
 
 /// A configuration physically built against a database.
-#[derive(Debug)]
+///
+/// Cloning deep-copies the built structures; the concurrent engine's
+/// copy-on-write write path clones every built configuration of a
+/// generation alongside the database, maintains the copies, and
+/// publishes them together so a snapshot's indexes always match its
+/// heaps.
+#[derive(Debug, Clone)]
 pub struct BuiltConfiguration {
     /// The declarative description.
     pub config: Configuration,

@@ -11,7 +11,11 @@ use crate::table::Table;
 /// mirroring the benchmark protocol: "we direct the systems to collect
 /// statistics before obtaining the recommendations and before running
 /// the queries" (§3.2.3).
-#[derive(Debug, Default)]
+///
+/// Cloning deep-copies tables and statistics; the concurrent engine's
+/// copy-on-write write path ([`crate::snapshot::GenerationCell`]) clones
+/// the current generation, applies the mutation, and publishes the copy.
+#[derive(Debug, Default, Clone)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
     stats: BTreeMap<String, TableStats>,

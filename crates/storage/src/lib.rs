@@ -24,6 +24,7 @@ pub mod pager;
 pub mod par;
 pub mod pool;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod table;
 pub mod trace;
@@ -42,6 +43,7 @@ pub use pool::{
     index_rel_id, table_rel_id, temp_rel_id, BufferPool, Fetched, PageHint, PageKey, PoolStats,
 };
 pub use schema::{ColType, ColumnDef, ForeignKey, TableSchema};
+pub use snapshot::{GenerationCell, Snapshot};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Row, RowId, Table, PAGE_SIZE};
 pub use trace::{FileTraceSink, MemoryTraceSink, StderrTraceSink, Trace, TraceEvent, TraceSink};

@@ -8,11 +8,13 @@
 //! - [`tab_families`]: query-family templates and sampling
 //! - [`tab_advisor`]: configuration recommenders and baselines
 //! - [`tab_core`]: the evaluation framework (CFC curves, goals, ratios)
+//! - [`tab_server`]: concurrent serving front end (tab-wire-v1)
 
 pub use tab_advisor as advisor;
 pub use tab_core as eval;
 pub use tab_datagen as datagen;
 pub use tab_engine as engine;
 pub use tab_families as families;
+pub use tab_server as server;
 pub use tab_sqlq as sqlq;
 pub use tab_storage as storage;

@@ -1,0 +1,240 @@
+//! Serving-path integration tests: the wire must reproduce direct
+//! [`Session`] results exactly, survive bad requests, publish writes
+//! atomically, and shut down gracefully (DESIGN.md §14).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tab_bench::datagen::{generate_nref, NrefParams};
+use tab_bench::engine::{EngineState, Outcome, Session, SharedEngine};
+use tab_bench::eval::{build_1c, build_p};
+use tab_bench::families::Family;
+use tab_bench::server::{Client, ServeOptions, Server};
+use tab_bench::storage::Database;
+use tab_bench_harness::serve_bench::{
+    run_serve_bench, LoadMode, RequestOutcome, ServeBenchOptions,
+};
+
+fn nref(proteins: usize) -> Database {
+    generate_nref(NrefParams {
+        proteins,
+        seed: 2005,
+    })
+}
+
+fn start_server(db: &Database) -> (Arc<SharedEngine>, Server) {
+    let engine = Arc::new(SharedEngine::new(
+        EngineState::new(db.clone())
+            .with_config("p", build_p(db, "NREF"))
+            .with_config("1c", build_1c(db, "NREF")),
+    ));
+    let server = Server::start(Arc::clone(&engine), ServeOptions::default()).expect("server boots");
+    (engine, server)
+}
+
+/// M clients x K queries over the wire give exactly the verdicts and
+/// (bit-identical) cost units of direct sessions over the same
+/// generation.
+#[test]
+fn wire_results_equal_direct_session_results() {
+    let db = nref(400);
+    let p = build_p(&db, "NREF");
+    let queries: Vec<_> = Family::Nref2J.enumerate(&db).into_iter().take(6).collect();
+    let (_engine, mut server) = start_server(&db);
+    let addr = server.addr();
+    let wire: Vec<(String, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|c| {
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut out = Vec::new();
+                    // Client c takes queries c, c+3, ... — all clients
+                    // together cover the list, some queries repeatedly.
+                    for q in queries.iter().skip(c).chain(queries.iter()) {
+                        let r = client.query("p", &q.to_string()).expect("wire query");
+                        assert!(r.is_ok(), "error envelope: {:?}", r.error());
+                        out.push((
+                            r.str_field("verdict").expect("verdict"),
+                            r.num_field("units").expect("units"),
+                        ));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    server.shutdown();
+    // Re-derive every expectation with a direct session: queries are
+    // keyed by text, so wire order does not matter.
+    let session = Session::new(&db, &p);
+    let mut expected = std::collections::BTreeMap::new();
+    for q in &queries {
+        let r = session.run(q, None).expect("direct run");
+        let Outcome::Done { units, .. } = r.outcome else {
+            panic!("untimed query cannot time out")
+        };
+        expected.insert(q.to_string(), units);
+    }
+    assert_eq!(wire.len(), 6 * queries.len() - 3);
+    for (verdict, units) in &wire {
+        assert_eq!(verdict, "done");
+        assert!(
+            expected.values().any(|u| u.to_bits() == units.to_bits()),
+            "wire units {units} not produced by any direct run"
+        );
+    }
+}
+
+/// A malformed request gets an error envelope and the connection keeps
+/// answering; a panic-free server is part of the wire contract.
+#[test]
+fn error_envelopes_do_not_kill_the_connection() {
+    let db = nref(300);
+    let (_engine, mut server) = start_server(&db);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for bad in [
+        "FROBNICATE",
+        "QUERY p",
+        "QUERY nosuchconfig SELECT COUNT(*) FROM protein",
+        "QUERY p SELECT COUNT(*) FROM nosuchtable",
+        "QUERY p INSERT INTO protein VALUES (1)",
+        "ADVISE NREF2J Z",
+    ] {
+        let r = client.request(bad).expect("a response line");
+        assert!(!r.is_ok(), "`{bad}` should fail");
+        assert!(r.error().is_some(), "`{bad}` should carry an error");
+    }
+    // The same connection still works after six failures.
+    let r = client.ping().expect("ping");
+    assert!(r.is_ok());
+    server.shutdown();
+}
+
+/// An INSERT through the wire publishes a new generation; queries on
+/// other connections see either the old or the new generation in
+/// full — and units through `p` and `1c` both reflect the insert once
+/// visible.
+#[test]
+fn wire_insert_publishes_a_generation() {
+    let db = nref(300);
+    let (engine, mut server) = start_server(&db);
+    let mut a = Client::connect(server.addr()).expect("connect a");
+    let mut b = Client::connect(server.addr()).expect("connect b");
+    let count_sql = "SELECT COUNT(*) FROM source";
+    let before = b.query("p", count_sql).expect("count before");
+    let n0 = {
+        let snap = engine.snapshot();
+        let s = snap.session("p").expect("p served");
+        let q = tab_bench::sqlq::parse(count_sql).expect("parse");
+        let rows = s.run(&q, None).expect("run").rows.expect("rows");
+        rows[0][0].as_int().expect("int")
+    };
+    assert_eq!(before.int_field("generation"), Some(0));
+    let ins = a
+        .query(
+            "p",
+            "INSERT INTO source VALUES (99999, 1, 562, 'TEST1', 'test protein', 'testdb')",
+        )
+        .expect("wire insert");
+    assert!(ins.is_ok(), "insert failed: {:?}", ins.error());
+    assert_eq!(ins.str_field("verdict").as_deref(), Some("inserted"));
+    assert_eq!(ins.int_field("generation"), Some(1));
+    assert!(ins.num_field("units").expect("maintenance units") > 0.0);
+    let after = b.query("p", count_sql).expect("count after");
+    assert_eq!(after.int_field("generation"), Some(1));
+    // The published generation is visible through every configuration.
+    let after_1c = b.query("1c", count_sql).expect("count via 1c");
+    assert_eq!(after_1c.int_field("generation"), Some(1));
+    let snap = engine.snapshot();
+    let q = tab_bench::sqlq::parse(count_sql).expect("parse");
+    for config in ["p", "1c"] {
+        let s = snap.session(config).expect("served");
+        let rows = s.run(&q, None).expect("run").rows.expect("rows");
+        assert_eq!(rows[0][0].as_int().expect("int"), n0 + 1, "via {config}");
+    }
+    server.shutdown();
+}
+
+/// SHUTDOWN over the wire stops the accept loop and `Server::wait`
+/// returns; a fresh connect is then refused or dead.
+#[test]
+fn wire_shutdown_is_graceful() {
+    let db = nref(300);
+    let (_engine, mut server) = start_server(&db);
+    let addr = server.addr();
+    let client = Client::connect(addr).expect("connect");
+    let r = client.shutdown().expect("shutdown ack");
+    assert!(r.is_ok());
+    assert_eq!(r.str_field("verb").as_deref(), Some("shutdown"));
+    server.wait();
+    assert!(server.is_stopping());
+    // The listener is gone: a new connection cannot complete a request.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => assert!(c.request_line("PING").is_err(), "server still answering"),
+    }
+}
+
+/// The serving benchmark's committed-baseline contract: per-request
+/// claims are identical at any client count and in either loop shape,
+/// and the report is deterministic apart from its wall-clock lines.
+#[test]
+fn serve_bench_claims_are_interleaving_free() {
+    let db = nref(400);
+    let base = ServeBenchOptions {
+        clients: 1,
+        requests: 10,
+        workload: 5,
+        mode: LoadMode::Closed,
+        ..ServeBenchOptions::default()
+    };
+    let one = run_serve_bench(&db, "NREF", Family::Nref2J, &base).expect("1 client");
+    let four = run_serve_bench(
+        &db,
+        "NREF",
+        Family::Nref2J,
+        &ServeBenchOptions {
+            clients: 4,
+            ..base.clone()
+        },
+    )
+    .expect("4 clients");
+    let open = run_serve_bench(
+        &db,
+        "NREF",
+        Family::Nref2J,
+        &ServeBenchOptions {
+            clients: 4,
+            mode: LoadMode::Open {
+                interarrival: Duration::from_millis(1),
+            },
+            ..base.clone()
+        },
+    )
+    .expect("open loop");
+    assert_eq!(one.requests_csv(), four.requests_csv());
+    assert_eq!(one.requests_csv(), open.requests_csv());
+    assert_eq!(one.baseline_matches, 10);
+    assert_eq!(four.baseline_matches, 10);
+    assert_eq!(open.baseline_matches, 10);
+    // Full BENCH_serve.json determinism at a fixed client count, minus
+    // the dedicated wall-clock lines.
+    let again = run_serve_bench(&db, "NREF", Family::Nref2J, &base).expect("repeat");
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("wall_seconds") && !l.contains("qps"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&one.json()), strip(&again.json()));
+    // Sanity on the claims themselves.
+    for RequestOutcome { verdict, units, .. } in &one.outcomes {
+        assert!(*verdict == "done" || *verdict == "timeout");
+        assert!(*units > 0.0);
+    }
+}
