@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod converge;
 pub mod replay;
 pub mod repro;

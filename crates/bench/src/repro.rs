@@ -27,7 +27,9 @@ use tab_core::{
     FileTraceSink, Goal, GridCell, GridError, IoBenchCell, LogHistogram, PhaseTiming,
     RatioHistogram, SuiteParams, Trace, WorkloadRun,
 };
-use tab_datagen::{generate_nref, generate_tpch, Distribution, NrefParams, TpchParams};
+use tab_datagen::{
+    generate_nref_checked, generate_tpch_checked, Distribution, NrefParams, TpchParams,
+};
 use tab_families::Family;
 use tab_sqlq::Query;
 use tab_storage::{BuiltConfiguration, Configuration, Database, Pager};
@@ -115,6 +117,15 @@ pub enum ReproError {
         /// Underlying I/O failure.
         source: io::Error,
     },
+    /// A database generator crashed (`panic:build:<table>`, caught) or
+    /// hit an injected I/O failure (`enospc:datagen`). Generators are
+    /// deterministic for a fixed seed, so a rerun resumes bit-exactly.
+    Datagen {
+        /// Label of the database being generated (NREF, SkTH, UnTH).
+        label: String,
+        /// The caught panic message or injected I/O error.
+        message: String,
+    },
     /// One or more grid cells panicked (injected poisoned cell or a
     /// real bug); completed sibling cells were checkpointed, so
     /// `--resume` re-executes only the failed ones.
@@ -151,6 +162,9 @@ impl std::fmt::Display for ReproError {
         match self {
             ReproError::Artifact { path, source } => {
                 write!(f, "cannot write artifact {}: {source}", path.display())
+            }
+            ReproError::Datagen { label, message } => {
+                write!(f, "generating {label} failed: {message}")
             }
             ReproError::Grid { message } => write!(f, "measurement grid failed: {message}"),
             ReproError::Journal { path, source } => write!(
@@ -351,6 +365,35 @@ impl Ctx<'_> {
     }
 }
 
+/// Run a database generator through its fault-checked path, catching a
+/// fired `panic:build:<table>` crash and translating it (or an injected
+/// `enospc:datagen`) into [`ReproError::Datagen`]. `AssertUnwindSafe`
+/// is sound here: on panic the half-built tables are dropped and the
+/// error propagates — nothing broken is observed afterwards.
+fn generate_step<F>(label: &str, generate: F) -> Result<Database, ReproError>
+where
+    F: FnOnce() -> io::Result<Database>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(generate)) {
+        Ok(Ok(db)) => Ok(db),
+        Ok(Err(e)) => Err(ReproError::Datagen {
+            label: label.to_string(),
+            message: e.to_string(),
+        }),
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "generator panicked".to_string());
+            Err(ReproError::Datagen {
+                label: label.to_string(),
+                message,
+            })
+        }
+    }
+}
+
 /// Run one checkpointed grid, translating grid failures to
 /// [`ReproError`].
 fn grid_step(
@@ -486,10 +529,15 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
     // to bound resident memory.
     trace.span_begin("NREF");
     ctx.log("NREF: generating database");
-    let nref_db = generate_nref(NrefParams {
-        proteins: cfg.params.nref_proteins,
-        seed: cfg.params.seed,
-    });
+    let nref_db = generate_step("NREF", || {
+        generate_nref_checked(
+            NrefParams {
+                proteins: cfg.params.nref_proteins,
+                seed: cfg.params.seed,
+            },
+            &faults,
+        )
+    })?;
     let nref = &nref_db;
     ctx.mark("generate");
     ctx.log("NREF: building P and 1C");
@@ -1108,11 +1156,16 @@ pub fn run_all(cfg: &ReproConfig) -> Result<ReproSummary, ReproError> {
     ] {
         trace.span_begin(label);
         ctx.log(&format!("{label}: generating database"));
-        let tpch_db = generate_tpch(TpchParams {
-            scale: cfg.params.tpch_scale,
-            distribution: dist,
-            seed: cfg.params.seed + if label == "SkTH" { 1 } else { 2 },
-        });
+        let tpch_db = generate_step(label, || {
+            generate_tpch_checked(
+                TpchParams {
+                    scale: cfg.params.tpch_scale,
+                    distribution: dist,
+                    seed: cfg.params.seed + if label == "SkTH" { 1 } else { 2 },
+                },
+                &faults,
+            )
+        })?;
         let db = &tpch_db;
         ctx.mark("generate");
         ctx.log(&format!("{label}: building P and 1C"));

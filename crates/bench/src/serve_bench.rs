@@ -73,6 +73,12 @@ pub struct ServeBenchOptions {
     pub timeout_units: f64,
     /// Thread budget for family enumeration and sampling.
     pub par: Parallelism,
+    /// Armed fault plan handed to the in-process server's wire sites
+    /// (`delay:conn` perturbs timing without harming the result proof;
+    /// `drop:conn`/`torn:wire` will fail requests by design — the
+    /// chaos harness, not this benchmark, is where retries absorb
+    /// those). `None` (the default) is the byte-identical PR 9 path.
+    pub faults: Option<Arc<tab_storage::FaultPlan>>,
 }
 
 impl Default for ServeBenchOptions {
@@ -84,6 +90,7 @@ impl Default for ServeBenchOptions {
             mode: LoadMode::Closed,
             timeout_units: tab_engine::DEFAULT_TIMEOUT_UNITS,
             par: Parallelism::new(0),
+            faults: None,
         }
     }
 }
@@ -141,8 +148,9 @@ fn direct_outcome(session: &Session<'_>, q: &Query, timeout_units: f64) -> (&'st
     }
 }
 
-/// Extract (verdict, units) from a wire response.
-fn wire_outcome(r: &tab_server::Response) -> Result<(&'static str, f64), String> {
+/// Extract (verdict, units) from a wire response. Shared with the
+/// chaos harness, whose post-recovery read-back uses the same claim.
+pub(crate) fn wire_outcome(r: &tab_server::Response) -> Result<(&'static str, f64), String> {
     if !r.is_ok() {
         return Err(r.error().unwrap_or_else(|| "unlabelled error".into()));
     }
@@ -211,6 +219,7 @@ pub fn run_serve_bench(
         ServeOptions {
             label: label.to_string(),
             timeout_units: opts.timeout_units,
+            faults: opts.faults.clone(),
             ..ServeOptions::default()
         },
     )

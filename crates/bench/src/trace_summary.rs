@@ -9,7 +9,7 @@
 //! and total rows produced.
 //!
 //! Parsing is delegated to `tab-storage`'s typed
-//! [`read_trace`](tab_storage::read_trace) reader — the same layer under
+//! [`read_trace`] reader — the same layer under
 //! `tab replay` and `tab tracediff` — so malformed lines and torn tails
 //! are *counted and reported* at the end of the summary instead of
 //! silently dropped.

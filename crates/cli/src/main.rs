@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use args::Args;
 use tab_advisor::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};
+use tab_bench_harness::chaos::{run_chaos_bench, ChaosOptions};
 use tab_bench_harness::converge::{run_convergence, ConvergenceSpec};
 use tab_bench_harness::replay::{diff, render_summary, replay_str, report_json, DiffOptions};
 use tab_bench_harness::serve_bench::{run_serve_bench, LoadMode, ServeBenchOptions};
@@ -35,7 +36,7 @@ use tab_engine::{
 use tab_families::{sample_preserving_par, Family};
 use tab_server::{Client, ServeOptions, Server};
 use tab_sqlq::{parse_statement, Statement};
-use tab_storage::{atomic_write, BuiltConfiguration, Database, Pager};
+use tab_storage::{atomic_write, BuiltConfiguration, Database, FaultPlan, Pager};
 
 const USAGE: &str = "\
 tab — benchmarking framework for configuration recommenders
@@ -59,19 +60,39 @@ USAGE:
                 [--workload N] [--out DIR]
                                       objective-vs-budget convergence curves
   tab serve     --db SPEC [--addr HOST:PORT] [--timeout-secs T]
+                [--wal PATH] [--faults SPEC] [--max-connections N]
+                [--admission N]
                                       serve configs p and 1c over tab-wire-v1
                                       (thread per connection; stop with the
-                                      SHUTDOWN verb)
+                                      SHUTDOWN verb). --wal makes inserts
+                                      durable: logged + fsynced before the
+                                      ack, replayed on restart (DESIGN.md §15)
   tab client    --addr HOST:PORT \"REQUEST LINE\"
                                       send one wire request, print the response
   tab bench serve --db SPEC --family NAME [--clients N] [--requests N]
                 [--workload N] [--mode closed|open] [--interarrival-ms MS]
-                [--out DIR]
+                [--faults SPEC] [--out DIR]
                                       serving throughput benchmark: boots a
                                       server, drives N clients, verifies every
                                       wire result against a direct session,
                                       writes BENCH_serve.json +
                                       serve_requests.csv
+  tab bench chaos --db nref:N [--family NAME] [--inserts N]
+                [--kill-after N] [--drop-at N] [--queries N]
+                [--workload N] [--wal PATH] [--out DIR]
+                                      durability proof: spawns a real
+                                      tab serve --wal child, loses one INSERT
+                                      ack to a drop:conn fault (the retry must
+                                      dedup), kill -9s it mid-load, restarts
+                                      on the same WAL, and proves every acked
+                                      INSERT survived with post-recovery
+                                      queries bit-identical to an
+                                      uninterrupted baseline; writes
+                                      BENCH_chaos.json
+
+`tab serve` and `tab bench serve` read --faults (or TAB_FAULTS) for
+wire-level chaos: drop:conn:N, torn:wire:N, delay:conn:N, plus the WAL
+sites enospc:wal and panic:wal:append:N (validate with `tab faults`).
 
 All commands accept --threads N (worker threads for grid/workload
 fan-out; 0 or absent = all cores). `explain` and `run` additionally
@@ -181,6 +202,20 @@ fn sql_arg(args: &Args) -> Result<String, String> {
 /// The `--threads` flag as a [`Parallelism`] (0 or absent = all cores).
 fn par_of(args: &Args) -> Result<Parallelism, String> {
     Ok(Parallelism::new(args.get_parsed("threads")?.unwrap_or(0)))
+}
+
+/// The `--faults` flag (or the `TAB_FAULTS` environment variable) as an
+/// armed fault plan — the same grammar `repro --faults` speaks,
+/// validated by `tab faults`.
+fn faults_of(args: &Args) -> Result<Option<Arc<FaultPlan>>, String> {
+    let spec = match args.get("faults") {
+        Some(s) => Some(s.to_string()),
+        None => std::env::var("TAB_FAULTS").ok(),
+    };
+    match spec {
+        Some(s) if !s.trim().is_empty() => Ok(Some(Arc::new(FaultPlan::parse(&s)?))),
+        _ => Ok(None),
+    }
 }
 
 /// The `--query-threads` / `--morsel-rows` flags as an [`ExecOpts`] for
@@ -485,6 +520,9 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     if args.positional.first().map(String::as_str) == Some("serve") {
         return cmd_bench_serve(args);
     }
+    if args.positional.first().map(String::as_str) == Some("chaos") {
+        return cmd_bench_chaos(args);
+    }
     let (db, label) = load_db(args)?;
     let family = family_of(args.require("family")?)?;
     let p = tab_core::build_p(&db, &label);
@@ -519,6 +557,10 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
 
 /// `tab serve` — boot the concurrent serving front end over the `p`
 /// and `1c` configurations and block until a wire `SHUTDOWN` arrives.
+/// With `--wal PATH` the engine is durable: the log is replayed before
+/// the listener binds (the recovery line precedes the serving line, a
+/// contract `tab bench chaos` parses), and every insert is fsynced
+/// before its acknowledgement.
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let (db, label) = load_db(args)?;
     let p = tab_core::build_p(&db, &label);
@@ -527,17 +569,38 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .get_parsed::<f64>("timeout-secs")?
         .map(|s| s / tab_engine::SIM_SECONDS_PER_UNIT)
         .unwrap_or(tab_engine::DEFAULT_TIMEOUT_UNITS);
-    let engine = Arc::new(SharedEngine::new(
-        EngineState::new(db)
-            .with_config("p", p)
-            .with_config("1c", c1),
-    ));
+    let faults = faults_of(args)?;
+    let state = EngineState::new(db)
+        .with_config("p", p)
+        .with_config("1c", c1);
+    let engine = match args.get("wal") {
+        Some(path) => {
+            let t0 = std::time::Instant::now();
+            let (engine, report) =
+                SharedEngine::with_wal(state, std::path::Path::new(path), faults.clone())
+                    .map_err(|e| format!("wal recovery failed: {e}"))?;
+            println!(
+                "wal: recovered {} records (torn tail: {}) in {:.3}s",
+                report.replayed,
+                if report.torn_tail { "yes" } else { "no" },
+                t0.elapsed().as_secs_f64()
+            );
+            Arc::new(engine)
+        }
+        None => Arc::new(SharedEngine::new(state)),
+    };
+    let defaults = ServeOptions::default();
     let opts = ServeOptions {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         label: label.clone(),
         timeout_units,
         par: par_of(args)?,
-        ..ServeOptions::default()
+        faults,
+        max_connections: args
+            .get_parsed("max-connections")?
+            .unwrap_or(defaults.max_connections),
+        admission: args.get_parsed("admission")?.unwrap_or(defaults.admission),
+        ..defaults
     };
     let mut server =
         Server::start(engine, opts).map_err(|e| format!("cannot start server: {e}"))?;
@@ -595,6 +658,7 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
             .map(|s| s / tab_engine::SIM_SECONDS_PER_UNIT)
             .unwrap_or(tab_engine::DEFAULT_TIMEOUT_UNITS),
         par: par_of(args)?,
+        faults: faults_of(args)?,
     };
     let report = run_serve_bench(&db, &label, family, &opts)?;
     let out = std::path::Path::new(args.get("out").unwrap_or("."));
@@ -610,6 +674,43 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
         report.baseline_matches
     );
     println!("wrote {} and {}", json_path.display(), csv_path.display());
+    Ok(())
+}
+
+/// `tab bench chaos` — the durability benchmark (DESIGN.md §15): spawn
+/// a real `tab serve --wal` process, SIGKILL it mid-load with a wire
+/// fault armed, restart it, and prove every acknowledged insert
+/// survived and every post-recovery read matches an uninterrupted
+/// baseline bit-for-bit. Writes `BENCH_chaos.json`.
+fn cmd_bench_chaos(args: &Args) -> Result<(), String> {
+    let (db, label) = load_db(args)?;
+    let family = family_of(args.get("family").unwrap_or("NREF2J"))?;
+    let out = std::path::PathBuf::from(args.get("out").unwrap_or("."));
+    let server_bin = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the tab binary for the child server: {e}"))?;
+    let defaults = ChaosOptions::default();
+    let opts = ChaosOptions {
+        server_bin,
+        db_spec: args.require("db")?.to_string(),
+        wal_path: args
+            .get("wal")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| out.join("chaos.wal")),
+        inserts: args.get_parsed("inserts")?.unwrap_or(defaults.inserts),
+        kill_after: args
+            .get_parsed("kill-after")?
+            .unwrap_or(defaults.kill_after),
+        drop_at: args.get_parsed("drop-at")?.unwrap_or(defaults.drop_at),
+        queries: args.get_parsed("queries")?.unwrap_or(defaults.queries),
+        workload: args.get_parsed("workload")?.unwrap_or(defaults.workload),
+        par: par_of(args)?,
+    };
+    let report = run_chaos_bench(&db, &label, family, &opts)?;
+    let json_path = out.join("BENCH_chaos.json");
+    atomic_write(&json_path, report.json().as_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    print!("{}", report.render_table());
+    println!("wrote {}", json_path.display());
     Ok(())
 }
 

@@ -16,6 +16,11 @@ pub mod nref;
 pub mod tpch;
 pub mod zipf;
 
-pub use nref::{generate as generate_nref, nref_schemas, NrefParams};
-pub use tpch::{generate as generate_tpch, tpch_schemas, Distribution, TpchParams};
+pub use nref::{
+    generate as generate_nref, generate_checked as generate_nref_checked, nref_schemas, NrefParams,
+};
+pub use tpch::{
+    generate as generate_tpch, generate_checked as generate_tpch_checked, tpch_schemas,
+    Distribution, TpchParams,
+};
 pub use zipf::Zipf;

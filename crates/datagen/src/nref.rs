@@ -18,7 +18,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use tab_storage::{ColType, ColumnDef, Database, Table, TableSchema, Value};
+use tab_storage::{ColType, ColumnDef, Database, Faults, Table, TableSchema, Value};
 
 use crate::zipf::Zipf;
 
@@ -132,6 +132,15 @@ pub fn nref_schemas() -> Vec<TableSchema> {
 
 /// Generate a synthetic NREF database.
 pub fn generate(params: NrefParams) -> Database {
+    generate_checked(params, &Faults::disabled()).expect("no faults armed")
+}
+
+/// [`generate`] with fault sites armed: `panic:build:<table>` fires as
+/// each finished table is added to the database (simulating a crash
+/// mid-build) and `enospc:datagen` fires at the same boundary as an
+/// injected I/O error. Generation is deterministic for a fixed seed, so
+/// a caller that catches the crash can simply re-run to resume.
+pub fn generate_checked(params: NrefParams, faults: &Faults) -> std::io::Result<Database> {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let n = params.proteins.max(100);
 
@@ -257,10 +266,12 @@ pub fn generate(params: NrefParams) -> Database {
 
     let mut db = Database::new();
     for t in tables {
+        faults.panic_if_armed(&format!("build:{}", t.schema().name));
+        faults.io("datagen")?;
         db.add_table(t);
     }
     db.collect_stats();
-    db
+    Ok(db)
 }
 
 #[cfg(test)]

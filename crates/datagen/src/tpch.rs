@@ -14,7 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use tab_storage::{ColType, ColumnDef, Database, Table, TableSchema, Value};
+use tab_storage::{ColType, ColumnDef, Database, Faults, Table, TableSchema, Value};
 
 use crate::zipf::Zipf;
 
@@ -183,6 +183,14 @@ impl Picker {
 
 /// Generate a TPC-H database.
 pub fn generate(params: TpchParams) -> Database {
+    generate_checked(params, &Faults::disabled()).expect("no faults armed")
+}
+
+/// [`generate`] with fault sites armed: `panic:build:<table>` fires as
+/// each finished table is added to the database and `enospc:datagen`
+/// fires at the same boundary as an injected I/O error. Deterministic
+/// for a fixed seed, so re-running after a caught crash resumes.
+pub fn generate_checked(params: TpchParams, faults: &Faults) -> std::io::Result<Database> {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let sf = params.scale;
     let n_supplier = ((10_000.0 * sf) as usize).max(20);
@@ -347,10 +355,12 @@ pub fn generate(params: TpchParams) -> Database {
 
     let mut db = Database::new();
     for t in tables {
+        faults.panic_if_armed(&format!("build:{}", t.schema().name));
+        faults.io("datagen")?;
         db.add_table(t);
     }
     db.collect_stats();
-    db
+    Ok(db)
 }
 
 #[cfg(test)]

@@ -29,7 +29,7 @@
 //! **morsels** (contiguous row-id ranges of [`ExecOpts::morsel_rows`]
 //! rows) dispatched on the deterministic `par_map` pool from
 //! `tab-storage`. Workers produce per-morsel outputs and per-morsel
-//! [`LocalCounters`]; the coordinator concatenates outputs **in morsel
+//! `LocalCounters`; the coordinator concatenates outputs **in morsel
 //! index order** and reduces counters into the meter in that same
 //! order. Because the meter derives units from counter totals and its
 //! budget check is monotone (see [`CostMeter`]), results, cost totals,
@@ -38,7 +38,7 @@
 //! `par_map` takes at one thread.
 //!
 //! Budgeted executions keep their early abort through a shared
-//! [`AbortGate`]: workers publish performed charges to atomic counters
+//! `AbortGate`: workers publish performed charges to atomic counters
 //! and stop dispatching work once the published total provably exceeds
 //! the budget. Only performed charges are ever published, so the gate
 //! can trip **only if** the true total would also trip — the final

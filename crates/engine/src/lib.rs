@@ -45,5 +45,8 @@ pub use session::{
     estimate_hypothetical, estimate_hypothetical_layered, estimate_hypothetical_perfect, RunResult,
     Session,
 };
-pub use shared::{EngineSnapshot, EngineState, SharedEngine, SharedInsert};
+pub use shared::{
+    EngineSnapshot, EngineState, KeyedInsert, RecoverError, SharedEngine, SharedInsert,
+    WalRecoveryReport,
+};
 pub use stats_view::{HypotheticalStats, RealStats, StatsView};

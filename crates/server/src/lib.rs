@@ -30,6 +30,6 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, RetryClient};
 pub use proto::{parse_request, Request, Response, ResponseBuilder, RESPONSE_PREFIX};
-pub use server::{ServeOptions, Server};
+pub use server::{ServeOptions, Server, ServerCounters};

@@ -7,11 +7,24 @@
 //! ```text
 //! PING
 //! QUERY <config> <sql>          query or INSERT statement
+//! INSERT <config> <client>:<seq> <sql>   sequence-keyed, idempotent INSERT
 //! EXPLAIN <config> <sql>        plan + estimate, nothing executed
 //! ADVISE <family> <system> [n]  run a recommender over a sampled workload
+//! STATS                         serving counters (shed, retries, recovery)
 //! QUIT                          close this connection
 //! SHUTDOWN                      stop the whole server gracefully
 //! ```
+//!
+//! `INSERT` carries an idempotency key: `<client>` names the sender and
+//! `<seq>` is a per-client sequence number that must increase with every
+//! *new* write. Resending the last sequence (because the connection died
+//! before the acknowledgement arrived) replays the cached ack with
+//! `"deduped":true` instead of applying the row twice — see
+//! `DESIGN.md` §15.
+//!
+//! Errors a client may safely retry (overload shedding, injected wire
+//! faults) are marked `"retryable":true` with a machine-readable
+//! `"reason"`; everything else is permanent.
 //!
 //! A response is exactly one JSON line opening with
 //! [`RESPONSE_PREFIX`], rendered with **no space after the `:` of each
@@ -56,6 +69,19 @@ pub enum Request {
         /// The SQL text, verbatim to end of line.
         sql: String,
     },
+    /// `INSERT <config> <client>:<seq> <sql>` — a sequence-keyed,
+    /// idempotent INSERT: retrying the same `<client>:<seq>` replays
+    /// the cached acknowledgement instead of applying the row again.
+    Insert {
+        /// Serving name of the configuration charged for maintenance.
+        config: String,
+        /// Client identity the sequence number is scoped to.
+        client: String,
+        /// Per-client sequence number; must increase per new write.
+        cseq: u64,
+        /// The INSERT statement, verbatim to end of line.
+        sql: String,
+    },
     /// `ADVISE <family> <system> [n]` — sample an `n`-query workload
     /// (default 50) from the family on the current snapshot and run the
     /// named recommender profile over it.
@@ -67,6 +93,10 @@ pub enum Request {
         /// Workload sample size.
         workload: usize,
     },
+    /// `STATS` — report serving counters: accepted/refused connections,
+    /// shed requests per verb, wire faults fired, deduped retries, and
+    /// WAL recovery state.
+    Stats,
     /// `QUIT` — close this connection after an acknowledgement.
     Quit,
     /// `SHUTDOWN` — acknowledge, then stop the whole server: no new
@@ -92,8 +122,34 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let (verb, rest) = next_token(line);
     match verb.to_ascii_uppercase().as_str() {
         "PING" => Ok(Request::Ping),
+        "STATS" => Ok(Request::Stats),
         "QUIT" => Ok(Request::Quit),
         "SHUTDOWN" => Ok(Request::Shutdown),
+        "INSERT" => {
+            let (config, rest) = next_token(rest);
+            let (key, sql) = next_token(rest);
+            if config.is_empty() {
+                return Err("INSERT needs a configuration name".into());
+            }
+            let (client, seq) = key
+                .split_once(':')
+                .ok_or_else(|| format!("INSERT needs a `client:seq` key, got `{key}`"))?;
+            if client.is_empty() {
+                return Err("INSERT needs a non-empty client id".into());
+            }
+            let cseq = seq
+                .parse()
+                .map_err(|_| format!("bad sequence number `{seq}`"))?;
+            if sql.is_empty() {
+                return Err("INSERT needs SQL text".into());
+            }
+            Ok(Request::Insert {
+                config: config.to_string(),
+                client: client.to_string(),
+                cseq,
+                sql: sql.to_string(),
+            })
+        }
         "QUERY" | "EXPLAIN" => {
             let (config, sql) = next_token(rest);
             if config.is_empty() {
@@ -133,7 +189,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "" => Err("empty request".into()),
         other => Err(format!(
-            "unknown verb `{other}` (try PING, QUERY, EXPLAIN, ADVISE, QUIT, SHUTDOWN)"
+            "unknown verb `{other}` (try PING, QUERY, INSERT, EXPLAIN, ADVISE, STATS, QUIT, \
+             SHUTDOWN)"
         )),
     }
 }
@@ -166,6 +223,18 @@ impl ResponseBuilder {
         )
     }
 
+    /// Build a complete `"ok":false` envelope a client may safely
+    /// retry, tagged with a machine-readable `reason` (for example
+    /// `overloaded`). Retry safety is the server's promise that the
+    /// request was **not** applied.
+    pub fn retryable_error(message: &str, reason: &str) -> String {
+        format!(
+            "{RESPONSE_PREFIX},\"ok\":false,\"retryable\":true,\"reason\":\"{}\",\"error\":\"{}\"}}",
+            json_escape(reason),
+            json_escape(message)
+        )
+    }
+
     /// Append a string field (JSON-escaped).
     pub fn str_field(mut self, key: &str, value: &str) -> Self {
         self.line
@@ -182,6 +251,12 @@ impl ResponseBuilder {
     /// Append a float field via shortest-roundtrip `{}` formatting, so
     /// the receiver can parse back the bit-identical value.
     pub fn num_field(mut self, key: &str, value: f64) -> Self {
+        self.line.push_str(&format!(",\"{key}\":{value}"));
+        self
+    }
+
+    /// Append a bare JSON boolean field.
+    pub fn bool_field(mut self, key: &str, value: bool) -> Self {
         self.line.push_str(&format!(",\"{key}\":{value}"));
         self
     }
@@ -204,11 +279,16 @@ pub struct Response {
 
 impl Response {
     /// Accept a received line as a `tab-wire-v1` response, rejecting
-    /// anything that does not open with [`RESPONSE_PREFIX`].
+    /// anything that does not open with [`RESPONSE_PREFIX`] or does not
+    /// close its JSON object — a torn half-line from a connection cut
+    /// mid-write must fail parse, not masquerade as a short response.
     pub fn parse(line: &str) -> Result<Response, String> {
         let line = line.trim_end_matches(['\r', '\n']);
         if !line.starts_with(RESPONSE_PREFIX) {
             return Err(format!("not a tab-wire-v1 response: `{line}`"));
+        }
+        if !line.ends_with('}') {
+            return Err(format!("torn tab-wire-v1 response: `{line}`"));
         }
         Ok(Response {
             line: line.to_string(),
@@ -230,6 +310,18 @@ impl Response {
         self.str_field("error")
     }
 
+    /// Whether this is an `"ok":false` envelope the server marked safe
+    /// to retry (the request was not applied).
+    pub fn is_retryable(&self) -> bool {
+        !self.is_ok() && field(&self.line, "retryable") == Some("true")
+    }
+
+    /// The machine-readable reason of a retryable envelope, e.g.
+    /// `overloaded`.
+    pub fn reason(&self) -> Option<String> {
+        self.str_field("reason")
+    }
+
     /// A string field, unescaped; `None` if absent.
     pub fn str_field(&self, key: &str) -> Option<String> {
         field(&self.line, key).map(unescape)
@@ -243,6 +335,15 @@ impl Response {
     /// An integer field; `None` if absent or non-integral.
     pub fn int_field(&self, key: &str) -> Option<u64> {
         field(&self.line, key)?.parse().ok()
+    }
+
+    /// A boolean field; `None` if absent or not `true`/`false`.
+    pub fn bool_field(&self, key: &str) -> Option<bool> {
+        match field(&self.line, key) {
+            Some("true") => Some(true),
+            Some("false") => Some(false),
+            _ => None,
+        }
     }
 }
 
@@ -283,6 +384,51 @@ mod tests {
                 workload: 50
             })
         );
+    }
+
+    #[test]
+    fn keyed_insert_and_stats_parse() {
+        assert_eq!(
+            parse_request("INSERT p loader-3:17 INSERT INTO t VALUES (1, 'a:b')"),
+            Ok(Request::Insert {
+                config: "p".into(),
+                client: "loader-3".into(),
+                cseq: 17,
+                sql: "INSERT INTO t VALUES (1, 'a:b')".into()
+            })
+        );
+        assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert!(parse_request("INSERT p INSERT INTO t VALUES (1)")
+            .unwrap_err()
+            .contains("client:seq"));
+        assert!(parse_request("INSERT p c:x INSERT INTO t VALUES (1)")
+            .unwrap_err()
+            .contains("sequence"));
+        assert!(parse_request("INSERT p :1 INSERT INTO t VALUES (1)")
+            .unwrap_err()
+            .contains("client"));
+        assert!(parse_request("INSERT p c:1").unwrap_err().contains("SQL"));
+    }
+
+    #[test]
+    fn retryable_envelopes_and_torn_lines() {
+        let line = ResponseBuilder::retryable_error("shed: too busy", "overloaded");
+        let r = Response::parse(&line).unwrap();
+        assert!(!r.is_ok());
+        assert!(r.is_retryable());
+        assert_eq!(r.reason().as_deref(), Some("overloaded"));
+        assert_eq!(r.error().as_deref(), Some("shed: too busy"));
+        // Permanent errors are not retryable.
+        let r = Response::parse(&ResponseBuilder::error("no such table")).unwrap();
+        assert!(!r.is_retryable());
+        assert_eq!(r.reason(), None);
+        // A torn half-line (connection cut mid-write) fails parse even
+        // though it opens with the right prefix.
+        let whole = ResponseBuilder::ok("query")
+            .int_field("generation", 3)
+            .finish();
+        let torn = &whole[..whole.len() / 2];
+        assert!(Response::parse(torn).unwrap_err().contains("torn"));
     }
 
     #[test]

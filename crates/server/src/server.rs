@@ -1,7 +1,7 @@
 //! The serving front end: thread-per-connection over a [`SharedEngine`].
 //!
-//! [`Server::start`] binds a TCP listener and returns a [`ServerHandle`]
-//! immediately; an accept thread hands each connection to its own
+//! [`Server::start`] binds a TCP listener and returns a [`Server`]
+//! handle immediately; an accept thread hands each connection to its own
 //! worker thread. Every request pins a fresh [`EngineSnapshot`], so a
 //! request sees one whole generation end to end no matter what writers
 //! do meanwhile, and per-request results are exactly those of a direct
@@ -13,14 +13,26 @@
 //! - a malformed or panicking request answers an `{"ok":false}`
 //!   envelope and the connection lives on;
 //! - a connection idle past [`ServeOptions::idle_timeout`] is closed;
-//! - `SHUTDOWN` (or [`ServerHandle::shutdown`]) stops the accept loop,
+//! - past [`ServeOptions::max_connections`] live connections, new ones
+//!   are refused with a retryable `overloaded` envelope instead of
+//!   spawning unbounded threads; past [`ServeOptions::admission`]
+//!   in-flight requests, work is shed cheapest-to-lose first (`ADVISE`,
+//!   then `EXPLAIN`, then everything but the observability verbs);
+//! - transient `accept()` failures (e.g. `EMFILE` under fd pressure)
+//!   back off exponentially instead of spinning, counted in
+//!   [`ServerCounters::accept_errors`];
+//! - an armed [`FaultPlan`] can drop, tear, or delay response writes
+//!   (`drop:conn:N`, `torn:wire:N`, `delay:conn:N`) to prove client
+//!   retry loops converge — see `DESIGN.md` §15;
+//! - `SHUTDOWN` (or [`Server::shutdown`]) stops the accept loop,
 //!   lets every in-flight request finish, then joins all workers — no
-//!   request is ever answered half-written.
+//!   request is ever answered half-written (unless a torn-wire fault
+//!   was armed to do exactly that).
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -29,7 +41,7 @@ use tab_advisor::{AdvisorInput, Recommender, SystemA, SystemB, SystemC};
 use tab_engine::{EngineSnapshot, SharedEngine, DEFAULT_TIMEOUT_UNITS};
 use tab_families::{sample_preserving_par, Family};
 use tab_sqlq::{parse_statement, Statement};
-use tab_storage::Parallelism;
+use tab_storage::{FaultPlan, Faults, Parallelism, WireFault};
 
 use crate::proto::{parse_request, Request, ResponseBuilder};
 
@@ -50,6 +62,18 @@ pub struct ServeOptions {
     /// Thread budget for `ADVISE` what-if fan-out (recommendations are
     /// identical at any setting).
     pub par: Parallelism,
+    /// Armed fault plan for the wire sites (`drop:conn:N`,
+    /// `torn:wire:N`, `delay:conn:N`). `None` (the default) serves
+    /// with zero fault-check overhead beyond one branch per response.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Hard cap on concurrently served connections; one past the cap is
+    /// answered a retryable `overloaded` envelope and closed. `0`
+    /// disables the cap (the pre-PR-10 unbounded behavior).
+    pub max_connections: usize,
+    /// Admission limit on in-flight requests: `ADVISE` sheds at half
+    /// this, `EXPLAIN` at three quarters, `QUERY`/`INSERT` only past
+    /// the full limit. `0` disables shedding.
+    pub admission: usize,
 }
 
 impl Default for ServeOptions {
@@ -60,7 +84,56 @@ impl Default for ServeOptions {
             timeout_units: DEFAULT_TIMEOUT_UNITS,
             idle_timeout: Duration::from_secs(30),
             par: Parallelism::new(0),
+            faults: None,
+            max_connections: 256,
+            admission: 64,
         }
+    }
+}
+
+/// Serving counters, shared by every connection worker and reported by
+/// the `STATS` verb. All counters are monotonic except
+/// [`ServerCounters::inflight`], a gauge.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections admitted to a worker thread.
+    pub accepted: AtomicU64,
+    /// Transient `accept()` failures survived via backoff.
+    pub accept_errors: AtomicU64,
+    /// Connections refused at [`ServeOptions::max_connections`].
+    pub conns_refused: AtomicU64,
+    /// `ADVISE` requests shed under load.
+    pub shed_advise: AtomicU64,
+    /// `EXPLAIN` requests shed under load.
+    pub shed_explain: AtomicU64,
+    /// `QUERY`/`INSERT` requests shed at the full admission limit.
+    pub shed_query: AtomicU64,
+    /// Responses silently dropped by an armed `drop:conn` fault.
+    pub wire_dropped: AtomicU64,
+    /// Responses half-written by an armed `torn:wire` fault.
+    pub wire_torn: AtomicU64,
+    /// Responses delayed by an armed `delay:conn` fault.
+    pub wire_delayed: AtomicU64,
+    /// Requests currently being dispatched (gauge, not monotonic).
+    pub inflight: AtomicU64,
+}
+
+/// Which requests to shed with `inflight` requests in flight under an
+/// admission `limit`, cheapest-to-lose first: `ADVISE` (expensive, and
+/// always safe to retry) sheds at half the limit, `EXPLAIN` at three
+/// quarters, `QUERY`/`INSERT` only past the limit itself. `PING`,
+/// `STATS`, `QUIT` and `SHUTDOWN` always pass — they are how an
+/// operator observes and drains an overloaded server.
+fn shed(request: &Request, inflight: u64, limit: usize) -> Option<&'static str> {
+    if limit == 0 {
+        return None;
+    }
+    let limit = limit as u64;
+    match request {
+        Request::Advise { .. } if inflight >= (limit / 2).max(1) => Some("advise"),
+        Request::Explain { .. } if inflight >= (limit * 3 / 4).max(1) => Some("explain"),
+        Request::Query { .. } | Request::Insert { .. } if inflight > limit => Some("query"),
+        _ => None,
     }
 }
 
@@ -73,6 +146,7 @@ const POLL_TICK: Duration = Duration::from_millis(20);
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -85,13 +159,16 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ServerCounters::default());
         let accept = {
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(listener, engine, opts, stop))
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || accept_loop(listener, engine, opts, stop, counters))
         };
         Ok(Server {
             addr,
             stop,
+            counters,
             accept: Some(accept),
         })
     }
@@ -99,6 +176,12 @@ impl Server {
     /// The bound address (with the real port when `addr` asked for 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The live serving counters (also reported over the wire by
+    /// `STATS`).
+    pub fn counters(&self) -> &Arc<ServerCounters> {
+        &self.counters
     }
 
     /// Whether a shutdown has been requested (by this handle or by a
@@ -130,31 +213,61 @@ impl Drop for Server {
     }
 }
 
+/// Longest pause between retries after a failing `accept()`.
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_secs(1);
+
 /// Accept until the stop flag rises, then join every worker.
 fn accept_loop(
     listener: TcpListener,
     engine: Arc<SharedEngine>,
     opts: ServeOptions,
     stop: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
 ) {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut backoff = POLL_TICK;
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                backoff = POLL_TICK;
+                // Reap finished workers so a long-lived server does not
+                // accumulate handles — and so the connection cap counts
+                // only live connections.
+                workers.retain(|h| !h.is_finished());
+                if opts.max_connections > 0 && workers.len() >= opts.max_connections {
+                    counters.conns_refused.fetch_add(1, Ordering::Relaxed);
+                    let mut stream = stream;
+                    let bye = ResponseBuilder::retryable_error(
+                        &format!(
+                            "connection limit reached ({} live), try again later",
+                            workers.len()
+                        ),
+                        "overloaded",
+                    );
+                    let _ = writeln!(stream, "{bye}");
+                    continue;
+                }
+                counters.accepted.fetch_add(1, Ordering::Relaxed);
                 let engine = Arc::clone(&engine);
                 let opts = opts.clone();
                 let stop = Arc::clone(&stop);
+                let counters = Arc::clone(&counters);
                 workers.push(std::thread::spawn(move || {
                     // A torn-down connection (peer vanished mid-write)
                     // is that connection's problem, not the server's.
-                    let _ = serve_connection(stream, &engine, &opts, &stop);
+                    let _ = serve_connection(stream, &engine, &opts, &stop, &counters);
                 }));
-                // Opportunistically reap finished workers so a
-                // long-lived server does not accumulate handles.
-                workers.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_TICK),
-            Err(_) => std::thread::sleep(POLL_TICK),
+            Err(_) => {
+                // Transient accept failures (EMFILE under fd pressure,
+                // ECONNABORTED, …) must not spin the loop hot: count
+                // them and back off exponentially, resetting on the
+                // next successful accept.
+                counters.accept_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_CAP);
+            }
         }
     }
     for h in workers {
@@ -169,6 +282,7 @@ fn serve_connection(
     engine: &SharedEngine,
     opts: &ServeOptions,
     stop: &AtomicBool,
+    counters: &ServerCounters,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(POLL_TICK))?;
     let mut reader = LineReader::new(stream.try_clone()?);
@@ -192,7 +306,31 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let (response, control) = handle_line(engine, opts, &line);
+        let (response, control) = handle_line(engine, opts, counters, &line);
+        // Wire-level chaos happens *after* dispatch: the request was
+        // applied, the acknowledgement is what gets lost — exactly the
+        // window idempotent retries must cover (DESIGN.md §15).
+        let wire = opts
+            .faults
+            .as_deref()
+            .and_then(|plan| Faults::to(plan).wire());
+        match wire {
+            Some(WireFault::Drop) => {
+                counters.wire_dropped.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            Some(WireFault::Torn) => {
+                counters.wire_torn.fetch_add(1, Ordering::Relaxed);
+                out.write_all(&response.as_bytes()[..response.len() / 2])?;
+                out.flush()?;
+                return Ok(());
+            }
+            Some(WireFault::Delay) => {
+                counters.wire_delayed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            None => {}
+        }
         writeln!(out, "{response}")?;
         out.flush()?;
         match control {
@@ -215,8 +353,14 @@ enum Control {
 
 /// One request line to one response line. Panics inside dispatch
 /// become error envelopes: a bad request must never take down the
-/// connection, let alone the server.
-fn handle_line(engine: &SharedEngine, opts: &ServeOptions, line: &str) -> (String, Control) {
+/// connection, let alone the server. Admission control runs first —
+/// a shed request costs one atomic increment, not a snapshot.
+fn handle_line(
+    engine: &SharedEngine,
+    opts: &ServeOptions,
+    counters: &ServerCounters,
+    line: &str,
+) -> (String, Control) {
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(e) => return (ResponseBuilder::error(&e), Control::Continue),
@@ -226,7 +370,22 @@ fn handle_line(engine: &SharedEngine, opts: &ServeOptions, line: &str) -> (Strin
         Request::Shutdown => Control::ShutdownServer,
         _ => Control::Continue,
     };
-    let response = catch_unwind(AssertUnwindSafe(|| dispatch(engine, opts, &request)))
+    let inflight = counters.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+    let response = if let Some(verb) = shed(&request, inflight, opts.admission) {
+        match verb {
+            "advise" => &counters.shed_advise,
+            "explain" => &counters.shed_explain,
+            _ => &counters.shed_query,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        ResponseBuilder::retryable_error(
+            &format!("overloaded: {verb} shed at {inflight} in-flight requests"),
+            "overloaded",
+        )
+    } else {
+        catch_unwind(AssertUnwindSafe(|| {
+            dispatch(engine, opts, counters, &request)
+        }))
         .unwrap_or_else(|panic| {
             let msg = panic
                 .downcast_ref::<String>()
@@ -234,12 +393,19 @@ fn handle_line(engine: &SharedEngine, opts: &ServeOptions, line: &str) -> (Strin
                 .or_else(|| panic.downcast_ref::<&str>().copied())
                 .unwrap_or("request panicked");
             ResponseBuilder::error(&format!("internal error: {msg}"))
-        });
+        })
+    };
+    counters.inflight.fetch_sub(1, Ordering::Relaxed);
     (response, control)
 }
 
 /// Execute one parsed request against a freshly pinned snapshot.
-fn dispatch(engine: &SharedEngine, opts: &ServeOptions, request: &Request) -> String {
+fn dispatch(
+    engine: &SharedEngine,
+    opts: &ServeOptions,
+    counters: &ServerCounters,
+    request: &Request,
+) -> String {
     match request {
         Request::Ping => {
             let snap = engine.snapshot();
@@ -249,15 +415,67 @@ fn dispatch(engine: &SharedEngine, opts: &ServeOptions, request: &Request) -> St
                 .str_field("configs", &configs.join(","))
                 .finish()
         }
+        Request::Stats => stats(engine, counters),
         Request::Quit => ResponseBuilder::ok("bye").finish(),
         Request::Shutdown => ResponseBuilder::ok("shutdown").finish(),
         Request::Query { config, sql } => run_query(engine, opts, config, sql),
+        Request::Insert {
+            config,
+            client,
+            cseq,
+            sql,
+        } => keyed_insert(engine, config, client, *cseq, sql),
         Request::Explain { config, sql } => explain_query(engine, config, sql),
         Request::Advise {
             family,
             system,
             workload,
         } => advise(engine, opts, family, system, *workload),
+    }
+}
+
+/// `STATS`: one line of serving counters plus the engine's durability
+/// state — how an operator watches shedding, chaos, and recovery.
+fn stats(engine: &SharedEngine, c: &ServerCounters) -> String {
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    ResponseBuilder::ok("stats")
+        .int_field("generation", engine.generation())
+        .bool_field("durable", engine.is_durable())
+        .int_field("recovered", engine.recovered())
+        .int_field("deduped", engine.deduped())
+        .int_field("accepted", load(&c.accepted))
+        .int_field("accept_errors", load(&c.accept_errors))
+        .int_field("conns_refused", load(&c.conns_refused))
+        .int_field("shed_advise", load(&c.shed_advise))
+        .int_field("shed_explain", load(&c.shed_explain))
+        .int_field("shed_query", load(&c.shed_query))
+        .int_field("wire_dropped", load(&c.wire_dropped))
+        .int_field("wire_torn", load(&c.wire_torn))
+        .int_field("wire_delayed", load(&c.wire_delayed))
+        .finish()
+}
+
+/// `INSERT <config> <client>:<seq> <sql>`: the idempotent write path.
+/// A replayed sequence answers the cached acknowledgement with
+/// `"deduped":true` — same generation, row id, and bit-identical units
+/// as the original ack.
+fn keyed_insert(engine: &SharedEngine, config: &str, client: &str, cseq: u64, sql: &str) -> String {
+    let stmt = match parse_statement(sql) {
+        Ok(s) => s,
+        Err(e) => return ResponseBuilder::error(&e.to_string()),
+    };
+    let Statement::Insert(ins) = stmt else {
+        return ResponseBuilder::error("the INSERT verb needs an INSERT statement");
+    };
+    match engine.insert_keyed(&ins, config, client, cseq) {
+        Ok(k) => ResponseBuilder::ok("insert")
+            .int_field("generation", k.out.generation)
+            .str_field("verdict", "inserted")
+            .int_field("row_id", u64::from(k.out.row_id))
+            .num_field("units", k.out.units)
+            .bool_field("deduped", k.deduped)
+            .finish(),
+        Err(e) => ResponseBuilder::error(&e.message),
     }
 }
 

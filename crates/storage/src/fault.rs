@@ -28,10 +28,24 @@
 //!                                    hit and every hit after (N is
 //!                                    0-based, default 0 — the disk
 //!                                    stays full once it fills)
-//!       | 'panic:' SITE              panic whenever SITE is reached
+//!       | 'panic:' SITE [':' N]      panic at SITE's N-th hit and
+//!                                    every hit after (default 0)
 //!       | 'truncate:trace:' N        the trace sink tears mid-line
 //!                                    after N complete lines
+//!       | 'drop:conn:' N             the server closes the connection
+//!                                    instead of writing its N-th
+//!                                    response (exactly once)
+//!       | 'delay:conn:' N            the server stalls before writing
+//!                                    its N-th response (exactly once)
+//!       | 'torn:wire:' N             the server writes half of its
+//!                                    N-th response, then closes
+//!                                    (exactly once)
 //! ```
+//!
+//! The three wire arms fire **exactly once** at their hit index rather
+//! than from it onward: a wire fault models one transient network
+//! event, and the idempotent-retry machinery it exists to exercise
+//! would never converge against a permanently broken wire.
 //!
 //! Sites are plain strings chosen by the instrumented code:
 //!
@@ -44,6 +58,11 @@
 //! | `trace` | every trace-sink line (`enospc:trace` silences the sink) |
 //! | `spill` | every dirty-page eviction's spill write (pool mode; `enospc:spill:N` fills the disk at the N-th spilled page) |
 //! | `evict:<family>/<config>` | every buffer-pool eviction inside that cell's queries — a panic here crashes a run that has already spilled pages |
+//! | `wal` | every WAL append's write (`enospc:wal` fills the disk under the serving log) |
+//! | `wal:append` | every WAL append (`panic:wal:append:N` crashes mid-record, leaving a real torn tail for recovery to truncate) |
+//! | `datagen` | each generated table's handoff into the database (`enospc:datagen:N` fails the N-th table) |
+//! | `build:<table>` | one generated table's handoff (`panic:build:protein` crashes datagen at that table) |
+//! | `conn`, `wire` | every server response about to be written (the `drop:`/`delay:`/`torn:` wire arms above) |
 //!
 //! Examples: `panic:cell:NREF3J/NREF_1C` poisons one grid cell;
 //! `enospc:claims.csv` fails the claims table write;
@@ -78,6 +97,24 @@ pub enum FaultKind {
     Panic,
     /// The trace sink writes half a line, then goes silent.
     TruncateTrace,
+    /// The server closes the connection instead of writing a response.
+    DropConn,
+    /// The server stalls before writing a response.
+    DelayConn,
+    /// The server writes half a response line, then closes.
+    TornWire,
+}
+
+/// What a fired wire arm asks the server's connection loop to do to
+/// the response it was about to write. See [`Faults::wire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Close the connection without writing anything.
+    Drop,
+    /// Sleep briefly, then write normally.
+    Delay,
+    /// Write the first half of the line, then close.
+    Torn,
 }
 
 /// One armed fault: a site, a kind, and the hit index it fires at.
@@ -85,16 +122,57 @@ pub enum FaultKind {
 struct FaultArm {
     site: String,
     kind: FaultKind,
-    /// Fires at the `after`-th hit (0-based) and every hit beyond —
-    /// a filled disk stays full.
+    /// Fires at the `after`-th hit (0-based). Durable arms (`once ==
+    /// false`) keep firing on every hit beyond — a filled disk stays
+    /// full; transient arms (the wire kinds) fire exactly once.
     after: u64,
+    /// `true`: fire only *at* the `after`-th hit, not beyond.
+    once: bool,
     hits: AtomicU64,
 }
 
 impl FaultArm {
+    fn durable(site: impl Into<String>, kind: FaultKind, after: u64) -> Self {
+        FaultArm {
+            site: site.into(),
+            kind,
+            after,
+            once: false,
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    fn transient(site: impl Into<String>, kind: FaultKind, after: u64) -> Self {
+        FaultArm {
+            site: site.into(),
+            kind,
+            after,
+            once: true,
+            hits: AtomicU64::new(0),
+        }
+    }
+
     /// Count one hit; `true` if the arm fires on it.
     fn hit(&self) -> bool {
-        self.hits.fetch_add(1, Ordering::Relaxed) >= self.after
+        let n = self.hits.fetch_add(1, Ordering::Relaxed);
+        if self.once {
+            n == self.after
+        } else {
+            n >= self.after
+        }
+    }
+}
+
+/// Split a trailing `:N` numeric segment off a site spec, defaulting
+/// to hit 0. Safe for sites that themselves contain `:` (e.g.
+/// `cell:NREF3J/NREF_1C`): only a purely numeric tail is taken.
+fn split_hit_index(rest: &str) -> (&str, u64) {
+    match rest.rsplit_once(':') {
+        Some((site, n)) if !site.is_empty() => match n.parse::<u64>() {
+            Ok(after) => (site, after),
+            Err(_) => (rest, 0),
+        },
+        _ => (rest, 0),
     }
 }
 
@@ -128,40 +206,37 @@ impl FaultPlan {
             let arm = match kind {
                 "enospc" => {
                     // A trailing `:N` numeric segment is the hit index.
-                    let (site, after) = match rest.rsplit_once(':') {
-                        Some((s, n)) if n.parse::<u64>().is_ok() && !s.is_empty() => {
-                            (s, n.parse().expect("checked"))
-                        }
-                        _ => (rest, 0),
-                    };
-                    FaultArm {
-                        site: site.to_string(),
-                        kind: FaultKind::Enospc,
-                        after,
-                        hits: AtomicU64::new(0),
-                    }
+                    let (site, after) = split_hit_index(rest);
+                    FaultArm::durable(site, FaultKind::Enospc, after)
                 }
-                "panic" => FaultArm {
-                    site: rest.to_string(),
-                    kind: FaultKind::Panic,
-                    after: 0,
-                    hits: AtomicU64::new(0),
-                },
+                "panic" => {
+                    let (site, after) = split_hit_index(rest);
+                    FaultArm::durable(site, FaultKind::Panic, after)
+                }
                 "truncate" => {
                     let n = rest
                         .strip_prefix("trace:")
                         .and_then(|n| n.parse::<u64>().ok())
                         .ok_or_else(|| format!("fault `{raw}`: expected `truncate:trace:N`"))?;
-                    FaultArm {
-                        site: "trace".to_string(),
-                        kind: FaultKind::TruncateTrace,
-                        after: n,
-                        hits: AtomicU64::new(0),
-                    }
+                    FaultArm::durable("trace", FaultKind::TruncateTrace, n)
+                }
+                "drop" | "delay" | "torn" => {
+                    let (want_site, fault_kind) = match kind {
+                        "drop" => ("conn", FaultKind::DropConn),
+                        "delay" => ("conn", FaultKind::DelayConn),
+                        _ => ("wire", FaultKind::TornWire),
+                    };
+                    let n = rest
+                        .strip_prefix(want_site)
+                        .and_then(|r| r.strip_prefix(':'))
+                        .and_then(|n| n.parse::<u64>().ok())
+                        .ok_or_else(|| format!("fault `{raw}`: expected `{kind}:{want_site}:N`"))?;
+                    FaultArm::transient(want_site, fault_kind, n)
                 }
                 other => {
                     return Err(format!(
-                        "fault `{raw}`: unknown kind `{other}` (enospc|panic|truncate)"
+                        "fault `{raw}`: unknown kind `{other}` \
+                         (enospc|panic|truncate|drop|delay|torn)"
                     ))
                 }
             };
@@ -214,9 +289,18 @@ impl FaultPlan {
                 FaultKind::Enospc => {
                     format!("enospc at `{}` from hit {}", a.site, a.after)
                 }
-                FaultKind::Panic => format!("panic at `{}`", a.site),
+                FaultKind::Panic => format!("panic at `{}` from hit {}", a.site, a.after),
                 FaultKind::TruncateTrace => {
                     format!("trace torn after {} lines", a.after)
+                }
+                FaultKind::DropConn => {
+                    format!("connection dropped at response {}", a.after)
+                }
+                FaultKind::DelayConn => {
+                    format!("connection delayed at response {}", a.after)
+                }
+                FaultKind::TornWire => {
+                    format!("response torn mid-write at response {}", a.after)
                 }
             })
             .collect()
@@ -290,13 +374,47 @@ impl<'a> Faults<'a> {
     /// `site`. The panic message names the site so `catch_unwind`
     /// layers can report which unit was poisoned.
     pub fn panic_if_armed(&self, site: &str) {
-        if let Some(plan) = self.plan {
-            for arm in &plan.arms {
-                if arm.kind == FaultKind::Panic && arm.site == site && arm.hit() {
-                    panic!("injected fault: poisoned `{site}`");
-                }
+        if self.panic_fires(site) {
+            panic!("injected fault: poisoned `{site}`");
+        }
+    }
+
+    /// Count one hit at a `panic` site and report whether an arm fired,
+    /// *without* panicking. Call sites that must corrupt state first
+    /// (e.g. the WAL's half-written torn tail) probe with this, do the
+    /// damage, and then panic themselves.
+    pub fn panic_fires(&self, site: &str) -> bool {
+        let Some(plan) = self.plan else { return false };
+        plan.arms
+            .iter()
+            .any(|arm| arm.kind == FaultKind::Panic && arm.site == site && arm.hit())
+    }
+
+    /// Count one server response about to be written against every
+    /// armed wire arm, returning the action of the arm that fired (if
+    /// any). Every response counts one hit on *all* wire arms, so a
+    /// plan like `drop:conn:2,torn:wire:5` indexes both faults on the
+    /// same global response sequence. If several arms fire on the same
+    /// response, the most destructive wins (drop > torn > delay).
+    pub fn wire(&self) -> Option<WireFault> {
+        let plan = self.plan?;
+        let mut fired: Option<WireFault> = None;
+        for arm in &plan.arms {
+            let action = match arm.kind {
+                FaultKind::DropConn => WireFault::Drop,
+                FaultKind::TornWire => WireFault::Torn,
+                FaultKind::DelayConn => WireFault::Delay,
+                _ => continue,
+            };
+            if arm.hit() {
+                fired = Some(match (fired, action) {
+                    (Some(WireFault::Drop), _) | (_, WireFault::Drop) => WireFault::Drop,
+                    (Some(WireFault::Torn), _) | (_, WireFault::Torn) => WireFault::Torn,
+                    _ => WireFault::Delay,
+                });
             }
         }
+        fired
     }
 }
 
@@ -379,6 +497,34 @@ mod tests {
             .expect_err("armed site panics");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("cell:NREF3J/NREF_1C"), "{msg}");
+    }
+
+    #[test]
+    fn wire_arms_fire_exactly_once_at_their_index() {
+        let plan = FaultPlan::parse("drop:conn:1,delay:conn:3").expect("spec");
+        let f = Faults::to(&plan);
+        assert_eq!(f.wire(), None, "response 0 passes");
+        assert_eq!(f.wire(), Some(WireFault::Drop), "response 1 dropped");
+        assert_eq!(f.wire(), None, "transient arm does not stay armed");
+        assert_eq!(f.wire(), Some(WireFault::Delay));
+        assert_eq!(f.wire(), None);
+        // Drop outranks delay when both fire on the same response.
+        let both = FaultPlan::parse("delay:conn:0,drop:conn:0").expect("spec");
+        assert_eq!(Faults::to(&both).wire(), Some(WireFault::Drop));
+        assert!(FaultPlan::parse("torn:wire").is_err());
+        assert!(FaultPlan::parse("drop:sock:1").is_err());
+        assert!(FaultPlan::parse("delay:conn:x").is_err());
+    }
+
+    #[test]
+    fn panic_arm_supports_hit_index_and_probe() {
+        let plan = FaultPlan::parse("panic:wal:append:2").expect("spec");
+        let f = Faults::to(&plan);
+        assert!(!f.panic_fires("wal:append"), "hit 0 passes");
+        assert!(!f.panic_fires("wal:append"), "hit 1 passes");
+        assert!(f.panic_fires("wal:append"), "hit 2 fires");
+        assert!(f.panic_fires("wal:append"), "durable arm stays armed");
+        assert!(!f.panic_fires("wal"), "site match is exact");
     }
 
     #[test]

@@ -30,11 +30,12 @@ pub mod table;
 pub mod trace;
 pub mod trace_reader;
 pub mod value;
+pub mod wal;
 
 pub use config::{BuildReport, BuiltConfiguration, Configuration, MViewDef};
 pub use csv::{export_table, import_table, CsvError};
 pub use db::Database;
-pub use fault::{atomic_write, FaultKind, FaultPlan, Faults, TraceFault};
+pub use fault::{atomic_write, FaultKind, FaultPlan, Faults, TraceFault, WireFault};
 pub use index::{BTreeIndex, IndexSpec, Probe};
 pub use mview::{MViewSpec, MaterializedView};
 pub use pager::Pager;
@@ -49,6 +50,7 @@ pub use table::{Row, RowId, Table, PAGE_SIZE};
 pub use trace::{FileTraceSink, MemoryTraceSink, StderrTraceSink, Trace, TraceEvent, TraceSink};
 pub use trace_reader::{read_trace, SkippedLine, TraceDoc, TraceRecord};
 pub use value::Value;
+pub use wal::{Wal, WalError, WalRecord, WalRecovery, WAL_SCHEMA_PREFIX};
 
 /// The parallel harness shares these read-only across worker threads; a
 /// regression introducing interior mutability (`Cell`, `Rc`, …) must

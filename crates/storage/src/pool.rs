@@ -17,7 +17,7 @@
 //!
 //! Misses are classified by the access pattern the executor declares
 //! ([`PageHint::Seq`] for readahead-friendly scans, [`PageHint::Random`]
-//! for probes), which is what lets the [`tab-engine`] cost meter charge
+//! for probes), which is what lets the `tab-engine` cost meter charge
 //! *observed* I/O: a hit is free, a sequential miss costs a sequential
 //! page, a random miss costs a random page.
 //!

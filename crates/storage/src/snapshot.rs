@@ -157,11 +157,22 @@ impl<T> GenerationCell<T> {
         Snapshot { seq, data }
     }
 
+    /// Acquire the writer latch, tolerating poison: publication is a
+    /// single release-store that only happens after an update closure
+    /// returns `Ok`, so a panicking writer (e.g. an injected
+    /// `panic:wal:append` fault) leaves the published chain fully
+    /// consistent — the next writer may safely proceed.
+    fn latch(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Publish `value` as the next generation, bypassing the
     /// read-copy-update cycle (the caller built the new value without
     /// looking at the old one). Returns the new generation number.
     pub fn publish(&self, value: T) -> u64 {
-        let _latch = self.writer.lock().expect("writer latch poisoned");
+        let _latch = self.latch();
         self.publish_locked(value)
     }
 
@@ -171,7 +182,7 @@ impl<T> GenerationCell<T> {
     /// readers keep snapshotting the old generation until the single
     /// release-store that publishes the new one.
     pub fn update<R, E>(&self, f: impl FnOnce(&T) -> Result<(T, R), E>) -> Result<(u64, R), E> {
-        let _latch = self.writer.lock().expect("writer latch poisoned");
+        let _latch = self.latch();
         let seq = self.current.load(Ordering::Relaxed);
         let cur = self
             .slot(seq)

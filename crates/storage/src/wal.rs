@@ -1,0 +1,701 @@
+//! `tab-wal-v1`: the serving path's write-ahead log.
+//!
+//! PR 9's serving front end acknowledged wire `INSERT`s that lived only
+//! in an in-memory generation — a process kill silently lost committed
+//! work. This module is the durability half of the fix (the engine's
+//! recovery replay is the other): one **fsynced, length-suffixed,
+//! checksummed JSONL record per committed generation mutation**,
+//! appended *before* the generation is published, so an acknowledged
+//! write is on disk by the time any client sees its ack.
+//!
+//! # Format
+//!
+//! A log is a JSONL file. Every line opens with [`WAL_SCHEMA_PREFIX`]
+//! and closes with `,"len":L,"crc":"X"}` where `L` is the byte length
+//! of the line *before* the `,"len"` suffix and `X` is the FNV-1a-64
+//! checksum of those bytes in hex — a self-delimiting frame that makes
+//! a torn tail (the crash signature of an append cut short) detectable
+//! without any out-of-band state. Field rendering keeps the repo-wide
+//! no-space-after-colon discipline, so lines parse with the
+//! dependency-free [`crate::trace_reader::field`] scanner.
+//!
+//! Line 0 is a header carrying the log's base generation; every
+//! subsequent line is one insert record whose `gen` numbers must ascend
+//! contiguously from `base_gen + 1`. Row values and the maintenance
+//! cost cross through bit-exact encodings (`f64::to_bits` hex), so a
+//! recovered engine can assert byte-identity against what was acked.
+//!
+//! # Torn tails vs corruption
+//!
+//! [`Wal::open`] distinguishes the two crash signatures the same way
+//! the checkpoint journal and trace reader do:
+//!
+//! - a frame that fails validation on the **last** line is a torn tail
+//!   — the append was cut mid-write; the tail is truncated away and
+//!   recovery proceeds with every complete record (none of which was
+//!   ever acknowledged, because the ack follows the fsync);
+//! - a frame that fails anywhere **before** the last line is disk
+//!   corruption — an append-only log synced record-by-record cannot
+//!   tear mid-file — and recovery refuses with [`WalError::Corrupt`]
+//!   rather than silently dropping acknowledged writes.
+//!
+//! Rotation ([`Wal::rotate`]) stages a fresh header at `<path>.tmp` and
+//! renames it over the log, so a crash mid-rotation leaves either the
+//! old complete log or the new empty one, never a hybrid.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::fault::{tmp_path, Faults};
+use crate::trace::json_escape;
+use crate::trace_reader::{field, unescape};
+use crate::value::Value;
+
+/// The schema tag every `tab-wal-v1` line opens with, byte-for-byte.
+pub const WAL_SCHEMA_PREFIX: &str = "{\"schema\":\"tab-wal-v1\"";
+
+/// One committed generation mutation: everything recovery needs to
+/// re-apply the insert and prove it re-applied *identically* (the
+/// generation it must produce, the row id and bit-exact maintenance
+/// cost that were acknowledged, and the idempotency key if the client
+/// supplied one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// The generation this mutation published.
+    pub gen: u64,
+    /// Idempotency key owner (empty = the write was not sequence-keyed).
+    pub client: String,
+    /// Client sequence number (meaningful only when `client` is set).
+    pub cseq: u64,
+    /// The configuration the maintenance cost was charged to.
+    pub config: String,
+    /// Target table of the insert.
+    pub table: String,
+    /// The inserted row, bit-exact (floats survive via `to_bits`).
+    pub values: Vec<Value>,
+    /// The heap row id the insert produced.
+    pub row_id: u32,
+    /// The maintenance cost units that were acknowledged.
+    pub units: f64,
+}
+
+/// Why a WAL could not be opened.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying file I/O failed.
+    Io(io::Error),
+    /// A frame before the last line failed validation — corruption, not
+    /// a torn tail; recovery refuses rather than dropping acked writes.
+    Corrupt {
+        /// Zero-based line number of the bad frame.
+        line: usize,
+        /// What failed about it.
+        message: String,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt { line, message } => {
+                write!(f, "wal corrupt at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// What [`Wal::open`] found: the reopened log plus everything recovery
+/// must replay.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// The log, positioned for further appends.
+    pub wal: Wal,
+    /// The header's base generation (records continue from it).
+    pub base_gen: u64,
+    /// Every complete record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Whether a torn tail was found and truncated away.
+    pub torn_tail: bool,
+}
+
+/// An open `tab-wal-v1` log, append-only. See the module docs for the
+/// format and crash-recovery contract.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Wal {
+    /// Create (or truncate) a log at `path` with a fresh header.
+    pub fn create(path: impl AsRef<Path>, base_gen: u64) -> Result<Wal, WalError> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(header_line(base_gen).as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Open a log for recovery + further appends, creating an empty one
+    /// (base generation 0) if `path` does not exist. Validates every
+    /// frame, truncates a torn tail, and returns the surviving records;
+    /// a bad frame anywhere but the tail is [`WalError::Corrupt`].
+    pub fn open(path: impl AsRef<Path>) -> Result<WalRecovery, WalError> {
+        let path = path.as_ref();
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok(WalRecovery {
+                    wal: Wal::create(path, 0)?,
+                    base_gen: 0,
+                    records: Vec::new(),
+                    torn_tail: false,
+                })
+            }
+            Err(e) => return Err(WalError::Io(e)),
+        };
+        let mut base_gen = 0u64;
+        let mut records = Vec::new();
+        let mut torn_tail = false;
+        // Byte offset just past the last validated line (including its
+        // newline when present); everything beyond is a torn tail.
+        let mut good_end = 0usize;
+        let mut line_no = 0usize;
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let (line_end, next_pos) = match bytes[pos..].iter().position(|&b| b == b'\n') {
+                Some(i) => (pos + i, pos + i + 1),
+                None => (bytes.len(), bytes.len()),
+            };
+            let is_last = next_pos >= bytes.len();
+            let parsed = std::str::from_utf8(&bytes[pos..line_end])
+                .map_err(|_| "not UTF-8".to_string())
+                .and_then(parse_line);
+            match parsed {
+                Ok(Parsed::Header { base_gen: b }) if line_no == 0 => base_gen = b,
+                Ok(Parsed::Insert(r)) if line_no > 0 => {
+                    let expected = base_gen + records.len() as u64 + 1;
+                    if r.gen != expected {
+                        return Err(WalError::Corrupt {
+                            line: line_no,
+                            message: format!(
+                                "generation {} out of order (expected {expected})",
+                                r.gen
+                            ),
+                        });
+                    }
+                    records.push(r);
+                }
+                Ok(_) => {
+                    return Err(WalError::Corrupt {
+                        line: line_no,
+                        message: if line_no == 0 {
+                            "first line is not a header".into()
+                        } else {
+                            "header frame past line 0".into()
+                        },
+                    })
+                }
+                Err(message) => {
+                    if is_last {
+                        // The one frame an append-only, synced-per-record
+                        // log can legitimately lose: the tail the crash
+                        // cut short. Nothing in it was ever acked.
+                        torn_tail = true;
+                        break;
+                    }
+                    return Err(WalError::Corrupt {
+                        line: line_no,
+                        message,
+                    });
+                }
+            }
+            good_end = next_pos;
+            line_no += 1;
+            pos = next_pos;
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if good_end < bytes.len() {
+            file.set_len(good_end as u64)?;
+        }
+        if line_no == 0 {
+            // Even the header was torn (a crash during create); nothing
+            // could have been appended after it, so base 0 is exact.
+            file.write_all(header_line(0).as_bytes())?;
+            file.write_all(b"\n")?;
+        } else if bytes[good_end - 1] != b'\n' {
+            // The last frame validated but its newline never landed;
+            // restore the line boundary before any further append.
+            file.write_all(b"\n")?;
+        }
+        file.sync_data()?;
+        Ok(WalRecovery {
+            wal: Wal {
+                path: path.to_path_buf(),
+                file,
+            },
+            base_gen,
+            records,
+            torn_tail,
+        })
+    }
+
+    /// Append one record and fsync it. Returns only once the record is
+    /// durable — the caller may acknowledge the write after this.
+    ///
+    /// Fault sites: `enospc:wal` fails the append with an injected
+    /// ENOSPC; `panic:wal:append[:N]` writes *half* the frame (synced,
+    /// no newline) and then panics, manufacturing the real torn tail
+    /// that [`Wal::open`] must truncate on the next boot.
+    pub fn append(&mut self, rec: &WalRecord, faults: Faults<'_>) -> io::Result<()> {
+        faults.io("wal")?;
+        let line = render_record(rec);
+        if faults.panic_fires("wal:append") {
+            let half = line.len() / 2;
+            let _ = self.file.write_all(&line.as_bytes()[..half]);
+            let _ = self.file.sync_data();
+            panic!("injected fault: poisoned `wal:append` (torn WAL tail)");
+        }
+        let mut framed = line.into_bytes();
+        framed.push(b'\n');
+        self.file.write_all(&framed)?;
+        self.file.sync_data()
+    }
+
+    /// Atomically replace the log with a fresh one based at `base_gen`
+    /// (e.g. after the engine checkpoints its state elsewhere). The new
+    /// header is staged at `<path>.tmp` and renamed over the log, so a
+    /// crash mid-rotation leaves either the old complete log or the new
+    /// empty one.
+    pub fn rotate(&mut self, base_gen: u64) -> Result<(), WalError> {
+        let tmp = tmp_path(&self.path);
+        let mut staged = File::create(&tmp)?;
+        staged.write_all(header_line(base_gen).as_bytes())?;
+        staged.write_all(b"\n")?;
+        staged.sync_data()?;
+        drop(staged);
+        fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// FNV-1a 64-bit — the frame checksum. Dependency-free and stable
+/// across platforms; the WAL needs tamper-evidence against torn writes,
+/// not cryptographic strength.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Close a frame: append the length + checksum suffix covering
+/// everything rendered so far.
+fn finish_frame(body: String) -> String {
+    let crc = fnv1a64(body.as_bytes());
+    format!("{body},\"len\":{},\"crc\":\"{crc:016x}\"}}", body.len())
+}
+
+fn header_line(base_gen: u64) -> String {
+    finish_frame(format!(
+        "{WAL_SCHEMA_PREFIX},\"kind\":\"header\",\"base_gen\":{base_gen}"
+    ))
+}
+
+fn render_record(rec: &WalRecord) -> String {
+    let mut body = String::with_capacity(192);
+    body.push_str(WAL_SCHEMA_PREFIX);
+    body.push_str(",\"kind\":\"insert\"");
+    body.push_str(&format!(",\"gen\":{}", rec.gen));
+    body.push_str(&format!(",\"client\":\"{}\"", json_escape(&rec.client)));
+    body.push_str(&format!(",\"cseq\":{}", rec.cseq));
+    body.push_str(&format!(",\"cfg\":\"{}\"", json_escape(&rec.config)));
+    body.push_str(&format!(",\"table\":\"{}\"", json_escape(&rec.table)));
+    body.push_str(&format!(
+        ",\"row\":\"{}\"",
+        json_escape(&encode_values(&rec.values))
+    ));
+    body.push_str(&format!(",\"row_id\":{}", rec.row_id));
+    body.push_str(&format!(",\"units_bits\":\"{:016x}\"", rec.units.to_bits()));
+    finish_frame(body)
+}
+
+enum Parsed {
+    Header { base_gen: u64 },
+    Insert(WalRecord),
+}
+
+/// Validate one frame (prefix, length, checksum) and parse its fields.
+fn parse_line(line: &str) -> Result<Parsed, String> {
+    if !line.starts_with(WAL_SCHEMA_PREFIX) {
+        return Err("missing tab-wal-v1 schema prefix".into());
+    }
+    let Some(stripped) = line.strip_suffix('}') else {
+        return Err("frame does not close".into());
+    };
+    let Some(len_pos) = stripped.rfind(",\"len\":") else {
+        return Err("frame has no length suffix".into());
+    };
+    let body = &line[..len_pos];
+    let suffix = &stripped[len_pos..];
+    let len: usize = field(suffix, "len")
+        .and_then(|v| v.parse().ok())
+        .ok_or("bad length suffix")?;
+    if len != body.len() {
+        return Err(format!(
+            "length mismatch: frame says {len}, got {}",
+            body.len()
+        ));
+    }
+    let crc = field(suffix, "crc").ok_or("frame has no checksum")?;
+    let computed = format!("{:016x}", fnv1a64(body.as_bytes()));
+    if crc != computed {
+        return Err(format!(
+            "checksum mismatch: frame says {crc}, computed {computed}"
+        ));
+    }
+    match field(body, "kind") {
+        Some("header") => Ok(Parsed::Header {
+            base_gen: field(body, "base_gen")
+                .and_then(|v| v.parse().ok())
+                .ok_or("header without base_gen")?,
+        }),
+        Some("insert") => {
+            let gen = field(body, "gen")
+                .and_then(|v| v.parse().ok())
+                .ok_or("record without gen")?;
+            let client = field(body, "client").map(unescape).ok_or("no client")?;
+            let cseq = field(body, "cseq")
+                .and_then(|v| v.parse().ok())
+                .ok_or("record without cseq")?;
+            let config = field(body, "cfg").map(unescape).ok_or("no cfg")?;
+            let table = field(body, "table").map(unescape).ok_or("no table")?;
+            let values = decode_values(&field(body, "row").map(unescape).ok_or("no row")?)?;
+            let row_id = field(body, "row_id")
+                .and_then(|v| v.parse().ok())
+                .ok_or("record without row_id")?;
+            let units = field(body, "units_bits")
+                .and_then(|v| u64::from_str_radix(v, 16).ok())
+                .map(f64::from_bits)
+                .ok_or("record without units_bits")?;
+            Ok(Parsed::Insert(WalRecord {
+                gen,
+                client,
+                cseq,
+                config,
+                table,
+                values,
+                row_id,
+                units,
+            }))
+        }
+        _ => Err("unknown frame kind".into()),
+    }
+}
+
+/// Encode a row bit-exactly as one comma-separated string: `n` (null),
+/// `i<dec>`, `f<to_bits hex>` (so floats survive byte-for-byte), or
+/// `s<text>` with `\` and `,` backslash-escaped.
+fn encode_values(values: &[Value]) -> String {
+    let mut out = String::new();
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match v {
+            Value::Null => out.push('n'),
+            Value::Int(n) => {
+                out.push('i');
+                out.push_str(&n.to_string());
+            }
+            Value::Float(f) => {
+                out.push('f');
+                out.push_str(&format!("{:016x}", f.to_bits()));
+            }
+            Value::Str(s) => {
+                out.push('s');
+                for c in s.chars() {
+                    match c {
+                        '\\' => out.push_str("\\\\"),
+                        ',' => out.push_str("\\,"),
+                        c => out.push(c),
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reverse [`encode_values`].
+fn decode_values(s: &str) -> Result<Vec<Value>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Split on unescaped commas first (escapes only ever occur inside
+    // `s` payloads), then decode each tagged token.
+    let mut tokens: Vec<String> = vec![String::new()];
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some(e @ (',' | '\\')) => {
+                    tokens.last_mut().expect("nonempty").push(e);
+                }
+                _ => return Err("bad escape in row encoding".into()),
+            },
+            ',' => tokens.push(String::new()),
+            c => tokens.last_mut().expect("nonempty").push(c),
+        }
+    }
+    tokens
+        .into_iter()
+        .map(|t| {
+            let mut it = t.chars();
+            match it.next() {
+                Some('n') if t.len() == 1 => Ok(Value::Null),
+                Some('i') => t[1..]
+                    .parse()
+                    .map(Value::Int)
+                    .map_err(|_| format!("bad int value `{t}`")),
+                Some('f') => u64::from_str_radix(&t[1..], 16)
+                    .map(|bits| Value::Float(f64::from_bits(bits)))
+                    .map_err(|_| format!("bad float value `{t}`")),
+                Some('s') => Ok(Value::str(&t[1..])),
+                _ => Err(format!("unknown value tag in `{t}`")),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tab_wal_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create tmp dir");
+        dir
+    }
+
+    fn rec(gen: u64) -> WalRecord {
+        WalRecord {
+            gen,
+            client: "c1".into(),
+            cseq: gen,
+            config: "p".into(),
+            table: "source".into(),
+            values: vec![
+                Value::Int(-42),
+                Value::Null,
+                Value::Float(0.1 + 0.2),
+                Value::str("has, comma \\ and \"quote\""),
+            ],
+            row_id: 7 + gen as u32,
+            units: 4.0 * (0.1 + 0.2),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("serve.wal");
+        let mut wal = Wal::create(&path, 0).expect("create");
+        for g in 1..=3 {
+            wal.append(&rec(g), Faults::disabled()).expect("append");
+        }
+        drop(wal);
+        let r = Wal::open(&path).expect("open");
+        assert_eq!(r.base_gen, 0);
+        assert!(!r.torn_tail);
+        assert_eq!(r.records.len(), 3);
+        for (i, got) in r.records.iter().enumerate() {
+            let want = rec(i as u64 + 1);
+            assert_eq!(*got, want);
+            // PartialEq on f64 is not bit-equality; check bits too.
+            assert_eq!(got.units.to_bits(), want.units.to_bits());
+            let (Value::Float(a), Value::Float(b)) = (&got.values[2], &want.values[2]) else {
+                panic!("float column lost its type");
+            };
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("serve.wal");
+        let mut wal = Wal::create(&path, 0).expect("create");
+        for g in 1..=3 {
+            wal.append(&rec(g), Faults::disabled()).expect("append");
+        }
+        drop(wal);
+        // Tear the tail: cut the last frame mid-way.
+        let bytes = fs::read(&path).expect("read");
+        fs::write(&path, &bytes[..bytes.len() - 25]).expect("tear");
+        let r = Wal::open(&path).expect("open survives a torn tail");
+        assert!(r.torn_tail);
+        assert_eq!(r.records.len(), 2, "complete records survive");
+        // The file is repaired: appends resume on a clean boundary.
+        let mut wal = r.wal;
+        wal.append(&rec(3), Faults::disabled()).expect("append");
+        drop(wal);
+        let r = Wal::open(&path).expect("reopen");
+        assert!(!r.torn_tail);
+        assert_eq!(r.records.len(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_final_newline_is_not_a_torn_record() {
+        let dir = tmp_dir("nonewline");
+        let path = dir.join("serve.wal");
+        let mut wal = Wal::create(&path, 0).expect("create");
+        wal.append(&rec(1), Faults::disabled()).expect("append");
+        drop(wal);
+        // Crash between the frame landing and its newline: the record
+        // is complete and checksummed, so it must survive.
+        let mut bytes = fs::read(&path).expect("read");
+        assert_eq!(bytes.pop(), Some(b'\n'));
+        fs::write(&path, &bytes).expect("strip newline");
+        let r = Wal::open(&path).expect("open");
+        assert!(!r.torn_tail);
+        assert_eq!(r.records.len(), 1);
+        let mut wal = r.wal;
+        wal.append(&rec(2), Faults::disabled()).expect("append");
+        drop(wal);
+        assert_eq!(Wal::open(&path).expect("reopen").records.len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_refused() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("serve.wal");
+        let mut wal = Wal::create(&path, 0).expect("create");
+        for g in 1..=3 {
+            wal.append(&rec(g), Faults::disabled()).expect("append");
+        }
+        drop(wal);
+        // Flip one byte inside the second record (not the tail).
+        let mut bytes = fs::read(&path).expect("read");
+        let second_line_start = bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i + 1)
+            .nth(1)
+            .expect("three lines");
+        bytes[second_line_start + 40] ^= 0x20;
+        fs::write(&path, &bytes).expect("corrupt");
+        match Wal::open(&path) {
+            Err(WalError::Corrupt { line, .. }) => assert_eq!(line, 2),
+            other => panic!("corruption must be refused, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generation_gaps_are_corruption() {
+        let dir = tmp_dir("gap");
+        let path = dir.join("serve.wal");
+        let mut wal = Wal::create(&path, 0).expect("create");
+        wal.append(&rec(1), Faults::disabled()).expect("append");
+        wal.append(&rec(3), Faults::disabled())
+            .expect("skips gen 2");
+        drop(wal);
+        assert!(matches!(
+            Wal::open(&path),
+            Err(WalError::Corrupt { line: 2, .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_rebases_atomically() {
+        let dir = tmp_dir("rotate");
+        let path = dir.join("serve.wal");
+        let mut wal = Wal::create(&path, 0).expect("create");
+        wal.append(&rec(1), Faults::disabled()).expect("append");
+        wal.rotate(5).expect("rotate");
+        let mut r5 = rec(6);
+        r5.gen = 6;
+        wal.append(&r5, Faults::disabled())
+            .expect("append post-rotate");
+        drop(wal);
+        let r = Wal::open(&path).expect("open");
+        assert_eq!(r.base_gen, 5);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.records[0].gen, 6);
+        assert!(!tmp_path(&path).exists(), "staging file left behind");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_and_panic_fault_sites_bite() {
+        let dir = tmp_dir("faults");
+        let path = dir.join("serve.wal");
+        let plan = FaultPlan::parse("enospc:wal:1").expect("spec");
+        let mut wal = Wal::create(&path, 0).expect("create");
+        wal.append(&rec(1), Faults::to(&plan))
+            .expect("hit 0 passes");
+        let e = wal
+            .append(&rec(2), Faults::to(&plan))
+            .expect_err("disk full");
+        assert!(e.to_string().contains("wal"), "{e}");
+        drop(wal);
+
+        // `panic:wal:append` half-writes the frame: the next open must
+        // see exactly the torn tail a real crash leaves.
+        let plan = FaultPlan::parse("panic:wal:append:1").expect("spec");
+        let r = Wal::open(&path).expect("reopen");
+        assert_eq!(r.records.len(), 1);
+        let mut wal = r.wal;
+        wal.append(&rec(2), Faults::to(&plan))
+            .expect("hit 0 passes");
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            wal.append(&rec(3), Faults::to(&plan))
+        }));
+        assert!(panicked.is_err(), "armed append must panic");
+        drop(wal);
+        let r = Wal::open(&path).expect("recovery");
+        assert!(r.torn_tail, "half-written frame is a torn tail");
+        assert_eq!(r.records.len(), 2, "synced records survive");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,10 +8,13 @@
 
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Arc;
 
-use tab_bench::engine::ChargePolicy;
+use tab_bench::datagen::{generate_nref, generate_nref_checked, NrefParams};
+use tab_bench::engine::{ChargePolicy, EngineState, SharedEngine};
 use tab_bench::eval::SuiteParams;
-use tab_bench::storage::{par_map, par_map_catch, FaultPlan, Parallelism};
+use tab_bench::sqlq::{parse_statement, Statement};
+use tab_bench::storage::{par_map, par_map_catch, FaultPlan, Faults, Parallelism};
 use tab_bench_harness::repro::{run_all, ReproConfig, ReproError};
 
 fn tiny(out: &Path, threads: usize) -> ReproConfig {
@@ -432,4 +435,138 @@ fn par_map_panic_isolation() {
         })
     });
     assert!(panicked.is_err(), "par_map re-raises job panics");
+}
+
+/// A datagen crash (`panic:build:<table>`) or injected ENOSPC
+/// (`enospc:datagen`) is recoverable by construction: generators are
+/// deterministic for a fixed seed, so a rerun with the fault disarmed
+/// produces a database bit-identical to one that never crashed.
+#[test]
+fn datagen_crash_then_rerun_is_bit_identical() {
+    let params = NrefParams {
+        proteins: 300,
+        seed: 11,
+    };
+    // The crash: the panic site names the table being added.
+    let plan = FaultPlan::parse("panic:build:taxonomy").expect("spec");
+    let crash = std::panic::catch_unwind(|| generate_nref_checked(params, &Faults::to(&plan)));
+    let payload = crash.expect_err("the build panic must fire");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("build:taxonomy"),
+        "panic must name its site: {message}"
+    );
+    // The injected ENOSPC: a typed error, not a panic.
+    let plan = FaultPlan::parse("enospc:datagen").expect("spec");
+    let err = generate_nref_checked(params, &Faults::to(&plan)).expect_err("enospc fires");
+    assert!(err.to_string().contains("datagen"), "{err}");
+    // The resume: rerunning with faults disarmed matches a build that
+    // never saw a fault, row for row.
+    let resumed = generate_nref_checked(params, &Faults::disabled()).expect("clean rerun");
+    let clean = generate_nref(params);
+    for name in ["protein", "source", "taxonomy"] {
+        let (a, b) = (resumed.table(name).unwrap(), clean.table(name).unwrap());
+        assert_eq!(a.n_rows(), b.n_rows(), "{name}");
+        assert_eq!(a.row(7), b.row(7), "{name}");
+    }
+}
+
+/// The repro harness surfaces a datagen fault as a typed
+/// [`ReproError::Datagen`] naming the database and the fault site, and
+/// a `--resume` rerun with the fault disarmed finishes with outputs
+/// byte-identical to a never-interrupted run.
+#[test]
+fn repro_datagen_crash_resumes_byte_identical() {
+    let base = std::env::temp_dir().join(format!("tab_fault_datagen_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    let clean_dir = base.join("clean");
+    run_all(&tiny(&clean_dir, 1)).expect("clean baseline run");
+    let want = snapshot(&clean_dir);
+
+    // SkTH is the first TPC-H database generated, well after the NREF
+    // section's artifacts are on disk — a mid-run crash.
+    let dir = base.join("crash");
+    let mut cfg = tiny(&dir, 1);
+    cfg.faults = Some(FaultPlan::parse("panic:build:lineitem").expect("spec"));
+    match run_all(&cfg) {
+        Err(ReproError::Datagen { label, message }) => {
+            assert_eq!(label, "SkTH");
+            assert!(message.contains("build:lineitem"), "{message}");
+        }
+        other => panic!("expected a typed datagen error, got {other:?}"),
+    }
+    assert!(
+        dir.join("repro.checkpoint.jsonl").exists(),
+        "the journal must survive a datagen crash"
+    );
+
+    cfg.faults = None;
+    cfg.resume = true;
+    run_all(&cfg).expect("resume completes the run");
+    assert_same_outputs(&dir, &want, "datagen-crash-resume");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The WAL torn-tail contract end to end: a `panic:wal:append` crash
+/// leaves a half-written final frame; the engine refuses further writes
+/// on the poisoned log; recovery truncates exactly the torn frame,
+/// replays every whole one, and restores append capability.
+#[test]
+fn panicked_wal_append_truncates_to_a_recoverable_tail() {
+    let db = generate_nref(NrefParams {
+        proteins: 300,
+        seed: 2005,
+    });
+    let state = || {
+        EngineState::new(db.clone())
+            .with_config("p", tab_bench::eval::build_p(&db, "NREF"))
+            .with_config("1c", tab_bench::eval::build_1c(&db, "NREF"))
+    };
+    let insert = |key: i64| {
+        let sql =
+            format!("INSERT INTO source VALUES ({key}, 1, 562, 'W{key}', 'wal row', 'testdb')");
+        match parse_statement(&sql).expect("parse") {
+            Statement::Insert(i) => i,
+            other => panic!("expected insert: {other:?}"),
+        }
+    };
+    let wal = std::env::temp_dir().join(format!("tab_fault_wal_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+
+    // Append 0 succeeds; append 1 panics mid-frame (fsynced half line).
+    let plan = Arc::new(FaultPlan::parse("panic:wal:append:1").expect("spec"));
+    let (engine, _) = SharedEngine::with_wal(state(), &wal, Some(plan)).expect("fresh wal");
+    let engine = Arc::new(engine);
+    engine.insert(&insert(99_970), "p").expect("first insert");
+    let crashed = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            let _ = engine.insert(&insert(99_971), "p");
+        })
+        .join()
+    };
+    assert!(crashed.is_err(), "the armed append must panic");
+    // The poisoned log refuses further writes: appending after a torn
+    // tail would corrupt the only copy of the acked history.
+    let refused = engine.insert(&insert(99_972), "p").expect_err("refused");
+    assert!(refused.to_string().contains("poisoned"), "{refused}");
+    assert_eq!(engine.generation(), 1, "nothing after the crash applied");
+
+    // Recovery: the torn frame is truncated, the whole one replayed.
+    let (recovered, report) = SharedEngine::with_wal(state(), &wal, None).expect("recovery");
+    assert_eq!(report.replayed, 1);
+    assert!(report.torn_tail, "the half-written frame must be reported");
+    assert_eq!(recovered.generation(), 1);
+    // And the log accepts appends again.
+    let r = recovered
+        .insert(&insert(99_973), "p")
+        .expect("post-recovery");
+    assert_eq!(recovered.generation(), 2);
+    assert!(r.units > 0.0);
+    let _ = std::fs::remove_file(&wal);
 }

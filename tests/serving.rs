@@ -9,8 +9,8 @@ use tab_bench::datagen::{generate_nref, NrefParams};
 use tab_bench::engine::{EngineState, Outcome, Session, SharedEngine};
 use tab_bench::eval::{build_1c, build_p};
 use tab_bench::families::Family;
-use tab_bench::server::{Client, ServeOptions, Server};
-use tab_bench::storage::Database;
+use tab_bench::server::{Client, RetryClient, ServeOptions, Server};
+use tab_bench::storage::{Database, FaultPlan};
 use tab_bench_harness::serve_bench::{
     run_serve_bench, LoadMode, RequestOutcome, ServeBenchOptions,
 };
@@ -22,14 +22,24 @@ fn nref(proteins: usize) -> Database {
     })
 }
 
+fn state_of(db: &Database) -> EngineState {
+    EngineState::new(db.clone())
+        .with_config("p", build_p(db, "NREF"))
+        .with_config("1c", build_1c(db, "NREF"))
+}
+
 fn start_server(db: &Database) -> (Arc<SharedEngine>, Server) {
-    let engine = Arc::new(SharedEngine::new(
-        EngineState::new(db.clone())
-            .with_config("p", build_p(db, "NREF"))
-            .with_config("1c", build_1c(db, "NREF")),
-    ));
-    let server = Server::start(Arc::clone(&engine), ServeOptions::default()).expect("server boots");
+    start_server_with(db, ServeOptions::default())
+}
+
+fn start_server_with(db: &Database, opts: ServeOptions) -> (Arc<SharedEngine>, Server) {
+    let engine = Arc::new(SharedEngine::new(state_of(db)));
+    let server = Server::start(Arc::clone(&engine), opts).expect("server boots");
     (engine, server)
+}
+
+fn source_insert(key: i64) -> String {
+    format!("INSERT INTO source VALUES ({key}, 1, 562, 'T{key}', 'test protein', 'testdb')")
 }
 
 /// M clients x K queries over the wire give exactly the verdicts and
@@ -237,4 +247,193 @@ fn serve_bench_claims_are_interleaving_free() {
         assert!(*verdict == "done" || *verdict == "timeout");
         assert!(*units > 0.0);
     }
+}
+
+/// The lost-ack window: a `drop:conn` fault swallows the INSERT ack
+/// after the server applied the row. The sequence-keyed retry resends
+/// under the same key; the server answers from its dedup table, so the
+/// row applies exactly once.
+#[test]
+fn retry_heals_a_dropped_ack_without_double_apply() {
+    let db = nref(300);
+    let faults = Arc::new(FaultPlan::parse("drop:conn:1").expect("fault spec"));
+    let (engine, mut server) = start_server_with(
+        &db,
+        ServeOptions {
+            faults: Some(faults),
+            ..ServeOptions::default()
+        },
+    );
+    let mut client = RetryClient::new(server.addr().to_string(), "t-drop");
+    assert!(client.ping().expect("ping (response 0)").is_ok());
+    // Response 1 — the insert ack — is dropped on the floor.
+    let r = client.insert("p", &source_insert(99_990)).expect("insert");
+    assert!(r.is_ok(), "retried insert failed: {:?}", r.error());
+    assert_eq!(r.int_field("generation"), Some(1));
+    assert_eq!(r.bool_field("deduped"), Some(true));
+    assert!(client.retries() >= 1, "the drop must force a retry");
+    assert!(client.reconnects() >= 1, "the drop closes the connection");
+    // Applied once: one generation, one dedup hit, no phantom row.
+    assert_eq!(engine.generation(), 1);
+    assert_eq!(engine.deduped(), 1);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.int_field("wire_dropped"), Some(1));
+    assert_eq!(stats.int_field("deduped"), Some(1));
+    server.shutdown();
+}
+
+/// Replaying the same `<client>:<seq>` key twice applies once: the
+/// second request gets the cached ack (`deduped:true`, same
+/// generation), and a sequence older than the last acked one is a
+/// permanent (non-retryable) error.
+#[test]
+fn same_sequence_twice_applies_once() {
+    let db = nref(300);
+    let (engine, mut server) = start_server(&db);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let line = format!("INSERT p dup:1 {}", source_insert(99_991));
+    let first = client.request(&line).expect("first send");
+    assert!(first.is_ok(), "{:?}", first.error());
+    assert_eq!(first.int_field("generation"), Some(1));
+    assert_eq!(first.bool_field("deduped"), Some(false));
+    let second = client.request(&line).expect("resend");
+    assert!(second.is_ok(), "{:?}", second.error());
+    assert_eq!(second.int_field("generation"), Some(1));
+    assert_eq!(second.bool_field("deduped"), Some(true));
+    assert_eq!(engine.generation(), 1, "the resend must not re-apply");
+    // Advance to seq 2, then replay seq 1: stale, permanent, no apply.
+    let fresh = client
+        .request(&format!("INSERT p dup:2 {}", source_insert(99_992)))
+        .expect("seq 2");
+    assert!(fresh.is_ok());
+    let stale = client.request(&line).expect("stale send");
+    assert!(!stale.is_ok(), "a stale sequence must be refused");
+    assert!(!stale.is_retryable(), "stale is permanent, not retryable");
+    assert_eq!(engine.generation(), 2);
+    server.shutdown();
+}
+
+/// Overload shedding degrades expensive verbs first: with an admission
+/// limit of 1, ADVISE and EXPLAIN are shed with typed retryable
+/// `overloaded` envelopes while QUERY and PING still get through.
+#[test]
+fn shedding_rejects_expensive_verbs_with_retryable_envelopes() {
+    let db = nref(300);
+    let (_engine, mut server) = start_server_with(
+        &db,
+        ServeOptions {
+            admission: 1,
+            ..ServeOptions::default()
+        },
+    );
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for line in [
+        "ADVISE NREF2J B 5",
+        "EXPLAIN p SELECT COUNT(*) FROM protein",
+    ] {
+        let r = client.request(line).expect("a response line");
+        assert!(!r.is_ok(), "`{line}` should be shed");
+        assert!(r.is_retryable(), "`{line}` shed must be retryable");
+        assert_eq!(r.reason().as_deref(), Some("overloaded"));
+    }
+    let q = client
+        .query("p", "SELECT COUNT(*) FROM protein")
+        .expect("query");
+    assert!(q.is_ok(), "QUERY sheds last: {:?}", q.error());
+    assert!(client.ping().expect("ping").is_ok(), "PING is never shed");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.int_field("shed_advise"), Some(1));
+    assert_eq!(stats.int_field("shed_explain"), Some(1));
+    assert_eq!(stats.int_field("shed_query"), Some(0));
+    server.shutdown();
+}
+
+/// Past the connection cap, a new connection is told `overloaded`
+/// (retryable) and closed; it never hangs and never crashes the server.
+#[test]
+fn connection_cap_refuses_with_a_retryable_envelope() {
+    let db = nref(300);
+    let (_engine, mut server) = start_server_with(
+        &db,
+        ServeOptions {
+            max_connections: 1,
+            ..ServeOptions::default()
+        },
+    );
+    let mut first = Client::connect(server.addr()).expect("first connect");
+    assert!(first.ping().expect("ping").is_ok());
+    let mut second = Client::connect(server.addr()).expect("tcp accept still works");
+    let refusal = second.request("PING").expect("refusal envelope");
+    assert!(!refusal.is_ok());
+    assert!(refusal.is_retryable());
+    assert_eq!(refusal.reason().as_deref(), Some("overloaded"));
+    // The admitted connection is unaffected.
+    assert!(first.ping().expect("ping again").is_ok());
+    server.shutdown();
+}
+
+/// A torn (half-written) response line is detected by the envelope
+/// parser and retried; reads are idempotent, so the retry converges.
+#[test]
+fn torn_wire_responses_are_detected_and_retried() {
+    let db = nref(300);
+    let faults = Arc::new(FaultPlan::parse("torn:wire:1").expect("fault spec"));
+    let (_engine, mut server) = start_server_with(
+        &db,
+        ServeOptions {
+            faults: Some(faults),
+            ..ServeOptions::default()
+        },
+    );
+    let mut client = RetryClient::new(server.addr().to_string(), "t-torn");
+    assert!(client.ping().expect("ping (response 0)").is_ok());
+    // Response 1 is torn mid-line; the client must notice and resend.
+    let r = client
+        .query("p", "SELECT COUNT(*) FROM protein")
+        .expect("query survives the torn line");
+    assert!(r.is_ok(), "{:?}", r.error());
+    assert_eq!(r.str_field("verdict").as_deref(), Some("done"));
+    assert!(client.retries() >= 1, "the torn line must force a retry");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.int_field("wire_torn"), Some(1));
+    server.shutdown();
+}
+
+/// Served inserts written through a WAL survive the server: a fresh
+/// engine recovering from the log reports the same generation and sees
+/// every acknowledged row.
+#[test]
+fn wal_recovery_restores_served_inserts() {
+    let db = nref(300);
+    let wal = std::env::temp_dir().join(format!("tab_serving_wal_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    let (engine, report) =
+        SharedEngine::with_wal(state_of(&db), &wal, None).expect("fresh wal opens");
+    assert_eq!(report.replayed, 0);
+    let engine = Arc::new(engine);
+    let mut server =
+        Server::start(Arc::clone(&engine), ServeOptions::default()).expect("server boots");
+    let mut client = RetryClient::new(server.addr().to_string(), "walclient");
+    for i in 0..3 {
+        let r = client
+            .insert("p", &source_insert(99_980 + i))
+            .expect("insert");
+        assert!(r.is_ok(), "{:?}", r.error());
+    }
+    server.shutdown();
+    let (recovered, report) =
+        SharedEngine::with_wal(state_of(&db), &wal, None).expect("recovery succeeds");
+    assert_eq!(report.replayed, 3);
+    assert!(!report.torn_tail);
+    assert_eq!(recovered.generation(), engine.generation());
+    let q = tab_bench::sqlq::parse("SELECT COUNT(*) FROM source").expect("parse");
+    let count = |e: &SharedEngine| {
+        let snap = e.snapshot();
+        let s = snap.session("p").expect("p served");
+        s.run(&q, None).expect("run").rows.expect("rows")[0][0]
+            .as_int()
+            .expect("int")
+    };
+    assert_eq!(count(&recovered), count(&engine));
+    let _ = std::fs::remove_file(&wal);
 }
